@@ -1,0 +1,143 @@
+//! Criterion micro-benchmarks for the performance-critical substrate
+//! operations: SMTP command parsing, storage-layout delivery, DNSBL
+//! resolver lookups, bitmap wire handling, and raw DES event throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spamaware_dnsbl::{BlacklistDb, CacheScheme, CachingResolver, DnsblServer, LatencyModel};
+use spamaware_mfs::{DataRef, Layout, MailId, MemFs};
+use spamaware_netaddr::{Ipv4, PrefixBitmap, QueryName, QueryScheme};
+use spamaware_server::{run, ClientModel, ServerConfig};
+use spamaware_sim::{det_rng, Nanos};
+use spamaware_smtp::{Command, MailAddr, ServerSession, SessionConfig};
+use spamaware_trace::bounce_sweep_trace;
+use std::hint::black_box;
+
+fn bench_smtp_parse(c: &mut Criterion) {
+    let lines = [
+        "HELO mx.client.example",
+        "MAIL FROM:<sender@remote.example> SIZE=2048",
+        "RCPT TO:<user42@dept.example>",
+        "DATA",
+        "QUIT",
+    ];
+    c.bench_function("smtp/parse_command", |b| {
+        b.iter(|| {
+            for line in &lines {
+                black_box(Command::parse(black_box(line)).unwrap());
+            }
+        })
+    });
+
+    c.bench_function("smtp/full_session", |b| {
+        let exists = |_: &MailAddr| true;
+        b.iter(|| {
+            let mut s = ServerSession::new(SessionConfig::default());
+            s.handle(Command::parse("HELO c.example").unwrap(), &exists);
+            s.handle(Command::parse("MAIL FROM:<a@b.example>").unwrap(), &exists);
+            for i in 0..7 {
+                s.handle(
+                    Command::parse(&format!("RCPT TO:<user{i}@dept.example>")).unwrap(),
+                    &exists,
+                );
+            }
+            s.handle(Command::parse("DATA").unwrap(), &exists);
+            s.finish_data_sized("M", 2048);
+            s.handle(Command::parse("QUIT").unwrap(), &exists);
+            black_box(s.outcome())
+        })
+    });
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let boxes: Vec<String> = (0..15).map(|i| format!("user{i}")).collect();
+    let names: Vec<&str> = boxes.iter().map(String::as_str).collect();
+    let mut group = c.benchmark_group("storage/deliver_15rcpt_4k");
+    for layout in Layout::ALL {
+        group.bench_function(layout.paper_name(), |b| {
+            b.iter_batched(
+                || (layout.build(MemFs::size_only()), 0u64),
+                |(mut store, _)| {
+                    for i in 0..32u64 {
+                        store
+                            .deliver(MailId(i + 1), &names, DataRef::Zeros(4096))
+                            .unwrap();
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_dnsbl(c: &mut Criterion) {
+    let mut db = BlacklistDb::new();
+    let mut rng = det_rng(1);
+    use rand::Rng;
+    for _ in 0..10_000 {
+        db.insert(Ipv4::from_u32(rng.gen()));
+    }
+    let server = DnsblServer::new("bl.example", db, LatencyModel::new(40.0, 0.8, 0.05));
+
+    c.bench_function("dnsbl/resolver_hit", |b| {
+        let mut r = CachingResolver::new(CacheScheme::PerPrefix, Nanos::from_secs(86_400));
+        let ip = Ipv4::new(10, 1, 2, 3);
+        let mut rng = det_rng(2);
+        r.lookup(ip, Nanos::ZERO, &server, &mut rng);
+        b.iter(|| black_box(r.lookup(ip, Nanos::from_secs(1), &server, &mut rng)))
+    });
+
+    c.bench_function("dnsbl/resolver_miss", |b| {
+        let mut r = CachingResolver::new(CacheScheme::PerIp, Nanos::from_secs(86_400));
+        let mut rng = det_rng(3);
+        let mut n = 0u32;
+        b.iter(|| {
+            n = n.wrapping_add(257);
+            black_box(r.lookup(Ipv4::from_u32(n), Nanos::from_secs(1), &server, &mut rng))
+        })
+    });
+
+    c.bench_function("dnsbl/bitmap_wire_roundtrip", |b| {
+        let p = Ipv4::new(203, 0, 113, 0).prefix25();
+        let mut bm = PrefixBitmap::empty(p);
+        for i in (0..128).step_by(3) {
+            bm.set(p.nth(i));
+        }
+        b.iter(|| {
+            let wire = black_box(bm).to_wire();
+            black_box(PrefixBitmap::from_wire(p, wire).count())
+        })
+    });
+
+    c.bench_function("dnsbl/query_name_encode", |b| {
+        let ip = Ipv4::new(203, 0, 113, 200);
+        b.iter(|| {
+            black_box(QueryName::encode(
+                black_box(ip),
+                QueryScheme::PrefixV6,
+                "bl.spamaware.test",
+            ))
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let trace = bounce_sweep_trace(1, 2_000, 0.3, 400);
+    c.bench_function("engine/one_sim_second_hybrid", |b| {
+        b.iter(|| {
+            black_box(run(
+                &trace,
+                ServerConfig::hybrid(),
+                ClientModel::Closed { concurrency: 100 },
+                Nanos::from_secs(1),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_smtp_parse, bench_storage, bench_dnsbl, bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation: vector-send task batching in the hybrid master.
+//!
+//! The paper batches ~28 delegated tasks per worker socket (64 KiB buffer,
+//! §5.3). This sweep shrinks the per-worker queue to show the natural
+//! throttle turning into a bottleneck.
+
+use spamaware_bench::{banner, scale_from_args};
+use spamaware_core::{run, ClientModel, ServerConfig};
+use spamaware_sim::Nanos;
+use spamaware_trace::bounce_sweep_trace;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("ablation", "worker task-queue depth (vector-send batching)", scale);
+    let trace = bounce_sweep_trace(42, 10_000, 0.2, 400);
+    println!("  queue depth   goodput     max note");
+    for (depth, workers) in [(1usize, 4usize), (4, 4), (28, 4), (1, 64), (28, 64)] {
+        let cfg = ServerConfig {
+            worker_queue_limit: depth,
+            process_limit: workers,
+            ..ServerConfig::hybrid()
+        };
+        let rep = run(
+            &trace,
+            cfg,
+            ClientModel::Closed { concurrency: 600 },
+            Nanos::from_secs(scale.seconds),
+        );
+        println!(
+            "  {depth:>6} x{workers:<3}   {:>7.1}/s   {}",
+            rep.goodput(),
+            if depth == 28 { "(paper's 64 KiB estimate)" } else { "" }
+        );
+    }
+    println!();
+    println!("  deep queues let the master keep delegating while workers drain");
+    println!("  RTT-bound connections; depth 1 with few workers serializes.");
+}

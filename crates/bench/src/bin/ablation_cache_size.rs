@@ -1,0 +1,50 @@
+//! Ablation: bounded resolver-cache capacity. The paper assumes an
+//! unbounded 24 h cache; this sweep shows how small the cache can get
+//! before the prefix scheme's advantage erodes — and that prefix caching
+//! *needs fewer entries* for the same hit ratio (one /25 bitmap covers up
+//! to 128 bots).
+
+use spamaware_bench::{banner, scale_from_args};
+use spamaware_core::experiment::default_dnsbl;
+use spamaware_dnsbl::{CacheScheme, CachingResolver};
+use spamaware_sim::{det_rng, Nanos};
+use spamaware_trace::SinkholeConfig;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("ablation", "resolver cache capacity", scale);
+    let sink = SinkholeConfig::scaled(scale.trace.max(0.25)).generate();
+    let server = default_dnsbl(sink.blacklisted.iter().copied());
+    let ttl = Nanos::from_secs(86_400);
+    println!("  capacity     per-IP hit (evictions)    per-/25 hit (evictions)");
+    for cap in [100usize, 500, 2_000, 10_000, usize::MAX] {
+        let mut cells = Vec::new();
+        for scheme in [CacheScheme::PerIp, CacheScheme::PerPrefix] {
+            let mut r = CachingResolver::new(scheme, ttl);
+            if cap != usize::MAX {
+                r = r.with_capacity(cap);
+            }
+            let mut rng = det_rng(4);
+            for c in &sink.trace.connections {
+                r.lookup(c.client_ip, c.arrival, &server, &mut rng);
+            }
+            cells.push((r.stats().hit_ratio(), r.stats().evictions));
+        }
+        let label = if cap == usize::MAX {
+            "unbounded".to_owned()
+        } else {
+            cap.to_string()
+        };
+        println!(
+            "  {label:>9}   {:>9.1}%  ({:>8})   {:>10.1}%  ({:>8})",
+            cells[0].0 * 100.0,
+            cells[0].1,
+            cells[1].0 * 100.0,
+            cells[1].1
+        );
+    }
+    println!();
+    println!("  the bitmap cache tolerates much smaller capacities: one entry");
+    println!("  covers a whole /25 of bots (paper's unbounded setting at the");
+    println!("  bottom row).");
+}

@@ -1,0 +1,43 @@
+//! Ablation: where should the hybrid master place the trust point?
+//!
+//! Sweeps delegation at accept / after HELO / after the first valid RCPT
+//! (the paper's design) across bounce ratios. Delegating earlier wastes
+//! worker setup on connections that turn out to be bounces; the
+//! after-valid-RCPT point is the only one whose bounce cost stays on the
+//! cheap event-loop path.
+
+use spamaware_bench::{banner, scale_from_args};
+use spamaware_core::{run, ClientModel, ServerConfig, TrustPoint};
+use spamaware_sim::Nanos;
+use spamaware_trace::bounce_sweep_trace;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("ablation", "trust-point placement vs bounce ratio", scale);
+    println!("  bounce   AfterAccept   AfterHelo   AfterValidRcpt   (goodput, mails/s)");
+    for b in [0.0, 0.3, 0.6, 0.9] {
+        let trace = bounce_sweep_trace(42, 10_000, b, 400);
+        print!("  {b:>5.2}");
+        for tp in [
+            TrustPoint::AfterAccept,
+            TrustPoint::AfterHelo,
+            TrustPoint::AfterValidRcpt,
+        ] {
+            let cfg = ServerConfig {
+                trust_point: tp,
+                ..ServerConfig::hybrid()
+            };
+            let rep = run(
+                &trace,
+                cfg,
+                ClientModel::Closed { concurrency: 600 },
+                Nanos::from_secs(scale.seconds),
+            );
+            print!("   {:>11.1}", rep.goodput());
+        }
+        println!();
+    }
+    println!();
+    println!("  the later the trust point, the less worker setup is wasted on");
+    println!("  bounce connections (paper §5.1).");
+}

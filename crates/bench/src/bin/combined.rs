@@ -1,0 +1,37 @@
+//! §8: all three optimizations combined, on the spam and Univ workloads.
+
+use spamaware_bench::{banner, json_path_from_args, scale_from_args, write_json};
+use spamaware_core::experiment::{combined, CombinedWorkload};
+
+fn main() {
+    let scale = scale_from_args();
+    banner("§8", "combined performance improvement", scale);
+    let mut results = Vec::new();
+    for (wl, name, paper_gain, paper_dns) in [
+        (CombinedWorkload::Spam, "spam trace + ECN bounce ratio", 40.0, 39.0),
+        (CombinedWorkload::Univ, "Univ trace", 18.0, 20.0),
+    ] {
+        let r = combined(scale, wl);
+        results.push(r.clone());
+        println!("  workload: {name}");
+        println!(
+            "    vanilla postfix:    {:>7.1} mails/s   ({} DNSBL queries)",
+            r.vanilla.goodput(),
+            r.vanilla.dns.as_ref().map_or(0, |d| d.queries_issued)
+        );
+        println!(
+            "    spam-aware server:  {:>7.1} mails/s   ({} DNSBL queries)",
+            r.spamaware.goodput(),
+            r.spamaware.dns.as_ref().map_or(0, |d| d.queries_issued)
+        );
+        println!(
+            "    throughput gain {:+.1}% (paper: +{paper_gain:.0}%), DNSBL queries cut {:.1}% (paper: -{paper_dns:.0}%)",
+            r.throughput_gain() * 100.0,
+            r.dns_query_reduction() * 100.0
+        );
+        println!();
+    }
+    if let Some(path) = json_path_from_args() {
+        write_json(&path, &results);
+    }
+}

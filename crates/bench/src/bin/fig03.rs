@@ -1,0 +1,31 @@
+//! Fig. 3: daily bounce ratio and unfinished-SMTP ratio at the ECN mail
+//! server over ~13 months.
+
+use spamaware_bench::scale_from_args;
+use spamaware_core::experiment::fig03;
+
+fn main() {
+    let _ = scale_from_args();
+    println!("=== Fig. 3: ECN daily bounce and unfinished-SMTP ratios (395 days)");
+    println!();
+    let series = fig03();
+    println!("  day   bounce  unfinished");
+    for d in series.days.iter().step_by(14) {
+        println!(
+            "  {:>3}   {:>5.1}%   {:>6.1}%",
+            d.day,
+            d.bounce_ratio * 100.0,
+            d.unfinished_ratio * 100.0
+        );
+    }
+    println!();
+    println!(
+        "  means: bounce {:.1}% (paper: 20-25%, rising), unfinished {:.1}% (paper: 5-15%)",
+        series.mean_bounce() * 100.0,
+        series.mean_unfinished() * 100.0
+    );
+    println!(
+        "  combined bounce connections: {:.1}% (paper: 25-45%)",
+        series.mean_bounce_connections() * 100.0
+    );
+}

@@ -1,0 +1,21 @@
+//! Fig. 4: CDF of the number of recipients per mail in the sinkhole trace.
+
+use spamaware_bench::{banner, scale_from_args};
+use spamaware_core::experiment::fig04;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Fig. 4", "CDF of recipients per connection (sinkhole)", scale);
+    let cdf = fig04(scale);
+    println!("  rcpts   CDF");
+    for (r, f) in &cdf {
+        println!("  {r:>5}   {:>5.3}", f);
+    }
+    let at4 = cdf.iter().find(|(r, _)| *r == 4).map_or(0.0, |(_, f)| *f);
+    let at15 = cdf.iter().find(|(r, _)| *r == 15).map_or(1.0, |(_, f)| *f);
+    println!();
+    println!(
+        "  mass in 5..=15 recipients: {:.0}% (paper: \"commonly between 5-15\")",
+        (at15 - at4) * 100.0
+    );
+}

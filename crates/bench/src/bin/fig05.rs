@@ -1,0 +1,30 @@
+//! Fig. 5: CDF of time to query six DNSBL servers for the sinkhole's
+//! spammer IPs.
+
+use spamaware_bench::{banner, scale_from_args, thin_cdf};
+use spamaware_core::experiment::fig05;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Fig. 5", "DNSBL query latency CDFs (six servers)", scale);
+    let rows = fig05(scale);
+    for (name, hist) in &rows {
+        println!("  {name}:");
+        for (ms, f) in thin_cdf(&hist.cdf(), 8) {
+            println!("    {:>8.1} ms   {:>5.3}", ms, f);
+        }
+        println!(
+            "    fraction > 100 ms: {:.0}%",
+            hist.fraction_above(100.0) * 100.0
+        );
+        println!();
+    }
+    let fracs: Vec<f64> = rows.iter().map(|(_, h)| h.fraction_above(100.0)).collect();
+    let min = fracs.iter().cloned().fold(f64::MAX, f64::min);
+    let max = fracs.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "  range of >100ms fractions: {:.0}%-{:.0}% (paper: 16%-50%)",
+        min * 100.0,
+        max * 100.0
+    );
+}

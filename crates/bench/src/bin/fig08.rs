@@ -1,0 +1,33 @@
+//! Fig. 8: goodput vs bounce ratio for the vanilla and fork-after-trust
+//! architectures.
+
+use spamaware_bench::{banner, json_path_from_args, scale_from_args, write_json};
+use spamaware_core::experiment::fig08;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Fig. 8", "goodput vs bounce ratio (Vanilla vs Hybrid)", scale);
+    let ratios = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    println!("  bounce   Vanilla     Hybrid      ctx-switch ratio (V/H)");
+    let points = fig08(scale, &ratios);
+    for p in &points {
+        let ctx_ratio = if p.hybrid.context_switches > 0 {
+            p.vanilla.context_switches as f64 / p.hybrid.context_switches as f64
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "  {:>5.2}   {:>7.1}/s   {:>7.1}/s      {:>6.2}x",
+            p.bounce_ratio,
+            p.vanilla.goodput(),
+            p.hybrid.goodput(),
+            ctx_ratio
+        );
+    }
+    println!();
+    println!("  paper: vanilla declines steadily from ~180 mails/s; hybrid stays");
+    println!("  almost constant until bounce ratio 0.9; context switches cut ~2x.");
+    if let Some(path) = json_path_from_args() {
+        write_json(&path, &points);
+    }
+}

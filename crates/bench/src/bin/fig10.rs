@@ -1,0 +1,35 @@
+//! Fig. 10: mail-write throughput of four storage layouts on Ext3.
+
+use spamaware_bench::{banner, scale_from_args};
+use spamaware_core::experiment::fig10_11;
+use spamaware_mfs::DiskProfile;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Fig. 10", "mails written/sec vs recipients (Ext3-journal)", scale);
+    let rcpts = [1u8, 2, 3, 5, 8, 10, 12, 15];
+    let points = fig10_11(scale, DiskProfile::ext3(), &rcpts);
+    println!("  rcpts      MFS    Postfix    maildir   hard-link");
+    for p in &points {
+        print!("  {:>5}", p.rcpts);
+        for (_, tput) in &p.throughput {
+            print!("   {tput:>7.0}");
+        }
+        println!();
+    }
+    let first = &points[0];
+    let last = points.last().expect("points");
+    let get = |p: &spamaware_core::experiment::Fig10Point, l: spamaware_mfs::Layout| {
+        p.throughput.iter().find(|(x, _)| *x == l).expect("layout").1
+    };
+    use spamaware_mfs::Layout;
+    println!();
+    println!(
+        "  vanilla 1->15 amortization: {:.1}x (paper: 7.2x)",
+        get(last, Layout::Mbox) / get(first, Layout::Mbox)
+    );
+    println!(
+        "  MFS over vanilla at 15 rcpts: {:+.0}% (paper: +39%)",
+        (get(last, Layout::Mfs) / get(last, Layout::Mbox) - 1.0) * 100.0
+    );
+}

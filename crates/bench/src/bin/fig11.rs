@@ -1,0 +1,30 @@
+//! Fig. 11: mail-write throughput of four storage layouts on ReiserFS.
+
+use spamaware_bench::{banner, scale_from_args};
+use spamaware_core::experiment::fig10_11;
+use spamaware_mfs::{DiskProfile, Layout};
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Fig. 11", "mails written/sec vs recipients (ReiserFS)", scale);
+    let rcpts = [1u8, 2, 3, 5, 8, 10, 12, 15];
+    let points = fig10_11(scale, DiskProfile::reiser(), &rcpts);
+    println!("  rcpts      MFS    Postfix    maildir   hard-link");
+    for p in &points {
+        print!("  {:>5}", p.rcpts);
+        for (_, tput) in &p.throughput {
+            print!("   {tput:>7.0}");
+        }
+        println!();
+    }
+    let last = points.last().expect("points");
+    let get = |l: Layout| last.throughput.iter().find(|(x, _)| *x == l).expect("layout").1;
+    println!();
+    println!(
+        "  at 15 rcpts, MFS outperforms hard-link by {:+.1}%, vanilla by {:+.1}%, maildir by {:+.0}%",
+        (get(Layout::Mfs) / get(Layout::Hardlink) - 1.0) * 100.0,
+        (get(Layout::Mfs) / get(Layout::Mbox) - 1.0) * 100.0,
+        (get(Layout::Mfs) / get(Layout::Maildir) - 1.0) * 100.0
+    );
+    println!("  (paper: +29.5%, +31%, +212%)");
+}

@@ -1,0 +1,27 @@
+//! Fig. 14: throughput vs offered connection rate under per-IP and
+//! prefix-based DNSBL caching.
+
+use spamaware_bench::{banner, scale_from_args};
+use spamaware_core::experiment::fig14;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Fig. 14", "throughput vs connection rate (DNSBL schemes)", scale);
+    let rates = [40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0, 180.0, 200.0];
+    println!("  offered   IP-caching   prefix-caching     gap");
+    let points = fig14(scale, &rates);
+    for p in &points {
+        let ip = p.ip_caching.connection_throughput();
+        let pr = p.prefix_caching.connection_throughput();
+        println!(
+            "  {:>6.0}/s   {:>8.1}/s   {:>12.1}/s   {:>+5.1}%",
+            p.offered_rate,
+            ip,
+            pr,
+            (pr / ip - 1.0) * 100.0
+        );
+    }
+    println!();
+    println!("  paper: schemes equal at low rates, gap opens near saturation,");
+    println!("  prefix-based achieves +10.8% at 200 connections/sec.");
+}

@@ -1,0 +1,112 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Every binary regenerates one of the paper's tables or figures. By
+//! default they run at a reduced scale that finishes in seconds; pass
+//! `--full` for paper-sized runs, or `--scale <0..1> --seconds <n>` for
+//! anything in between.
+
+use spamaware_core::experiment::Scale;
+use std::path::PathBuf;
+
+/// Parses the common CLI flags into a [`Scale`].
+///
+/// Recognized: `--full`, `--scale <f>`, `--seconds <n>`. Unknown flags are
+/// ignored so binaries can layer their own.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = Scale {
+        trace: 0.1,
+        seconds: 60,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => scale = Scale::full(),
+            "--scale" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    scale.trace = v;
+                    i += 1;
+                }
+            }
+            "--seconds" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    scale.seconds = v;
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    scale
+}
+
+/// Parses an optional `--json <path>` flag.
+pub fn json_path_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Writes a serializable result to `path` as pretty JSON.
+///
+/// # Panics
+///
+/// Panics on I/O or serialization failure (experiment binaries treat a
+/// failed artifact write as fatal).
+pub fn write_json<T: serde::Serialize>(path: &std::path::Path, value: &T) {
+    let file = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), value)
+        .unwrap_or_else(|e| panic!("cannot serialize to {}: {e}", path.display()));
+    println!("(wrote {})", path.display());
+}
+
+/// Prints a figure banner.
+pub fn banner(id: &str, caption: &str, scale: Scale) {
+    println!("=== {id}: {caption}");
+    println!(
+        "    (scale: {:.0}% trace, {} sim-seconds per point; --full for paper size)",
+        scale.trace * 100.0,
+        scale.seconds
+    );
+    println!();
+}
+
+/// Down-samples a CDF to at most `n` evenly spaced points for printing.
+pub fn thin_cdf(cdf: &[(f64, f64)], n: usize) -> Vec<(f64, f64)> {
+    if cdf.len() <= n || n == 0 {
+        return cdf.to_vec();
+    }
+    let step = cdf.len() as f64 / n as f64;
+    let mut out: Vec<(f64, f64)> = (0..n)
+        .map(|i| cdf[(i as f64 * step) as usize])
+        .collect();
+    if let Some(last) = cdf.last() {
+        if out.last() != Some(last) {
+            out.push(*last);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thin_cdf_keeps_endpoints() {
+        let cdf: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64 / 99.0)).collect();
+        let t = thin_cdf(&cdf, 10);
+        assert!(t.len() <= 11);
+        assert_eq!(*t.last().unwrap(), *cdf.last().unwrap());
+    }
+
+    #[test]
+    fn thin_cdf_short_input_passthrough() {
+        let cdf = vec![(1.0, 0.5), (2.0, 1.0)];
+        assert_eq!(thin_cdf(&cdf, 10), cdf);
+    }
+}

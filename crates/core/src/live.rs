@@ -1,0 +1,636 @@
+//! A live, threaded SMTP server implementing fork-after-trust over real
+//! TCP sockets.
+//!
+//! This is the deployable rendering of the paper's §5 architecture (with
+//! threads standing in for postfix's processes):
+//!
+//! * an **acceptor thread** plays the master: it owns every new connection
+//!   and drives the SMTP dialog through a non-blocking event loop until a
+//!   valid `RCPT TO` arrives (fixed-size line buffers only — the §5.2
+//!   security argument);
+//! * connections that never earn trust (bounces, abandoned handshakes) are
+//!   answered and closed by the master without ever waking a worker;
+//! * trusted connections are handed — socket, session state, and any
+//!   already-buffered bytes — to one of a pool of **worker threads** over
+//!   bounded queues (the 64 KiB-UNIX-socket analogue), round-robin with
+//!   non-blocking sends so full queues throttle the master naturally;
+//! * workers finish the transaction (`DATA` onward) and store mail in an
+//!   [`MfsStore`] over [`RealDir`] — multi-recipient spam hits the disk
+//!   once.
+
+use crate::ServeError;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use spamaware_dnsbl::{CacheScheme, CachingResolver, DnsblServer};
+use spamaware_mfs::{DataRef, MailId, MailStore, MfsStore, RealDir};
+use spamaware_netaddr::Ipv4;
+use spamaware_sim::Nanos;
+use spamaware_smtp::{Command, DataVerdict, MailAddr, ServerSession, SessionConfig, SessionOutcome};
+use std::collections::HashSet;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const MAX_LINE: usize = 2048;
+
+/// Configuration for [`LiveServer::start`].
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Address to bind (use port 0 for an ephemeral port in tests).
+    pub bind: SocketAddr,
+    /// Hostname announced in the greeting.
+    pub hostname: String,
+    /// Worker threads (the smtpd pool).
+    pub workers: usize,
+    /// Delegated connections a worker's queue holds (paper: ≈28).
+    pub worker_queue: usize,
+    /// Root directory for the MFS mail store.
+    pub storage_root: PathBuf,
+    /// Valid mailbox local parts.
+    pub mailboxes: Vec<String>,
+    /// Optional DNSBL checked (with prefix caching) per connection; the
+    /// verdict is recorded, not used to reject (§9: "our solution does not
+    /// delay/deny mail service to any client").
+    pub dnsbl: Option<DnsblServer>,
+    /// Optional real DNSBL over UDP: `(server address, zone)`. Queried
+    /// with the DNSBLv6 bitmap scheme and cached per /25 like `dnsbl`;
+    /// takes precedence over the in-process `dnsbl` when both are set.
+    pub dnsbl_udp: Option<(std::net::SocketAddr, String)>,
+    /// How long a pre-trust connection may sit idle in the master's event
+    /// loop before it is dropped (slow clients must not pin master state;
+    /// the paper's smtpd has the analogous idle self-termination, §2).
+    pub pretrust_idle_timeout: Duration,
+}
+
+impl LiveConfig {
+    /// A localhost config rooted at `storage_root` hosting `mailboxes`.
+    pub fn localhost(storage_root: impl Into<PathBuf>, mailboxes: Vec<String>) -> LiveConfig {
+        LiveConfig {
+            bind: "127.0.0.1:0".parse().expect("static addr"),
+            hostname: "mx.spamaware.test".to_owned(),
+            workers: 4,
+            worker_queue: 28,
+            storage_root: storage_root.into(),
+            mailboxes,
+            dnsbl: None,
+            dnsbl_udp: None,
+            pretrust_idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Aggregate counters exposed by a running [`LiveServer`].
+#[derive(Debug, Default)]
+pub struct LiveStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Connections closed after delivering mail.
+    pub delivered: AtomicU64,
+    /// Bounce connections dispatched entirely by the master.
+    pub bounces: AtomicU64,
+    /// Unfinished connections dispatched entirely by the master.
+    pub unfinished: AtomicU64,
+    /// Connections delegated to workers.
+    pub delegated: AtomicU64,
+    /// Mails stored.
+    pub mails_stored: AtomicU64,
+    /// Connections whose client IP was blacklisted.
+    pub blacklisted: AtomicU64,
+}
+
+impl LiveStats {
+    fn get(v: &AtomicU64) -> u64 {
+        v.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot as plain numbers `(accepted, delivered, bounces,
+    /// unfinished, delegated, mails_stored, blacklisted)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64, u64) {
+        (
+            Self::get(&self.accepted),
+            Self::get(&self.delivered),
+            Self::get(&self.bounces),
+            Self::get(&self.unfinished),
+            Self::get(&self.delegated),
+            Self::get(&self.mails_stored),
+            Self::get(&self.blacklisted),
+        )
+    }
+}
+
+/// A running spam-aware SMTP server.
+///
+/// # Example
+///
+/// ```no_run
+/// use spamaware_core::{LiveConfig, LiveServer};
+///
+/// let cfg = LiveConfig::localhost("/tmp/spamaware-mail", vec!["alice".into()]);
+/// let server = LiveServer::start(cfg)?;
+/// println!("listening on {}", server.local_addr());
+/// server.shutdown();
+/// # Ok::<(), spamaware_core::ServeError>(())
+/// ```
+pub struct LiveServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<LiveStats>,
+    store: Arc<Mutex<MfsStore<RealDir>>>,
+}
+
+struct Delegated {
+    stream: TcpStream,
+    session: ServerSession,
+    leftover: Vec<u8>,
+    peer: Ipv4,
+}
+
+impl LiveServer {
+    /// Binds and starts the acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] if the socket cannot be bound or the storage
+    /// root cannot be created.
+    pub fn start(cfg: LiveConfig) -> Result<LiveServer, ServeError> {
+        if cfg.workers == 0 || cfg.worker_queue == 0 {
+            return Err(ServeError::Config(
+                "need at least one worker and queue slot".to_owned(),
+            ));
+        }
+        let listener = TcpListener::bind(cfg.bind).map_err(|e| ServeError::Io(e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        let store = Arc::new(Mutex::new(MfsStore::open(
+            RealDir::new(&cfg.storage_root).map_err(|e| ServeError::Io(e.to_string()))?,
+        ).map_err(|e| ServeError::Io(e.to_string()))?));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(LiveStats::default());
+        let next_id = Arc::new(AtomicU64::new(1));
+        let mailboxes: Arc<HashSet<String>> = Arc::new(cfg.mailboxes.iter().cloned().collect());
+
+        let mut worker_handles = Vec::new();
+        let mut senders: Vec<Sender<Delegated>> = Vec::new();
+        for w in 0..cfg.workers {
+            let (tx, rx): (Sender<Delegated>, Receiver<Delegated>) = bounded(cfg.worker_queue);
+            senders.push(tx);
+            let store = Arc::clone(&store);
+            let stats = Arc::clone(&stats);
+            let next_id = Arc::clone(&next_id);
+            let mailboxes = Arc::clone(&mailboxes);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("smtpd-{w}"))
+                    .spawn(move || worker_loop(rx, store, stats, next_id, mailboxes))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let mailboxes = Arc::clone(&mailboxes);
+            let hostname = cfg.hostname.clone();
+            let dnsbl = cfg.dnsbl;
+            let dnsbl_udp = cfg.dnsbl_udp;
+            let idle = cfg.pretrust_idle_timeout;
+            std::thread::Builder::new()
+                .name("master".to_owned())
+                .spawn(move || {
+                    master_loop(
+                        listener, senders, stop, stats, mailboxes, hostname, dnsbl, dnsbl_udp,
+                        idle,
+                    )
+                })
+                .expect("spawn master")
+        };
+
+        Ok(LiveServer {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+            stats,
+            store,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &LiveStats {
+        &self.stats
+    }
+
+    /// Shared handle to the mail store (for inspection).
+    pub fn store(&self) -> Arc<Mutex<MfsStore<RealDir>>> {
+        Arc::clone(&self.store)
+    }
+
+    /// Stops the acceptor and workers, waiting for them to exit.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LiveServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Fixed-size line accumulator (the paper's "fixed-size receive buffer").
+struct LineBuffer {
+    buf: Vec<u8>,
+}
+
+impl LineBuffer {
+    fn new() -> LineBuffer {
+        LineBuffer { buf: Vec::new() }
+    }
+
+    fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops one complete line (without terminator), or signals overflow.
+    fn pop_line(&mut self) -> Result<Option<Vec<u8>>, ()> {
+        if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+            while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            Ok(Some(line))
+        } else if self.buf.len() > MAX_LINE {
+            Err(())
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn into_remaining(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+struct PreTrust {
+    stream: TcpStream,
+    session: ServerSession,
+    lines: LineBuffer,
+    peer: Ipv4,
+    last_activity: std::time::Instant,
+}
+
+/// One blocking DNSBLv6 UDP lookup; failures degrade to an all-clear
+/// bitmap (fail-open, like production mail servers when a DNSBL times
+/// out).
+fn udp_bitmap_lookup(
+    server: SocketAddr,
+    zone: &str,
+    ip: Ipv4,
+) -> spamaware_netaddr::PrefixBitmap {
+    spamaware_dnsbl::UdpDnsbl::lookup_v6(server, zone, ip)
+        .unwrap_or_else(|_| spamaware_netaddr::PrefixBitmap::empty(ip.prefix25()))
+}
+
+fn write_reply(stream: &mut TcpStream, reply: &spamaware_smtp::Reply) -> std::io::Result<()> {
+    stream.write_all(reply.to_wire().as_bytes())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn master_loop(
+    listener: TcpListener,
+    senders: Vec<Sender<Delegated>>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<LiveStats>,
+    mailboxes: Arc<HashSet<String>>,
+    hostname: String,
+    dnsbl: Option<DnsblServer>,
+    dnsbl_udp: Option<(SocketAddr, String)>,
+    pretrust_idle_timeout: Duration,
+) {
+    let mut conns: Vec<PreTrust> = Vec::new();
+    let mut rr = 0usize;
+    let mut resolver = CachingResolver::new(CacheScheme::PerPrefix, Nanos::from_secs(86_400));
+    let mut udp_cache: std::collections::HashMap<
+        spamaware_netaddr::Prefix25,
+        spamaware_netaddr::PrefixBitmap,
+    > = std::collections::HashMap::new();
+    let mut rng = spamaware_sim::det_rng(0x11FE);
+    let exists = |a: &MailAddr| mailboxes.contains(a.local_part());
+    while !stop.load(Ordering::SeqCst) {
+        let mut progress = false;
+        // Accept everything pending.
+        loop {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    progress = true;
+                    stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    let peer_ip = match peer.ip() {
+                        std::net::IpAddr::V4(v4) => Ipv4::from(v4),
+                        std::net::IpAddr::V6(_) => Ipv4::new(127, 0, 0, 1),
+                    };
+                    if let Some((server_addr, zone)) = &dnsbl_udp {
+                        // Real DNSBLv6 query over UDP, cached per /25.
+                        let bitmap = udp_cache
+                            .entry(peer_ip.prefix25())
+                            .or_insert_with(|| {
+                                udp_bitmap_lookup(*server_addr, zone, peer_ip)
+                            });
+                        if bitmap.contains(peer_ip) {
+                            stats.blacklisted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    } else if let Some(server) = &dnsbl {
+                        let now = Nanos::from_nanos(0);
+                        if resolver.lookup(peer_ip, now, server, &mut rng).listed {
+                            stats.blacklisted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    let _ = stream.set_nonblocking(true);
+                    let session = ServerSession::new(SessionConfig {
+                        hostname: hostname.clone(),
+                        ..SessionConfig::default()
+                    });
+                    let mut stream = stream;
+                    let _ = write_reply(&mut stream, &session.greeting());
+                    conns.push(PreTrust {
+                        stream,
+                        session,
+                        lines: LineBuffer::new(),
+                        peer: peer_ip,
+                        last_activity: std::time::Instant::now(),
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        // Event loop over pre-trust connections.
+        let mut i = 0;
+        while i < conns.len() {
+            match pump_pretrust(&mut conns[i], &exists) {
+                PumpResult::Idle => {
+                    if conns[i].last_activity.elapsed() > pretrust_idle_timeout {
+                        // Idle slow client: drop it without touching a
+                        // worker (counts as an unfinished transaction).
+                        let c = conns.swap_remove(i);
+                        drop(c);
+                        stats.unfinished.fetch_add(1, Ordering::Relaxed);
+                        progress = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+                PumpResult::Progress => {
+                    progress = true;
+                    conns[i].last_activity = std::time::Instant::now();
+                    i += 1;
+                }
+                PumpResult::Close => {
+                    progress = true;
+                    let c = conns.swap_remove(i);
+                    match c.session.outcome() {
+                        SessionOutcome::Bounce => {
+                            stats.bounces.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            stats.unfinished.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                PumpResult::Trusted => {
+                    progress = true;
+                    let c = conns.swap_remove(i);
+                    let task = Delegated {
+                        stream: c.stream,
+                        session: c.session,
+                        leftover: c.lines.into_remaining(),
+                        peer: c.peer,
+                    };
+                    // Round-robin non-blocking dispatch; full queues push
+                    // the task to the next worker (natural throttle).
+                    let mut task = Some(task);
+                    for probe in 0..senders.len() {
+                        let w = (rr + probe) % senders.len();
+                        match senders[w].try_send(task.take().expect("task present")) {
+                            Ok(()) => {
+                                rr = (w + 1) % senders.len();
+                                stats.delegated.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(TrySendError::Full(t)) | Err(TrySendError::Disconnected(t)) => {
+                                task = Some(t);
+                            }
+                        }
+                    }
+                    if let Some(t) = task {
+                        // Every queue full: block briefly on the next one.
+                        let w = rr % senders.len();
+                        if senders[w].send(t).is_ok() {
+                            stats.delegated.fetch_add(1, Ordering::Relaxed);
+                        }
+                        rr = (w + 1) % senders.len();
+                    }
+                }
+            }
+        }
+        if !progress {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    // Closing the senders disconnects the workers' receive loops.
+}
+
+enum PumpResult {
+    Idle,
+    Progress,
+    Close,
+    Trusted,
+}
+
+fn pump_pretrust(conn: &mut PreTrust, exists: &dyn Fn(&MailAddr) -> bool) -> PumpResult {
+    let mut tmp = [0u8; 1024];
+    let mut result = PumpResult::Idle;
+    match conn.stream.read(&mut tmp) {
+        Ok(0) => return PumpResult::Close,
+        Ok(n) => {
+            conn.lines.push(&tmp[..n]);
+            result = PumpResult::Progress;
+        }
+        Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+        Err(_) => return PumpResult::Close,
+    }
+    loop {
+        match conn.lines.pop_line() {
+            Ok(Some(line)) => {
+                let text = String::from_utf8_lossy(&line).into_owned();
+                let reply = match Command::parse(&text) {
+                    Ok(cmd) => conn.session.handle(cmd, exists),
+                    Err(_) => spamaware_smtp::Reply::bad_argument(),
+                };
+                let closing = conn.session.phase() == spamaware_smtp::SessionPhase::Closed;
+                if write_reply(&mut conn.stream, &reply).is_err() || closing {
+                    return PumpResult::Close;
+                }
+                if conn.session.has_valid_recipient() {
+                    return PumpResult::Trusted;
+                }
+                result = PumpResult::Progress;
+            }
+            Ok(None) => break,
+            Err(()) => {
+                let _ = write_reply(&mut conn.stream, &spamaware_smtp::Reply::syntax_error());
+                return PumpResult::Close;
+            }
+        }
+    }
+    result
+}
+
+fn worker_loop(
+    rx: Receiver<Delegated>,
+    store: Arc<Mutex<MfsStore<RealDir>>>,
+    stats: Arc<LiveStats>,
+    next_id: Arc<AtomicU64>,
+    mailboxes: Arc<HashSet<String>>,
+) {
+    let exists = |a: &MailAddr| mailboxes.contains(a.local_part());
+    while let Ok(task) = rx.recv() {
+        let _ = task.peer;
+        let mut session = task.session;
+        session.capture_bodies(true);
+        let mut stream = task.stream;
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let mut lines = LineBuffer::new();
+        lines.push(&task.leftover);
+        let mut tmp = [0u8; 4096];
+        let mut in_data = false;
+        'conn: loop {
+            // Drain complete lines first, then read more.
+            loop {
+                match lines.pop_line() {
+                    Ok(Some(line)) => {
+                        if in_data {
+                            if session.data_line(&line) == DataVerdict::Complete {
+                                in_data = false;
+                                let id = MailId(next_id.fetch_add(1, Ordering::Relaxed));
+                                let reply = session.finish_data(&id.to_string());
+                                let env = session.delivered().last().expect("envelope").clone();
+                                let names: Vec<String> = env
+                                    .recipients
+                                    .iter()
+                                    .map(|a| a.local_part().to_owned())
+                                    .collect();
+                                let refs: Vec<&str> =
+                                    names.iter().map(String::as_str).collect();
+                                let stored = store
+                                    .lock()
+                                    .deliver(id, &refs, DataRef::Bytes(&env.body));
+                                let reply = match stored {
+                                    Ok(()) => {
+                                        stats.mails_stored.fetch_add(1, Ordering::Relaxed);
+                                        reply
+                                    }
+                                    Err(_) => spamaware_smtp::Reply::new(
+                                        451,
+                                        "4.3.0 Storage failure",
+                                    ),
+                                };
+                                if write_reply(&mut stream, &reply).is_err() {
+                                    break 'conn;
+                                }
+                            }
+                        } else {
+                            let text = String::from_utf8_lossy(&line).into_owned();
+                            let reply = match Command::parse(&text) {
+                                Ok(cmd) => session.handle(cmd, &exists),
+                                Err(_) => spamaware_smtp::Reply::bad_argument(),
+                            };
+                            if reply.code() == 354 {
+                                in_data = true;
+                            }
+                            let closing =
+                                session.phase() == spamaware_smtp::SessionPhase::Closed;
+                            if write_reply(&mut stream, &reply).is_err() {
+                                break 'conn;
+                            }
+                            if closing {
+                                break 'conn;
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(()) => {
+                        let _ =
+                            write_reply(&mut stream, &spamaware_smtp::Reply::syntax_error());
+                        break 'conn;
+                    }
+                }
+            }
+            match stream.read(&mut tmp) {
+                Ok(0) => break,
+                Ok(n) => lines.push(&tmp[..n]),
+                Err(_) => break,
+            }
+        }
+        if session.outcome() == SessionOutcome::Delivered {
+            stats.delivered.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_buffer_splits_crlf_and_lf() {
+        let mut lb = LineBuffer::new();
+        lb.push(b"HELO a\r\nMAIL");
+        assert_eq!(lb.pop_line().unwrap().unwrap(), b"HELO a");
+        assert_eq!(lb.pop_line().unwrap(), None);
+        lb.push(b" FROM:<a@b.c>\n");
+        assert_eq!(lb.pop_line().unwrap().unwrap(), b"MAIL FROM:<a@b.c>");
+    }
+
+    #[test]
+    fn line_buffer_overflow_detected() {
+        let mut lb = LineBuffer::new();
+        lb.push(&vec![b'x'; MAX_LINE + 1]);
+        assert!(lb.pop_line().is_err());
+    }
+
+    #[test]
+    fn line_buffer_keeps_partial_remainder() {
+        let mut lb = LineBuffer::new();
+        lb.push(b"DATA\r\npartial body");
+        assert_eq!(lb.pop_line().unwrap().unwrap(), b"DATA");
+        assert_eq!(lb.into_remaining(), b"partial body");
+    }
+}

@@ -1,0 +1,290 @@
+//! A minimal POP3 server over the MFS mail store.
+//!
+//! The paper motivates MFS with "mail server applications (mail
+//! server/POP/IMAP servers)" whose accesses are all mail-granular (§6.1).
+//! This module is the retrieval side of that claim: a threaded POP3
+//! (RFC 1939) server whose `STAT`/`LIST`/`RETR`/`DELE` map directly onto
+//! [`MailStore::read_mailbox`] and [`MailStore::delete`], sharing the same
+//! on-disk store as the SMTP side — deleting a shared spam from one
+//! mailbox decrements the refcount, exactly as §6.1 requires.
+
+use crate::ServeError;
+use parking_lot::Mutex;
+use spamaware_mfs::{MailId, MailStore, MfsStore, RealDir};
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Counters exposed by a running [`Pop3Server`].
+#[derive(Debug, Default)]
+pub struct Pop3Stats {
+    /// Sessions served.
+    pub sessions: AtomicU64,
+    /// Mails retrieved.
+    pub retrieved: AtomicU64,
+    /// Mails expunged.
+    pub deleted: AtomicU64,
+}
+
+/// A POP3 server sharing a mail store with the SMTP side.
+///
+/// Authentication is mailbox-existence only (this is a protocol/storage
+/// testbed, not a credential system); `PASS` accepts anything for a known
+/// `USER`.
+pub struct Pop3Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    stats: Arc<Pop3Stats>,
+}
+
+impl Pop3Server {
+    /// Binds and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] if the socket cannot be bound.
+    pub fn start(
+        bind: SocketAddr,
+        store: Arc<Mutex<MfsStore<RealDir>>>,
+        mailboxes: Vec<String>,
+    ) -> Result<Pop3Server, ServeError> {
+        let listener = TcpListener::bind(bind).map_err(|e| ServeError::Io(e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(Pop3Stats::default());
+        let mailboxes: Arc<HashSet<String>> = Arc::new(mailboxes.into_iter().collect());
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("pop3".to_owned())
+                .spawn(move || accept_loop(listener, store, mailboxes, stop, stats))
+                .expect("spawn pop3 acceptor")
+        };
+        Ok(Pop3Server {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            stats,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &Pop3Stats {
+        &self.stats
+    }
+
+    /// Stops the server.
+    pub fn shutdown(mut self) {
+        self.stop_join();
+    }
+
+    fn stop_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Pop3Server {
+    fn drop(&mut self) {
+        self.stop_join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    store: Arc<Mutex<MfsStore<RealDir>>>,
+    mailboxes: Arc<HashSet<String>>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<Pop3Stats>,
+) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stats.sessions.fetch_add(1, Ordering::Relaxed);
+                let store = Arc::clone(&store);
+                let mailboxes = Arc::clone(&mailboxes);
+                let stats = Arc::clone(&stats);
+                sessions.push(
+                    std::thread::Builder::new()
+                        .name("pop3-session".to_owned())
+                        .spawn(move || {
+                            let _ = session(stream, &store, &mailboxes, &stats);
+                        })
+                        .expect("spawn pop3 session"),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+        sessions.retain(|h| !h.is_finished());
+    }
+    for h in sessions {
+        let _ = h.join();
+    }
+}
+
+struct SessionState {
+    user: Option<String>,
+    authed: bool,
+    /// Mail ids visible this session, with per-mail sizes.
+    listing: Vec<(MailId, usize)>,
+    /// Indices (0-based) marked for deletion.
+    marked: HashSet<usize>,
+}
+
+fn session(
+    stream: TcpStream,
+    store: &Mutex<MfsStore<RealDir>>,
+    mailboxes: &HashSet<String>,
+    stats: &Pop3Stats,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    writeln!(out, "+OK spamaware POP3 ready\r")?;
+    let mut st = SessionState {
+        user: None,
+        authed: false,
+        listing: Vec::new(),
+        marked: HashSet::new(),
+    };
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let trimmed = line.trim_end();
+        let (verb, arg) = match trimmed.find(' ') {
+            Some(i) => (&trimmed[..i], trimmed[i + 1..].trim()),
+            None => (trimmed, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "USER" => {
+                if mailboxes.contains(arg) {
+                    st.user = Some(arg.to_owned());
+                    writeln!(out, "+OK send PASS\r")?;
+                } else {
+                    writeln!(out, "-ERR no such mailbox\r")?;
+                }
+            }
+            "PASS" => match &st.user {
+                Some(user) => {
+                    st.authed = true;
+                    let mails = store.lock().read_mailbox(user).unwrap_or_default();
+                    st.listing = mails.iter().map(|m| (m.id, m.body.len())).collect();
+                    writeln!(out, "+OK {} messages\r", st.listing.len())?;
+                }
+                None => writeln!(out, "-ERR USER first\r")?,
+            },
+            "STAT" if st.authed => {
+                let (n, bytes) = live(&st)
+                    .fold((0usize, 0usize), |(n, b), (_, (_, sz))| (n + 1, b + sz));
+                writeln!(out, "+OK {n} {bytes}\r")?;
+            }
+            "LIST" if st.authed => {
+                writeln!(out, "+OK scan listing follows\r")?;
+                for (idx, (_, size)) in live(&st) {
+                    writeln!(out, "{} {}\r", idx + 1, size)?;
+                }
+                writeln!(out, ".\r")?;
+            }
+            "RETR" if st.authed => match parse_index(arg, &st) {
+                Some(idx) => {
+                    let user = st.user.clone().expect("authed");
+                    let body = store
+                        .lock()
+                        .read_mailbox(&user)
+                        .ok()
+                        .and_then(|mails| mails.into_iter().find(|m| m.id == st.listing[idx].0))
+                        .map(|m| m.body);
+                    match body {
+                        Some(body) => {
+                            stats.retrieved.fetch_add(1, Ordering::Relaxed);
+                            writeln!(out, "+OK {} octets\r", body.len())?;
+                            // Byte-stuff lines starting with '.'.
+                            for l in body.split(|&b| b == b'\n') {
+                                let l = l.strip_suffix(b"\r").unwrap_or(l);
+                                if l.first() == Some(&b'.') {
+                                    out.write_all(b".")?;
+                                }
+                                out.write_all(l)?;
+                                out.write_all(b"\r\n")?;
+                            }
+                            writeln!(out, ".\r")?;
+                        }
+                        None => writeln!(out, "-ERR no such message\r")?,
+                    }
+                }
+                None => writeln!(out, "-ERR no such message\r")?,
+            },
+            "DELE" if st.authed => match parse_index(arg, &st) {
+                Some(idx) => {
+                    st.marked.insert(idx);
+                    writeln!(out, "+OK marked\r")?;
+                }
+                None => writeln!(out, "-ERR no such message\r")?,
+            },
+            "RSET" if st.authed => {
+                st.marked.clear();
+                writeln!(out, "+OK\r")?;
+            }
+            "NOOP" => writeln!(out, "+OK\r")?,
+            "QUIT" => {
+                if st.authed {
+                    let user = st.user.clone().expect("authed");
+                    let mut store = store.lock();
+                    for &idx in &st.marked {
+                        if store.delete(&user, st.listing[idx].0).is_ok() {
+                            stats.deleted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                writeln!(out, "+OK bye\r")?;
+                return Ok(());
+            }
+            _ => writeln!(out, "-ERR unsupported\r")?,
+        }
+    }
+}
+
+/// Live (not deletion-marked) messages with their 0-based indices.
+fn live<'a>(
+    st: &'a SessionState,
+) -> impl Iterator<Item = (usize, &'a (MailId, usize))> + 'a {
+    st.listing
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !st.marked.contains(i))
+}
+
+fn parse_index(arg: &str, st: &SessionState) -> Option<usize> {
+    let n: usize = arg.parse().ok()?;
+    let idx = n.checked_sub(1)?;
+    if idx < st.listing.len() && !st.marked.contains(&idx) {
+        Some(idx)
+    } else {
+        None
+    }
+}

@@ -1,0 +1,79 @@
+//! Storage errors.
+
+use std::fmt;
+
+/// Errors returned by storage backends and mail stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The named file or mailbox does not exist.
+    NotFound(String),
+    /// A file that must not exist already does.
+    AlreadyExists(String),
+    /// A `mail_nwrite` presented a mail-id that is already bound to
+    /// different content — the random-guessing attack of paper §6.4.
+    MailIdCollision(String),
+    /// A stored record failed to decode.
+    CorruptRecord(String),
+    /// An offset/length fell outside the file.
+    OutOfRange(String),
+    /// An underlying I/O failure (real-filesystem backend).
+    Io(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound(p) => write!(f, "no such file or mailbox: {p}"),
+            StoreError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
+            StoreError::MailIdCollision(id) => {
+                write!(f, "mail-id collision rejected as attack: {id}")
+            }
+            StoreError::CorruptRecord(d) => write!(f, "corrupt stored record: {d}"),
+            StoreError::OutOfRange(d) => write!(f, "access out of range: {d}"),
+            StoreError::Io(e) => write!(f, "storage i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            StoreError::NotFound(e.to_string())
+        } else {
+            StoreError::Io(e.to_string())
+        }
+    }
+}
+
+/// Result alias for storage operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let cases: Vec<(StoreError, &str)> = vec![
+            (StoreError::NotFound("a".into()), "no such file"),
+            (StoreError::AlreadyExists("b".into()), "already exists"),
+            (StoreError::MailIdCollision("c".into()), "collision"),
+            (StoreError::CorruptRecord("d".into()), "corrupt"),
+            (StoreError::OutOfRange("e".into()), "out of range"),
+            (StoreError::Io("f".into()), "i/o error"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn io_error_conversion_maps_not_found() {
+        let nf = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert!(matches!(StoreError::from(nf), StoreError::NotFound(_)));
+        let other = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied");
+        assert!(matches!(StoreError::from(other), StoreError::Io(_)));
+    }
+}

@@ -1,0 +1,235 @@
+//! The paper-faithful MFS handle API (§6.2): `mail_open`, `mail_seek`,
+//! `mail_nwrite`, `mail_read`, `mail_delete`, `mail_close`.
+//!
+//! The C API of the paper operates through `mail_file *` descriptors whose
+//! seek pointer moves "at the granularity of a mail instead of a byte".
+//! The Rust rendering keeps that shape: a [`MailFile`] is a cursor over a
+//! mailbox, and all operations go through the owning [`MfsStore`].
+
+use crate::backend::DataRef;
+use crate::{Backend, MailId, MailStore, MfsStore, StoreError, StoreResult, StoredMail};
+
+/// Where a [`MailFile`] seek offset is applied from (the paper's `whence`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Whence {
+    /// From the first mail.
+    Set,
+    /// From the current position.
+    Cur,
+    /// From one past the last mail.
+    End,
+}
+
+/// An open mailbox with a mail-granularity seek pointer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MailFile {
+    mailbox: String,
+    cursor: usize,
+}
+
+impl MailFile {
+    /// The mailbox this handle reads.
+    pub fn mailbox(&self) -> &str {
+        &self.mailbox
+    }
+
+    /// Current position (0 = first mail).
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl<B: Backend> MfsStore<B> {
+    /// Opens a mailbox, creating its key/data files if absent, with the
+    /// seek pointer on the first mail (paper `mail_open`).
+    pub fn mail_open(&mut self, mailbox: &str) -> StoreResult<MailFile> {
+        // Creation is lazy (files appear on first write), matching the
+        // paper's "if the file does not exist, the proper ... files are
+        // created".
+        if mailbox == "shmailbox" || mailbox.is_empty() || mailbox.contains('/') {
+            return Err(StoreError::Io(format!("illegal mailbox name: {mailbox:?}")));
+        }
+        Ok(MailFile {
+            mailbox: mailbox.to_owned(),
+            cursor: 0,
+        })
+    }
+
+    /// Moves the seek pointer by `offset` mails from `whence` (paper
+    /// `mail_seek`).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfRange`] if the target falls outside
+    /// `0..=mail_count`.
+    pub fn mail_seek(&mut self, file: &mut MailFile, offset: i64, whence: Whence) -> StoreResult<()> {
+        let count = self.mail_count(&file.mailbox) as i64;
+        let base = match whence {
+            Whence::Set => 0,
+            Whence::Cur => file.cursor as i64,
+            Whence::End => count,
+        };
+        let target = base + offset;
+        if !(0..=count).contains(&target) {
+            return Err(StoreError::OutOfRange(format!(
+                "seek to {target} in mailbox of {count} mails"
+            )));
+        }
+        file.cursor = target as usize;
+        Ok(())
+    }
+
+    /// Reads the mail under the seek pointer and advances it (paper
+    /// `mail_read`). Returns `None` at end of mailbox.
+    pub fn mail_read(&mut self, file: &mut MailFile) -> StoreResult<Option<StoredMail>> {
+        let mails = self.read_mailbox(&file.mailbox)?;
+        match mails.into_iter().nth(file.cursor) {
+            Some(m) => {
+                file.cursor += 1;
+                Ok(Some(m))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Writes one mail to every open mailbox in `files` (paper
+    /// `mail_nwrite`, whose C signature takes `mail_file **mfd, int nmfd`).
+    ///
+    /// # Errors
+    ///
+    /// See [`MfsStore::nwrite`].
+    pub fn mail_nwrite(
+        &mut self,
+        files: &[&MailFile],
+        id: MailId,
+        body: DataRef<'_>,
+    ) -> StoreResult<()> {
+        let names: Vec<&str> = files.iter().map(|f| f.mailbox.as_str()).collect();
+        self.nwrite(id, &names, body)
+    }
+
+    /// Deletes the mail under the seek pointer (paper `mail_delete`).
+    /// Later mails shift down; the pointer stays put, now naming the next
+    /// mail.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfRange`] if the pointer is at end of mailbox.
+    pub fn mail_delete(&mut self, file: &mut MailFile) -> StoreResult<()> {
+        let mails = self.read_mailbox(&file.mailbox)?;
+        let Some(target) = mails.get(file.cursor) else {
+            return Err(StoreError::OutOfRange(format!(
+                "delete at {} in mailbox of {} mails",
+                file.cursor,
+                mails.len()
+            )));
+        };
+        let id = target.id;
+        self.delete(&file.mailbox, id)
+    }
+
+    /// Closes the handle (paper `mail_close`). State is flushed on every
+    /// operation, so this is a consuming no-op kept for API parity.
+    pub fn mail_close(&mut self, file: MailFile) {
+        drop(file);
+    }
+
+    fn mail_count(&mut self, mailbox: &str) -> usize {
+        self.read_mailbox(mailbox).map(|m| m.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemFs;
+
+    fn store_with_mail() -> (MfsStore<MemFs>, MailFile) {
+        let mut s = MfsStore::new(MemFs::new());
+        let inbox = s.mail_open("inbox").unwrap();
+        for i in 1..=3u64 {
+            s.nwrite(MailId(i), &["inbox"], DataRef::Bytes(&[i as u8]))
+                .unwrap();
+        }
+        (s, inbox)
+    }
+
+    #[test]
+    fn read_iterates_in_order() {
+        let (mut s, mut f) = store_with_mail();
+        let mut ids = Vec::new();
+        while let Some(m) = s.mail_read(&mut f).unwrap() {
+            ids.push(m.id.0);
+        }
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert!(s.mail_read(&mut f).unwrap().is_none());
+    }
+
+    #[test]
+    fn seek_set_cur_end() {
+        let (mut s, mut f) = store_with_mail();
+        s.mail_seek(&mut f, 2, Whence::Set).unwrap();
+        assert_eq!(s.mail_read(&mut f).unwrap().unwrap().id, MailId(3));
+        s.mail_seek(&mut f, -2, Whence::Cur).unwrap();
+        assert_eq!(s.mail_read(&mut f).unwrap().unwrap().id, MailId(2));
+        s.mail_seek(&mut f, -3, Whence::End).unwrap();
+        assert_eq!(s.mail_read(&mut f).unwrap().unwrap().id, MailId(1));
+    }
+
+    #[test]
+    fn seek_out_of_range_errors() {
+        let (mut s, mut f) = store_with_mail();
+        assert!(s.mail_seek(&mut f, 4, Whence::Set).is_err());
+        assert!(s.mail_seek(&mut f, -1, Whence::Set).is_err());
+        assert!(s.mail_seek(&mut f, 1, Whence::End).is_err());
+        // Failed seeks leave the cursor untouched.
+        assert_eq!(f.position(), 0);
+    }
+
+    #[test]
+    fn nwrite_through_handles() {
+        let mut s = MfsStore::new(MemFs::new());
+        let a = s.mail_open("a").unwrap();
+        let b = s.mail_open("b").unwrap();
+        s.mail_nwrite(&[&a, &b], MailId(9), DataRef::Bytes(b"multi"))
+            .unwrap();
+        assert_eq!(s.stats().shared_mails, 1);
+        let mut a = a;
+        assert_eq!(s.mail_read(&mut a).unwrap().unwrap().body, b"multi");
+    }
+
+    #[test]
+    fn delete_at_cursor_shifts_stream() {
+        let (mut s, mut f) = store_with_mail();
+        s.mail_seek(&mut f, 1, Whence::Set).unwrap();
+        s.mail_delete(&mut f).unwrap();
+        // Cursor now points at what was mail 3.
+        assert_eq!(s.mail_read(&mut f).unwrap().unwrap().id, MailId(3));
+        s.mail_seek(&mut f, 0, Whence::Set).unwrap();
+        assert_eq!(s.mail_read(&mut f).unwrap().unwrap().id, MailId(1));
+    }
+
+    #[test]
+    fn delete_at_end_errors() {
+        let (mut s, mut f) = store_with_mail();
+        s.mail_seek(&mut f, 0, Whence::End).unwrap();
+        assert!(matches!(
+            s.mail_delete(&mut f),
+            Err(StoreError::OutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn open_rejects_reserved_names() {
+        let mut s = MfsStore::new(MemFs::new());
+        assert!(s.mail_open("shmailbox").is_err());
+        assert!(s.mail_open("").is_err());
+        assert!(s.mail_open("a/b").is_err());
+    }
+
+    #[test]
+    fn close_consumes_handle() {
+        let (mut s, f) = store_with_mail();
+        s.mail_close(f);
+    }
+}

@@ -1,0 +1,281 @@
+//! In-memory backend with hard-link support.
+
+use crate::{Backend, DataRef, StoreError, StoreResult};
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+struct Inode {
+    data: Vec<u8>,
+    len: u64,
+    nlink: u32,
+}
+
+/// An in-memory file system with hard links.
+///
+/// With `retain_content` off, only file lengths are tracked (reads return
+/// zeros) — the mode used by the simulation, where bodies are size-only.
+///
+/// # Example
+///
+/// ```
+/// use spamaware_mfs::{Backend, DataRef, MemFs};
+/// let mut fs = MemFs::new();
+/// let off = fs.append("box/a", DataRef::Bytes(b"hello"))?;
+/// assert_eq!(off, 0);
+/// assert_eq!(fs.read_at("box/a", 1, 3)?, b"ell");
+/// # Ok::<(), spamaware_mfs::StoreError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct MemFs {
+    paths: HashMap<String, usize>,
+    inodes: Vec<Inode>,
+    retain: bool,
+}
+
+impl MemFs {
+    /// Creates an empty in-memory file system that retains content.
+    pub fn new() -> MemFs {
+        MemFs {
+            paths: HashMap::new(),
+            inodes: Vec::new(),
+            retain: true,
+        }
+    }
+
+    /// Creates a size-only file system: lengths are tracked, content is
+    /// discarded, reads return zeros. Used by cost simulations to avoid
+    /// materializing gigabytes of message bodies.
+    pub fn size_only() -> MemFs {
+        MemFs {
+            retain: false,
+            ..MemFs::new()
+        }
+    }
+
+    /// Number of live paths.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Number of live inodes (hard-linked paths share one).
+    pub fn inode_count(&self) -> usize {
+        self.inodes.iter().filter(|i| i.nlink > 0).count()
+    }
+
+    /// Total bytes across live inodes (each counted once regardless of
+    /// link count) — the "disk space" statistic.
+    pub fn total_bytes(&self) -> u64 {
+        self.inodes
+            .iter()
+            .filter(|i| i.nlink > 0)
+            .map(|i| i.len)
+            .sum()
+    }
+
+    fn inode_of(&mut self, path: &str) -> StoreResult<usize> {
+        self.paths
+            .get(path)
+            .copied()
+            .ok_or_else(|| StoreError::NotFound(path.to_owned()))
+    }
+
+    fn create_inode(&mut self) -> usize {
+        self.inodes.push(Inode {
+            nlink: 1,
+            ..Inode::default()
+        });
+        self.inodes.len() - 1
+    }
+}
+
+impl Backend for MemFs {
+    fn create(&mut self, path: &str) -> StoreResult<()> {
+        if self.paths.contains_key(path) {
+            return Err(StoreError::AlreadyExists(path.to_owned()));
+        }
+        let ino = self.create_inode();
+        self.paths.insert(path.to_owned(), ino);
+        Ok(())
+    }
+
+    fn append(&mut self, path: &str, data: DataRef<'_>) -> StoreResult<u64> {
+        let ino = match self.paths.get(path) {
+            Some(&i) => i,
+            None => {
+                let i = self.create_inode();
+                self.paths.insert(path.to_owned(), i);
+                i
+            }
+        };
+        let inode = &mut self.inodes[ino];
+        let offset = inode.len;
+        inode.len += data.len();
+        if self.retain {
+            match data {
+                DataRef::Bytes(b) => inode.data.extend_from_slice(b),
+                DataRef::Zeros(n) => inode.data.resize(inode.data.len() + n as usize, 0),
+            }
+        }
+        Ok(offset)
+    }
+
+    fn read_at(&mut self, path: &str, offset: u64, len: u64) -> StoreResult<Vec<u8>> {
+        let ino = self.inode_of(path)?;
+        let inode = &self.inodes[ino];
+        if offset + len > inode.len {
+            return Err(StoreError::OutOfRange(format!(
+                "{path}: {offset}+{len} > {}",
+                inode.len
+            )));
+        }
+        if self.retain {
+            Ok(inode.data[offset as usize..(offset + len) as usize].to_vec())
+        } else {
+            Ok(vec![0u8; len as usize])
+        }
+    }
+
+    fn len(&mut self, path: &str) -> StoreResult<u64> {
+        let ino = self.inode_of(path)?;
+        Ok(self.inodes[ino].len)
+    }
+
+    fn link(&mut self, src: &str, dst: &str) -> StoreResult<()> {
+        if self.paths.contains_key(dst) {
+            return Err(StoreError::AlreadyExists(dst.to_owned()));
+        }
+        let ino = self.inode_of(src)?;
+        self.inodes[ino].nlink += 1;
+        self.paths.insert(dst.to_owned(), ino);
+        Ok(())
+    }
+
+    fn remove(&mut self, path: &str) -> StoreResult<()> {
+        let ino = self
+            .paths
+            .remove(path)
+            .ok_or_else(|| StoreError::NotFound(path.to_owned()))?;
+        let inode = &mut self.inodes[ino];
+        inode.nlink -= 1;
+        if inode.nlink == 0 {
+            inode.data = Vec::new();
+            inode.len = 0;
+        }
+        Ok(())
+    }
+
+    fn exists(&mut self, path: &str) -> bool {
+        self.paths.contains_key(path)
+    }
+
+    fn list(&mut self, prefix: &str) -> StoreResult<Vec<String>> {
+        let mut out: Vec<String> = self
+            .paths
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_then_append_reads_back() {
+        let mut fs = MemFs::new();
+        fs.create("f").unwrap();
+        assert_eq!(fs.append("f", DataRef::Bytes(b"ab")).unwrap(), 0);
+        assert_eq!(fs.append("f", DataRef::Bytes(b"cd")).unwrap(), 2);
+        assert_eq!(fs.read_at("f", 0, 4).unwrap(), b"abcd");
+        assert_eq!(fs.len("f").unwrap(), 4);
+    }
+
+    #[test]
+    fn append_creates_implicitly() {
+        let mut fs = MemFs::new();
+        fs.append("implicit", DataRef::Bytes(b"x")).unwrap();
+        assert!(fs.exists("implicit"));
+    }
+
+    #[test]
+    fn create_rejects_duplicates() {
+        let mut fs = MemFs::new();
+        fs.create("f").unwrap();
+        assert!(matches!(
+            fs.create("f"),
+            Err(StoreError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn read_bounds_checked() {
+        let mut fs = MemFs::new();
+        fs.append("f", DataRef::Bytes(b"abc")).unwrap();
+        assert!(matches!(
+            fs.read_at("f", 1, 3),
+            Err(StoreError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            fs.read_at("missing", 0, 1),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn hard_links_share_content() {
+        let mut fs = MemFs::new();
+        fs.append("a", DataRef::Bytes(b"shared")).unwrap();
+        fs.link("a", "b").unwrap();
+        assert_eq!(fs.read_at("b", 0, 6).unwrap(), b"shared");
+        assert_eq!(fs.inode_count(), 1);
+        assert_eq!(fs.path_count(), 2);
+        // Appending through one name is visible through the other.
+        fs.append("b", DataRef::Bytes(b"!")).unwrap();
+        assert_eq!(fs.len("a").unwrap(), 7);
+    }
+
+    #[test]
+    fn remove_honours_link_counts() {
+        let mut fs = MemFs::new();
+        fs.append("a", DataRef::Bytes(b"x")).unwrap();
+        fs.link("a", "b").unwrap();
+        fs.remove("a").unwrap();
+        assert!(!fs.exists("a"));
+        assert_eq!(fs.read_at("b", 0, 1).unwrap(), b"x");
+        fs.remove("b").unwrap();
+        assert_eq!(fs.inode_count(), 0);
+        assert_eq!(fs.total_bytes(), 0);
+    }
+
+    #[test]
+    fn link_to_taken_name_fails() {
+        let mut fs = MemFs::new();
+        fs.append("a", DataRef::Bytes(b"x")).unwrap();
+        fs.append("b", DataRef::Bytes(b"y")).unwrap();
+        assert!(matches!(
+            fs.link("a", "b"),
+            Err(StoreError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn size_only_mode_tracks_lengths_not_bytes() {
+        let mut fs = MemFs::size_only();
+        fs.append("f", DataRef::Zeros(1 << 20)).unwrap();
+        assert_eq!(fs.len("f").unwrap(), 1 << 20);
+        assert_eq!(fs.read_at("f", 0, 4).unwrap(), vec![0; 4]);
+        assert_eq!(fs.total_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn total_bytes_counts_linked_inode_once() {
+        let mut fs = MemFs::new();
+        fs.append("a", DataRef::Bytes(b"12345")).unwrap();
+        fs.link("a", "b").unwrap();
+        assert_eq!(fs.total_bytes(), 5);
+    }
+}

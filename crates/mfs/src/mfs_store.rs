@@ -1,0 +1,790 @@
+//! MFS — the single-copy, record-oriented mail file system (paper §6).
+//!
+//! Every mailbox is a pair of conventional files: a **key file** of
+//! `(mail-id, offset, len, refcount)` tuples and a **data file** holding
+//! the bodies of single-recipient mails. Multi-recipient mails are written
+//! exactly once into a special shared mailbox (`shmailbox`), and each
+//! recipient's key file gets a tuple with refcount `-1` pointing into the
+//! shared data file (Fig. 9).
+//!
+//! Deviations from the paper, both documented in DESIGN.md:
+//!
+//! * tuples carry an explicit record length (the paper derives it from
+//!   neighbouring offsets, which breaks under deletion);
+//! * shared-mailbox refcount updates are log-structured — a delta tuple is
+//!   appended rather than patched in place — keeping every file
+//!   append-only, which is what a mail server wants from its I/O pattern.
+
+use crate::backend::DataRef;
+use crate::{Backend, MailId, MailStore, StoreError, StoreResult, StoredMail};
+use std::collections::HashMap;
+
+const RECORD_LEN: u64 = 32;
+const SHARED: &str = "shmailbox";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct KeyRecord {
+    id: MailId,
+    offset: u64,
+    len: u64,
+    /// Mailbox key files: `1` own record, `-1` shared reference, `0`
+    /// tombstone. Shared key file: signed refcount delta.
+    delta: i64,
+}
+
+impl KeyRecord {
+    fn encode(self) -> [u8; RECORD_LEN as usize] {
+        let mut b = [0u8; RECORD_LEN as usize];
+        b[..8].copy_from_slice(&self.id.0.to_be_bytes());
+        b[8..16].copy_from_slice(&self.offset.to_be_bytes());
+        b[16..24].copy_from_slice(&self.len.to_be_bytes());
+        b[24..32].copy_from_slice(&self.delta.to_be_bytes());
+        b
+    }
+
+    fn decode(b: &[u8], path: &str) -> StoreResult<KeyRecord> {
+        if b.len() != RECORD_LEN as usize {
+            return Err(StoreError::CorruptRecord(format!(
+                "{path}: key record of {} bytes",
+                b.len()
+            )));
+        }
+        Ok(KeyRecord {
+            id: MailId(u64::from_be_bytes(b[..8].try_into().expect("8"))),
+            offset: u64::from_be_bytes(b[8..16].try_into().expect("8")),
+            len: u64::from_be_bytes(b[16..24].try_into().expect("8")),
+            delta: i64::from_be_bytes(b[24..32].try_into().expect("8")),
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SharedEntry {
+    offset: u64,
+    len: u64,
+    refs: i64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MailboxEntry {
+    id: MailId,
+    offset: u64,
+    len: u64,
+    shared: bool,
+}
+
+/// Aggregate MFS statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MfsStats {
+    /// Live multi-recipient mails in the shared mailbox.
+    pub shared_mails: u64,
+    /// Live bytes in the shared data file.
+    pub shared_bytes: u64,
+    /// Bytes in the shared data file whose refcount dropped to zero
+    /// (reclaimable by compaction).
+    pub freed_shared_bytes: u64,
+    /// Live single-recipient records across all mailboxes.
+    pub own_records: u64,
+    /// Live shared references across all mailboxes.
+    pub shared_references: u64,
+}
+
+/// The MFS mail store.
+///
+/// # Example
+///
+/// ```
+/// use spamaware_mfs::{MailId, MailStore, MemFs, MfsStore};
+/// let mut store = MfsStore::new(MemFs::new());
+/// // A 3-recipient spam: body hits the disk once.
+/// store.deliver(MailId(1), &["a", "b", "c"], b"spam!".as_slice().into())?;
+/// assert_eq!(store.stats().shared_mails, 1);
+/// assert_eq!(store.read_mailbox("b")?[0].body, b"spam!");
+/// # Ok::<(), spamaware_mfs::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct MfsStore<B> {
+    backend: B,
+    shared: HashMap<MailId, SharedEntry>,
+    mailboxes: HashMap<String, Vec<MailboxEntry>>,
+    freed_shared_bytes: u64,
+    share_threshold: usize,
+}
+
+impl<B: Backend> MfsStore<B> {
+    /// Creates a fresh store (empty index) over a backend.
+    ///
+    /// For a backend that already contains MFS files, use
+    /// [`MfsStore::open`], which replays the key files.
+    pub fn new(backend: B) -> MfsStore<B> {
+        MfsStore {
+            backend,
+            shared: HashMap::new(),
+            mailboxes: HashMap::new(),
+            freed_shared_bytes: 0,
+            share_threshold: 2,
+        }
+    }
+
+    /// Sets the minimum recipient count at which a mail is routed through
+    /// the shared mailbox (default 2 — the paper shares exactly the
+    /// multi-recipient mails). `1` shares everything, which trades an
+    /// extra refcount record per single-recipient mail for a unified data
+    /// path; the `ablation_mfs_threshold` bench quantifies the trade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn with_share_threshold(mut self, threshold: usize) -> MfsStore<B> {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        self.share_threshold = threshold;
+        self
+    }
+
+    /// Opens a store over an existing backend, rebuilding the in-memory
+    /// index by replaying every key file (crash recovery).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::CorruptRecord`] if any key file fails to
+    /// decode.
+    pub fn open(backend: B) -> StoreResult<MfsStore<B>> {
+        let mut store = MfsStore::new(backend);
+        store.replay()?;
+        Ok(store)
+    }
+
+    /// The underlying backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the underlying backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> MfsStats {
+        let mut stats = MfsStats {
+            shared_mails: self.shared.len() as u64,
+            shared_bytes: self.shared.values().map(|e| e.len).sum(),
+            freed_shared_bytes: self.freed_shared_bytes,
+            ..MfsStats::default()
+        };
+        for entries in self.mailboxes.values() {
+            for e in entries {
+                if e.shared {
+                    stats.shared_references += 1;
+                } else {
+                    stats.own_records += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    fn key_path(mailbox: &str) -> String {
+        format!("mfs/{mailbox}.key")
+    }
+
+    fn data_path(mailbox: &str) -> String {
+        format!("mfs/{mailbox}.data")
+    }
+
+    fn append_key(&mut self, mailbox: &str, rec: KeyRecord) -> StoreResult<()> {
+        self.backend
+            .append(&Self::key_path(mailbox), DataRef::Bytes(&rec.encode()))?;
+        Ok(())
+    }
+
+    fn check_mailbox_name(mailbox: &str) -> StoreResult<()> {
+        if mailbox == SHARED || mailbox.is_empty() || mailbox.contains('/') {
+            return Err(StoreError::Io(format!("illegal mailbox name: {mailbox:?}")));
+        }
+        Ok(())
+    }
+
+    /// Replays all key files into the in-memory index.
+    fn replay(&mut self) -> StoreResult<()> {
+        self.shared.clear();
+        self.mailboxes.clear();
+        self.freed_shared_bytes = 0;
+        // Shared key file first, so mailbox shared-refs can validate.
+        let sh_key = Self::key_path(SHARED);
+        if self.backend.exists(&sh_key) {
+            for rec in self.read_key_records(&sh_key)? {
+                match self.shared.get_mut(&rec.id) {
+                    Some(e) => {
+                        e.refs += rec.delta;
+                        if e.refs <= 0 {
+                            self.freed_shared_bytes += e.len;
+                            self.shared.remove(&rec.id);
+                        }
+                    }
+                    None => {
+                        if rec.delta > 0 {
+                            self.shared.insert(
+                                rec.id,
+                                SharedEntry {
+                                    offset: rec.offset,
+                                    len: rec.len,
+                                    refs: rec.delta,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for path in self.backend.list("mfs/")? {
+            let Some(stem) = path
+                .strip_prefix("mfs/")
+                .and_then(|p| p.strip_suffix(".key"))
+            else {
+                continue;
+            };
+            if stem == SHARED {
+                continue;
+            }
+            let mailbox = stem.to_owned();
+            let mut entries: Vec<MailboxEntry> = Vec::new();
+            for rec in self.read_key_records(&path)? {
+                match rec.delta {
+                    0 => entries.retain(|e| e.id != rec.id),
+                    d => entries.push(MailboxEntry {
+                        id: rec.id,
+                        offset: rec.offset,
+                        len: rec.len,
+                        shared: d < 0,
+                    }),
+                }
+            }
+            self.mailboxes.insert(mailbox, entries);
+        }
+        Ok(())
+    }
+
+    fn read_key_records(&mut self, path: &str) -> StoreResult<Vec<KeyRecord>> {
+        let total = self.backend.len(path)?;
+        if total % RECORD_LEN != 0 {
+            return Err(StoreError::CorruptRecord(format!(
+                "{path}: length {total} not a record multiple"
+            )));
+        }
+        let mut out = Vec::with_capacity((total / RECORD_LEN) as usize);
+        let mut pos = 0;
+        while pos < total {
+            let bytes = self.backend.read_at(path, pos, RECORD_LEN)?;
+            out.push(KeyRecord::decode(&bytes, path)?);
+            pos += RECORD_LEN;
+        }
+        Ok(out)
+    }
+
+    /// The paper's `mail_nwrite`: writes one mail to `n` mailboxes with a
+    /// single body write when `n > 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MailIdCollision`] if `id` already names shared content
+    /// of a different size — the §6.4 random-guessing attack defence.
+    pub fn nwrite(&mut self, id: MailId, mailboxes: &[&str], body: DataRef<'_>) -> StoreResult<()> {
+        for mb in mailboxes {
+            Self::check_mailbox_name(mb)?;
+        }
+        match mailboxes {
+            [] => Ok(()),
+            mbs if mbs.len() < self.share_threshold => {
+                // Below the share threshold (single recipient under the
+                // paper's default): each mailbox gets its own copy in its
+                // own data file.
+                for mb in mbs {
+                    let offset = self.backend.append(&Self::data_path(mb), body)?;
+                    let rec = KeyRecord {
+                        id,
+                        offset,
+                        len: body.len(),
+                        delta: 1,
+                    };
+                    self.append_key(mb, rec)?;
+                    self.mailboxes.entry((*mb).to_owned()).or_default().push(
+                        MailboxEntry {
+                            id,
+                            offset,
+                            len: body.len(),
+                            shared: false,
+                        },
+                    );
+                }
+                Ok(())
+            }
+            _ => {
+                let n = mailboxes.len() as i64;
+                let (offset, len) = match self.shared.get_mut(&id) {
+                    Some(e) => {
+                        // "The file system skips the steps of writing data
+                        // ... if it finds that mail-id already exists"
+                        // (§6.2) — but content of a different size under an
+                        // existing id is the §6.4 attack.
+                        if e.len != body.len() {
+                            return Err(StoreError::MailIdCollision(id.to_string()));
+                        }
+                        e.refs += n;
+                        let (o, l) = (e.offset, e.len);
+                        self.append_key(
+                            SHARED,
+                            KeyRecord {
+                                id,
+                                offset: o,
+                                len: l,
+                                delta: n,
+                            },
+                        )?;
+                        (o, l)
+                    }
+                    None => {
+                        let offset = self.backend.append(&Self::data_path(SHARED), body)?;
+                        self.append_key(
+                            SHARED,
+                            KeyRecord {
+                                id,
+                                offset,
+                                len: body.len(),
+                                delta: n,
+                            },
+                        )?;
+                        self.shared.insert(
+                            id,
+                            SharedEntry {
+                                offset,
+                                len: body.len(),
+                                refs: n,
+                            },
+                        );
+                        (offset, body.len())
+                    }
+                };
+                for mb in mailboxes {
+                    self.append_key(
+                        mb,
+                        KeyRecord {
+                            id,
+                            offset,
+                            len,
+                            delta: -1,
+                        },
+                    )?;
+                    self.mailboxes.entry((*mb).to_owned()).or_default().push(
+                        MailboxEntry {
+                            id,
+                            offset,
+                            len,
+                            shared: true,
+                        },
+                    );
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn live_entries(&self, mailbox: &str) -> &[MailboxEntry] {
+        self.mailboxes.get(mailbox).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+impl<B: Backend> MailStore for MfsStore<B> {
+    fn deliver(&mut self, id: MailId, mailboxes: &[&str], body: DataRef<'_>) -> StoreResult<()> {
+        self.nwrite(id, mailboxes, body)
+    }
+
+    fn read_mailbox(&mut self, mailbox: &str) -> StoreResult<Vec<StoredMail>> {
+        let entries: Vec<MailboxEntry> = self.live_entries(mailbox).to_vec();
+        let mut out = Vec::with_capacity(entries.len());
+        for e in entries {
+            let data_file = if e.shared {
+                Self::data_path(SHARED)
+            } else {
+                Self::data_path(mailbox)
+            };
+            let body = self.backend.read_at(&data_file, e.offset, e.len)?;
+            out.push(StoredMail { id: e.id, body });
+        }
+        Ok(out)
+    }
+
+    fn delete(&mut self, mailbox: &str, id: MailId) -> StoreResult<()> {
+        let entries = self
+            .mailboxes
+            .get_mut(mailbox)
+            .ok_or_else(|| StoreError::NotFound(format!("{mailbox}/{id}")))?;
+        let idx = entries
+            .iter()
+            .position(|e| e.id == id)
+            .ok_or_else(|| StoreError::NotFound(format!("{mailbox}/{id}")))?;
+        let entry = entries.remove(idx);
+        self.append_key(
+            mailbox,
+            KeyRecord {
+                id,
+                offset: 0,
+                len: 0,
+                delta: 0,
+            },
+        )?;
+        if entry.shared {
+            // "A shared record cannot be deleted until it is deleted from
+            // all MFS files that share it" (§6.1): decrement the refcount;
+            // reclaim only when it reaches zero.
+            self.append_key(
+                SHARED,
+                KeyRecord {
+                    id,
+                    offset: entry.offset,
+                    len: entry.len,
+                    delta: -1,
+                },
+            )?;
+            if let Some(e) = self.shared.get_mut(&id) {
+                e.refs -= 1;
+                if e.refs <= 0 {
+                    self.freed_shared_bytes += e.len;
+                    self.shared.remove(&id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn layout_name(&self) -> &'static str {
+        "mfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemFs;
+
+    fn store() -> MfsStore<MemFs> {
+        MfsStore::new(MemFs::new())
+    }
+
+    #[test]
+    fn multi_recipient_body_stored_once() {
+        let mut s = store();
+        s.deliver(MailId(1), &["a", "b", "c"], DataRef::Bytes(b"spam body"))
+            .unwrap();
+        // Shared data file holds one copy; key files hold 32-byte tuples.
+        assert_eq!(
+            s.backend_mut().len("mfs/shmailbox.data").unwrap(),
+            9,
+            "one body copy"
+        );
+        for mb in ["a", "b", "c"] {
+            let mails = s.read_mailbox(mb).unwrap();
+            assert_eq!(mails.len(), 1);
+            assert_eq!(mails[0].body, b"spam body");
+        }
+        let stats = s.stats();
+        assert_eq!(stats.shared_mails, 1);
+        assert_eq!(stats.shared_references, 3);
+        assert_eq!(stats.own_records, 0);
+    }
+
+    #[test]
+    fn single_recipient_goes_to_own_data_file() {
+        let mut s = store();
+        s.deliver(MailId(1), &["alice"], DataRef::Bytes(b"private"))
+            .unwrap();
+        assert_eq!(s.backend_mut().len("mfs/alice.data").unwrap(), 7);
+        assert!(!s.backend_mut().exists("mfs/shmailbox.data"));
+        assert_eq!(s.stats().own_records, 1);
+    }
+
+    #[test]
+    fn repeated_nwrite_same_id_skips_body_write() {
+        let mut s = store();
+        s.deliver(MailId(1), &["a", "b"], DataRef::Bytes(b"body")).unwrap();
+        let before = s.backend_mut().len("mfs/shmailbox.data").unwrap();
+        // Remaining recipients delivered later under the same id.
+        s.deliver(MailId(1), &["c", "d"], DataRef::Bytes(b"body")).unwrap();
+        let after = s.backend_mut().len("mfs/shmailbox.data").unwrap();
+        assert_eq!(before, after, "no second body write");
+        assert_eq!(s.read_mailbox("d").unwrap()[0].body, b"body");
+        assert_eq!(s.stats().shared_references, 4);
+    }
+
+    #[test]
+    fn mail_id_collision_is_rejected_as_attack() {
+        let mut s = store();
+        s.deliver(MailId(7), &["a", "b"], DataRef::Bytes(b"original"))
+            .unwrap();
+        // Attacker guesses id 7 and tries to bind junk of another size.
+        let err = s
+            .deliver(MailId(7), &["evil1", "evil2"], DataRef::Bytes(b"junk"))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::MailIdCollision(_)));
+        // Victim's mailboxes untouched.
+        assert_eq!(s.read_mailbox("a").unwrap()[0].body, b"original");
+        assert!(s.read_mailbox("evil1").unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_decrements_shared_refcount() {
+        let mut s = store();
+        s.deliver(MailId(1), &["a", "b", "c"], DataRef::Bytes(b"xyz"))
+            .unwrap();
+        s.delete("a", MailId(1)).unwrap();
+        assert_eq!(s.stats().shared_mails, 1, "still referenced");
+        assert_eq!(s.stats().freed_shared_bytes, 0);
+        s.delete("b", MailId(1)).unwrap();
+        s.delete("c", MailId(1)).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.shared_mails, 0);
+        assert_eq!(stats.freed_shared_bytes, 3);
+    }
+
+    #[test]
+    fn delete_own_record() {
+        let mut s = store();
+        s.deliver(MailId(1), &["a"], DataRef::Bytes(b"one")).unwrap();
+        s.deliver(MailId(2), &["a"], DataRef::Bytes(b"two")).unwrap();
+        s.delete("a", MailId(1)).unwrap();
+        let mails = s.read_mailbox("a").unwrap();
+        assert_eq!(mails.len(), 1);
+        assert_eq!(mails[0].id, MailId(2));
+    }
+
+    #[test]
+    fn delete_missing_errors() {
+        let mut s = store();
+        assert!(matches!(
+            s.delete("ghost", MailId(1)),
+            Err(StoreError::NotFound(_))
+        ));
+        s.deliver(MailId(1), &["a"], DataRef::Bytes(b"x")).unwrap();
+        assert!(matches!(
+            s.delete("a", MailId(2)),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn mixed_own_and_shared_read_in_delivery_order() {
+        let mut s = store();
+        s.deliver(MailId(1), &["a"], DataRef::Bytes(b"own1")).unwrap();
+        s.deliver(MailId(2), &["a", "b"], DataRef::Bytes(b"shared")).unwrap();
+        s.deliver(MailId(3), &["a"], DataRef::Bytes(b"own2")).unwrap();
+        let mails = s.read_mailbox("a").unwrap();
+        let ids: Vec<u64> = mails.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(mails[1].body, b"shared");
+    }
+
+    #[test]
+    fn replay_recovers_full_state() {
+        let mut s = store();
+        s.deliver(MailId(1), &["a", "b"], DataRef::Bytes(b"shared")).unwrap();
+        s.deliver(MailId(2), &["a"], DataRef::Bytes(b"own")).unwrap();
+        s.deliver(MailId(3), &["b", "c"], DataRef::Bytes(b"gone")).unwrap();
+        s.delete("b", MailId(3)).unwrap();
+        s.delete("c", MailId(3)).unwrap();
+        let backend = std::mem::replace(s.backend_mut(), MemFs::new());
+
+        let mut recovered = MfsStore::open(backend).unwrap();
+        assert_eq!(recovered.read_mailbox("a").unwrap().len(), 2);
+        assert_eq!(recovered.read_mailbox("a").unwrap()[0].body, b"shared");
+        assert_eq!(recovered.read_mailbox("b").unwrap().len(), 1);
+        assert!(recovered.read_mailbox("c").unwrap().is_empty());
+        let stats = recovered.stats();
+        assert_eq!(stats.shared_mails, 1);
+        assert_eq!(stats.freed_shared_bytes, 4);
+    }
+
+    #[test]
+    fn shared_mailbox_name_is_reserved() {
+        let mut s = store();
+        let err = s
+            .deliver(MailId(1), &["shmailbox"], DataRef::Bytes(b"x"))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+    }
+
+    #[test]
+    fn empty_recipient_list_is_noop() {
+        let mut s = store();
+        s.deliver(MailId(1), &[], DataRef::Bytes(b"x")).unwrap();
+        assert_eq!(s.stats(), MfsStats::default());
+    }
+
+    #[test]
+    fn size_only_bodies_supported() {
+        let mut s = MfsStore::new(MemFs::size_only());
+        s.deliver(MailId(1), &["a", "b"], DataRef::Zeros(4096)).unwrap();
+        let mails = s.read_mailbox("a").unwrap();
+        assert_eq!(mails[0].body.len(), 4096);
+    }
+}
+
+impl<B: Backend> MfsStore<B> {
+    /// Compacts the store: rewrites the shared data file without dead
+    /// (zero-refcount) bytes, collapses the log-structured shared key file
+    /// to one record per live mail, and rewrites every mailbox key file
+    /// without tombstones. Returns the number of shared-data bytes
+    /// reclaimed.
+    ///
+    /// This is the maintenance pass implied by §6.1's refcounting ("a
+    /// shared record cannot be deleted until it is deleted from all MFS
+    /// files that share it") — deletion only marks; compaction reclaims.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O errors; on error the in-memory index is
+    /// unchanged but on-disk files may be partially rewritten (run
+    /// [`MfsStore::open`] to recover).
+    pub fn compact(&mut self) -> StoreResult<u64> {
+        // 1. Rewrite shared data, remembering new offsets.
+        let mut ids: Vec<MailId> = self.shared.keys().copied().collect();
+        ids.sort_unstable();
+        let sh_data = Self::data_path(SHARED);
+        let sh_key = Self::key_path(SHARED);
+        let old_len = if self.backend.exists(&sh_data) {
+            self.backend.len(&sh_data)?
+        } else {
+            0
+        };
+        let mut new_data: Vec<u8> = Vec::new();
+        let mut new_offsets: HashMap<MailId, u64> = HashMap::new();
+        for id in &ids {
+            let e = self.shared[id];
+            let body = self.backend.read_at(&sh_data, e.offset, e.len)?;
+            new_offsets.insert(*id, new_data.len() as u64);
+            new_data.extend_from_slice(&body);
+        }
+        let reclaimed = old_len.saturating_sub(new_data.len() as u64);
+        self.backend.replace(&sh_data, DataRef::Bytes(&new_data))?;
+        // 2. Collapse the shared key log.
+        let mut key_bytes = Vec::with_capacity(ids.len() * RECORD_LEN as usize);
+        for id in &ids {
+            let e = self.shared.get_mut(id).expect("listed id");
+            e.offset = new_offsets[id];
+            key_bytes.extend_from_slice(
+                &KeyRecord {
+                    id: *id,
+                    offset: e.offset,
+                    len: e.len,
+                    delta: e.refs,
+                }
+                .encode(),
+            );
+        }
+        self.backend.replace(&sh_key, DataRef::Bytes(&key_bytes))?;
+        self.freed_shared_bytes = 0;
+        // 3. Rewrite mailbox key files from the live index, patching
+        //    shared offsets.
+        let names: Vec<String> = self.mailboxes.keys().cloned().collect();
+        for mb in names {
+            let entries = self.mailboxes.get_mut(&mb).expect("listed mailbox");
+            let mut bytes = Vec::with_capacity(entries.len() * RECORD_LEN as usize);
+            for e in entries.iter_mut() {
+                if e.shared {
+                    e.offset = new_offsets[&e.id];
+                }
+                bytes.extend_from_slice(
+                    &KeyRecord {
+                        id: e.id,
+                        offset: e.offset,
+                        len: e.len,
+                        delta: if e.shared { -1 } else { 1 },
+                    }
+                    .encode(),
+                );
+            }
+            self.backend
+                .replace(&Self::key_path(&mb), DataRef::Bytes(&bytes))?;
+        }
+        Ok(reclaimed)
+    }
+}
+
+#[cfg(test)]
+mod compact_tests {
+    use super::*;
+    use crate::MemFs;
+
+    fn populated() -> MfsStore<MemFs> {
+        let mut s = MfsStore::new(MemFs::new());
+        s.deliver(MailId(1), &["a", "b"], DataRef::Bytes(b"keep-shared"))
+            .unwrap();
+        s.deliver(MailId(2), &["a", "b", "c"], DataRef::Bytes(b"drop-me"))
+            .unwrap();
+        s.deliver(MailId(3), &["a"], DataRef::Bytes(b"own")).unwrap();
+        for mb in ["a", "b", "c"] {
+            s.delete(mb, MailId(2)).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn compact_reclaims_dead_shared_bytes() {
+        let mut s = populated();
+        assert_eq!(s.stats().freed_shared_bytes, 7);
+        let before = s.backend_mut().len("mfs/shmailbox.data").unwrap();
+        let reclaimed = s.compact().unwrap();
+        assert_eq!(reclaimed, 7);
+        let after = s.backend_mut().len("mfs/shmailbox.data").unwrap();
+        assert_eq!(before - after, 7);
+        assert_eq!(s.stats().freed_shared_bytes, 0);
+    }
+
+    #[test]
+    fn compact_preserves_mailbox_contents() {
+        let mut s = populated();
+        let before_a = s.read_mailbox("a").unwrap();
+        let before_b = s.read_mailbox("b").unwrap();
+        s.compact().unwrap();
+        assert_eq!(s.read_mailbox("a").unwrap(), before_a);
+        assert_eq!(s.read_mailbox("b").unwrap(), before_b);
+        assert!(s.read_mailbox("c").unwrap().is_empty());
+    }
+
+    #[test]
+    fn compact_collapses_key_logs() {
+        let mut s = populated();
+        let key_before = s.backend_mut().len("mfs/shmailbox.key").unwrap();
+        s.compact().unwrap();
+        let key_after = s.backend_mut().len("mfs/shmailbox.key").unwrap();
+        assert!(key_after < key_before);
+        // One live shared mail -> exactly one record.
+        assert_eq!(key_after, 32);
+    }
+
+    #[test]
+    fn recovery_after_compaction_is_faithful() {
+        let mut s = populated();
+        s.compact().unwrap();
+        let expected_a = s.read_mailbox("a").unwrap();
+        let backend = std::mem::replace(s.backend_mut(), MemFs::new());
+        let mut recovered = MfsStore::open(backend).unwrap();
+        assert_eq!(recovered.read_mailbox("a").unwrap(), expected_a);
+        assert_eq!(recovered.stats().shared_mails, 1);
+    }
+
+    #[test]
+    fn deliveries_after_compaction_work() {
+        let mut s = populated();
+        s.compact().unwrap();
+        s.deliver(MailId(4), &["b", "c"], DataRef::Bytes(b"fresh"))
+            .unwrap();
+        assert_eq!(s.read_mailbox("c").unwrap()[0].body, b"fresh");
+        assert_eq!(s.stats().shared_mails, 2);
+    }
+
+    #[test]
+    fn compact_on_empty_store_is_noop() {
+        let mut s: MfsStore<MemFs> = MfsStore::new(MemFs::new());
+        assert_eq!(s.compact().unwrap(), 0);
+    }
+}

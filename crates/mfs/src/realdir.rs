@@ -1,0 +1,237 @@
+//! Real-filesystem backend over `std::fs`.
+
+use crate::{Backend, DataRef, StoreError, StoreResult};
+use std::fs::{self, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// A backend storing files under a root directory on the real filesystem.
+///
+/// Used by the live SMTP server and by integration tests; the same mailbox
+/// layouts that run on [`crate::MemFs`] in simulation run here against
+/// actual disks.
+///
+/// # Example
+///
+/// ```no_run
+/// use spamaware_mfs::{Backend, DataRef, RealDir};
+/// let mut fs = RealDir::new("/tmp/spamaware-store")?;
+/// fs.append("inbox/mbox", DataRef::Bytes(b"mail"))?;
+/// # Ok::<(), spamaware_mfs::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct RealDir {
+    root: PathBuf,
+}
+
+impl RealDir {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating the root.
+    pub fn new(root: impl AsRef<Path>) -> StoreResult<RealDir> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(RealDir { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn resolve(&self, path: &str) -> StoreResult<PathBuf> {
+        // Reject traversal; mailbox names are server-generated but the
+        // live server feeds client-influenced ids through here too.
+        if path.split('/').any(|c| c == ".." || c.is_empty()) || path.starts_with('/') {
+            return Err(StoreError::Io(format!("illegal path: {path:?}")));
+        }
+        Ok(self.root.join(path))
+    }
+
+    fn ensure_parent(&self, full: &Path) -> StoreResult<()> {
+        if let Some(parent) = full.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        Ok(())
+    }
+}
+
+impl Backend for RealDir {
+    fn create(&mut self, path: &str) -> StoreResult<()> {
+        let full = self.resolve(path)?;
+        self.ensure_parent(&full)?;
+        match OpenOptions::new().write(true).create_new(true).open(&full) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                Err(StoreError::AlreadyExists(path.to_owned()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn append(&mut self, path: &str, data: DataRef<'_>) -> StoreResult<u64> {
+        let full = self.resolve(path)?;
+        self.ensure_parent(&full)?;
+        let mut f = OpenOptions::new().append(true).create(true).open(&full)?;
+        let offset = f.seek(SeekFrom::End(0))?;
+        match data {
+            DataRef::Bytes(b) => f.write_all(b)?,
+            DataRef::Zeros(n) => {
+                // Write in chunks to bound memory.
+                let chunk = vec![0u8; 64 * 1024];
+                let mut left = n;
+                while left > 0 {
+                    let take = left.min(chunk.len() as u64) as usize;
+                    f.write_all(&chunk[..take])?;
+                    left -= take as u64;
+                }
+            }
+        }
+        Ok(offset)
+    }
+
+    fn read_at(&mut self, path: &str, offset: u64, len: u64) -> StoreResult<Vec<u8>> {
+        let full = self.resolve(path)?;
+        let mut f = fs::File::open(&full)
+            .map_err(|_| StoreError::NotFound(path.to_owned()))?;
+        let size = f.metadata()?.len();
+        if offset + len > size {
+            return Err(StoreError::OutOfRange(format!(
+                "{path}: {offset}+{len} > {size}"
+            )));
+        }
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len as usize];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn len(&mut self, path: &str) -> StoreResult<u64> {
+        let full = self.resolve(path)?;
+        let meta = fs::metadata(&full).map_err(|_| StoreError::NotFound(path.to_owned()))?;
+        Ok(meta.len())
+    }
+
+    fn link(&mut self, src: &str, dst: &str) -> StoreResult<()> {
+        let s = self.resolve(src)?;
+        let d = self.resolve(dst)?;
+        self.ensure_parent(&d)?;
+        match fs::hard_link(&s, &d) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                Err(StoreError::AlreadyExists(dst.to_owned()))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::NotFound(src.to_owned()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn remove(&mut self, path: &str) -> StoreResult<()> {
+        let full = self.resolve(path)?;
+        fs::remove_file(&full).map_err(|_| StoreError::NotFound(path.to_owned()))
+    }
+
+    fn exists(&mut self, path: &str) -> bool {
+        self.resolve(path).map(|p| p.exists()).unwrap_or(false)
+    }
+
+    fn list(&mut self, prefix: &str) -> StoreResult<Vec<String>> {
+        fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+            for entry in fs::read_dir(dir)? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    walk(&path, root, out)?;
+                } else if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+            Ok(())
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &self.root, &mut out)?;
+        out.retain(|p| p.starts_with(prefix));
+        out.sort_unstable();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> (RealDir, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "spamaware-realdir-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        (RealDir::new(&dir).unwrap(), dir)
+    }
+
+    #[test]
+    fn append_and_read_roundtrip() {
+        let (mut fs, dir) = tmp();
+        assert_eq!(fs.append("m/box", DataRef::Bytes(b"hello")).unwrap(), 0);
+        assert_eq!(fs.append("m/box", DataRef::Bytes(b" world")).unwrap(), 5);
+        assert_eq!(fs.read_at("m/box", 0, 11).unwrap(), b"hello world");
+        assert_eq!(fs.len("m/box").unwrap(), 11);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn create_new_rejects_existing() {
+        let (mut fs, dir) = tmp();
+        fs.create("f").unwrap();
+        assert!(matches!(fs.create("f"), Err(StoreError::AlreadyExists(_))));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn hard_link_shares_and_remove_unlinks() {
+        let (mut fs, dir) = tmp();
+        fs.append("orig", DataRef::Bytes(b"shared")).unwrap();
+        fs.link("orig", "copy").unwrap();
+        assert_eq!(fs.read_at("copy", 0, 6).unwrap(), b"shared");
+        fs.remove("orig").unwrap();
+        assert_eq!(fs.read_at("copy", 0, 6).unwrap(), b"shared");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn traversal_is_rejected() {
+        let (mut fs, dir) = tmp();
+        assert!(fs.append("../escape", DataRef::Bytes(b"x")).is_err());
+        assert!(fs.append("/abs", DataRef::Bytes(b"x")).is_err());
+        assert!(fs.append("a//b", DataRef::Bytes(b"x")).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn zeros_write_in_chunks() {
+        let (mut fs, dir) = tmp();
+        fs.append("big", DataRef::Zeros(200_000)).unwrap();
+        assert_eq!(fs.len("big").unwrap(), 200_000);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn missing_files_report_not_found() {
+        let (mut fs, dir) = tmp();
+        assert!(matches!(fs.len("nope"), Err(StoreError::NotFound(_))));
+        assert!(matches!(fs.remove("nope"), Err(StoreError::NotFound(_))));
+        assert!(matches!(
+            fs.link("nope", "dst"),
+            Err(StoreError::NotFound(_))
+        ));
+        assert!(!fs.exists("nope"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

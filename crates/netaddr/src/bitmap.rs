@@ -1,0 +1,187 @@
+//! The 128-bit /25 blacklist bitmap of the DNSBLv6 scheme.
+
+use crate::{Ipv4, Prefix25};
+use std::fmt;
+
+/// Blacklist status of every address in one /25 prefix, packed into 128
+/// bits — exactly the payload of one IPv6 AAAA answer (paper §7.1).
+///
+/// Bit `i` corresponds to the address with last-7-bits `i` within the /25.
+/// The paper stresses that "the bitmap uniquely identifies each blacklisted
+/// IP address; it does not punish any IP not blacklisted" — the bitmap is
+/// exact, not an aggregate verdict.
+///
+/// # Example
+///
+/// ```
+/// use spamaware_netaddr::{Ipv4, PrefixBitmap};
+/// let ip = Ipv4::new(203, 0, 113, 9);
+/// let mut bm = PrefixBitmap::empty(ip.prefix25());
+/// bm.set(ip);
+/// assert!(bm.contains(ip));
+/// assert!(!bm.contains(Ipv4::new(203, 0, 113, 10)));
+/// assert_eq!(bm.count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrefixBitmap {
+    prefix: Prefix25,
+    bits: u128,
+}
+
+impl PrefixBitmap {
+    /// An all-clear bitmap for the given /25.
+    pub const fn empty(prefix: Prefix25) -> PrefixBitmap {
+        PrefixBitmap { prefix, bits: 0 }
+    }
+
+    /// Reconstructs a bitmap from its wire representation (the 16 bytes of
+    /// an AAAA answer, most significant byte first).
+    pub fn from_wire(prefix: Prefix25, bytes: [u8; 16]) -> PrefixBitmap {
+        PrefixBitmap {
+            prefix,
+            bits: u128::from_be_bytes(bytes),
+        }
+    }
+
+    /// The wire representation: 16 bytes, most significant byte first.
+    pub fn to_wire(self) -> [u8; 16] {
+        self.bits.to_be_bytes()
+    }
+
+    /// The /25 this bitmap covers.
+    pub fn prefix(self) -> Prefix25 {
+        self.prefix
+    }
+
+    /// Marks `ip` as blacklisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ip` is not inside this bitmap's /25.
+    pub fn set(&mut self, ip: Ipv4) {
+        assert_eq!(
+            ip.prefix25(),
+            self.prefix,
+            "address {ip} outside bitmap prefix {}",
+            self.prefix
+        );
+        self.bits |= 1u128 << ip.index_in_prefix25();
+    }
+
+    /// Whether `ip` is blacklisted. Addresses outside the /25 are reported
+    /// as not blacklisted.
+    pub fn contains(self, ip: Ipv4) -> bool {
+        ip.prefix25() == self.prefix && self.bits & (1u128 << ip.index_in_prefix25()) != 0
+    }
+
+    /// Number of blacklisted addresses in the /25.
+    pub fn count(self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Whether no address in the /25 is blacklisted.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Iterates the blacklisted addresses in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = Ipv4> {
+        let prefix = self.prefix;
+        let bits = self.bits;
+        (0u8..128).filter_map(move |i| {
+            if bits & (1u128 << i) != 0 {
+                Some(prefix.nth(i))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The raw 128 bits.
+    pub fn bits(self) -> u128 {
+        self.bits
+    }
+}
+
+impl fmt::Display for PrefixBitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{} listed]", self.prefix, self.count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p25() -> Prefix25 {
+        Ipv4::new(203, 0, 113, 0).prefix25()
+    }
+
+    #[test]
+    fn set_and_query_each_position() {
+        for last in [0u8, 1, 63, 126, 127] {
+            let ip = Ipv4::new(203, 0, 113, last);
+            let mut bm = PrefixBitmap::empty(p25());
+            bm.set(ip);
+            assert!(bm.contains(ip), "bit {last}");
+            assert_eq!(bm.count(), 1);
+        }
+    }
+
+    #[test]
+    fn upper_half_uses_its_own_bitmap() {
+        let ip = Ipv4::new(203, 0, 113, 200);
+        let mut bm = PrefixBitmap::empty(ip.prefix25());
+        bm.set(ip);
+        assert!(bm.contains(ip));
+        // Same last-7-bits in the lower half is a different address.
+        let mirror = Ipv4::new(203, 0, 113, 200 - 128);
+        assert!(!bm.contains(mirror));
+    }
+
+    #[test]
+    fn wire_roundtrip_is_exact() {
+        let mut bm = PrefixBitmap::empty(p25());
+        for last in [3u8, 17, 99, 127] {
+            bm.set(Ipv4::new(203, 0, 113, last));
+        }
+        let wire = bm.to_wire();
+        let back = PrefixBitmap::from_wire(p25(), wire);
+        assert_eq!(back, bm);
+        assert_eq!(back.count(), 4);
+    }
+
+    #[test]
+    fn iter_yields_listed_addresses_in_order() {
+        let mut bm = PrefixBitmap::empty(p25());
+        bm.set(Ipv4::new(203, 0, 113, 40));
+        bm.set(Ipv4::new(203, 0, 113, 2));
+        let listed: Vec<String> = bm.iter().map(|ip| ip.to_string()).collect();
+        assert_eq!(listed, vec!["203.0.113.2", "203.0.113.40"]);
+    }
+
+    #[test]
+    fn no_false_positives_across_the_prefix() {
+        let mut bm = PrefixBitmap::empty(p25());
+        let listed = Ipv4::new(203, 0, 113, 77);
+        bm.set(listed);
+        for ip in p25().addresses() {
+            assert_eq!(bm.contains(ip), ip == listed, "{ip}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside bitmap prefix")]
+    fn set_rejects_foreign_address() {
+        let mut bm = PrefixBitmap::empty(p25());
+        bm.set(Ipv4::new(198, 51, 100, 1));
+    }
+
+    #[test]
+    fn empty_bitmap_reports_empty() {
+        let bm = PrefixBitmap::empty(p25());
+        assert!(bm.is_empty());
+        assert_eq!(bm.count(), 0);
+        assert_eq!(bm.iter().count(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! DNSBL query-name encoding and decoding.
+
+use crate::{Ipv4, Prefix25};
+use std::fmt;
+
+/// Which DNSBL wire scheme a query uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryScheme {
+    /// Classic per-IP scheme: query `w.z.y.x.<zone>`, answer is an A record
+    /// in `127.0.0.0/8` when listed.
+    Ipv4,
+    /// The paper's DNSBLv6 scheme: query `{0|1}.z.y.x.<zone>` (`0` when the
+    /// last octet `w < 128`), answer is an AAAA record whose 128 bits are
+    /// the blacklist bitmap of the whole /25.
+    PrefixV6,
+}
+
+/// A fully-encoded DNSBL query name.
+///
+/// # Example
+///
+/// ```
+/// use spamaware_netaddr::{Ipv4, QueryName, QueryScheme};
+/// let ip = Ipv4::new(10, 2, 3, 200);
+/// let classic = QueryName::encode(ip, QueryScheme::Ipv4, "cbl.example");
+/// assert_eq!(classic.as_str(), "200.3.2.10.cbl.example");
+/// let v6 = QueryName::encode(ip, QueryScheme::PrefixV6, "cbl.example");
+/// assert_eq!(v6.as_str(), "1.3.2.10.cbl.example");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryName {
+    name: String,
+    scheme: QueryScheme,
+}
+
+impl QueryName {
+    /// Encodes the query name for `ip` against blacklist `zone`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zone` is empty.
+    pub fn encode(ip: Ipv4, scheme: QueryScheme, zone: &str) -> QueryName {
+        assert!(!zone.is_empty(), "DNSBL zone must be non-empty");
+        let [x, y, z, w] = ip.octets();
+        let name = match scheme {
+            QueryScheme::Ipv4 => format!("{w}.{z}.{y}.{x}.{zone}"),
+            QueryScheme::PrefixV6 => {
+                let half = u8::from(w >= 128);
+                format!("{half}.{z}.{y}.{x}.{zone}")
+            }
+        };
+        QueryName { name, scheme }
+    }
+
+    /// The textual query name.
+    pub fn as_str(&self) -> &str {
+        &self.name
+    }
+
+    /// The scheme this name was encoded under.
+    pub fn scheme(&self) -> QueryScheme {
+        self.scheme
+    }
+
+    /// Decodes a classic IPv4-scheme query name back to the queried
+    /// address, given the zone it was encoded against. Returns `None` for
+    /// names not of the form `w.z.y.x.<zone>`.
+    pub fn decode_ipv4(name: &str, zone: &str) -> Option<Ipv4> {
+        let rest = name.strip_suffix(zone)?.strip_suffix('.')?;
+        let mut parts = rest.split('.');
+        let w: u8 = parts.next()?.parse().ok()?;
+        let z: u8 = parts.next()?.parse().ok()?;
+        let y: u8 = parts.next()?.parse().ok()?;
+        let x: u8 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(Ipv4::new(x, y, z, w))
+    }
+
+    /// Decodes a DNSBLv6-scheme query name back to the queried /25, given
+    /// the zone. Returns `None` for malformed names.
+    pub fn decode_prefix_v6(name: &str, zone: &str) -> Option<Prefix25> {
+        let rest = name.strip_suffix(zone)?.strip_suffix('.')?;
+        let mut parts = rest.split('.');
+        let half: u8 = parts.next()?.parse().ok()?;
+        if half > 1 {
+            return None;
+        }
+        let z: u8 = parts.next()?.parse().ok()?;
+        let y: u8 = parts.next()?.parse().ok()?;
+        let x: u8 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        let probe = Ipv4::new(x, y, z, half * 128);
+        Some(probe.prefix25())
+    }
+}
+
+impl fmt::Display for QueryName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_encoding_reverses_octets() {
+        let q = QueryName::encode(Ipv4::new(1, 2, 3, 4), QueryScheme::Ipv4, "bl.test");
+        assert_eq!(q.as_str(), "4.3.2.1.bl.test");
+        assert_eq!(q.scheme(), QueryScheme::Ipv4);
+    }
+
+    #[test]
+    fn v6_encoding_uses_half_label() {
+        // Paper: "0.z.y.x.blacklistserver if the number w is less than 128
+        // and 1.z.y.x.blacklistserver otherwise".
+        let lo = QueryName::encode(Ipv4::new(9, 8, 7, 127), QueryScheme::PrefixV6, "bl.test");
+        assert_eq!(lo.as_str(), "0.7.8.9.bl.test");
+        let hi = QueryName::encode(Ipv4::new(9, 8, 7, 128), QueryScheme::PrefixV6, "bl.test");
+        assert_eq!(hi.as_str(), "1.7.8.9.bl.test");
+    }
+
+    #[test]
+    fn v6_names_collide_within_a_25_only() {
+        let zone = "bl.test";
+        let a = QueryName::encode(Ipv4::new(9, 8, 7, 0), QueryScheme::PrefixV6, zone);
+        let b = QueryName::encode(Ipv4::new(9, 8, 7, 100), QueryScheme::PrefixV6, zone);
+        let c = QueryName::encode(Ipv4::new(9, 8, 7, 200), QueryScheme::PrefixV6, zone);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn classic_roundtrip() {
+        let ip = Ipv4::new(172, 16, 254, 3);
+        let q = QueryName::encode(ip, QueryScheme::Ipv4, "zen.example.org");
+        assert_eq!(
+            QueryName::decode_ipv4(q.as_str(), "zen.example.org"),
+            Some(ip)
+        );
+    }
+
+    #[test]
+    fn v6_roundtrip() {
+        for last in [0u8, 127, 128, 255] {
+            let ip = Ipv4::new(172, 16, 254, last);
+            let q = QueryName::encode(ip, QueryScheme::PrefixV6, "zen.example.org");
+            assert_eq!(
+                QueryName::decode_prefix_v6(q.as_str(), "zen.example.org"),
+                Some(ip.prefix25()),
+                "last octet {last}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_names() {
+        assert_eq!(QueryName::decode_ipv4("1.2.3.bl.test", "bl.test"), None);
+        assert_eq!(QueryName::decode_ipv4("4.3.2.1.other", "bl.test"), None);
+        assert_eq!(QueryName::decode_ipv4("300.3.2.1.bl.test", "bl.test"), None);
+        assert_eq!(
+            QueryName::decode_prefix_v6("2.3.2.1.bl.test", "bl.test"),
+            None
+        );
+        assert_eq!(
+            QueryName::decode_prefix_v6("0.3.2.bl.test", "bl.test"),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zone must be non-empty")]
+    fn empty_zone_rejected() {
+        QueryName::encode(Ipv4::new(1, 2, 3, 4), QueryScheme::Ipv4, "");
+    }
+}

@@ -1,0 +1,1085 @@
+//! The simulated mail server: both concurrency architectures driven by
+//! trace workloads through closed- or open-system clients.
+//!
+//! One [`World`] instance models the whole testbed of paper §3: the server
+//! CPU (a FIFO resource with context-switch accounting), the disk (a FIFO
+//! resource fed by the storage layout's metered costs), the 30 ms-RTT
+//! network, the DNSBL resolver path, and the client population. The two
+//! architectures differ only in who executes each connection's server-side
+//! work:
+//!
+//! * **Vanilla** (Fig. 6): every accepted connection gets a dedicated
+//!   (recycled) smtpd process; every command runs under that process id,
+//!   so consecutive CPU jobs almost always context-switch.
+//! * **Hybrid fork-after-trust** (Fig. 7): the master's event loop carries
+//!   every connection through `HELO`/`MAIL`/`RCPT` under one process id;
+//!   only connections that produce a valid recipient are delegated
+//!   (batched, round-robin, bounded worker queues) to smtpd workers.
+
+use crate::script::{build_script, Step};
+use crate::{CostModel, SimStore};
+use spamaware_dnsbl::{CacheScheme, CachingResolver, DnsblServer, ResolverStats};
+use spamaware_mfs::{DiskProfile, Layout, OpCounts};
+use spamaware_sim::metrics::Histogram;
+use spamaware_sim::{
+    det_rng, run_until, FifoResource, Nanos, ProcId, Scheduler, ServiceJob, World as SimWorld,
+};
+use spamaware_smtp::{Command, MailAddr, ServerSession, SessionConfig, SessionOutcome};
+use spamaware_trace::Trace;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Which concurrency architecture the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Architecture {
+    /// Process-per-connection (paper Fig. 6).
+    Vanilla,
+    /// Fork-after-trust (paper Fig. 7).
+    Hybrid,
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Architecture::Vanilla => "Vanilla",
+            Architecture::Hybrid => "Hybrid",
+        })
+    }
+}
+
+/// When the hybrid master delegates a connection to a worker — the
+/// ablation axis for the fork-after-trust design point. The paper's
+/// architecture is [`TrustPoint::AfterValidRcpt`]; [`TrustPoint::AfterAccept`]
+/// degenerates to process-per-connection with an accepting master, and
+/// [`TrustPoint::AfterHelo`] trusts anyone who completes a greeting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrustPoint {
+    /// Delegate as soon as the connection is accepted.
+    AfterAccept,
+    /// Delegate after HELO/EHLO.
+    AfterHelo,
+    /// Delegate after the first valid `RCPT TO` (the paper's design).
+    #[default]
+    AfterValidRcpt,
+}
+
+/// DNSBL integration for a run.
+#[derive(Debug)]
+pub struct DnsConfig {
+    /// Caching granularity.
+    pub scheme: CacheScheme,
+    /// Cache TTL (paper: 24 h).
+    pub ttl: Nanos,
+    /// The authoritative DNSBL server.
+    pub server: DnsblServer,
+}
+
+/// Full server configuration for one simulated run.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// Concurrency architecture.
+    pub arch: Architecture,
+    /// Vanilla: smtpd process limit (paper tunes 500 for peak throughput).
+    /// Hybrid: number of smtpd worker processes.
+    pub process_limit: usize,
+    /// Hybrid: the master's socket-list capacity (paper: 700).
+    pub socket_limit: usize,
+    /// Hybrid: delegated tasks a worker's UNIX-domain socket holds (paper
+    /// estimates ≈28 for a 64 KiB buffer at 7 recipients/mail).
+    pub worker_queue_limit: usize,
+    /// CPU/network cost model.
+    pub cost: CostModel,
+    /// Mailbox storage layout.
+    pub layout: Layout,
+    /// Disk cost profile.
+    pub disk: DiskProfile,
+    /// DNSBL lookups (None = disabled).
+    pub dns: Option<DnsConfig>,
+    /// SMTP session policy.
+    pub session: SessionConfig,
+    /// Hybrid only: when connections are delegated to workers.
+    pub trust_point: TrustPoint,
+    /// Connections an smtpd process serves before terminating itself and
+    /// being re-forked (postfix `max_use`, default 100; paper §2: a
+    /// process "has served a pre-configured number of requests,
+    /// it terminates itself").
+    pub smtpd_max_requests: u64,
+}
+
+impl ServerConfig {
+    /// The paper's tuned vanilla server: 500 smtpd processes, mbox
+    /// mailboxes on Ext3, no DNSBL.
+    pub fn vanilla() -> ServerConfig {
+        ServerConfig {
+            arch: Architecture::Vanilla,
+            process_limit: 500,
+            socket_limit: 700,
+            worker_queue_limit: 28,
+            cost: CostModel::default(),
+            layout: Layout::Mbox,
+            disk: DiskProfile::ext3(),
+            dns: None,
+            session: SessionConfig::default(),
+            trust_point: TrustPoint::default(),
+            smtpd_max_requests: 100,
+        }
+    }
+
+    /// The paper's hybrid server: 700 master sockets, recycled workers.
+    pub fn hybrid() -> ServerConfig {
+        ServerConfig {
+            arch: Architecture::Hybrid,
+            process_limit: 64,
+            ..ServerConfig::vanilla()
+        }
+    }
+
+    /// A qmail-like process-per-connection server: qmail-smtpd is spawned
+    /// fresh by tcpserver for every connection (no process recycling) and
+    /// runs a leaner per-command path. Used by the `generality_qmail`
+    /// bench to back the paper's §10 claim that the optimizations "are
+    /// general and applicable to other popular mail servers such as
+    /// qmail".
+    pub fn qmail_like() -> ServerConfig {
+        let mut cost = CostModel::default();
+        // Fresh exec per connection: heavier setup, no recycling...
+        cost.fork = Nanos::from_micros(900);
+        // ...but a simpler smtpd with a leaner command path.
+        cost.command_cpu = Nanos::from_micros(280);
+        ServerConfig {
+            smtpd_max_requests: 1,
+            cost,
+            ..ServerConfig::vanilla()
+        }
+    }
+}
+
+/// The client population driving the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClientModel {
+    /// Client program 1 (paper §3): a fixed number of concurrent
+    /// connections; each client reconnects as soon as its connection ends
+    /// (closed-system model).
+    Closed {
+        /// Concurrent client connections maintained.
+        concurrency: usize,
+    },
+    /// Client program 2: new connections at a fixed average rate,
+    /// regardless of completions (open-system model).
+    Open {
+        /// Mean connection arrival rate (Poisson).
+        rate_per_sec: f64,
+    },
+}
+
+/// Snapshot of DNSBL resolver statistics for a report.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DnsReport {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Queries issued to the DNSBL.
+    pub queries_issued: u64,
+    /// Lookup-latency distribution (ms).
+    pub latency_ms: Histogram,
+}
+
+impl DnsReport {
+    fn from_stats(s: &ResolverStats) -> DnsReport {
+        DnsReport {
+            lookups: s.lookups,
+            hits: s.hits,
+            queries_issued: s.queries_issued,
+            latency_ms: s.latency_ms.clone(),
+        }
+    }
+
+    /// Cache hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of lookups that issued a DNS query.
+    pub fn query_fraction(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.queries_issued as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Results of one simulated run.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RunReport {
+    /// Architecture that ran.
+    pub arch: Architecture,
+    /// Storage layout that ran.
+    pub layout: Layout,
+    /// Wall-clock (virtual) duration.
+    pub duration: Nanos,
+    /// Connections fully completed.
+    pub connections: u64,
+    /// Completed connections that delivered mail.
+    pub delivered_connections: u64,
+    /// Completed bounce connections.
+    pub bounces: u64,
+    /// Completed unfinished connections.
+    pub unfinished: u64,
+    /// Mails accepted (transactions).
+    pub mails: u64,
+    /// Mailbox deliveries (mails × recipients).
+    pub deliveries: u64,
+    /// CPU context switches.
+    pub context_switches: u64,
+    /// Processes forked (pool growth).
+    pub forks: u64,
+    /// CPU busy time.
+    pub cpu_busy: Nanos,
+    /// CPU consumed by connections that delivered mail.
+    pub cpu_delivering: Nanos,
+    /// CPU consumed by bounce connections — the waste the fork-after-trust
+    /// architecture eliminates (paper §4.1 "can waste significant server
+    /// resources in case of bounces").
+    pub cpu_bounce: Nanos,
+    /// CPU consumed by unfinished connections.
+    pub cpu_unfinished: Nanos,
+    /// Disk busy time.
+    pub disk_busy: Nanos,
+    /// Backend operation counts.
+    pub disk_ops: OpCounts,
+    /// DNSBL statistics, when enabled.
+    pub dns: Option<DnsReport>,
+    /// Session duration distribution (ms), completed connections.
+    pub session_ms: Histogram,
+}
+
+impl RunReport {
+    /// Good mails accepted per second (the paper's goodput, Fig. 8).
+    pub fn goodput(&self) -> f64 {
+        self.mails as f64 / self.duration.as_secs_f64()
+    }
+
+    /// Mailbox deliveries per second (the paper's "mails written/sec",
+    /// Figs. 10/11).
+    pub fn delivery_throughput(&self) -> f64 {
+        self.deliveries as f64 / self.duration.as_secs_f64()
+    }
+
+    /// Completed connections per second (Fig. 14's throughput).
+    pub fn connection_throughput(&self) -> f64 {
+        self.connections as f64 / self.duration.as_secs_f64()
+    }
+
+    /// CPU utilization over the run.
+    pub fn cpu_utilization(&self) -> f64 {
+        self.cpu_busy.as_secs_f64() / self.duration.as_secs_f64()
+    }
+}
+
+/// Runs `trace` against a server `cfg` with the given client model for
+/// `duration` of virtual time (the paper uses 5-minute runs).
+///
+/// The trace is treated as a pool of connection specs consumed cyclically,
+/// so any horizon can be simulated from any trace length.
+///
+/// # Panics
+///
+/// Panics if the trace is empty or the configuration is degenerate
+/// (zero process/socket limits).
+pub fn run(trace: &Trace, cfg: ServerConfig, client: ClientModel, duration: Nanos) -> RunReport {
+    assert!(!trace.connections.is_empty(), "trace has no connections");
+    assert!(cfg.process_limit > 0, "need at least one process");
+    assert!(cfg.socket_limit > 0, "need at least one socket");
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    let mut world = World::new(trace, cfg, client, duration);
+    world.bootstrap(&mut sched);
+    run_until(&mut sched, &mut world, duration);
+    world.into_report(duration)
+}
+
+const MASTER: ProcId = ProcId(0);
+
+type ConnId = usize;
+
+#[derive(Debug)]
+enum Ev {
+    /// A client initiates a connection (spec drawn cyclically).
+    Arrive,
+    /// Accept/setup CPU finished for the connection.
+    AcceptDone(ConnId),
+    /// The DNSBL answer arrived.
+    DnsAnswer(ConnId),
+    /// CPU spent processing the DNS answer finished.
+    DnsCpuDone(ConnId),
+    /// A command (or body) arrived at the server.
+    AtServer(ConnId, Step),
+    /// Command-processing CPU finished.
+    CmdCpuDone(ConnId),
+    /// Body-processing CPU finished.
+    BodyCpuDone(ConnId),
+    /// Disk write for the queued mail finished.
+    DiskDone(ConnId),
+    /// Master finished the delegation vector-send.
+    DelegCpuDone(ConnId),
+    /// The server's reply reached the client.
+    ReplyAtClient(ConnId),
+    /// The connection is fully closed.
+    Closed(ConnId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Backlogged,
+    Setup,
+    Dialog,
+    Done,
+}
+
+struct Conn {
+    session: ServerSession,
+    script: VecDeque<Step>,
+    pid: ProcId,
+    phase: Phase,
+    delegated: bool,
+    worker_active: bool,
+    worker: Option<usize>,
+    buffered: Option<Step>,
+    pending: Option<Step>,
+    started: Nanos,
+    mails_recorded: u64,
+    dns_was_miss: bool,
+    needs_worker_setup: bool,
+    cpu_used: Nanos,
+}
+
+struct WorkerState {
+    pid: ProcId,
+    current: Option<ConnId>,
+    queue: VecDeque<ConnId>,
+}
+
+struct World<'a> {
+    trace: &'a Trace,
+    arch: Architecture,
+    cost: CostModel,
+    session_cfg: SessionConfig,
+    cpu: FifoResource<Ev>,
+    disk_load: Nanos,
+    store: SimStore,
+    resolver: Option<CachingResolver>,
+    dns_server: Option<DnsblServer>,
+    rng: StdRng,
+    conns: Vec<Conn>,
+    next_spec: usize,
+    backlog: VecDeque<ConnId>,
+    // Vanilla state.
+    process_limit: usize,
+    procs_in_use: usize,
+    free_procs: Vec<ProcId>,
+    next_proc: u32,
+    forks: u64,
+    // Hybrid state.
+    smtpd_max_requests: u64,
+    proc_served: std::collections::HashMap<ProcId, u64>,
+    socket_limit: usize,
+    master_sockets: usize,
+    workers: Vec<WorkerState>,
+    worker_queue_limit: usize,
+    pending_delegation: VecDeque<ConnId>,
+    rr_worker: usize,
+    // Client.
+    client: ClientModel,
+    trust_point: TrustPoint,
+    horizon: Nanos,
+    // Metrics.
+    connections: u64,
+    delivered_connections: u64,
+    bounces: u64,
+    unfinished: u64,
+    mails: u64,
+    deliveries: u64,
+    cpu_delivering: Nanos,
+    cpu_bounce: Nanos,
+    cpu_unfinished: Nanos,
+    session_ms: Histogram,
+    layout: Layout,
+    /// Trace-spec index of each connection (for client IP lookups).
+    spec_of: Vec<usize>,
+}
+
+impl<'a> World<'a> {
+    fn new(trace: &'a Trace, cfg: ServerConfig, client: ClientModel, horizon: Nanos) -> World<'a> {
+        let workers = match cfg.arch {
+            Architecture::Vanilla => Vec::new(),
+            Architecture::Hybrid => (0..cfg.process_limit)
+                .map(|i| WorkerState {
+                    pid: ProcId(1 + i as u32),
+                    current: None,
+                    queue: VecDeque::new(),
+                })
+                .collect(),
+        };
+        let (resolver, dns_server) = match cfg.dns {
+            Some(d) => (
+                Some(CachingResolver::new(d.scheme, d.ttl)),
+                Some(d.server),
+            ),
+            None => (None, None),
+        };
+        World {
+            trace,
+            arch: cfg.arch,
+            cost: cfg.cost,
+            session_cfg: cfg.session,
+            cpu: FifoResource::new(cfg.cost.context_switch),
+            disk_load: Nanos::ZERO,
+            store: SimStore::new(cfg.layout, cfg.disk),
+            resolver,
+            dns_server,
+            rng: det_rng(0xD15C0),
+            conns: Vec::new(),
+            next_spec: 0,
+            backlog: VecDeque::new(),
+            process_limit: cfg.process_limit,
+            procs_in_use: 0,
+            free_procs: Vec::new(),
+            next_proc: 1_000,
+            forks: 0,
+            smtpd_max_requests: cfg.smtpd_max_requests,
+            proc_served: std::collections::HashMap::new(),
+            socket_limit: cfg.socket_limit,
+            master_sockets: 0,
+            workers,
+            worker_queue_limit: cfg.worker_queue_limit,
+            pending_delegation: VecDeque::new(),
+            rr_worker: 0,
+            client,
+            trust_point: cfg.trust_point,
+            horizon,
+            connections: 0,
+            delivered_connections: 0,
+            bounces: 0,
+            unfinished: 0,
+            mails: 0,
+            deliveries: 0,
+            cpu_delivering: Nanos::ZERO,
+            cpu_bounce: Nanos::ZERO,
+            cpu_unfinished: Nanos::ZERO,
+            session_ms: Histogram::for_latency_ms(),
+            layout: cfg.layout,
+            spec_of: Vec::new(),
+        }
+    }
+
+    fn bootstrap(&mut self, sched: &mut Scheduler<Ev>) {
+        // Steady state: every hosted mailbox already exists on disk.
+        let names: Vec<String> = (0..self.trace.mailbox_count)
+            .map(|i| format!("user{i}"))
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        self.store.prewarm(&refs);
+        match self.client {
+            ClientModel::Closed { concurrency } => {
+                for i in 0..concurrency {
+                    sched.schedule_at(Nanos::from_micros(i as u64 * 200), Ev::Arrive);
+                }
+            }
+            ClientModel::Open { rate_per_sec } => {
+                assert!(rate_per_sec > 0.0, "open model needs a positive rate");
+                sched.schedule_at(Nanos::ZERO, Ev::Arrive);
+            }
+        }
+    }
+
+    fn mailbox_count(&self) -> u32 {
+        self.trace.mailbox_count
+    }
+
+    fn into_report(self, duration: Nanos) -> RunReport {
+        RunReport {
+            arch: self.arch,
+            layout: self.layout,
+            duration,
+            connections: self.connections,
+            delivered_connections: self.delivered_connections,
+            bounces: self.bounces,
+            unfinished: self.unfinished,
+            mails: self.mails,
+            deliveries: self.deliveries,
+            context_switches: self.cpu.stats().context_switches,
+            forks: self.forks,
+            cpu_busy: self.cpu.stats().busy,
+            cpu_delivering: self.cpu_delivering,
+            cpu_bounce: self.cpu_bounce,
+            cpu_unfinished: self.cpu_unfinished,
+            disk_busy: self.disk_load,
+            disk_ops: self.store.op_counts(),
+            dns: self.resolver.as_ref().map(|r| DnsReport::from_stats(r.stats())),
+            session_ms: self.session_ms,
+        }
+    }
+
+    /// Spawns a new connection from the next trace spec.
+    fn new_conn(&mut self, sched: &mut Scheduler<Ev>) {
+        let spec = &self.trace.connections[self.next_spec % self.trace.connections.len()];
+        self.next_spec += 1;
+        let mut session = ServerSession::new(self.session_cfg.clone());
+        session.capture_bodies(false);
+        let id = self.conns.len();
+        self.conns.push(Conn {
+            session,
+            script: build_script(spec),
+            pid: MASTER,
+            phase: Phase::Backlogged,
+            delegated: false,
+            worker_active: false,
+            worker: None,
+            buffered: None,
+            pending: None,
+            started: sched.now(),
+            mails_recorded: 0,
+            dns_was_miss: false,
+            needs_worker_setup: false,
+            cpu_used: Nanos::ZERO,
+        });
+        // Remember which spec this conn uses for DNS lookups.
+        self.spec_of.push((self.next_spec - 1) % self.trace.connections.len());
+        self.try_accept(sched, id);
+    }
+
+    fn try_accept(&mut self, sched: &mut Scheduler<Ev>, id: ConnId) {
+        match self.arch {
+            Architecture::Vanilla => {
+                if self.procs_in_use < self.process_limit {
+                    self.procs_in_use += 1;
+                    let (pid, fork_cost) = match self.free_procs.pop() {
+                        Some(p) => (p, Nanos::ZERO),
+                        None => {
+                            self.forks += 1;
+                            let p = ProcId(self.next_proc);
+                            self.next_proc += 1;
+                            (p, self.cost.fork)
+                        }
+                    };
+                    self.conns[id].pid = pid;
+                    self.conns[id].phase = Phase::Setup;
+                    let service =
+                        self.cost.accept_cpu + fork_cost + self.cost.session_setup_cpu;
+                    self.conns[id].cpu_used += service;
+                    self.cpu
+                        .submit(sched, ServiceJob::new(pid, service, Ev::AcceptDone(id)));
+                } else {
+                    self.backlog.push_back(id);
+                }
+            }
+            Architecture::Hybrid => {
+                if self.master_sockets < self.socket_limit {
+                    self.master_sockets += 1;
+                    self.conns[id].pid = MASTER;
+                    self.conns[id].phase = Phase::Setup;
+                    let service = self.cost.accept_cpu + self.cost.event_loop_cpu;
+                    self.conns[id].cpu_used += service;
+                    self.cpu
+                        .submit(sched, ServiceJob::new(MASTER, service, Ev::AcceptDone(id)));
+                } else {
+                    self.backlog.push_back(id);
+                }
+            }
+        }
+    }
+
+    /// The process currently executing server-side work for a connection.
+    fn exec_pid(&self, id: ConnId) -> ProcId {
+        match self.arch {
+            Architecture::Vanilla => self.conns[id].pid,
+            Architecture::Hybrid => {
+                if self.conns[id].worker_active {
+                    self.workers[self.conns[id].worker.expect("active worker")].pid
+                } else {
+                    MASTER
+                }
+            }
+        }
+    }
+
+    /// Per-command CPU for the process executing this connection.
+    fn cmd_cost(&self, id: ConnId) -> Nanos {
+        match self.arch {
+            Architecture::Vanilla => self.cost.command_cpu,
+            Architecture::Hybrid => {
+                if self.conns[id].worker_active {
+                    self.cost.command_cpu
+                } else {
+                    self.cost.event_loop_cpu
+                }
+            }
+        }
+    }
+
+    fn client_ip(&self, id: ConnId) -> spamaware_netaddr::Ipv4 {
+        self.trace.connections[self.spec_of[id]].client_ip
+    }
+
+    fn send_reply(&mut self, sched: &mut Scheduler<Ev>, id: ConnId) {
+        sched.schedule_in(self.cost.half_rtt(), Ev::ReplyAtClient(id));
+    }
+
+    /// Client received a reply (or the greeting): emit the next step.
+    fn client_next(&mut self, sched: &mut Scheduler<Ev>, id: ConnId) {
+        let Some(step) = self.conns[id].script.pop_front() else {
+            // Script exhausted without QUIT (defensive): drop connection.
+            sched.schedule_in(self.cost.half_rtt(), Ev::Closed(id));
+            return;
+        };
+        let delay = match &step {
+            Step::Cmd(_) => self.cost.half_rtt(),
+            Step::Body(n) => self.cost.half_rtt() + self.cost.transfer_time(*n),
+        };
+        sched.schedule_in(delay, Ev::AtServer(id, step));
+    }
+
+    fn process_step(&mut self, sched: &mut Scheduler<Ev>, id: ConnId, step: Step) {
+        // A delegated-but-not-yet-active connection's traffic waits in the
+        // socket buffer until its worker picks the task up.
+        if self.conns[id].delegated && !self.conns[id].worker_active {
+            debug_assert!(self.conns[id].buffered.is_none(), "one in-flight step");
+            self.conns[id].buffered = Some(step);
+            return;
+        }
+        let pid = self.exec_pid(id);
+        let setup = if self.conns[id].needs_worker_setup {
+            self.conns[id].needs_worker_setup = false;
+            self.cost.session_setup_cpu
+        } else {
+            Nanos::ZERO
+        };
+        match step {
+            Step::Cmd(Command::RcptTo(_)) if !matches!(self.arch, Architecture::Hybrid) || self.conns[id].worker_active => {
+                let service = setup + self.cost.rcpt_cpu;
+                self.conns[id].pending = Some(step);
+                self.conns[id].cpu_used += service;
+                self.cpu
+                    .submit(sched, ServiceJob::new(pid, service, Ev::CmdCpuDone(id)));
+            }
+            Step::Cmd(_) => {
+                let service = setup + self.cmd_cost(id);
+                self.conns[id].pending = Some(step);
+                self.conns[id].cpu_used += service;
+                self.cpu
+                    .submit(sched, ServiceJob::new(pid, service, Ev::CmdCpuDone(id)));
+            }
+            Step::Body(n) => {
+                let service = setup + self.cost.body_cpu(n) + self.cost.delivery_cpu;
+                self.conns[id].pending = Some(Step::Body(n));
+                self.conns[id].cpu_used += service;
+                self.cpu
+                    .submit(sched, ServiceJob::new(pid, service, Ev::BodyCpuDone(id)));
+            }
+        }
+    }
+
+    fn handle_command(&mut self, sched: &mut Scheduler<Ev>, id: ConnId) {
+        let Some(Step::Cmd(cmd)) = self.conns[id].pending.take() else {
+            panic!("CmdCpuDone without a pending command");
+        };
+        let mailboxes = self.mailbox_count();
+        let exists = move |a: &MailAddr| mailbox_exists(a, mailboxes);
+        let is_quit = matches!(cmd, Command::Quit);
+        let reply = self.conns[id].session.handle(cmd, &exists);
+        // Fork-after-trust: delegation fires at the configured trust point
+        // (the paper's design: the first valid recipient).
+        let trusted = match self.trust_point {
+            TrustPoint::AfterAccept => true,
+            TrustPoint::AfterHelo => {
+                !matches!(self.conns[id].session.phase(), spamaware_smtp::SessionPhase::Start)
+            }
+            TrustPoint::AfterValidRcpt => self.conns[id].session.has_valid_recipient(),
+        };
+        if self.arch == Architecture::Hybrid && !self.conns[id].delegated && trusted {
+            self.conns[id].delegated = true;
+            self.conns[id].cpu_used += self.cost.delegation_cpu;
+            self.cpu.submit(
+                sched,
+                ServiceJob::new(MASTER, self.cost.delegation_cpu, Ev::DelegCpuDone(id)),
+            );
+        }
+        let _ = reply;
+        if is_quit {
+            // 221 travels to the client; the connection closes when it
+            // lands.
+            sched.schedule_in(self.cost.half_rtt(), Ev::Closed(id));
+        } else {
+            self.send_reply(sched, id);
+        }
+    }
+
+    fn handle_body_done(&mut self, sched: &mut Scheduler<Ev>, id: ConnId) {
+        let Some(Step::Body(n)) = self.conns[id].pending.take() else {
+            panic!("BodyCpuDone without a pending body");
+        };
+        let mail_tag = format!("Q{id:X}-{}", self.conns[id].mails_recorded);
+        let reply = self.conns[id].session.finish_data_sized(&mail_tag, n);
+        if reply.code() != 250 {
+            // Oversized message rejected (552): nothing reaches the store.
+            self.send_reply(sched, id);
+            return;
+        }
+        self.conns[id].mails_recorded += 1;
+        let env = self.conns[id]
+            .session
+            .delivered()
+            .last()
+            .expect("finish_data recorded an envelope");
+        let names: Vec<String> = env
+            .recipients
+            .iter()
+            .map(|a| a.local_part().to_owned())
+            .collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let rcpts = name_refs.len() as u64;
+        let cost = self
+            .store
+            .deliver(&name_refs, n)
+            .expect("simulated delivery cannot fail");
+        self.mails += 1;
+        self.deliveries += rcpts;
+        // Journaled small writes are CPU-bound through the buffer cache:
+        // the delivering process burns CPU for the storage cost, and the
+        // disk resource tracks the same work for utilization reporting.
+        self.disk_load += cost;
+        let pid = self.exec_pid(id);
+        self.conns[id].cpu_used += cost;
+        self.cpu
+            .submit(sched, ServiceJob::new(pid, cost, Ev::DiskDone(id)));
+    }
+
+    fn start_dns(&mut self, sched: &mut Scheduler<Ev>, id: ConnId) {
+        let ip = self.client_ip(id);
+        let now = sched.now();
+        let (resolver, server) = (
+            self.resolver.as_mut().expect("dns configured"),
+            self.dns_server.as_ref().expect("dns configured"),
+        );
+        let outcome = resolver.lookup(ip, now, server, &mut self.rng);
+        self.conns[id].dns_was_miss = !outcome.cache_hit;
+        sched.schedule_in(outcome.latency, Ev::DnsAnswer(id));
+    }
+
+    fn greet(&mut self, sched: &mut Scheduler<Ev>, id: ConnId) {
+        self.conns[id].phase = Phase::Dialog;
+        if self.arch == Architecture::Hybrid
+            && self.trust_point == TrustPoint::AfterAccept
+            && !self.conns[id].delegated
+        {
+            self.conns[id].delegated = true;
+            self.cpu.submit(
+                sched,
+                ServiceJob::new(MASTER, self.cost.delegation_cpu, Ev::DelegCpuDone(id)),
+            );
+        }
+        // The 220 greeting travels to the client, which answers with the
+        // first scripted command.
+        sched.schedule_in(self.cost.half_rtt(), Ev::ReplyAtClient(id));
+    }
+
+    fn delegate(&mut self, sched: &mut Scheduler<Ev>, id: ConnId) {
+        // Find a worker with queue space, round-robin from the last used.
+        let n = self.workers.len();
+        for probe in 0..n {
+            let w = (self.rr_worker + probe) % n;
+            let worker = &mut self.workers[w];
+            if worker.current.is_none() {
+                worker.current = Some(id);
+                self.rr_worker = (w + 1) % n;
+                self.master_sockets -= 1;
+                self.conns[id].worker = Some(w);
+                self.activate_on_worker(sched, id);
+                self.admit_from_backlog(sched);
+                return;
+            }
+            if worker.queue.len() < self.worker_queue_limit {
+                worker.queue.push_back(id);
+                self.rr_worker = (w + 1) % n;
+                self.master_sockets -= 1;
+                self.conns[id].worker = Some(w);
+                self.admit_from_backlog(sched);
+                return;
+            }
+        }
+        // Every worker socket is full: the master keeps the connection —
+        // the finite socket buffers act as a natural throttle (§5.3).
+        self.pending_delegation.push_back(id);
+    }
+
+    fn activate_on_worker(&mut self, sched: &mut Scheduler<Ev>, id: ConnId) {
+        self.conns[id].worker_active = true;
+        // The worker brings up full smtpd session state for the delegated
+        // connection; the cost lands on its first job for this connection.
+        self.conns[id].needs_worker_setup = true;
+        if let Some(step) = self.conns[id].buffered.take() {
+            self.process_step(sched, id, step);
+        }
+    }
+
+    fn worker_finished(&mut self, sched: &mut Scheduler<Ev>, w: usize) {
+        // Prefer connections stranded in the master (throttled) over the
+        // worker's own queue? No: queue order is FIFO through the socket.
+        let next = self.workers[w].queue.pop_front();
+        self.workers[w].current = next;
+        if let Some(nid) = next {
+            self.activate_on_worker(sched, nid);
+        }
+        // Queue space opened: drain one master-throttled connection.
+        if let Some(pid) = self.pending_delegation.pop_front() {
+            self.delegate(sched, pid);
+        }
+    }
+
+    fn admit_from_backlog(&mut self, sched: &mut Scheduler<Ev>) {
+        if let Some(next) = self.backlog.pop_front() {
+            self.try_accept(sched, next);
+        }
+    }
+
+    fn close_conn(&mut self, sched: &mut Scheduler<Ev>, id: ConnId) {
+        if self.conns[id].phase == Phase::Done {
+            return;
+        }
+        self.conns[id].phase = Phase::Done;
+        self.connections += 1;
+        match self.conns[id].session.outcome() {
+            SessionOutcome::Delivered => {
+                self.delivered_connections += 1;
+                self.cpu_delivering += self.conns[id].cpu_used;
+            }
+            SessionOutcome::Bounce => {
+                self.bounces += 1;
+                self.cpu_bounce += self.conns[id].cpu_used;
+            }
+            SessionOutcome::Unfinished => {
+                self.unfinished += 1;
+                self.cpu_unfinished += self.conns[id].cpu_used;
+            }
+        }
+        let elapsed = sched.now() - self.conns[id].started;
+        self.session_ms.record_nanos_as_ms(elapsed);
+        // Release execution resources.
+        match self.arch {
+            Architecture::Vanilla => {
+                let pid = self.conns[id].pid;
+                let served = self.proc_served.entry(pid).or_insert(0);
+                *served += 1;
+                if *served >= self.smtpd_max_requests {
+                    // The smtpd retires after max_use requests; the next
+                    // accept forks a fresh process (paper §2).
+                    self.proc_served.remove(&pid);
+                } else {
+                    self.free_procs.push(pid);
+                }
+                self.procs_in_use -= 1;
+                self.admit_from_backlog(sched);
+            }
+            Architecture::Hybrid => {
+                if let Some(w) = self.conns[id].worker {
+                    if self.conns[id].worker_active {
+                        self.worker_finished(sched, w);
+                    }
+                } else {
+                    // Never delegated: lived and died in the master.
+                    self.master_sockets -= 1;
+                    self.admit_from_backlog(sched);
+                }
+            }
+        }
+        // Closed-system client: reconnect immediately.
+        if let ClientModel::Closed { .. } = self.client {
+            sched.schedule_in(Nanos::from_micros(1), Ev::Arrive);
+        }
+        // Free per-connection memory for long runs.
+        self.conns[id].script.clear();
+        self.conns[id].buffered = None;
+    }
+}
+
+fn mailbox_exists(a: &MailAddr, mailbox_count: u32) -> bool {
+    if a.domain() != "dept.example" {
+        return false;
+    }
+    a.local_part()
+        .strip_prefix("user")
+        .and_then(|n| n.parse::<u32>().ok())
+        .is_some_and(|n| n < mailbox_count)
+}
+
+impl SimWorld for World<'_> {
+    type Event = Ev;
+
+    fn handle(&mut self, sched: &mut Scheduler<Ev>, ev: Ev) {
+        match ev {
+            Ev::Arrive => {
+                if let ClientModel::Open { rate_per_sec } = self.client {
+                    // Draw the next Poisson arrival before serving this one.
+                    let gap = -(1.0 - self.rng.gen::<f64>()).ln() / rate_per_sec;
+                    let at = sched.now() + Nanos::from_secs_f64(gap);
+                    if at <= self.horizon {
+                        sched.schedule_at(at, Ev::Arrive);
+                    }
+                }
+                self.new_conn(sched);
+            }
+            Ev::AcceptDone(id) => {
+                self.cpu.on_complete(sched);
+                if self.resolver.is_some() {
+                    self.start_dns(sched, id);
+                } else {
+                    self.greet(sched, id);
+                }
+            }
+            Ev::DnsAnswer(id) => {
+                if self.conns[id].dns_was_miss {
+                    // Processing the answer costs CPU on the executing
+                    // process; cache hits skip the resolver round-trip.
+                    let pid = self.exec_pid(id);
+                    self.conns[id].cpu_used += self.cost.dns_query_cpu;
+                    self.cpu.submit(
+                        sched,
+                        ServiceJob::new(pid, self.cost.dns_query_cpu, Ev::DnsCpuDone(id)),
+                    );
+                } else {
+                    self.greet(sched, id);
+                }
+            }
+            Ev::DnsCpuDone(id) => {
+                self.cpu.on_complete(sched);
+                self.greet(sched, id);
+            }
+            Ev::AtServer(id, step) => self.process_step(sched, id, step),
+            Ev::CmdCpuDone(id) => {
+                self.cpu.on_complete(sched);
+                self.handle_command(sched, id);
+            }
+            Ev::BodyCpuDone(id) => {
+                self.cpu.on_complete(sched);
+                self.handle_body_done(sched, id);
+            }
+            Ev::DiskDone(id) => {
+                self.cpu.on_complete(sched);
+                self.send_reply(sched, id);
+            }
+            Ev::DelegCpuDone(id) => {
+                self.cpu.on_complete(sched);
+                self.delegate(sched, id);
+            }
+            Ev::ReplyAtClient(id) => self.client_next(sched, id),
+            Ev::Closed(id) => self.close_conn(sched, id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spamaware_trace::bounce_sweep_trace;
+
+    #[test]
+    fn presets_have_expected_shapes() {
+        let v = ServerConfig::vanilla();
+        assert_eq!(v.arch, Architecture::Vanilla);
+        assert_eq!(v.process_limit, 500);
+        let h = ServerConfig::hybrid();
+        assert_eq!(h.arch, Architecture::Hybrid);
+        assert_eq!(h.socket_limit, 700);
+        assert_eq!(h.worker_queue_limit, 28);
+        assert_eq!(h.trust_point, TrustPoint::AfterValidRcpt);
+        let q = ServerConfig::qmail_like();
+        assert_eq!(q.smtpd_max_requests, 1, "qmail never recycles");
+    }
+
+    #[test]
+    fn run_report_rate_helpers() {
+        let trace = bounce_sweep_trace(1, 500, 0.0, 50);
+        let rep = run(
+            &trace,
+            ServerConfig::vanilla(),
+            ClientModel::Closed { concurrency: 10 },
+            Nanos::from_secs(5),
+        );
+        assert!((rep.goodput() - rep.mails as f64 / 5.0).abs() < 1e-9);
+        assert!(rep.delivery_throughput() >= rep.goodput());
+        assert!(rep.cpu_utilization() > 0.0 && rep.cpu_utilization() <= 1.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace has no connections")]
+    fn empty_trace_rejected() {
+        let trace = spamaware_trace::Trace {
+            connections: vec![],
+            mailbox_count: 1,
+            span: Nanos::ZERO,
+        };
+        run(
+            &trace,
+            ServerConfig::vanilla(),
+            ClientModel::Closed { concurrency: 1 },
+            Nanos::from_secs(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive rate")]
+    fn open_model_rejects_zero_rate() {
+        let trace = bounce_sweep_trace(1, 10, 0.0, 50);
+        run(
+            &trace,
+            ServerConfig::vanilla(),
+            ClientModel::Open { rate_per_sec: 0.0 },
+            Nanos::from_secs(1),
+        );
+    }
+
+    #[test]
+    fn dns_report_ratios() {
+        let r = DnsReport {
+            lookups: 100,
+            hits: 80,
+            queries_issued: 20,
+            latency_ms: spamaware_sim::metrics::Histogram::for_latency_ms(),
+        };
+        assert!((r.hit_ratio() - 0.8).abs() < 1e-12);
+        assert!((r.query_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mailbox_validator_semantics() {
+        let a = |s: &str| s.parse::<MailAddr>().expect("valid");
+        assert!(mailbox_exists(&a("user0@dept.example"), 400));
+        assert!(mailbox_exists(&a("user399@dept.example"), 400));
+        assert!(!mailbox_exists(&a("user400@dept.example"), 400));
+        assert!(!mailbox_exists(&a("guess1@dept.example"), 400));
+        assert!(!mailbox_exists(&a("user1@other.example"), 400));
+        assert!(!mailbox_exists(&a("userx@dept.example"), 400));
+    }
+
+    #[test]
+    fn run_report_serializes() {
+        let trace = bounce_sweep_trace(2, 100, 0.2, 50);
+        let rep = run(
+            &trace,
+            ServerConfig::hybrid(),
+            ClientModel::Closed { concurrency: 5 },
+            Nanos::from_secs(2),
+        );
+        let json = serde_json::to_string(&rep).expect("serialize");
+        assert!(json.contains("\"arch\":\"Hybrid\""), "{json}");
+        let back: RunReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.mails, rep.mails);
+        assert_eq!(back.context_switches, rep.context_switches);
+    }
+}

@@ -1,0 +1,33 @@
+//! The simulated mail server: vanilla process-per-connection and hybrid
+//! fork-after-trust architectures (paper §5) over the DES kernel, with
+//! integrated DNSBL lookups (§7) and pluggable mailbox storage (§6).
+//!
+//! # Example
+//!
+//! ```
+//! use spamaware_server::{run, ClientModel, ServerConfig};
+//! use spamaware_sim::Nanos;
+//! use spamaware_trace::bounce_sweep_trace;
+//!
+//! let trace = bounce_sweep_trace(1, 500, 0.5, 400);
+//! let report = run(
+//!     &trace,
+//!     ServerConfig::hybrid(),
+//!     ClientModel::Closed { concurrency: 50 },
+//!     Nanos::from_secs(10),
+//! );
+//! assert!(report.mails > 0);
+//! assert!(report.bounces > 0);
+//! ```
+
+mod cost;
+mod engine;
+mod script;
+mod storage;
+
+pub use cost::CostModel;
+pub use engine::{
+    run, Architecture, ClientModel, DnsConfig, DnsReport, RunReport, ServerConfig, TrustPoint,
+};
+pub use script::{build_script, guess_addr, rcpt_addr, Step};
+pub use storage::SimStore;

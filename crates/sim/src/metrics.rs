@@ -1,0 +1,406 @@
+//! Measurement helpers: counters, summaries, and a log-bucketed histogram
+//! with CDF export.
+//!
+//! The benchmark harness prints the paper's CDF figures (4, 5, 12, 13, 15)
+//! directly from [`Histogram::cdf`] output.
+
+use crate::Nanos;
+use std::fmt;
+
+/// A log-bucketed histogram over non-negative `f64` samples.
+///
+/// Buckets grow geometrically from `min_bucket` by `growth` per step, which
+/// gives a few-percent relative resolution across many orders of magnitude —
+/// ample for latency CDFs.
+///
+/// # Example
+///
+/// ```
+/// use spamaware_sim::metrics::Histogram;
+/// let mut h = Histogram::new(0.001, 1.2);
+/// for v in [1.0, 2.0, 2.0, 10.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.quantile(0.5) >= 1.5 && h.quantile(0.5) <= 2.5);
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Histogram {
+    min_bucket: f64,
+    growth: f64,
+    counts: Vec<u64>,
+    zeros: u64,
+    total: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram whose first bucket ends at `min_bucket` and whose
+    /// bucket edges grow by factor `growth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_bucket <= 0` or `growth <= 1`.
+    pub fn new(min_bucket: f64, growth: f64) -> Histogram {
+        assert!(min_bucket > 0.0, "min_bucket must be positive");
+        assert!(growth > 1.0, "growth must exceed 1");
+        Histogram {
+            min_bucket,
+            growth,
+            counts: Vec::new(),
+            zeros: 0,
+            total: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// A histogram suited to millisecond-scale latencies (10 µs resolution
+    /// floor, ~5% relative resolution).
+    pub fn for_latency_ms() -> Histogram {
+        Histogram::new(0.01, 1.05)
+    }
+
+    /// Records one sample. Negative samples are clamped to zero.
+    pub fn record(&mut self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        self.total += 1;
+        self.sum += v;
+        if v > self.max {
+            self.max = v;
+        }
+        if v == 0.0 {
+            self.zeros += 1;
+            return;
+        }
+        let idx = if v <= self.min_bucket {
+            0
+        } else {
+            ((v / self.min_bucket).ln() / self.growth.ln()).ceil() as usize
+        };
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Records a [`Nanos`] duration as milliseconds.
+    pub fn record_nanos_as_ms(&mut self, d: Nanos) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Upper edge of bucket `idx`.
+    fn bucket_edge(&self, idx: usize) -> f64 {
+        self.min_bucket * self.growth.powi(idx as i32)
+    }
+
+    /// The value at or below which a `q` fraction of samples fall
+    /// (`0 <= q <= 1`). Returns an upper bucket edge, so the result is
+    /// within one bucket's relative resolution of the true quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        if target <= self.zeros {
+            return 0.0;
+        }
+        let mut acc = self.zeros;
+        for (i, c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.bucket_edge(i);
+            }
+        }
+        self.max
+    }
+
+    /// Fraction of samples strictly greater than `x`.
+    pub fn fraction_above(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut above = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            // The whole bucket is above x only if its lower edge is >= x.
+            let lower = if i == 0 { 0.0 } else { self.bucket_edge(i - 1) };
+            if lower >= x {
+                above += c;
+            }
+        }
+        above as f64 / self.total as f64
+    }
+
+    /// Emits `(value, cumulative_fraction)` points suitable for plotting a
+    /// CDF, one point per non-empty bucket (plus an initial zero point when
+    /// zero-valued samples exist).
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        if self.total == 0 {
+            return out;
+        }
+        let mut acc = 0u64;
+        if self.zeros > 0 {
+            acc += self.zeros;
+            out.push((0.0, acc as f64 / self.total as f64));
+        }
+        for (i, c) in self.counts.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            acc += c;
+            out.push((self.bucket_edge(i), acc as f64 / self.total as f64));
+        }
+        out
+    }
+
+    /// Merges another histogram with identical bucketing into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket parameters differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.min_bucket, other.min_bucket, "bucket mismatch");
+        assert_eq!(self.growth, other.growth, "growth mismatch");
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.zeros += other.zeros;
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "histogram(n={}, mean={:.3}, p50={:.3}, p90={:.3}, p99={:.3}, max={:.3})",
+            self.total,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.9),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
+/// Running scalar summary: count, mean, min, max.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    /// Adds a sample.
+    pub fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            if v < self.min {
+                self.min = v;
+            }
+            if v > self.max {
+                self.max = v;
+            }
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_and_mean() {
+        let mut h = Histogram::new(0.1, 1.5);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(h.max(), 4.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_truth() {
+        let mut h = Histogram::new(0.01, 1.05);
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((450.0..=550.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((940.0..=1050.0).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn histogram_zeros_are_tracked() {
+        let mut h = Histogram::new(0.1, 2.0);
+        h.record(0.0);
+        h.record(0.0);
+        h.record(5.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        let cdf = h.cdf();
+        assert_eq!(cdf[0].0, 0.0);
+        assert!((cdf[0].1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_cdf_is_monotone_and_ends_at_one() {
+        let mut h = Histogram::for_latency_ms();
+        let mut rng = crate::det_rng(5);
+        use rand::Rng;
+        for _ in 0..5000 {
+            h.record(rng.gen::<f64>() * 200.0);
+        }
+        let cdf = h.cdf();
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_above_threshold() {
+        let mut h = Histogram::new(1.0, 2.0);
+        for v in [0.5, 1.5, 100.0, 200.0] {
+            h.record(v);
+        }
+        let f = h.fraction_above(50.0);
+        assert!((f - 0.5).abs() < 0.01, "fraction {f}");
+    }
+
+    #[test]
+    fn merge_combines_totals() {
+        let mut a = Histogram::new(0.1, 1.5);
+        let mut b = Histogram::new(0.1, 1.5);
+        a.record(1.0);
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket mismatch")]
+    fn merge_rejects_different_bucketing() {
+        let mut a = Histogram::new(0.1, 1.5);
+        let b = Histogram::new(0.2, 1.5);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::new();
+        for v in [3.0, -1.0, 7.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 7.0);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+}

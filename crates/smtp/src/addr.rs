@@ -1,0 +1,170 @@
+//! Mail addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A mail address (`local-part@domain`), normalized to lowercase.
+///
+/// Validation is deliberately pragmatic (RFC 5321 `Mailbox` without quoted
+/// strings or address literals): enough to reject garbage from the wire
+/// while accepting everything the trace generators produce.
+///
+/// # Example
+///
+/// ```
+/// use spamaware_smtp::MailAddr;
+/// let a: MailAddr = "Alice@Example.COM".parse()?;
+/// assert_eq!(a.local_part(), "alice");
+/// assert_eq!(a.domain(), "example.com");
+/// assert_eq!(a.to_string(), "alice@example.com");
+/// # Ok::<(), spamaware_smtp::ParseAddrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MailAddr {
+    // Stored as one lowercase string with the position of '@'.
+    raw: String,
+    at: usize,
+}
+
+impl MailAddr {
+    /// Builds an address from parts, validating both.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseAddrError`] if either part is empty or contains
+    /// characters outside the accepted set.
+    pub fn new(local: &str, domain: &str) -> Result<MailAddr, ParseAddrError> {
+        format!("{local}@{domain}").parse()
+    }
+
+    /// The part before `@`.
+    pub fn local_part(&self) -> &str {
+        &self.raw[..self.at]
+    }
+
+    /// The part after `@`.
+    pub fn domain(&self) -> &str {
+        &self.raw[self.at + 1..]
+    }
+
+    /// The full normalized address.
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+}
+
+impl fmt::Display for MailAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+impl AsRef<str> for MailAddr {
+    fn as_ref(&self) -> &str {
+        &self.raw
+    }
+}
+
+/// Error returned when parsing a [`MailAddr`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAddrError {
+    input: String,
+}
+
+impl fmt::Display for ParseAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid mail address syntax: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseAddrError {}
+
+fn atom_ok(s: &str) -> bool {
+    !s.is_empty()
+        && !s.starts_with('.')
+        && !s.ends_with('.')
+        && !s.contains("..")
+        && s.bytes().all(|b| {
+            b.is_ascii_alphanumeric() || matches!(b, b'.' | b'-' | b'_' | b'+' | b'=')
+        })
+}
+
+impl FromStr for MailAddr {
+    type Err = ParseAddrError;
+
+    fn from_str(s: &str) -> Result<MailAddr, ParseAddrError> {
+        let err = || ParseAddrError {
+            input: s.to_owned(),
+        };
+        if s.len() > 320 {
+            return Err(err());
+        }
+        let at = s.find('@').ok_or_else(err)?;
+        let (local, domain) = (&s[..at], &s[at + 1..]);
+        if !atom_ok(local) || !atom_ok(domain) || domain.contains('@') || !domain.contains('.') {
+            return Err(err());
+        }
+        Ok(MailAddr {
+            raw: s.to_ascii_lowercase(),
+            at,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_splits_parts() {
+        let a: MailAddr = "user.name+tag@mail.example.org".parse().unwrap();
+        assert_eq!(a.local_part(), "user.name+tag");
+        assert_eq!(a.domain(), "mail.example.org");
+    }
+
+    #[test]
+    fn parse_normalizes_case() {
+        let a: MailAddr = "MiXeD@CaSe.Org".parse().unwrap();
+        assert_eq!(a.as_str(), "mixed@case.org");
+        let b: MailAddr = "mixed@case.org".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in [
+            "",
+            "@",
+            "a@",
+            "@b.c",
+            "a@b", // no dot in domain
+            "a b@c.d",
+            "a@b@c.d",
+            ".a@b.c",
+            "a.@b.c",
+            "a..b@c.d",
+            "a@-", // no dot
+        ] {
+            assert!(s.parse::<MailAddr>().is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_overlong() {
+        let s = format!("{}@example.com", "x".repeat(400));
+        assert!(s.parse::<MailAddr>().is_err());
+    }
+
+    #[test]
+    fn new_matches_parse() {
+        let a = MailAddr::new("alice", "example.com").unwrap();
+        assert_eq!(a, "alice@example.com".parse().unwrap());
+        assert!(MailAddr::new("", "example.com").is_err());
+    }
+
+    #[test]
+    fn error_is_displayable() {
+        let e = "bad".parse::<MailAddr>().unwrap_err();
+        assert!(e.to_string().contains("invalid mail address"));
+    }
+}

@@ -1,0 +1,300 @@
+//! SMTP commands: parsing and serialization.
+
+use crate::{MailAddr, ParseAddrError};
+use std::fmt;
+
+/// One client-side SMTP command.
+///
+/// The variants cover the command set exercised by mail traffic in the
+/// paper's traces: the minimal `HELO`/`MAIL`/`RCPT`/`DATA`/`QUIT` dialog,
+/// plus `EHLO`, `RSET`, `NOOP`, and `VRFY` which real clients emit and a
+/// server must answer. Anything else parses as [`Command::Unknown`] and
+/// draws a `500`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `HELO <domain>`
+    Helo(String),
+    /// `EHLO <domain>`
+    Ehlo(String),
+    /// `MAIL FROM:<reverse-path>`; `None` is the null sender `<>` used by
+    /// delivery status notifications.
+    MailFrom(Option<MailAddr>),
+    /// `RCPT TO:<forward-path>`
+    RcptTo(MailAddr),
+    /// `DATA`
+    Data,
+    /// `RSET`
+    Rset,
+    /// `NOOP`
+    Noop,
+    /// `VRFY <string>`
+    Vrfy(String),
+    /// `QUIT`
+    Quit,
+    /// Anything unrecognized (the raw line, for diagnostics).
+    Unknown(String),
+}
+
+impl Command {
+    /// Convenience constructor for `HELO`.
+    pub fn helo(domain: impl Into<String>) -> Command {
+        Command::Helo(domain.into())
+    }
+
+    /// Convenience constructor for `MAIL FROM`.
+    pub fn mail_from(sender: Option<MailAddr>) -> Command {
+        Command::MailFrom(sender)
+    }
+
+    /// Convenience constructor for `RCPT TO`.
+    pub fn rcpt_to(rcpt: MailAddr) -> Command {
+        Command::RcptTo(rcpt)
+    }
+
+    /// The canonical verb of this command (`"MAIL"`, `"RCPT"`, …).
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Command::Helo(_) => "HELO",
+            Command::Ehlo(_) => "EHLO",
+            Command::MailFrom(_) => "MAIL",
+            Command::RcptTo(_) => "RCPT",
+            Command::Data => "DATA",
+            Command::Rset => "RSET",
+            Command::Noop => "NOOP",
+            Command::Vrfy(_) => "VRFY",
+            Command::Quit => "QUIT",
+            Command::Unknown(_) => "?",
+        }
+    }
+
+    /// Parses one CRLF-stripped command line.
+    ///
+    /// Unrecognized verbs yield `Ok(Command::Unknown(..))` — the session
+    /// answers those with a `500` rather than dropping the connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCommandError`] only for recognized verbs whose
+    /// argument is syntactically invalid (e.g. `MAIL FROM:<not-an-addr>`),
+    /// which the session answers with a `501`.
+    pub fn parse(line: &str) -> Result<Command, ParseCommandError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, rest) = match line.find(' ') {
+            Some(i) => (&line[..i], line[i + 1..].trim()),
+            None => (line, ""),
+        };
+        // MAIL FROM:/RCPT TO: may omit the space ("MAIL FROM:<a@b>").
+        let upper = verb.to_ascii_uppercase();
+        let (upper, rest) = if let Some(colon) = upper.find(':') {
+            (upper[..colon].to_string(), &line[colon + 1..])
+        } else {
+            (upper, rest)
+        };
+        match upper.as_str() {
+            "HELO" => Ok(Command::Helo(rest.to_owned())),
+            "EHLO" => Ok(Command::Ehlo(rest.to_owned())),
+            "MAIL" => parse_path(rest, "FROM").map(Command::MailFrom),
+            "RCPT" => match parse_path(rest, "TO")? {
+                Some(a) => Ok(Command::RcptTo(a)),
+                None => Err(ParseCommandError::bad_arg(line)),
+            },
+            "DATA" => Ok(Command::Data),
+            "RSET" => Ok(Command::Rset),
+            "NOOP" => Ok(Command::Noop),
+            "VRFY" => Ok(Command::Vrfy(rest.to_owned())),
+            "QUIT" => Ok(Command::Quit),
+            _ => Ok(Command::Unknown(line.to_owned())),
+        }
+    }
+}
+
+/// Parses the `FROM:<path>` / `TO:<path>` argument of MAIL/RCPT.
+/// `keyword` is already consumed when the caller split on ':'.
+fn parse_path(rest: &str, keyword: &str) -> Result<Option<MailAddr>, ParseCommandError> {
+    let rest = rest.trim();
+    // Accept both "FROM:<a@b>" (when ':' wasn't consumed yet) and "<a@b>".
+    let path = if let Some(stripped) = strip_keyword(rest, keyword) {
+        stripped
+    } else {
+        rest
+    };
+    let path = path.trim();
+    // Angle-bracketed form may be followed by ESMTP parameters
+    // ("<a@b> SIZE=123"); bare form may not contain spaces.
+    let inner = if let Some(rest) = path.strip_prefix('<') {
+        match rest.find('>') {
+            Some(i) => &rest[..i],
+            None => rest,
+        }
+    } else {
+        path.split_whitespace().next().unwrap_or("")
+    };
+    if inner.is_empty() {
+        return Ok(None);
+    }
+    inner
+        .parse::<MailAddr>()
+        .map(Some)
+        .map_err(ParseCommandError::from)
+}
+
+fn strip_keyword<'a>(s: &'a str, keyword: &str) -> Option<&'a str> {
+    if s.len() >= keyword.len() && s[..keyword.len()].eq_ignore_ascii_case(keyword) {
+        s[keyword.len()..].trim_start().strip_prefix(':')
+    } else {
+        None
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Helo(d) => write!(f, "HELO {d}"),
+            Command::Ehlo(d) => write!(f, "EHLO {d}"),
+            Command::MailFrom(Some(a)) => write!(f, "MAIL FROM:<{a}>"),
+            Command::MailFrom(None) => write!(f, "MAIL FROM:<>"),
+            Command::RcptTo(a) => write!(f, "RCPT TO:<{a}>"),
+            Command::Data => write!(f, "DATA"),
+            Command::Rset => write!(f, "RSET"),
+            Command::Noop => write!(f, "NOOP"),
+            Command::Vrfy(s) => write!(f, "VRFY {s}"),
+            Command::Quit => write!(f, "QUIT"),
+            Command::Unknown(l) => f.write_str(l),
+        }
+    }
+}
+
+/// Error for a recognized command with an invalid argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCommandError {
+    detail: String,
+}
+
+impl ParseCommandError {
+    fn bad_arg(line: &str) -> ParseCommandError {
+        ParseCommandError {
+            detail: format!("invalid command argument: {line:?}"),
+        }
+    }
+}
+
+impl From<ParseAddrError> for ParseCommandError {
+    fn from(e: ParseAddrError) -> ParseCommandError {
+        ParseCommandError {
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ParseCommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+impl std::error::Error for ParseCommandError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> MailAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_simple_verbs() {
+        assert_eq!(Command::parse("DATA").unwrap(), Command::Data);
+        assert_eq!(Command::parse("quit").unwrap(), Command::Quit);
+        assert_eq!(Command::parse("RsEt").unwrap(), Command::Rset);
+        assert_eq!(Command::parse("NOOP").unwrap(), Command::Noop);
+    }
+
+    #[test]
+    fn parse_helo_ehlo() {
+        assert_eq!(
+            Command::parse("HELO mx.example").unwrap(),
+            Command::Helo("mx.example".into())
+        );
+        assert_eq!(
+            Command::parse("EHLO [127.0.0.1]").unwrap(),
+            Command::Ehlo("[127.0.0.1]".into())
+        );
+    }
+
+    #[test]
+    fn parse_mail_from_variants() {
+        for line in [
+            "MAIL FROM:<bob@example.com>",
+            "MAIL FROM: <bob@example.com>",
+            "mail from:<Bob@Example.Com>",
+            "MAIL FROM:<bob@example.com> SIZE=1000",
+        ] {
+            assert_eq!(
+                Command::parse(line).unwrap(),
+                Command::MailFrom(Some(addr("bob@example.com"))),
+                "line {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_null_sender() {
+        assert_eq!(
+            Command::parse("MAIL FROM:<>").unwrap(),
+            Command::MailFrom(None)
+        );
+    }
+
+    #[test]
+    fn parse_rcpt_to() {
+        assert_eq!(
+            Command::parse("RCPT TO:<alice@example.com>").unwrap(),
+            Command::RcptTo(addr("alice@example.com"))
+        );
+    }
+
+    #[test]
+    fn rcpt_requires_a_path() {
+        assert!(Command::parse("RCPT TO:<>").is_err());
+        assert!(Command::parse("RCPT TO:<not an addr>").is_err());
+    }
+
+    #[test]
+    fn mail_with_bad_address_is_an_error() {
+        assert!(Command::parse("MAIL FROM:<junk>").is_err());
+    }
+
+    #[test]
+    fn unknown_verbs_are_preserved() {
+        match Command::parse("XCLIENT foo=bar").unwrap() {
+            Command::Unknown(l) => assert_eq!(l, "XCLIENT foo=bar"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let cmds = vec![
+            Command::helo("mx.example"),
+            Command::Ehlo("mx.example".into()),
+            Command::mail_from(Some(addr("a@b.example"))),
+            Command::mail_from(None),
+            Command::rcpt_to(addr("c@d.example")),
+            Command::Data,
+            Command::Rset,
+            Command::Noop,
+            Command::Vrfy("alice".into()),
+            Command::Quit,
+        ];
+        for c in cmds {
+            let line = c.to_string();
+            assert_eq!(Command::parse(&line).unwrap(), c, "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn crlf_is_stripped() {
+        assert_eq!(Command::parse("QUIT\r\n").unwrap(), Command::Quit);
+    }
+}

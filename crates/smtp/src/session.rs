@@ -1,0 +1,597 @@
+//! Server-side SMTP session state machine.
+
+use crate::{Command, MailAddr, Reply};
+
+/// Static per-session policy knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Hostname announced in the greeting.
+    pub hostname: String,
+    /// Maximum recipients accepted per transaction (postfix default 1000;
+    /// we default to 100, ample for the paper's 5–15 rcpt spam).
+    pub max_recipients: usize,
+    /// Maximum mail transactions per connection.
+    pub max_transactions: usize,
+    /// Maximum accepted message size in bytes (None = unlimited). Oversized
+    /// messages draw `552` at end-of-data and are discarded.
+    pub max_message_size: Option<u64>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            hostname: "mx.spamaware.test".to_owned(),
+            max_recipients: 100,
+            max_transactions: 100,
+            max_message_size: Some(10 * 1024 * 1024),
+        }
+    }
+}
+
+/// Where in the SMTP dialog the session currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// Connection open, greeting sent, no HELO yet.
+    Start,
+    /// HELO/EHLO received.
+    Greeted,
+    /// MAIL FROM received; awaiting RCPT.
+    MailGiven,
+    /// At least one valid RCPT accepted; awaiting more RCPT or DATA.
+    RcptGiven,
+    /// Inside DATA, consuming message content.
+    Data,
+    /// QUIT received (or the server closed the connection).
+    Closed,
+}
+
+/// One accepted mail transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Reverse-path; `None` for the null sender.
+    pub sender: Option<MailAddr>,
+    /// Accepted (validated) recipients.
+    pub recipients: Vec<MailAddr>,
+    /// Message content, when captured (live server). Empty in simulation.
+    pub body: Vec<u8>,
+    /// Message size in bytes. In simulation this is set by
+    /// [`ServerSession::finish_data_sized`] without materializing bytes.
+    pub body_size: u64,
+}
+
+/// Verdict from feeding one line of DATA content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataVerdict {
+    /// The line was content; keep feeding.
+    More,
+    /// The line was the lone-dot terminator; the message is complete.
+    /// Call [`ServerSession::finish_data`] next.
+    Complete,
+}
+
+/// How a finished connection is classified, following the paper's §4.1
+/// taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SessionOutcome {
+    /// At least one mail was accepted.
+    Delivered,
+    /// No mail accepted, and at least one `RCPT TO` drew a `550 User
+    /// unknown` — a bounce connection from random-guessing spam.
+    Bounce,
+    /// No mail accepted and no recipient rejected: the client connected,
+    /// possibly exchanged a few handshake messages, and quit — an
+    /// unfinished SMTP transaction.
+    Unfinished,
+}
+
+/// The server-side SMTP state machine.
+///
+/// The machine is transport-agnostic: the simulation feeds it [`Command`]
+/// values directly, while the live TCP server parses wire lines first. The
+/// recipient validator is passed per-call so the caller decides how mailbox
+/// existence is checked (local access database in the paper).
+///
+/// See the crate-level example for a full dialog.
+#[derive(Debug)]
+pub struct ServerSession {
+    cfg: SessionConfig,
+    phase: SessionPhase,
+    sender: Option<MailAddr>,
+    recipients: Vec<MailAddr>,
+    body: Vec<u8>,
+    body_size_only: u64,
+    capture_body: bool,
+    delivered: Vec<Envelope>,
+    rejected_rcpts: u64,
+    commands_handled: u64,
+}
+
+impl ServerSession {
+    /// Creates a session in the [`SessionPhase::Start`] phase.
+    pub fn new(cfg: SessionConfig) -> ServerSession {
+        ServerSession {
+            cfg,
+            phase: SessionPhase::Start,
+            sender: None,
+            recipients: Vec::new(),
+            body: Vec::new(),
+            body_size_only: 0,
+            capture_body: false,
+            delivered: Vec::new(),
+            rejected_rcpts: 0,
+            commands_handled: 0,
+        }
+    }
+
+    /// Enables capturing message bodies into [`Envelope::body`] (the live
+    /// server needs bytes; the simulation does not).
+    pub fn capture_bodies(&mut self, on: bool) {
+        self.capture_body = on;
+    }
+
+    /// The `220` greeting to send on connect.
+    pub fn greeting(&self) -> Reply {
+        Reply::greeting(&self.cfg.hostname)
+    }
+
+    /// Current dialog phase.
+    pub fn phase(&self) -> SessionPhase {
+        self.phase
+    }
+
+    /// Whether at least one valid recipient has been accepted in the
+    /// current transaction — the paper's *trust point*: a hybrid master
+    /// delegates the connection to an smtpd worker once this turns true.
+    pub fn has_valid_recipient(&self) -> bool {
+        !self.recipients.is_empty()
+    }
+
+    /// `RCPT TO` attempts rejected with `550` over the whole connection.
+    pub fn rejected_rcpts(&self) -> u64 {
+        self.rejected_rcpts
+    }
+
+    /// Commands handled so far (used for per-command CPU accounting).
+    pub fn commands_handled(&self) -> u64 {
+        self.commands_handled
+    }
+
+    /// Mails accepted so far.
+    pub fn delivered(&self) -> &[Envelope] {
+        &self.delivered
+    }
+
+    /// Consumes the session, returning accepted mails.
+    pub fn into_delivered(self) -> Vec<Envelope> {
+        self.delivered
+    }
+
+    /// Handles one command, returning the reply to send.
+    ///
+    /// `mailbox_exists` implements the local access-database lookup: it is
+    /// consulted once per `RCPT TO`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while in the [`SessionPhase::Data`] phase — content
+    /// must go through [`ServerSession::data_line`].
+    pub fn handle(&mut self, cmd: Command, mailbox_exists: &dyn Fn(&MailAddr) -> bool) -> Reply {
+        assert!(
+            self.phase != SessionPhase::Data,
+            "handle() called during DATA; feed content via data_line()"
+        );
+        self.commands_handled += 1;
+        match cmd {
+            Command::Helo(d) => {
+                if d.is_empty() {
+                    return Reply::bad_argument();
+                }
+                self.phase = SessionPhase::Greeted;
+                self.reset_transaction();
+                Reply::hello(&self.cfg.hostname)
+            }
+            Command::Ehlo(d) => {
+                if d.is_empty() {
+                    return Reply::bad_argument();
+                }
+                self.phase = SessionPhase::Greeted;
+                self.reset_transaction();
+                Reply::hello_esmtp(&self.cfg.hostname, self.cfg.max_message_size)
+            }
+            Command::MailFrom(sender) => match self.phase {
+                SessionPhase::Start => Reply::bad_sequence("HELO"),
+                SessionPhase::MailGiven | SessionPhase::RcptGiven => Reply::bad_sequence("DATA"),
+                SessionPhase::Closed => Reply::bad_sequence("connection"),
+                SessionPhase::Greeted => {
+                    if self.delivered.len() >= self.cfg.max_transactions {
+                        return Reply::new(452, "4.5.3 Too many transactions");
+                    }
+                    self.sender = sender;
+                    self.phase = SessionPhase::MailGiven;
+                    Reply::ok()
+                }
+                SessionPhase::Data => unreachable!(),
+            },
+            Command::RcptTo(rcpt) => match self.phase {
+                SessionPhase::MailGiven | SessionPhase::RcptGiven => {
+                    if self.recipients.len() >= self.cfg.max_recipients {
+                        return Reply::too_many_recipients();
+                    }
+                    if mailbox_exists(&rcpt) {
+                        self.recipients.push(rcpt);
+                        self.phase = SessionPhase::RcptGiven;
+                        Reply::ok()
+                    } else {
+                        self.rejected_rcpts += 1;
+                        Reply::user_unknown()
+                    }
+                }
+                _ => Reply::bad_sequence("MAIL"),
+            },
+            Command::Data => match self.phase {
+                SessionPhase::RcptGiven => {
+                    self.phase = SessionPhase::Data;
+                    Reply::start_data()
+                }
+                SessionPhase::MailGiven => Reply::bad_sequence("RCPT"),
+                _ => Reply::bad_sequence("MAIL"),
+            },
+            Command::Rset => {
+                if self.phase != SessionPhase::Start && self.phase != SessionPhase::Closed {
+                    self.phase = SessionPhase::Greeted;
+                }
+                self.reset_transaction();
+                Reply::ok()
+            }
+            Command::Noop => Reply::ok(),
+            Command::Vrfy(_) => Reply::vrfy_noncommittal(),
+            Command::Quit => {
+                self.phase = SessionPhase::Closed;
+                Reply::bye()
+            }
+            Command::Unknown(_) => Reply::syntax_error(),
+        }
+    }
+
+    /// Feeds one line of DATA content (CRLF already stripped). Performs
+    /// dot-unstuffing per RFC 5321 §4.5.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is not in the DATA phase.
+    pub fn data_line(&mut self, line: &[u8]) -> DataVerdict {
+        assert_eq!(self.phase, SessionPhase::Data, "data_line outside DATA");
+        if line == b"." {
+            return DataVerdict::Complete;
+        }
+        let content = if line.first() == Some(&b'.') {
+            &line[1..]
+        } else {
+            line
+        };
+        if self.capture_body {
+            self.body.extend_from_slice(content);
+            self.body.extend_from_slice(b"\r\n");
+        } else {
+            // Track size without materializing.
+            self.body_size_only += content.len() as u64 + 2;
+        }
+        DataVerdict::More
+    }
+
+    /// Completes the DATA phase after the terminator, recording the
+    /// transaction and returning the `250 queued` reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is not in the DATA phase.
+    pub fn finish_data(&mut self, mail_id: &str) -> Reply {
+        assert_eq!(self.phase, SessionPhase::Data, "finish_data outside DATA");
+        let body = std::mem::take(&mut self.body);
+        let size = if self.capture_body {
+            body.len() as u64
+        } else {
+            self.body_size_only
+        };
+        if let Some(limit) = self.cfg.max_message_size {
+            if size > limit {
+                // Oversized: discard the transaction (RFC 5321 552).
+                self.reset_transaction();
+                self.phase = SessionPhase::Greeted;
+                return Reply::new(552, "5.3.4 Message size exceeds limit");
+            }
+        }
+        self.delivered.push(Envelope {
+            sender: self.sender.take(),
+            recipients: std::mem::take(&mut self.recipients),
+            body,
+            body_size: size,
+        });
+        self.body_size_only = 0;
+        self.phase = SessionPhase::Greeted;
+        Reply::queued(mail_id)
+    }
+
+    /// Simulation shortcut: completes DATA with a declared size, without
+    /// feeding content lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is not in the DATA phase.
+    pub fn finish_data_sized(&mut self, mail_id: &str, size: u64) -> Reply {
+        assert_eq!(self.phase, SessionPhase::Data, "finish_data outside DATA");
+        self.body_size_only = size;
+        self.capture_body = false;
+        self.finish_data(mail_id)
+    }
+
+    /// Classifies the connection per the paper's taxonomy. Valid at any
+    /// point; normally consulted after QUIT or connection drop.
+    pub fn outcome(&self) -> SessionOutcome {
+        if !self.delivered.is_empty() {
+            SessionOutcome::Delivered
+        } else if self.rejected_rcpts > 0 {
+            SessionOutcome::Bounce
+        } else {
+            SessionOutcome::Unfinished
+        }
+    }
+
+    fn reset_transaction(&mut self) {
+        self.sender = None;
+        self.recipients.clear();
+        self.body.clear();
+        self.body_size_only = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> MailAddr {
+        s.parse().unwrap()
+    }
+
+    fn all_exist(_: &MailAddr) -> bool {
+        true
+    }
+
+    fn none_exist(_: &MailAddr) -> bool {
+        false
+    }
+
+    fn greeted() -> ServerSession {
+        let mut s = ServerSession::new(SessionConfig::default());
+        assert_eq!(s.handle(Command::helo("c.example"), &all_exist).code(), 250);
+        s
+    }
+
+    #[test]
+    fn happy_path_delivers_one_mail() {
+        let mut s = greeted();
+        assert_eq!(
+            s.handle(Command::mail_from(Some(addr("a@b.example"))), &all_exist)
+                .code(),
+            250
+        );
+        assert_eq!(
+            s.handle(Command::rcpt_to(addr("u@d.example")), &all_exist)
+                .code(),
+            250
+        );
+        assert_eq!(s.handle(Command::Data, &all_exist).code(), 354);
+        assert_eq!(s.data_line(b"Subject: hi"), DataVerdict::More);
+        assert_eq!(s.data_line(b""), DataVerdict::More);
+        assert_eq!(s.data_line(b"body"), DataVerdict::More);
+        assert_eq!(s.data_line(b"."), DataVerdict::Complete);
+        let r = s.finish_data("M1");
+        assert_eq!(r.code(), 250);
+        assert_eq!(s.handle(Command::Quit, &all_exist).code(), 221);
+        assert_eq!(s.outcome(), SessionOutcome::Delivered);
+        assert_eq!(s.delivered().len(), 1);
+        assert_eq!(s.delivered()[0].recipients.len(), 1);
+    }
+
+    #[test]
+    fn bounce_connection_is_classified() {
+        let mut s = greeted();
+        s.handle(Command::mail_from(None), &none_exist);
+        let r = s.handle(Command::rcpt_to(addr("guess@x.example")), &none_exist);
+        assert_eq!(r.code(), 550);
+        s.handle(Command::Quit, &none_exist);
+        assert_eq!(s.outcome(), SessionOutcome::Bounce);
+        assert_eq!(s.rejected_rcpts(), 1);
+        assert!(!s.has_valid_recipient());
+    }
+
+    #[test]
+    fn unfinished_connection_is_classified() {
+        let mut s = greeted();
+        s.handle(Command::Quit, &all_exist);
+        assert_eq!(s.outcome(), SessionOutcome::Unfinished);
+    }
+
+    #[test]
+    fn trust_point_triggers_on_first_valid_rcpt() {
+        let mut s = greeted();
+        s.handle(Command::mail_from(None), &all_exist);
+        assert!(!s.has_valid_recipient());
+        // One 550 first: still untrusted.
+        s.handle(Command::rcpt_to(addr("bad@x.example")), &none_exist);
+        assert!(!s.has_valid_recipient());
+        s.handle(Command::rcpt_to(addr("ok@x.example")), &all_exist);
+        assert!(s.has_valid_recipient());
+    }
+
+    #[test]
+    fn multi_recipient_mail_collects_all() {
+        let mut s = greeted();
+        s.handle(Command::mail_from(None), &all_exist);
+        for i in 0..7 {
+            let r = s.handle(
+                Command::rcpt_to(addr(&format!("u{i}@d.example"))),
+                &all_exist,
+            );
+            assert_eq!(r.code(), 250);
+        }
+        s.handle(Command::Data, &all_exist);
+        s.finish_data_sized("M1", 4096);
+        assert_eq!(s.delivered()[0].recipients.len(), 7);
+        assert_eq!(s.delivered()[0].body_size, 4096);
+    }
+
+    #[test]
+    fn recipient_limit_enforced() {
+        let mut s = ServerSession::new(SessionConfig {
+            max_recipients: 2,
+            ..SessionConfig::default()
+        });
+        s.handle(Command::helo("c.example"), &all_exist);
+        s.handle(Command::mail_from(None), &all_exist);
+        s.handle(Command::rcpt_to(addr("a@d.example")), &all_exist);
+        s.handle(Command::rcpt_to(addr("b@d.example")), &all_exist);
+        let r = s.handle(Command::rcpt_to(addr("c@d.example")), &all_exist);
+        assert_eq!(r.code(), 452);
+    }
+
+    #[test]
+    fn sequence_errors() {
+        let mut s = ServerSession::new(SessionConfig::default());
+        // MAIL before HELO.
+        assert_eq!(s.handle(Command::mail_from(None), &all_exist).code(), 503);
+        s.handle(Command::helo("c.example"), &all_exist);
+        // RCPT before MAIL.
+        assert_eq!(
+            s.handle(Command::rcpt_to(addr("a@d.example")), &all_exist)
+                .code(),
+            503
+        );
+        // DATA before RCPT.
+        s.handle(Command::mail_from(None), &all_exist);
+        assert_eq!(s.handle(Command::Data, &all_exist).code(), 503);
+    }
+
+    #[test]
+    fn data_without_valid_rcpt_is_rejected() {
+        let mut s = greeted();
+        s.handle(Command::mail_from(None), &none_exist);
+        s.handle(Command::rcpt_to(addr("bad@x.example")), &none_exist);
+        // Still in MailGiven phase: DATA must be refused.
+        assert_eq!(s.handle(Command::Data, &none_exist).code(), 503);
+    }
+
+    #[test]
+    fn rset_clears_transaction() {
+        let mut s = greeted();
+        s.handle(Command::mail_from(Some(addr("a@b.example"))), &all_exist);
+        s.handle(Command::rcpt_to(addr("u@d.example")), &all_exist);
+        s.handle(Command::Rset, &all_exist);
+        assert!(!s.has_valid_recipient());
+        // Must re-issue MAIL before RCPT.
+        assert_eq!(
+            s.handle(Command::rcpt_to(addr("u@d.example")), &all_exist)
+                .code(),
+            503
+        );
+    }
+
+    #[test]
+    fn multiple_transactions_per_connection() {
+        let mut s = greeted();
+        for t in 0..3 {
+            s.handle(Command::mail_from(None), &all_exist);
+            s.handle(Command::rcpt_to(addr("u@d.example")), &all_exist);
+            s.handle(Command::Data, &all_exist);
+            s.finish_data_sized(&format!("M{t}"), 100);
+        }
+        assert_eq!(s.delivered().len(), 3);
+    }
+
+    #[test]
+    fn dot_stuffing_is_removed() {
+        let mut s = greeted();
+        s.capture_bodies(true);
+        s.handle(Command::mail_from(None), &all_exist);
+        s.handle(Command::rcpt_to(addr("u@d.example")), &all_exist);
+        s.handle(Command::Data, &all_exist);
+        s.data_line(b"..leading dot");
+        s.data_line(b".");
+        s.finish_data("M1");
+        let body = &s.delivered()[0].body;
+        assert_eq!(body.as_slice(), b".leading dot\r\n");
+    }
+
+    #[test]
+    fn unknown_command_gets_500_and_noop_ok() {
+        let mut s = greeted();
+        assert_eq!(
+            s.handle(Command::Unknown("XEXP".into()), &all_exist).code(),
+            500
+        );
+        assert_eq!(s.handle(Command::Noop, &all_exist).code(), 250);
+        assert_eq!(s.handle(Command::Vrfy("x".into()), &all_exist).code(), 252);
+    }
+
+    #[test]
+    fn size_tracked_without_capture() {
+        let mut s = greeted();
+        s.handle(Command::mail_from(None), &all_exist);
+        s.handle(Command::rcpt_to(addr("u@d.example")), &all_exist);
+        s.handle(Command::Data, &all_exist);
+        s.data_line(b"12345");
+        s.data_line(b".");
+        s.finish_data("M1");
+        // 5 content bytes + CRLF.
+        assert_eq!(s.delivered()[0].body_size, 7);
+        assert!(s.delivered()[0].body.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod size_limit_tests {
+    use super::*;
+
+    fn all_exist(_: &MailAddr) -> bool {
+        true
+    }
+
+    fn to_data_phase(limit: Option<u64>) -> ServerSession {
+        let mut s = ServerSession::new(SessionConfig {
+            max_message_size: limit,
+            ..SessionConfig::default()
+        });
+        s.handle(Command::helo("c.example"), &all_exist);
+        s.handle(Command::mail_from(None), &all_exist);
+        s.handle(
+            Command::rcpt_to("u@d.example".parse().expect("valid")),
+            &all_exist,
+        );
+        s.handle(Command::Data, &all_exist);
+        s
+    }
+
+    #[test]
+    fn oversized_message_draws_552_and_is_discarded() {
+        let mut s = to_data_phase(Some(1_000));
+        let reply = s.finish_data_sized("M1", 2_000);
+        assert_eq!(reply.code(), 552);
+        assert!(s.delivered().is_empty());
+        // Session is usable for the next transaction.
+        assert_eq!(s.phase(), SessionPhase::Greeted);
+        assert_eq!(s.outcome(), SessionOutcome::Unfinished);
+    }
+
+    #[test]
+    fn message_at_limit_is_accepted() {
+        let mut s = to_data_phase(Some(1_000));
+        assert_eq!(s.finish_data_sized("M1", 1_000).code(), 250);
+        assert_eq!(s.delivered().len(), 1);
+    }
+
+    #[test]
+    fn unlimited_accepts_anything() {
+        let mut s = to_data_phase(None);
+        assert_eq!(s.finish_data_sized("M1", u64::MAX / 2).code(), 250);
+    }
+}

@@ -1,0 +1,222 @@
+//! Derived synthetic traces: the bounce-ratio sweep of Fig. 8 and the
+//! 15-mailbox delivery sequences of Figs. 10/11.
+
+use crate::{ConnectionKind, ConnectionSpec, MailSpec, MailboxId, MailSizeModel, RcptCountModel, Trace};
+use rand::Rng;
+use spamaware_sim::{det_rng, Nanos};
+
+/// Builds the Fig. 8 workload: a pool of connections of which a fraction
+/// `bounce_ratio` are bounce connections (random-guessing spam hitting
+/// non-existent mailboxes) and the rest deliver a single mail whose size
+/// follows the Univ trace's distribution.
+///
+/// The closed-system client consumes connections from the pool as fast as
+/// the server completes them, so arrivals are nominal (uniform over an
+/// hour).
+///
+/// # Panics
+///
+/// Panics if `bounce_ratio` is outside `[0, 1]` or `connections == 0`.
+///
+/// # Example
+///
+/// ```
+/// use spamaware_trace::bounce_sweep_trace;
+/// let t = bounce_sweep_trace(7, 1000, 0.5, 400);
+/// let bounces = t.connections.iter().filter(|c| !c.kind.delivers()).count();
+/// assert!((400..600).contains(&bounces));
+/// ```
+pub fn bounce_sweep_trace(
+    seed: u64,
+    connections: usize,
+    bounce_ratio: f64,
+    mailbox_count: u32,
+) -> Trace {
+    assert!((0.0..=1.0).contains(&bounce_ratio), "bounce ratio range");
+    assert!(connections > 0, "need at least one connection");
+    let mut rng = det_rng(seed ^ 0xF16_8);
+    let span = Nanos::from_secs(3600);
+    // Univ mail sizes: a 67/33 spam/ham mixture (paper §3: the synthetic
+    // trace "follows the mail sizes in the Univ trace").
+    let spam_sizes = MailSizeModel::spam();
+    let ham_sizes = MailSizeModel::ham();
+    let ham_rcpts = RcptCountModel::ham();
+
+    let mut out = Vec::with_capacity(connections);
+    for i in 0..connections {
+        let arrival = span * (i as u64) / (connections as u64);
+        let ip = spamaware_netaddr::Ipv4::new(
+            rng.gen_range(1..=223),
+            rng.gen(),
+            rng.gen(),
+            rng.gen_range(1..255),
+        );
+        let kind = if rng.gen::<f64>() < bounce_ratio {
+            ConnectionKind::Bounce {
+                rcpt_attempts: 1 + spamaware_sim::dist::poisson(&mut rng, 0.6) as u8,
+            }
+        } else {
+            let spam = rng.gen::<f64>() < 0.67;
+            let size = if spam {
+                spam_sizes.sample(&mut rng)
+            } else {
+                ham_sizes.sample(&mut rng)
+            };
+            let n_rcpts = ham_rcpts.sample(&mut rng);
+            ConnectionKind::Mail(vec![MailSpec {
+                valid_rcpts: crate::draw_distinct_mailboxes(&mut rng, n_rcpts, mailbox_count),
+                invalid_rcpts: 0,
+                size,
+                spam,
+            }])
+        };
+        out.push(ConnectionSpec {
+            arrival,
+            client_ip: ip,
+            kind,
+        });
+    }
+    let trace = Trace {
+        connections: out,
+        mailbox_count,
+        span,
+    };
+    trace.validate();
+    trace
+}
+
+/// Builds the Figs. 10/11 storage workload: repeated sequences in which one
+/// mail body (size drawn from the Univ distribution) is delivered to all
+/// `sequence_mailboxes` distinct mailboxes, using `rcpts_per_connection`
+/// `RCPT TO` fields per connection — so each sequence takes
+/// `ceil(m / r)` connections (paper §6.3: "using 5 rcpt-to fields per
+/// connection, a client needs 3 separate connections to send each sequence").
+///
+/// # Panics
+///
+/// Panics if any argument is zero or `rcpts_per_connection >
+/// sequence_mailboxes`.
+pub fn mfs_sequence_trace(
+    seed: u64,
+    sequences: usize,
+    rcpts_per_connection: u8,
+    sequence_mailboxes: u8,
+) -> Trace {
+    assert!(sequences > 0 && rcpts_per_connection > 0 && sequence_mailboxes > 0);
+    assert!(
+        rcpts_per_connection <= sequence_mailboxes,
+        "rcpts per connection exceeds mailboxes per sequence"
+    );
+    let mut rng = det_rng(seed ^ 0x3F5);
+    let sizes = MailSizeModel::ham();
+    let span = Nanos::from_secs(3600);
+    let mut out = Vec::new();
+    let total_conns =
+        sequences * (sequence_mailboxes as usize).div_ceil(rcpts_per_connection as usize);
+    let mut conn_index = 0u64;
+    for _ in 0..sequences {
+        let size = sizes.sample(&mut rng);
+        let ip = spamaware_netaddr::Ipv4::new(
+            rng.gen_range(1..=223),
+            rng.gen(),
+            rng.gen(),
+            rng.gen_range(1..255),
+        );
+        let mailboxes: Vec<MailboxId> = (0..sequence_mailboxes as u32).map(MailboxId).collect();
+        for chunk in mailboxes.chunks(rcpts_per_connection as usize) {
+            let arrival = span * conn_index / (total_conns as u64);
+            conn_index += 1;
+            out.push(ConnectionSpec {
+                arrival,
+                client_ip: ip,
+                kind: ConnectionKind::Mail(vec![MailSpec {
+                    valid_rcpts: chunk.to_vec(),
+                    invalid_rcpts: 0,
+                    size,
+                    spam: true,
+                }]),
+            });
+        }
+    }
+    let trace = Trace {
+        connections: out,
+        mailbox_count: sequence_mailboxes as u32,
+        span,
+    };
+    trace.validate();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounce_ratio_is_respected() {
+        for ratio in [0.0, 0.3, 0.9, 1.0] {
+            let t = bounce_sweep_trace(1, 4000, ratio, 400);
+            let bounces = t
+                .connections
+                .iter()
+                .filter(|c| !c.kind.delivers())
+                .count() as f64
+                / 4000.0;
+            assert!((bounces - ratio).abs() < 0.03, "ratio {ratio} got {bounces}");
+        }
+    }
+
+    #[test]
+    fn sweep_mails_have_single_recipient_mostly() {
+        let t = bounce_sweep_trace(2, 2000, 0.0, 400);
+        let mean = t.total_deliveries() as f64 / t.total_mails() as f64;
+        assert!((1.0..1.06).contains(&mean), "mean rcpts {mean}");
+    }
+
+    #[test]
+    fn mfs_sequences_chunk_correctly() {
+        // 15 mailboxes with 5 rcpts per connection → 3 connections/sequence.
+        let t = mfs_sequence_trace(3, 10, 5, 15);
+        assert_eq!(t.connections.len(), 30);
+        assert_eq!(t.total_deliveries(), 150);
+        for c in &t.connections {
+            assert_eq!(c.mails()[0].valid_rcpts.len(), 5);
+        }
+    }
+
+    #[test]
+    fn mfs_sequences_share_size_within_sequence() {
+        let t = mfs_sequence_trace(4, 5, 4, 15);
+        // ceil(15/4) = 4 connections per sequence.
+        assert_eq!(t.connections.len(), 20);
+        for seq in t.connections.chunks(4) {
+            let first = seq[0].mails()[0].size;
+            assert!(seq.iter().all(|c| c.mails()[0].size == first));
+            // Last chunk carries the remainder (15 - 3*4 = 3 recipients).
+            assert_eq!(seq[3].mails()[0].valid_rcpts.len(), 3);
+        }
+    }
+
+    #[test]
+    fn mfs_sequence_covers_every_mailbox_once() {
+        let t = mfs_sequence_trace(5, 1, 7, 15);
+        let mut seen = std::collections::HashSet::new();
+        for c in &t.connections {
+            for r in &c.mails()[0].valid_rcpts {
+                assert!(seen.insert(*r), "duplicate delivery to {r:?}");
+            }
+        }
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds mailboxes")]
+    fn mfs_rejects_oversized_chunk() {
+        mfs_sequence_trace(6, 1, 16, 15);
+    }
+
+    #[test]
+    fn extreme_ratios_still_validate() {
+        bounce_sweep_trace(7, 100, 1.0, 400).validate();
+        bounce_sweep_trace(8, 100, 0.0, 400).validate();
+    }
+}

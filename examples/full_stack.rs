@@ -1,0 +1,111 @@
+//! The whole system over real sockets: a DNSBLv6 server on UDP, the
+//! fork-after-trust SMTP server on TCP (querying it per connection), and
+//! a POP3 server for retrieval — all sharing one MFS store on disk.
+//!
+//! ```text
+//! cargo run -p spamaware-examples --bin full_stack
+//! ```
+
+use spamaware_core::{LiveConfig, LiveServer, Pop3Server};
+use spamaware_dnsbl::{BlacklistDb, UdpDnsbl};
+use spamaware_netaddr::Ipv4;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn main() {
+    let storage = std::env::temp_dir().join(format!("spamaware-stack-{}", std::process::id()));
+
+    // 1. DNSBL over UDP. Blacklist the loopback so our own client is
+    //    flagged (realistic demo of the lookup path).
+    let db: BlacklistDb = [Ipv4::new(127, 0, 0, 1)].into_iter().collect();
+    let dnsbl = UdpDnsbl::start("127.0.0.1:0".parse().expect("addr"), "bl.example", db)
+        .expect("start dnsbl");
+    println!("DNSBLv6 (UDP):  {}", dnsbl.local_addr());
+
+    // 2. SMTP server, wired to query the DNSBL for every connection.
+    let mailboxes = vec!["alice".to_string(), "bob".to_string()];
+    let mut cfg = LiveConfig::localhost(&storage, mailboxes.clone());
+    cfg.dnsbl_udp = Some((dnsbl.local_addr(), "bl.example".to_owned()));
+    let smtp = LiveServer::start(cfg).expect("start smtp");
+    println!("SMTP (TCP):     {}", smtp.local_addr());
+
+    // 3. POP3 over the same store.
+    let pop3 = Pop3Server::start(
+        "127.0.0.1:0".parse().expect("addr"),
+        smtp.store(),
+        mailboxes,
+    )
+    .expect("start pop3");
+    println!("POP3 (TCP):     {}", pop3.local_addr());
+
+    // Send a 2-recipient mail over SMTP.
+    {
+        let stream = TcpStream::connect(smtp.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("greeting");
+        for cmd in [
+            "HELO bot.example",
+            "MAIL FROM:<promo@spam.example>",
+            "RCPT TO:<alice@dept.example>",
+            "RCPT TO:<bob@dept.example>",
+            "DATA",
+        ] {
+            stream.write_all(format!("{cmd}\r\n").as_bytes()).expect("w");
+            line.clear();
+            reader.read_line(&mut line).expect("r");
+        }
+        stream
+            .write_all(b"one body, two mailboxes, stored once\r\n.\r\n")
+            .expect("w");
+        line.clear();
+        reader.read_line(&mut line).expect("r");
+        stream.write_all(b"QUIT\r\n").expect("w");
+        line.clear();
+        reader.read_line(&mut line).expect("r");
+    }
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    // Retrieve it as bob over POP3.
+    {
+        let stream = TcpStream::connect(pop3.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("banner");
+        for cmd in ["USER bob", "PASS anything", "STAT", "RETR 1"] {
+            stream.write_all(format!("{cmd}\r\n").as_bytes()).expect("w");
+            line.clear();
+            reader.read_line(&mut line).expect("r");
+            print!("POP3 {cmd:<14} -> {line}");
+        }
+        // Drain the message body.
+        loop {
+            line.clear();
+            reader.read_line(&mut line).expect("r");
+            if line.trim_end() == "." {
+                break;
+            }
+            print!("  | {line}");
+        }
+        stream.write_all(b"QUIT\r\n").expect("w");
+    }
+
+    let (accepted, _, _, _, _, stored, blacklisted) = smtp.stats().snapshot();
+    println!(
+        "\nSMTP stats: accepted={accepted} stored={stored} blacklisted={blacklisted} \
+         (the client IP was on the DNSBL)"
+    );
+    println!(
+        "DNSBL answered {} UDP queries",
+        dnsbl
+            .stats()
+            .answered
+            .load(std::sync::atomic::Ordering::Relaxed)
+    );
+    pop3.shutdown();
+    smtp.shutdown();
+    dnsbl.shutdown();
+    let _ = std::fs::remove_dir_all(&storage);
+}

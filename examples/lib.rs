@@ -1,0 +1,2 @@
+//! Example binaries exercising the public API; each `.rs` file in this
+//! directory is a runnable `--bin` target.

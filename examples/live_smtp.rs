@@ -1,0 +1,151 @@
+//! Run the spam-aware SMTP server on a real TCP socket and exercise it
+//! with a few scripted clients: a legitimate mail, a multi-recipient spam,
+//! and a random-guessing bounce attempt.
+//!
+//! ```text
+//! cargo run -p spamaware-examples --bin live_smtp [bind-addr]
+//! ```
+//!
+//! With a bind address (e.g. `127.0.0.1:2525`) the server stays up until
+//! Ctrl-C so you can talk to it with `nc`/`telnet`; without one it binds
+//! an ephemeral port, runs the scripted clients, prints the resulting
+//! mailbox contents, and exits.
+
+use spamaware_core::{LiveConfig, LiveServer, MailStore};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn send(stream: &mut TcpStream, reader: &mut impl BufRead, line: &str) -> String {
+    stream
+        .write_all(format!("{line}\r\n").as_bytes())
+        .expect("write");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read");
+    print!("C: {line}\nS: {reply}");
+    reply
+}
+
+fn dialog(addr: std::net::SocketAddr, script: &[&str]) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut greeting = String::new();
+    reader.read_line(&mut greeting).expect("greeting");
+    print!("S: {greeting}");
+    let mut in_data = false;
+    for line in script {
+        if in_data {
+            // Message content draws no reply until the lone-dot terminator.
+            stream
+                .write_all(format!("{line}\r\n").as_bytes())
+                .expect("write");
+            println!("C: {line}");
+            if *line == "." {
+                in_data = false;
+                let mut reply = String::new();
+                reader.read_line(&mut reply).expect("read");
+                print!("S: {reply}");
+            }
+        } else {
+            let reply = send(&mut stream, &mut reader, line);
+            if reply.starts_with("354") {
+                in_data = true;
+            }
+        }
+    }
+    println!("---");
+}
+
+fn main() {
+    let storage = std::env::temp_dir().join(format!("spamaware-live-{}", std::process::id()));
+    let mailboxes: Vec<String> = ["alice", "bob", "carol"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut cfg = LiveConfig::localhost(&storage, mailboxes);
+
+    let interactive = std::env::args().nth(1);
+    if let Some(bind) = &interactive {
+        cfg.bind = bind.parse().expect("bind address");
+    }
+    let server = LiveServer::start(cfg).expect("start server");
+    println!("spam-aware SMTP server listening on {}", server.local_addr());
+
+    if interactive.is_some() {
+        println!("talk to it with: nc {}", server.local_addr());
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+
+    let addr = server.local_addr();
+    // 1. Legitimate single-recipient mail.
+    dialog(
+        addr,
+        &[
+            "HELO client.example",
+            "MAIL FROM:<friend@remote.example>",
+            "RCPT TO:<alice@dept.example>",
+            "DATA",
+            "Subject: lunch?",
+            "",
+            "Sandwiches at noon.",
+            ".",
+            "QUIT",
+        ],
+    );
+    // 2. Multi-recipient spam: the body is stored once via MFS.
+    dialog(
+        addr,
+        &[
+            "HELO bot.example",
+            "MAIL FROM:<promo@spam.example>",
+            "RCPT TO:<alice@dept.example>",
+            "RCPT TO:<bob@dept.example>",
+            "RCPT TO:<carol@dept.example>",
+            "DATA",
+            "Subject: BUY NOW",
+            "",
+            "v1agra cheap!!",
+            ".",
+            "QUIT",
+        ],
+    );
+    // 3. Random-guessing bounce: never leaves the master's event loop.
+    dialog(
+        addr,
+        &[
+            "HELO harvester.example",
+            "MAIL FROM:<>",
+            "RCPT TO:<admin@dept.example>",
+            "RCPT TO:<info@dept.example>",
+            "QUIT",
+        ],
+    );
+
+    // Give workers a moment to finish storing.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let (accepted, delivered, bounces, unfinished, delegated, stored, _bl) =
+        server.stats().snapshot();
+    println!(
+        "stats: accepted={accepted} delivered={delivered} bounces={bounces} \
+         unfinished={unfinished} delegated={delegated} mails_stored={stored}"
+    );
+    {
+        let store = server.store();
+        let mut store = store.lock();
+        for mb in ["alice", "bob", "carol"] {
+            let mails = store.read_mailbox(mb).expect("read mailbox");
+            println!("mailbox {mb}: {} mail(s)", mails.len());
+            for m in &mails {
+                println!("  [{}] {} bytes", m.id, m.body.len());
+            }
+        }
+        let stats = store.stats();
+        println!(
+            "MFS: {} shared mail(s), {} shared bytes (single-copy), {} own record(s)",
+            stats.shared_mails, stats.shared_bytes, stats.own_records
+        );
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&storage);
+}

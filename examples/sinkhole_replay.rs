@@ -1,0 +1,74 @@
+//! Replay the synthetic spam-sinkhole trace against all four mailbox
+//! layouts and both DNSBL caching schemes, printing a resource-consumption
+//! comparison — a condensed view of the paper's §6.3 and §7.2 evaluations.
+//!
+//! ```text
+//! cargo run -p spamaware-examples --bin sinkhole_replay [scale]
+//! ```
+
+use spamaware_core::experiment::default_dnsbl;
+use spamaware_core::{
+    run, CacheScheme, ClientModel, DnsConfig, Layout, ServerConfig, SinkholeConfig,
+};
+use spamaware_mfs::DiskProfile;
+use spamaware_sim::Nanos;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    println!("generating sinkhole trace at {:.0}% scale...", scale * 100.0);
+    let sink = SinkholeConfig::scaled(scale).generate();
+    println!(
+        "  {} connections, {} unique IPs, {} /24 prefixes\n",
+        sink.trace.connections.len(),
+        sink.unique_ips(),
+        sink.unique_prefixes()
+    );
+
+    let horizon = Nanos::from_secs(60);
+    let client = ClientModel::Closed { concurrency: 600 };
+
+    println!("storage layouts (vanilla architecture, Ext3, 60 sim-seconds):");
+    println!("  layout      mails/s   deliveries/s   disk appends   disk creates");
+    for layout in Layout::ALL {
+        let cfg = ServerConfig {
+            layout,
+            disk: DiskProfile::ext3(),
+            ..ServerConfig::vanilla()
+        };
+        let rep = run(&sink.trace, cfg, client, horizon);
+        println!(
+            "  {:<10} {:>8.1}   {:>12.1}   {:>12}   {:>12}",
+            layout.paper_name(),
+            rep.goodput(),
+            rep.delivery_throughput(),
+            rep.disk_ops.appends,
+            rep.disk_ops.creates
+        );
+    }
+
+    println!("\nDNSBL caching schemes (vanilla architecture, mbox):");
+    println!("  scheme      mails/s   hit ratio   queries issued");
+    let server = default_dnsbl(sink.blacklisted.iter().copied());
+    for scheme in [CacheScheme::None, CacheScheme::PerIp, CacheScheme::PerPrefix] {
+        let cfg = ServerConfig {
+            dns: Some(DnsConfig {
+                scheme,
+                ttl: Nanos::from_secs(86_400),
+                server: server.clone(),
+            }),
+            ..ServerConfig::vanilla()
+        };
+        let rep = run(&sink.trace, cfg, client, horizon);
+        let dns = rep.dns.as_ref().expect("dns enabled");
+        println!(
+            "  {:<10} {:>8.1}   {:>9.1}%   {:>14}",
+            format!("{scheme:?}"),
+            rep.goodput(),
+            dns.hit_ratio() * 100.0,
+            dns.queries_issued
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! End-to-end tests of the live fork-after-trust SMTP server over real
+//! TCP sockets.
+
+use spamaware_core::{LiveConfig, LiveServer, MailStore};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &LiveServer) -> Client {
+        Client::connect_addr(server.local_addr())
+    }
+
+    fn connect_addr(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut greeting = String::new();
+        reader.read_line(&mut greeting).expect("greeting");
+        assert!(greeting.starts_with("220"), "greeting {greeting:?}");
+        Client { stream, reader }
+    }
+
+    fn cmd(&mut self, line: &str) -> String {
+        self.stream
+            .write_all(format!("{line}\r\n").as_bytes())
+            .expect("write");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("reply");
+        reply
+    }
+
+    fn raw(&mut self, line: &str) {
+        self.stream
+            .write_all(format!("{line}\r\n").as_bytes())
+            .expect("write");
+    }
+}
+
+fn server(tag: &str, mailboxes: &[&str]) -> (LiveServer, std::path::PathBuf) {
+    let root = std::env::temp_dir().join(format!(
+        "spamaware-it-{tag}-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let cfg = LiveConfig::localhost(&root, mailboxes.iter().map(|s| s.to_string()).collect());
+    (LiveServer::start(cfg).expect("start"), root)
+}
+
+fn wait_for_mails(server: &LiveServer, n: u64) {
+    for _ in 0..200 {
+        if server.stats().snapshot().5 >= n {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for {n} stored mails");
+}
+
+#[test]
+fn delivers_single_recipient_mail() {
+    let (srv, root) = server("single", &["alice"]);
+    let mut c = Client::connect(&srv);
+    assert!(c.cmd("HELO client.example").starts_with("250"));
+    assert!(c.cmd("MAIL FROM:<x@remote.example>").starts_with("250"));
+    assert!(c.cmd("RCPT TO:<alice@dept.example>").starts_with("250"));
+    assert!(c.cmd("DATA").starts_with("354"));
+    c.raw("Subject: hi");
+    c.raw("");
+    c.raw("body line");
+    assert!(c.cmd(".").starts_with("250"));
+    assert!(c.cmd("QUIT").starts_with("221"));
+    wait_for_mails(&srv, 1);
+    let store = srv.store();
+    let mails = store.lock().read_mailbox("alice").expect("read");
+    assert_eq!(mails.len(), 1);
+    let body = String::from_utf8_lossy(&mails[0].body).into_owned();
+    assert!(body.contains("body line"), "{body:?}");
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn multi_recipient_spam_stored_once() {
+    let (srv, root) = server("multi", &["a", "b", "c"]);
+    let mut c = Client::connect(&srv);
+    c.cmd("HELO bot.example");
+    c.cmd("MAIL FROM:<spam@bot.example>");
+    for mb in ["a", "b", "c"] {
+        assert!(c.cmd(&format!("RCPT TO:<{mb}@dept.example>")).starts_with("250"));
+    }
+    assert!(c.cmd("DATA").starts_with("354"));
+    c.raw("spam body");
+    assert!(c.cmd(".").starts_with("250"));
+    c.cmd("QUIT");
+    wait_for_mails(&srv, 1);
+    let store = srv.store();
+    let mut store = store.lock();
+    for mb in ["a", "b", "c"] {
+        assert_eq!(store.read_mailbox(mb).expect("read").len(), 1, "{mb}");
+    }
+    let stats = store.stats();
+    assert_eq!(stats.shared_mails, 1, "one shared copy");
+    assert_eq!(stats.own_records, 0);
+    drop(store);
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn bounce_connection_never_reaches_workers() {
+    let (srv, root) = server("bounce", &["alice"]);
+    let mut c = Client::connect(&srv);
+    c.cmd("HELO harvester.example");
+    c.cmd("MAIL FROM:<>");
+    assert!(c.cmd("RCPT TO:<admin@dept.example>").starts_with("550"));
+    assert!(c.cmd("RCPT TO:<root@dept.example>").starts_with("550"));
+    assert!(c.cmd("QUIT").starts_with("221"));
+    // Master dispatched it: bounces counted, nothing delegated.
+    for _ in 0..100 {
+        if srv.stats().snapshot().2 == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (_, _, bounces, _, delegated, stored, _) = srv.stats().snapshot();
+    assert_eq!(bounces, 1);
+    assert_eq!(delegated, 0);
+    assert_eq!(stored, 0);
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn unfinished_connection_counted() {
+    let (srv, root) = server("unfinished", &["alice"]);
+    let mut c = Client::connect(&srv);
+    c.cmd("HELO shy.example");
+    c.cmd("QUIT");
+    for _ in 0..100 {
+        if srv.stats().snapshot().3 == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(srv.stats().snapshot().3, 1);
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn concurrent_clients_all_delivered() {
+    let (srv, root) = server("concurrent", &["inbox"]);
+    let addr = srv.local_addr();
+    let n = 8;
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect_addr(addr);
+                c.cmd("HELO c.example");
+                c.cmd(&format!("MAIL FROM:<c{i}@remote.example>"));
+                assert!(c.cmd("RCPT TO:<inbox@dept.example>").starts_with("250"));
+                assert!(c.cmd("DATA").starts_with("354"));
+                c.raw(&format!("mail number {i}"));
+                assert!(c.cmd(".").starts_with("250"));
+                c.cmd("QUIT");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    wait_for_mails(&srv, n as u64);
+    let store = srv.store();
+    let mails = store.lock().read_mailbox("inbox").expect("read");
+    assert_eq!(mails.len(), n);
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn mail_survives_server_restart() {
+    let (srv, root) = server("restart", &["alice"]);
+    let mut c = Client::connect(&srv);
+    c.cmd("HELO c.example");
+    c.cmd("MAIL FROM:<x@remote.example>");
+    c.cmd("RCPT TO:<alice@dept.example>");
+    c.cmd("DATA");
+    c.raw("persistent");
+    c.cmd(".");
+    c.cmd("QUIT");
+    wait_for_mails(&srv, 1);
+    srv.shutdown();
+
+    // A new server over the same storage root recovers the mailbox.
+    let cfg = LiveConfig::localhost(&root, vec!["alice".into()]);
+    let srv2 = LiveServer::start(cfg).expect("restart");
+    let store = srv2.store();
+    let mails = store.lock().read_mailbox("alice").expect("read");
+    assert_eq!(mails.len(), 1);
+    srv2.shutdown();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn oversized_line_is_rejected() {
+    let (srv, root) = server("overflow", &["alice"]);
+    let mut c = Client::connect(&srv);
+    let huge = "X".repeat(5000);
+    c.stream
+        .write_all(huge.as_bytes())
+        .expect("write flood");
+    c.stream.write_all(b"\r\n").expect("write");
+    let mut reply = String::new();
+    // Server answers 500 and closes, or just closes; both are acceptable
+    // overflow handling. It must not crash.
+    let _ = c.reader.read_line(&mut reply);
+    drop(c);
+    let mut c2 = Client::connect(&srv);
+    assert!(c2.cmd("HELO still.alive").starts_with("250"));
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn idle_pretrust_connection_is_dropped() {
+    let root = std::env::temp_dir().join(format!(
+        "spamaware-idle-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let mut cfg = LiveConfig::localhost(&root, vec!["alice".into()]);
+    cfg.pretrust_idle_timeout = Duration::from_millis(150);
+    let srv = LiveServer::start(cfg).expect("start");
+
+    // Connect, read the greeting, then go silent.
+    let mut c = Client::connect(&srv);
+    std::thread::sleep(Duration::from_millis(500));
+    // The master dropped us: further reads see EOF.
+    let mut line = String::new();
+    let n = c.reader.read_line(&mut line).unwrap_or(0);
+    assert_eq!(n, 0, "connection should be closed, got {line:?}");
+    assert_eq!(srv.stats().snapshot().3, 1, "counted as unfinished");
+    // The server still serves new clients.
+    let mut c2 = Client::connect(&srv);
+    assert!(c2.cmd("HELO fresh.example").starts_with("250"));
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(root);
+}

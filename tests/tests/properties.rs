@@ -1,0 +1,385 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+use spamaware_mfs::{
+    Backend, DataRef, HardlinkStore, Layout, MailId, MailStore, MboxStore, MemFs, MfsStore,
+};
+use spamaware_netaddr::{Ipv4, PrefixBitmap, QueryName, QueryScheme};
+use spamaware_smtp::{Command, MailAddr, Reply};
+use spamaware_sim::metrics::Histogram;
+use spamaware_sim::Nanos;
+use std::collections::HashMap;
+
+// ------------------------------------------------------------- netaddr
+
+proptest! {
+    #[test]
+    fn ip_display_parse_roundtrip(raw in any::<u32>()) {
+        let ip = Ipv4::from_u32(raw);
+        let back: Ipv4 = ip.to_string().parse().unwrap();
+        prop_assert_eq!(back, ip);
+    }
+
+    #[test]
+    fn prefix_relations_are_consistent(raw in any::<u32>()) {
+        let ip = Ipv4::from_u32(raw);
+        prop_assert_eq!(ip.prefix25().prefix24(), ip.prefix24());
+        prop_assert_eq!(ip.prefix25().nth(ip.index_in_prefix25()), ip);
+        let (lo, hi) = ip.prefix24().halves();
+        prop_assert!(ip.prefix25() == lo || ip.prefix25() == hi);
+    }
+
+    #[test]
+    fn bitmap_matches_reference_set(raw in any::<u32>(), lasts in proptest::collection::btree_set(0u8..128, 0..40)) {
+        let prefix = Ipv4::from_u32(raw).prefix25();
+        let mut bm = PrefixBitmap::empty(prefix);
+        for &i in &lasts {
+            bm.set(prefix.nth(i));
+        }
+        // Wire roundtrip preserves everything.
+        let bm = PrefixBitmap::from_wire(prefix, bm.to_wire());
+        prop_assert_eq!(bm.count() as usize, lasts.len());
+        for i in 0..128u8 {
+            prop_assert_eq!(bm.contains(prefix.nth(i)), lasts.contains(&i));
+        }
+    }
+
+    #[test]
+    fn query_name_roundtrips(raw in any::<u32>()) {
+        let ip = Ipv4::from_u32(raw);
+        let q4 = QueryName::encode(ip, QueryScheme::Ipv4, "bl.example");
+        prop_assert_eq!(QueryName::decode_ipv4(q4.as_str(), "bl.example"), Some(ip));
+        let q6 = QueryName::encode(ip, QueryScheme::PrefixV6, "bl.example");
+        prop_assert_eq!(
+            QueryName::decode_prefix_v6(q6.as_str(), "bl.example"),
+            Some(ip.prefix25())
+        );
+    }
+}
+
+// ------------------------------------------------------------- smtp
+
+proptest! {
+    #[test]
+    fn command_display_parse_roundtrip(
+        local in "[a-z][a-z0-9]{0,8}",
+        domain in "[a-z][a-z0-9]{0,8}\\.(com|org|example)",
+    ) {
+        let addr: MailAddr = format!("{local}@{domain}").parse().unwrap();
+        for cmd in [
+            Command::helo(domain.clone()),
+            Command::mail_from(Some(addr.clone())),
+            Command::mail_from(None),
+            Command::rcpt_to(addr),
+        ] {
+            let line = cmd.to_string();
+            prop_assert_eq!(Command::parse(&line).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics(line in "\\PC{0,200}") {
+        let _ = Command::parse(&line);
+        let _ = Reply::parse(&line);
+        let _ = line.parse::<MailAddr>();
+    }
+}
+
+// ------------------------------------------------------------- metrics
+
+proptest! {
+    #[test]
+    fn histogram_quantiles_bracket_samples(mut xs in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut h = Histogram::new(0.001, 1.05);
+        for &x in &xs {
+            h.record(x);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let max = *xs.last().unwrap();
+        prop_assert!(h.quantile(1.0) <= max * 1.06 + 0.001);
+        prop_assert!(h.quantile(0.0) <= h.quantile(0.5));
+        prop_assert!(h.quantile(0.5) <= h.quantile(1.0));
+        // CDF covers all samples.
+        let cdf = h.cdf();
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+}
+
+// ------------------------------------------------------------- storage
+
+/// A random delivery/delete workload applied to every layout must leave
+/// every mailbox with identical contents (the layouts are interchangeable
+/// storage engines).
+#[derive(Debug, Clone)]
+enum Op {
+    Deliver { rcpts: Vec<u8>, body: Vec<u8> },
+    Delete { mailbox: u8, nth: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            proptest::collection::btree_set(0u8..6, 1..5),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(rcpts, body)| Op::Deliver {
+                rcpts: rcpts.into_iter().collect(),
+                body
+            }),
+        (0u8..6, 0usize..4).prop_map(|(mailbox, nth)| Op::Delete { mailbox, nth }),
+    ]
+}
+
+fn apply_ops(store: &mut dyn MailStore, ops: &[Op]) -> HashMap<String, Vec<(u64, Vec<u8>)>> {
+    let mut next_id = 1u64;
+    for op in ops {
+        match op {
+            Op::Deliver { rcpts, body } => {
+                let names: Vec<String> = rcpts.iter().map(|r| format!("mb{r}")).collect();
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                store
+                    .deliver(MailId(next_id), &refs, DataRef::Bytes(body))
+                    .unwrap();
+                next_id += 1;
+            }
+            Op::Delete { mailbox, nth } => {
+                let mb = format!("mb{mailbox}");
+                let mails = store.read_mailbox(&mb).unwrap();
+                if let Some(m) = mails.get(*nth) {
+                    store.delete(&mb, m.id).unwrap();
+                }
+            }
+        }
+    }
+    (0..6u8)
+        .map(|r| {
+            let mb = format!("mb{r}");
+            let mails = store
+                .read_mailbox(&mb)
+                .unwrap()
+                .into_iter()
+                .map(|m| (m.id.as_u64(), m.body))
+                .collect();
+            (mb, mails)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_layouts_agree_on_mailbox_contents(ops in proptest::collection::vec(op_strategy(), 0..30)) {
+        let mut reference = MboxStore::new(MemFs::new());
+        let expected = apply_ops(&mut reference, &ops);
+        for layout in [Layout::Maildir, Layout::Hardlink, Layout::Mfs] {
+            let mut store = layout.build(MemFs::new());
+            let got = apply_ops(store.as_mut(), &ops);
+            prop_assert_eq!(&got, &expected, "layout {}", layout);
+        }
+    }
+
+    #[test]
+    fn mfs_replay_equals_live_state(ops in proptest::collection::vec(op_strategy(), 0..30)) {
+        let mut live = MfsStore::new(MemFs::new());
+        let expected = apply_ops(&mut live, &ops);
+        let backend = std::mem::replace(live.backend_mut(), MemFs::new());
+        let mut recovered = MfsStore::open(backend).unwrap();
+        let got: HashMap<String, Vec<(u64, Vec<u8>)>> = (0..6u8)
+            .map(|r| {
+                let mb = format!("mb{r}");
+                let mails = recovered
+                    .read_mailbox(&mb)
+                    .unwrap()
+                    .into_iter()
+                    .map(|m| (m.id.as_u64(), m.body))
+                    .collect();
+                (mb, mails)
+            })
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn memfs_hard_links_conserve_bytes(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 1..10)
+    ) {
+        let mut store = HardlinkStore::new(MemFs::new());
+        let mut total = 0u64;
+        for (i, body) in bodies.iter().enumerate() {
+            store
+                .deliver(MailId(i as u64 + 1), &["a", "b", "c"], DataRef::Bytes(body))
+                .unwrap();
+            total += body.len() as u64;
+        }
+        // Single-instance storage: bytes on disk equal one copy per mail.
+        prop_assert_eq!(store.backend().total_bytes(), total);
+    }
+}
+
+// ------------------------------------------------------------- dnsbl
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prefix_cache_never_changes_verdicts(
+        listed in proptest::collection::btree_set(any::<u32>(), 0..50),
+        queries in proptest::collection::vec((any::<u32>(), 0u64..100_000), 1..100)
+    ) {
+        use spamaware_dnsbl::{BlacklistDb, CacheScheme, CachingResolver, DnsblServer, LatencyModel};
+        let db: BlacklistDb = listed.iter().map(|&r| Ipv4::from_u32(r)).collect();
+        let server = DnsblServer::new("bl.example", db, LatencyModel::new(40.0, 0.8, 0.0));
+        let mut rng = spamaware_sim::det_rng(9);
+        let mut sorted = queries.clone();
+        sorted.sort_by_key(|&(_, t)| t);
+        for scheme in [CacheScheme::PerIp, CacheScheme::PerPrefix] {
+            let mut resolver = CachingResolver::new(scheme, Nanos::from_secs(3600));
+            for &(raw, t) in &sorted {
+                let ip = Ipv4::from_u32(raw);
+                let o = resolver.lookup(ip, Nanos::from_millis(t), &server, &mut rng);
+                // The cache (either granularity) must agree with ground truth.
+                prop_assert_eq!(o.listed, listed.contains(&raw), "{:?} {}", scheme, ip);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- smtp FSM
+
+/// Arbitrary command sequences must never panic the session machine and
+/// must keep its outcome classification consistent with what happened.
+fn arb_command() -> impl Strategy<Value = Command> {
+    prop_oneof![
+        Just(Command::helo("c.example")),
+        Just(Command::Ehlo("c.example".into())),
+        Just(Command::mail_from(None)),
+        Just(Command::mail_from(Some(
+            "s@remote.example".parse().expect("valid")
+        ))),
+        (0u32..6).prop_map(|i| Command::rcpt_to(
+            format!("user{i}@dept.example").parse().expect("valid")
+        )),
+        (0u32..3).prop_map(|i| Command::rcpt_to(
+            format!("ghost{i}@dept.example").parse().expect("valid")
+        )),
+        Just(Command::Data),
+        Just(Command::Rset),
+        Just(Command::Noop),
+        Just(Command::Vrfy("x".into())),
+        Just(Command::Quit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn session_fsm_total_under_arbitrary_dialogs(
+        cmds in proptest::collection::vec(arb_command(), 0..40)
+    ) {
+        use spamaware_smtp::{ServerSession, SessionConfig, SessionOutcome, SessionPhase};
+        let exists = |a: &MailAddr| a.local_part().starts_with("user");
+        let mut s = ServerSession::new(SessionConfig::default());
+        let mut rejected = 0u64;
+        for cmd in cmds {
+            if s.phase() == SessionPhase::Data {
+                // Complete the transaction the way the engine does.
+                let _ = s.finish_data_sized("M", 128);
+            }
+            let reply = s.handle(cmd, &exists);
+            if reply.code() == 550 {
+                rejected += 1;
+            }
+        }
+        prop_assert_eq!(s.rejected_rcpts(), rejected);
+        let delivered = s.delivered().len();
+        match s.outcome() {
+            SessionOutcome::Delivered => prop_assert!(delivered > 0),
+            SessionOutcome::Bounce => {
+                prop_assert_eq!(delivered, 0);
+                prop_assert!(rejected > 0);
+            }
+            SessionOutcome::Unfinished => {
+                prop_assert_eq!(delivered, 0);
+                prop_assert_eq!(rejected, 0);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- scheduler
+
+proptest! {
+    #[test]
+    fn scheduler_pops_in_nondecreasing_time_order(
+        times in proptest::collection::vec(0u64..1_000_000, 1..100)
+    ) {
+        use spamaware_sim::Scheduler;
+        let mut s: Scheduler<usize> = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            s.schedule_at(Nanos::from_nanos(t), i);
+        }
+        let mut last = Nanos::ZERO;
+        let mut seen = vec![false; times.len()];
+        while let Some((at, idx)) = s.pop() {
+            prop_assert!(at >= last);
+            prop_assert_eq!(at.as_nanos(), times[idx]);
+            seen[idx] = true;
+            last = at;
+        }
+        prop_assert!(seen.iter().all(|&b| b), "every event fired once");
+    }
+
+    #[test]
+    fn trace_json_roundtrip_random_shapes(
+        conns in 1usize..40,
+        ratio in 0.0f64..1.0,
+    ) {
+        use spamaware_trace::{bounce_sweep_trace, Trace};
+        let t = bounce_sweep_trace(7, conns, ratio, 50);
+        let mut buf = Vec::new();
+        t.save_json(&mut buf).expect("save");
+        let back = Trace::load_json(buf.as_slice()).expect("load");
+        prop_assert_eq!(back.connections, t.connections);
+    }
+}
+
+// ------------------------------------------------------------- dns wire
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dns_decoder_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        use spamaware_dnsbl::wire::Message;
+        let _ = Message::decode(&bytes); // must never panic
+    }
+
+    #[test]
+    fn dns_message_roundtrip(
+        id in any::<u16>(),
+        a in 0u8..255, b in 0u8..255, c in 0u8..255, d in 0u8..255,
+        ttl in 0u32..1_000_000,
+        listed in any::<bool>(),
+    ) {
+        use spamaware_dnsbl::wire::{Answer, Message, Rcode, RecordType};
+        use spamaware_netaddr::{Ipv4, QueryName, QueryScheme};
+        let ip = Ipv4::new(a, b, c, d);
+        let name = QueryName::encode(ip, QueryScheme::Ipv4, "bl.example");
+        let q = Message::query(id, name.as_str(), RecordType::A);
+        let answers = if listed {
+            vec![Answer {
+                name: name.as_str().to_owned(),
+                rtype: RecordType::A,
+                ttl,
+                rdata: vec![127, 0, 0, 2],
+            }]
+        } else {
+            vec![]
+        };
+        let resp = q.respond(Rcode::NoError, answers);
+        let back = Message::decode(&resp.encode()).expect("decode");
+        prop_assert_eq!(back, resp);
+    }
+}
