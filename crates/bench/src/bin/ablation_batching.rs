@@ -11,7 +11,11 @@ use spamaware_trace::bounce_sweep_trace;
 
 fn main() {
     let scale = scale_from_args();
-    banner("ablation", "worker task-queue depth (vector-send batching)", scale);
+    banner(
+        "ablation",
+        "worker task-queue depth (vector-send batching)",
+        scale,
+    );
     let trace = bounce_sweep_trace(42, 10_000, 0.2, 400);
     println!("  queue depth   goodput     max note");
     for (depth, workers) in [(1usize, 4usize), (4, 4), (28, 4), (1, 64), (28, 64)] {
@@ -29,7 +33,11 @@ fn main() {
         println!(
             "  {depth:>6} x{workers:<3}   {:>7.1}/s   {}",
             rep.goodput(),
-            if depth == 28 { "(paper's 64 KiB estimate)" } else { "" }
+            if depth == 28 {
+                "(paper's 64 KiB estimate)"
+            } else {
+                ""
+            }
         );
     }
     println!();

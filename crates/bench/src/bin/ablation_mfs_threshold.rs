@@ -2,16 +2,20 @@
 //! paper's design) vs routing single-recipient mail through the shared
 //! mailbox too.
 
+use rand::Rng;
 use spamaware_bench::{banner, scale_from_args};
 use spamaware_mfs::{DiskProfile, Layout};
 use spamaware_server::SimStore;
 use spamaware_sim::det_rng;
 use spamaware_trace::{MailSizeModel, RcptCountModel};
-use rand::Rng;
 
 fn main() {
     let scale = scale_from_args();
-    banner("ablation", "MFS share threshold (sinkhole-like mail stream)", scale);
+    banner(
+        "ablation",
+        "MFS share threshold (sinkhole-like mail stream)",
+        scale,
+    );
     let mut rng = det_rng(77);
     let sizes = MailSizeModel::spam();
     let rcpts = RcptCountModel::spam();
@@ -31,7 +35,7 @@ fn main() {
     for threshold in [1usize, 2, 4, 8] {
         let mut store = SimStore::with_mfs_threshold(Layout::Mfs, DiskProfile::ext3(), threshold);
         let refs: Vec<&str> = boxes.iter().map(String::as_str).collect();
-        store.prewarm(&refs);
+        store.prewarm(&refs).expect("prewarm");
         let mut total = spamaware_sim::Nanos::ZERO;
         for (chosen, size) in &mails {
             let names: Vec<&str> = chosen.iter().map(|&i| boxes[i].as_str()).collect();

@@ -36,7 +36,11 @@ fn main() {
             row[0] * 100.0,
             row[1] * 100.0,
             (row[1] - row[0]) * 100.0,
-            if secs == 86_400 { "   <- paper's setting" } else { "" }
+            if secs == 86_400 {
+                "   <- paper's setting"
+            } else {
+                ""
+            }
         );
     }
 }

@@ -8,7 +8,12 @@ fn main() {
     banner("§8", "combined performance improvement", scale);
     let mut results = Vec::new();
     for (wl, name, paper_gain, paper_dns) in [
-        (CombinedWorkload::Spam, "spam trace + ECN bounce ratio", 40.0, 39.0),
+        (
+            CombinedWorkload::Spam,
+            "spam trace + ECN bounce ratio",
+            40.0,
+            39.0,
+        ),
         (CombinedWorkload::Univ, "Univ trace", 18.0, 20.0),
     ] {
         let r = combined(scale, wl);

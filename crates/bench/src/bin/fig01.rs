@@ -19,7 +19,10 @@ fn main() {
         ("Cisco", 1.2),
         ("Barracuda", 1.1),
     ];
-    println!("  {:<18} {:>6}   (% of fingerprinted domains)", "server", "%");
+    println!(
+        "  {:<18} {:>6}   (% of fingerprinted domains)",
+        "server", "%"
+    );
     for (name, pct) in rows {
         let bar = "#".repeat((pct * 3.0) as usize);
         println!("  {name:<18} {pct:>5.1}%  {bar}");

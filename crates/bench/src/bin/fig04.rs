@@ -5,7 +5,11 @@ use spamaware_core::experiment::fig04;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Fig. 4", "CDF of recipients per connection (sinkhole)", scale);
+    banner(
+        "Fig. 4",
+        "CDF of recipients per connection (sinkhole)",
+        scale,
+    );
     let cdf = fig04(scale);
     println!("  rcpts   CDF");
     for (r, f) in &cdf {

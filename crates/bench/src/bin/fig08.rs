@@ -6,7 +6,11 @@ use spamaware_core::experiment::fig08;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Fig. 8", "goodput vs bounce ratio (Vanilla vs Hybrid)", scale);
+    banner(
+        "Fig. 8",
+        "goodput vs bounce ratio (Vanilla vs Hybrid)",
+        scale,
+    );
     let ratios = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
     println!("  bounce   Vanilla     Hybrid      ctx-switch ratio (V/H)");
     let points = fig08(scale, &ratios);

@@ -6,7 +6,11 @@ use spamaware_mfs::DiskProfile;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Fig. 10", "mails written/sec vs recipients (Ext3-journal)", scale);
+    banner(
+        "Fig. 10",
+        "mails written/sec vs recipients (Ext3-journal)",
+        scale,
+    );
     let rcpts = [1u8, 2, 3, 5, 8, 10, 12, 15];
     let points = fig10_11(scale, DiskProfile::ext3(), &rcpts);
     println!("  rcpts      MFS    Postfix    maildir   hard-link");
@@ -20,7 +24,11 @@ fn main() {
     let first = &points[0];
     let last = points.last().expect("points");
     let get = |p: &spamaware_core::experiment::Fig10Point, l: spamaware_mfs::Layout| {
-        p.throughput.iter().find(|(x, _)| *x == l).expect("layout").1
+        p.throughput
+            .iter()
+            .find(|(x, _)| *x == l)
+            .expect("layout")
+            .1
     };
     use spamaware_mfs::Layout;
     println!();

@@ -6,7 +6,11 @@ use spamaware_mfs::{DiskProfile, Layout};
 
 fn main() {
     let scale = scale_from_args();
-    banner("Fig. 11", "mails written/sec vs recipients (ReiserFS)", scale);
+    banner(
+        "Fig. 11",
+        "mails written/sec vs recipients (ReiserFS)",
+        scale,
+    );
     let rcpts = [1u8, 2, 3, 5, 8, 10, 12, 15];
     let points = fig10_11(scale, DiskProfile::reiser(), &rcpts);
     println!("  rcpts      MFS    Postfix    maildir   hard-link");
@@ -18,7 +22,13 @@ fn main() {
         println!();
     }
     let last = points.last().expect("points");
-    let get = |l: Layout| last.throughput.iter().find(|(x, _)| *x == l).expect("layout").1;
+    let get = |l: Layout| {
+        last.throughput
+            .iter()
+            .find(|(x, _)| *x == l)
+            .expect("layout")
+            .1
+    };
     println!();
     println!(
         "  at 15 rcpts, MFS outperforms hard-link by {:+.1}%, vanilla by {:+.1}%, maildir by {:+.0}%",

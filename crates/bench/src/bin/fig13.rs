@@ -5,7 +5,11 @@ use spamaware_core::experiment::fig13;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Fig. 13", "interarrival-time CDFs: per-IP vs per-/24", scale);
+    banner(
+        "Fig. 13",
+        "interarrival-time CDFs: per-IP vs per-/24",
+        scale,
+    );
     let (ip, prefix) = fig13(scale);
     println!("  per-IP interarrivals (seconds):");
     for (s, f) in thin_cdf(&ip.cdf(), 10) {

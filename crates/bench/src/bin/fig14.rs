@@ -6,7 +6,11 @@ use spamaware_core::experiment::fig14;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Fig. 14", "throughput vs connection rate (DNSBL schemes)", scale);
+    banner(
+        "Fig. 14",
+        "throughput vs connection rate (DNSBL schemes)",
+        scale,
+    );
     let rates = [40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0, 180.0, 200.0];
     println!("  offered   IP-caching   prefix-caching     gap");
     let points = fig14(scale, &rates);

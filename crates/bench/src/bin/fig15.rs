@@ -6,7 +6,11 @@ use spamaware_core::experiment::fig15;
 
 fn main() {
     let scale = scale_from_args();
-    banner("Fig. 15", "DNSBL lookup-time CDFs and cache statistics", scale);
+    banner(
+        "Fig. 15",
+        "DNSBL lookup-time CDFs and cache statistics",
+        scale,
+    );
     let f = fig15(scale);
     for (scheme, hist, hit, qfrac) in &f.rows {
         println!("  {scheme:?}:");
@@ -20,11 +24,17 @@ fn main() {
         );
         println!();
     }
-    let ip = f.rows.iter().find(|r| matches!(r.0, spamaware_core::CacheScheme::PerIp)).expect("row");
-    let pr = f.rows.iter().find(|r| matches!(r.0, spamaware_core::CacheScheme::PerPrefix)).expect("row");
-    println!(
-        "  paper: hit ratios 73.8% -> 83.9%; queries 26.22% -> 16.11% (-39%)."
-    );
+    let ip = f
+        .rows
+        .iter()
+        .find(|r| matches!(r.0, spamaware_core::CacheScheme::PerIp))
+        .expect("row");
+    let pr = f
+        .rows
+        .iter()
+        .find(|r| matches!(r.0, spamaware_core::CacheScheme::PerPrefix))
+        .expect("row");
+    println!("  paper: hit ratios 73.8% -> 83.9%; queries 26.22% -> 16.11% (-39%).");
     println!(
         "  here:  hit ratios {:.1}% -> {:.1}%; queries {:.2}% -> {:.2}% ({:+.0}%).",
         ip.2 * 100.0,

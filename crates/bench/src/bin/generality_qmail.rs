@@ -11,7 +11,11 @@ use spamaware_trace::bounce_sweep_trace;
 
 fn main() {
     let scale = scale_from_args();
-    banner("§10", "generality: qmail-like baseline vs fork-after-trust", scale);
+    banner(
+        "§10",
+        "generality: qmail-like baseline vs fork-after-trust",
+        scale,
+    );
     println!("  bounce   qmail-like   postfix-like   Hybrid     hybrid gain over qmail");
     for b in [0.0, 0.3, 0.6, 0.9] {
         let trace = bounce_sweep_trace(42, 10_000, b, 400);

@@ -8,10 +8,16 @@ fn main() {
     let scale = scale_from_args();
     banner("§6.3", "MFS vs vanilla under the sinkhole trace", scale);
     let (vanilla, mfs) = mfs_sinkhole(scale);
-    println!("  vanilla postfix: {:>7.1} mails/s ({:.1} deliveries/s)",
-        vanilla.goodput(), vanilla.delivery_throughput());
-    println!("  MFS postfix:     {:>7.1} mails/s ({:.1} deliveries/s)",
-        mfs.goodput(), mfs.delivery_throughput());
+    println!(
+        "  vanilla postfix: {:>7.1} mails/s ({:.1} deliveries/s)",
+        vanilla.goodput(),
+        vanilla.delivery_throughput()
+    );
+    println!(
+        "  MFS postfix:     {:>7.1} mails/s ({:.1} deliveries/s)",
+        mfs.goodput(),
+        mfs.delivery_throughput()
+    );
     println!();
     println!(
         "  MFS gain: {:+.1}% (paper: ~+20% at ~7 recipients/connection)",

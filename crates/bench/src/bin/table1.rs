@@ -10,16 +10,42 @@ fn main() {
     let f = 1.0 / scale.trace;
     println!("Spam trace (sinkhole, May-June 2007):");
     println!("  {:<28} {:>12} {:>14}", "", "generated", "paper");
-    println!("  {:<28} {:>12} {:>14}", "connections", t.sinkhole.connections, 101_692);
-    println!("  {:<28} {:>12} {:>14}", "unique IP addresses", t.sinkhole.unique_ips, 19_492);
-    println!("  {:<28} {:>12} {:>14}", "unique /24 prefixes", t.sinkhole.unique_prefixes, 8_832);
-    println!("  {:<28} {:>12.2} {:>14}", "mean recipients per mail", t.sinkhole.mean_rcpts, "~7");
+    println!(
+        "  {:<28} {:>12} {:>14}",
+        "connections", t.sinkhole.connections, 101_692
+    );
+    println!(
+        "  {:<28} {:>12} {:>14}",
+        "unique IP addresses", t.sinkhole.unique_ips, 19_492
+    );
+    println!(
+        "  {:<28} {:>12} {:>14}",
+        "unique /24 prefixes", t.sinkhole.unique_prefixes, 8_832
+    );
+    println!(
+        "  {:<28} {:>12.2} {:>14}",
+        "mean recipients per mail", t.sinkhole.mean_rcpts, "~7"
+    );
     println!();
     println!("Univ trace (department server, Nov 2007):");
-    println!("  {:<28} {:>12} {:>14}", "connections", t.univ.connections, 1_862_349);
-    println!("  {:<28} {:>12} {:>14}", "unique IP addresses", t.univ.unique_ips, 621_124);
-    println!("  {:<28} {:>12} {:>14}", "unique /24 prefixes", t.univ.unique_prefixes, 344_679);
-    println!("  {:<28} {:>11.0}% {:>14}", "spam ratio", t.univ.spam_ratio * 100.0, "67%");
+    println!(
+        "  {:<28} {:>12} {:>14}",
+        "connections", t.univ.connections, 1_862_349
+    );
+    println!(
+        "  {:<28} {:>12} {:>14}",
+        "unique IP addresses", t.univ.unique_ips, 621_124
+    );
+    println!(
+        "  {:<28} {:>12} {:>14}",
+        "unique /24 prefixes", t.univ.unique_prefixes, 344_679
+    );
+    println!(
+        "  {:<28} {:>11.0}% {:>14}",
+        "spam ratio",
+        t.univ.spam_ratio * 100.0,
+        "67%"
+    );
     if scale.trace < 1.0 {
         println!();
         println!("note: generated counts are at 1/{f:.0} scale; ratios are scale-free.");

@@ -81,9 +81,7 @@ pub fn thin_cdf(cdf: &[(f64, f64)], n: usize) -> Vec<(f64, f64)> {
         return cdf.to_vec();
     }
     let step = cdf.len() as f64 / n as f64;
-    let mut out: Vec<(f64, f64)> = (0..n)
-        .map(|i| cdf[(i as f64 * step) as usize])
-        .collect();
+    let mut out: Vec<(f64, f64)> = (0..n).map(|i| cdf[(i as f64 * step) as usize]).collect();
     if let Some(last) = cdf.last() {
         if out.last() != Some(last) {
             out.push(*last);

@@ -40,7 +40,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().map(String::as_str).unwrap_or("");
     match cmd {
         "stats" => {
-            let mut store = open_store(args.get(1))?;
+            let store = open_store(args.get(1))?;
             let s = store.stats();
             println!("shared mails:        {}", s.shared_mails);
             println!("shared bytes:        {}", s.shared_bytes);
@@ -93,14 +93,15 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "compact" => {
             let mut store = open_store(args.get(1))?;
-            let reclaimed = store.compact().map_err(|e| format!("compact failed: {e}"))?;
+            let reclaimed = store
+                .compact()
+                .map_err(|e| format!("compact failed: {e}"))?;
             println!("reclaimed {reclaimed} shared bytes");
             Ok(())
         }
         "trace-stats" => {
             let path = arg(args, 1, "trace file")?;
-            let trace =
-                Trace::load_file(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+            let trace = Trace::load_file(path).map_err(|e| format!("cannot load {path}: {e}"))?;
             println!("{}", TraceStats::of(&trace));
             Ok(())
         }

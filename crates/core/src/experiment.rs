@@ -12,9 +12,7 @@ use spamaware_dnsbl::{
 };
 use spamaware_mfs::{DiskProfile, Layout};
 use spamaware_netaddr::Ipv4;
-use spamaware_server::{
-    run, ClientModel, DnsConfig, RunReport, ServerConfig,
-};
+use spamaware_server::{run, ClientModel, DnsConfig, RunReport, ServerConfig};
 use spamaware_sim::metrics::Histogram;
 use spamaware_sim::{det_rng, Nanos};
 use spamaware_trace::{
@@ -321,9 +319,7 @@ pub fn fig14(scale: Scale, rates: &[f64]) -> Vec<Fig14Point> {
                     run(
                         &sink.trace,
                         cfg,
-                        ClientModel::Open {
-                            rate_per_sec: rate,
-                        },
+                        ClientModel::Open { rate_per_sec: rate },
                         scale.horizon(),
                     )
                 })

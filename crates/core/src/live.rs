@@ -25,7 +25,9 @@ use spamaware_dnsbl::{CacheScheme, CachingResolver, DnsblServer};
 use spamaware_mfs::{DataRef, MailId, MailStore, MfsStore, RealDir};
 use spamaware_netaddr::Ipv4;
 use spamaware_sim::Nanos;
-use spamaware_smtp::{Command, DataVerdict, MailAddr, ServerSession, SessionConfig, SessionOutcome};
+use spamaware_smtp::{
+    Command, DataVerdict, MailAddr, ServerSession, SessionConfig, SessionOutcome,
+};
 use std::collections::HashSet;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -171,9 +173,12 @@ impl LiveServer {
         let addr = listener
             .local_addr()
             .map_err(|e| ServeError::Io(e.to_string()))?;
-        let store = Arc::new(Mutex::new(MfsStore::open(
-            RealDir::new(&cfg.storage_root).map_err(|e| ServeError::Io(e.to_string()))?,
-        ).map_err(|e| ServeError::Io(e.to_string()))?));
+        let store = Arc::new(Mutex::new(
+            MfsStore::open(
+                RealDir::new(&cfg.storage_root).map_err(|e| ServeError::Io(e.to_string()))?,
+            )
+            .map_err(|e| ServeError::Io(e.to_string()))?,
+        ));
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(LiveStats::default());
         let next_id = Arc::new(AtomicU64::new(1));
@@ -208,8 +213,7 @@ impl LiveServer {
                 .name("master".to_owned())
                 .spawn(move || {
                     master_loop(
-                        listener, senders, stop, stats, mailboxes, hostname, dnsbl, dnsbl_udp,
-                        idle,
+                        listener, senders, stop, stats, mailboxes, hostname, dnsbl, dnsbl_udp, idle,
                     )
                 })
                 .expect("spawn master")
@@ -309,11 +313,7 @@ struct PreTrust {
 /// One blocking DNSBLv6 UDP lookup; failures degrade to an all-clear
 /// bitmap (fail-open, like production mail servers when a DNSBL times
 /// out).
-fn udp_bitmap_lookup(
-    server: SocketAddr,
-    zone: &str,
-    ip: Ipv4,
-) -> spamaware_netaddr::PrefixBitmap {
+fn udp_bitmap_lookup(server: SocketAddr, zone: &str, ip: Ipv4) -> spamaware_netaddr::PrefixBitmap {
     spamaware_dnsbl::UdpDnsbl::lookup_v6(server, zone, ip)
         .unwrap_or_else(|_| spamaware_netaddr::PrefixBitmap::empty(ip.prefix25()))
 }
@@ -359,9 +359,7 @@ fn master_loop(
                         // Real DNSBLv6 query over UDP, cached per /25.
                         let bitmap = udp_cache
                             .entry(peer_ip.prefix25())
-                            .or_insert_with(|| {
-                                udp_bitmap_lookup(*server_addr, zone, peer_ip)
-                            });
+                            .or_insert_with(|| udp_bitmap_lookup(*server_addr, zone, peer_ip));
                         if bitmap.contains(peer_ip) {
                             stats.blacklisted.fetch_add(1, Ordering::Relaxed);
                         }
@@ -547,20 +545,15 @@ fn worker_loop(
                                     .iter()
                                     .map(|a| a.local_part().to_owned())
                                     .collect();
-                                let refs: Vec<&str> =
-                                    names.iter().map(String::as_str).collect();
-                                let stored = store
-                                    .lock()
-                                    .deliver(id, &refs, DataRef::Bytes(&env.body));
+                                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                                let stored =
+                                    store.lock().deliver(id, &refs, DataRef::Bytes(&env.body));
                                 let reply = match stored {
                                     Ok(()) => {
                                         stats.mails_stored.fetch_add(1, Ordering::Relaxed);
                                         reply
                                     }
-                                    Err(_) => spamaware_smtp::Reply::new(
-                                        451,
-                                        "4.3.0 Storage failure",
-                                    ),
+                                    Err(_) => spamaware_smtp::Reply::local_error(),
                                 };
                                 if write_reply(&mut stream, &reply).is_err() {
                                     break 'conn;
@@ -575,8 +568,7 @@ fn worker_loop(
                             if reply.code() == 354 {
                                 in_data = true;
                             }
-                            let closing =
-                                session.phase() == spamaware_smtp::SessionPhase::Closed;
+                            let closing = session.phase() == spamaware_smtp::SessionPhase::Closed;
                             if write_reply(&mut stream, &reply).is_err() {
                                 break 'conn;
                             }
@@ -587,8 +579,7 @@ fn worker_loop(
                     }
                     Ok(None) => break,
                     Err(()) => {
-                        let _ =
-                            write_reply(&mut stream, &spamaware_smtp::Reply::syntax_error());
+                        let _ = write_reply(&mut stream, &spamaware_smtp::Reply::syntax_error());
                         break 'conn;
                     }
                 }

@@ -199,8 +199,8 @@ fn session(
                 None => writeln!(out, "-ERR USER first\r")?,
             },
             "STAT" if st.authed => {
-                let (n, bytes) = live(&st)
-                    .fold((0usize, 0usize), |(n, b), (_, (_, sz))| (n + 1, b + sz));
+                let (n, bytes) =
+                    live(&st).fold((0usize, 0usize), |(n, b), (_, (_, sz))| (n + 1, b + sz));
                 writeln!(out, "+OK {n} {bytes}\r")?;
             }
             "LIST" if st.authed => {
@@ -270,9 +270,7 @@ fn session(
 }
 
 /// Live (not deletion-marked) messages with their 0-based indices.
-fn live<'a>(
-    st: &'a SessionState,
-) -> impl Iterator<Item = (usize, &'a (MailId, usize))> + 'a {
+fn live<'a>(st: &'a SessionState) -> impl Iterator<Item = (usize, &'a (MailId, usize))> + 'a {
     st.listing
         .iter()
         .enumerate()

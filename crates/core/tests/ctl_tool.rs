@@ -48,7 +48,9 @@ fn ctl_inspects_compacts_and_deletes() {
             "RCPT TO:<bob@dept.example>",
             "DATA",
         ] {
-            stream.write_all(format!("{cmd}\r\n").as_bytes()).expect("w");
+            stream
+                .write_all(format!("{cmd}\r\n").as_bytes())
+                .expect("w");
             line.clear();
             reader.read_line(&mut line).expect("r");
         }
@@ -98,10 +100,8 @@ fn ctl_inspects_compacts_and_deletes() {
 #[test]
 fn ctl_trace_stats_roundtrip() {
     let trace = spamaware_trace::bounce_sweep_trace(3, 200, 0.25, 50);
-    let path = std::env::temp_dir().join(format!(
-        "spamaware-ctl-trace-{}.json",
-        std::process::id()
-    ));
+    let path =
+        std::env::temp_dir().join(format!("spamaware-ctl-trace-{}.json", std::process::id()));
     trace.save_file(&path).expect("save");
     let (out, ok) = ctl(&["trace-stats", &path.to_string_lossy()]);
     assert!(ok, "{out}");

@@ -177,10 +177,7 @@ mod tests {
 
     #[test]
     fn listing_code_answer_address() {
-        assert_eq!(
-            ListingCode::GENERIC.answer_addr(),
-            Ipv4::new(127, 0, 0, 2)
-        );
+        assert_eq!(ListingCode::GENERIC.answer_addr(), Ipv4::new(127, 0, 0, 2));
         assert_eq!(ListingCode(9).answer_addr().to_string(), "127.0.0.9");
     }
 

@@ -58,7 +58,7 @@ pub fn paper_servers() -> Vec<(&'static str, LatencyModel)> {
         ("bl.spamcop.net", LatencyModel::new(55.0, 0.90, 0.06)),
         ("sbl-xbl.spamhaus.org", LatencyModel::new(62.0, 0.95, 0.08)),
         ("dnsbl.sorbs.net", LatencyModel::new(75.0, 1.00, 0.10)),
-        ("dul.dnsbl.sorbs.net", LatencyModel::new(98.0, 1.05, 0.12)),
+        ("dul.dnsbl.sorbs.net", LatencyModel::new(84.0, 1.05, 0.12)),
     ]
 }
 

@@ -166,11 +166,12 @@ impl CachingResolver {
             self.ip_cache.retain(|_, (expiry, _)| *expiry > now);
             while self.ip_cache.len() >= cap {
                 let victim = self
+                    // lint:allow(hashmap-iter): selection tie-broken by key, order-independent
                     .ip_cache
                     .iter()
-                    .min_by_key(|(_, (expiry, _))| *expiry)
-                    .map(|(k, _)| *k)
-                    .expect("nonempty cache");
+                    .min_by_key(|(k, (expiry, _))| (*expiry, **k))
+                    .map(|(k, _)| *k);
+                let Some(victim) = victim else { break };
                 self.ip_cache.remove(&victim);
                 self.stats.evictions += 1;
             }
@@ -179,11 +180,12 @@ impl CachingResolver {
             self.prefix_cache.retain(|_, (expiry, _)| *expiry > now);
             while self.prefix_cache.len() >= cap {
                 let victim = self
+                    // lint:allow(hashmap-iter): selection tie-broken by key, order-independent
                     .prefix_cache
                     .iter()
-                    .min_by_key(|(_, (expiry, _))| *expiry)
-                    .map(|(k, _)| *k)
-                    .expect("nonempty cache");
+                    .min_by_key(|(k, (expiry, _))| (*expiry, **k))
+                    .map(|(k, _)| *k);
+                let Some(victim) = victim else { break };
                 self.prefix_cache.remove(&victim);
                 self.stats.evictions += 1;
             }
@@ -290,7 +292,12 @@ mod capacity_tests {
             CachingResolver::new(CacheScheme::PerIp, Nanos::from_secs(3600)).with_capacity(8);
         let mut rng = det_rng(90);
         for i in 0..64u8 {
-            r.lookup(Ipv4::new(10, 0, i, 1), Nanos::from_secs(i as u64), &s, &mut rng);
+            r.lookup(
+                Ipv4::new(10, 0, i, 1),
+                Nanos::from_secs(i as u64),
+                &s,
+                &mut rng,
+            );
         }
         assert!(r.cached_entries() <= 8);
         assert!(r.stats().evictions >= 56);
@@ -299,8 +306,7 @@ mod capacity_tests {
     #[test]
     fn eviction_prefers_expired_entries() {
         let s = tiny_server();
-        let mut r =
-            CachingResolver::new(CacheScheme::PerIp, Nanos::from_secs(10)).with_capacity(2);
+        let mut r = CachingResolver::new(CacheScheme::PerIp, Nanos::from_secs(10)).with_capacity(2);
         let mut rng = det_rng(91);
         r.lookup(Ipv4::new(10, 0, 0, 1), Nanos::from_secs(0), &s, &mut rng);
         r.lookup(Ipv4::new(10, 0, 1, 1), Nanos::from_secs(1), &s, &mut rng);
@@ -314,8 +320,8 @@ mod capacity_tests {
     #[test]
     fn bounded_cache_still_correct() {
         let s = tiny_server();
-        let mut r = CachingResolver::new(CacheScheme::PerPrefix, Nanos::from_secs(3600))
-            .with_capacity(4);
+        let mut r =
+            CachingResolver::new(CacheScheme::PerPrefix, Nanos::from_secs(3600)).with_capacity(4);
         let mut rng = det_rng(92);
         for round in 0..3u64 {
             for i in 0..16u8 {
@@ -380,16 +386,34 @@ mod tests {
         let s = server();
         let mut r = CachingResolver::new(CacheScheme::PerPrefix, DAY);
         let mut rng = det_rng(72);
-        assert!(!r.lookup(Ipv4::new(203, 0, 113, 7), Nanos::ZERO, &s, &mut rng).cache_hit);
+        assert!(
+            !r.lookup(Ipv4::new(203, 0, 113, 7), Nanos::ZERO, &s, &mut rng)
+                .cache_hit
+        );
         // Neighbour in same /25: hit, and correctly listed.
-        let o = r.lookup(Ipv4::new(203, 0, 113, 77), Nanos::from_secs(9), &s, &mut rng);
+        let o = r.lookup(
+            Ipv4::new(203, 0, 113, 77),
+            Nanos::from_secs(9),
+            &s,
+            &mut rng,
+        );
         assert!(o.cache_hit && o.listed);
         // Unlisted neighbour: hit, and correctly NOT listed (no punishment
         // of unlisted IPs — paper §7.1).
-        let o = r.lookup(Ipv4::new(203, 0, 113, 9), Nanos::from_secs(10), &s, &mut rng);
+        let o = r.lookup(
+            Ipv4::new(203, 0, 113, 9),
+            Nanos::from_secs(10),
+            &s,
+            &mut rng,
+        );
         assert!(o.cache_hit && !o.listed);
         // Other half of the /24 is a different /25: miss.
-        let o = r.lookup(Ipv4::new(203, 0, 113, 200), Nanos::from_secs(11), &s, &mut rng);
+        let o = r.lookup(
+            Ipv4::new(203, 0, 113, 200),
+            Nanos::from_secs(11),
+            &s,
+            &mut rng,
+        );
         assert!(!o.cache_hit);
         assert_eq!(r.stats().queries_issued, 2);
     }
@@ -401,8 +425,14 @@ mod tests {
         let mut rng = det_rng(73);
         let ip = Ipv4::new(203, 0, 113, 7);
         r.lookup(ip, Nanos::ZERO, &s, &mut rng);
-        assert!(r.lookup(ip, DAY - Nanos::from_secs(1), &s, &mut rng).cache_hit);
-        assert!(!r.lookup(ip, DAY + Nanos::from_secs(1), &s, &mut rng).cache_hit);
+        assert!(
+            r.lookup(ip, DAY - Nanos::from_secs(1), &s, &mut rng)
+                .cache_hit
+        );
+        assert!(
+            !r.lookup(ip, DAY + Nanos::from_secs(1), &s, &mut rng)
+                .cache_hit
+        );
         assert_eq!(r.stats().queries_issued, 2);
     }
 

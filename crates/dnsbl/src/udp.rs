@@ -67,8 +67,7 @@ impl UdpDnsbl {
             let stats = Arc::clone(&stats);
             std::thread::Builder::new()
                 .name("dnsblv6".to_owned())
-                .spawn(move || serve(socket, &zone, &db, &stop, &stats))
-                .expect("spawn dnsbl thread")
+                .spawn(move || serve(socket, &zone, &db, &stop, &stats))?
         };
         Ok(UdpDnsbl {
             addr,
@@ -113,7 +112,10 @@ impl UdpDnsbl {
         ip: spamaware_netaddr::Ipv4,
     ) -> std::io::Result<Option<spamaware_netaddr::Ipv4>> {
         let name = spamaware_netaddr::QueryName::encode(ip, QueryScheme::Ipv4, zone);
-        let resp = Self::exchange(server, Message::query(rand_id(), name.as_str(), RecordType::A))?;
+        let resp = Self::exchange(
+            server,
+            Message::query(next_query_id(), name.as_str(), RecordType::A),
+        )?;
         Ok(resp
             .answers
             .iter()
@@ -133,15 +135,20 @@ impl UdpDnsbl {
         ip: spamaware_netaddr::Ipv4,
     ) -> std::io::Result<spamaware_netaddr::PrefixBitmap> {
         let name = spamaware_netaddr::QueryName::encode(ip, QueryScheme::PrefixV6, zone);
-        let resp =
-            Self::exchange(server, Message::query(rand_id(), name.as_str(), RecordType::Aaaa))?;
+        let resp = Self::exchange(
+            server,
+            Message::query(next_query_id(), name.as_str(), RecordType::Aaaa),
+        )?;
         let bytes: [u8; 16] = resp
             .answers
             .iter()
-            .find(|a| a.rtype == RecordType::Aaaa && a.rdata.len() == 16)
-            .map(|a| a.rdata.clone().try_into().expect("16 bytes"))
+            .filter(|a| a.rtype == RecordType::Aaaa)
+            .find_map(|a| <[u8; 16]>::try_from(a.rdata.as_slice()).ok())
             .unwrap_or([0u8; 16]);
-        Ok(spamaware_netaddr::PrefixBitmap::from_wire(ip.prefix25(), bytes))
+        Ok(spamaware_netaddr::PrefixBitmap::from_wire(
+            ip.prefix25(),
+            bytes,
+        ))
     }
 
     fn exchange(server: SocketAddr, query: Message) -> std::io::Result<Message> {
@@ -161,18 +168,16 @@ impl Drop for UdpDnsbl {
     }
 }
 
-fn rand_id() -> u16 {
-    use rand::Rng;
-    rand::thread_rng().gen()
+/// Query IDs only need to be unique per outstanding query on this stub
+/// client; a process-wide counter keeps them deterministic (determinism
+/// lint: no ambient RNG in dnsbl).
+fn next_query_id() -> u16 {
+    use std::sync::atomic::AtomicU16;
+    static NEXT: AtomicU16 = AtomicU16::new(0x5a5a);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
-fn serve(
-    socket: UdpSocket,
-    zone: &str,
-    db: &BlacklistDb,
-    stop: &AtomicBool,
-    stats: &UdpStats,
-) {
+fn serve(socket: UdpSocket, zone: &str, db: &BlacklistDb, stop: &AtomicBool, stats: &UdpStats) {
     // Reuse the name-level answering logic through a zero-latency server
     // model so UDP and simulation agree byte-for-byte on the bitmaps.
     let model = crate::DnsblServer::new(zone, db.clone(), crate::LatencyModel::new(1.0, 0.1, 0.0));
@@ -245,41 +250,39 @@ mod tests {
     }
 
     #[test]
-    fn classic_lookup_over_udp() {
+    fn classic_lookup_over_udp() -> Result<(), Box<dyn std::error::Error>> {
         let s = server();
-        let listed = UdpDnsbl::lookup_v4(s.local_addr(), "bl.example", Ipv4::new(203, 0, 113, 7))
-            .expect("lookup");
+        let listed = UdpDnsbl::lookup_v4(s.local_addr(), "bl.example", Ipv4::new(203, 0, 113, 7))?;
         assert_eq!(listed, Some(Ipv4::new(127, 0, 0, 2)));
-        let clean = UdpDnsbl::lookup_v4(s.local_addr(), "bl.example", Ipv4::new(203, 0, 113, 8))
-            .expect("lookup");
+        let clean = UdpDnsbl::lookup_v4(s.local_addr(), "bl.example", Ipv4::new(203, 0, 113, 8))?;
         assert_eq!(clean, None);
         assert!(s.stats().answered.load(Ordering::Relaxed) >= 2);
         s.shutdown();
+        Ok(())
     }
 
     #[test]
-    fn bitmap_lookup_over_udp() {
+    fn bitmap_lookup_over_udp() -> Result<(), Box<dyn std::error::Error>> {
         let s = server();
-        let bm = UdpDnsbl::lookup_v6(s.local_addr(), "bl.example", Ipv4::new(203, 0, 113, 9))
-            .expect("lookup");
+        let bm = UdpDnsbl::lookup_v6(s.local_addr(), "bl.example", Ipv4::new(203, 0, 113, 9))?;
         assert!(bm.contains(Ipv4::new(203, 0, 113, 7)));
         assert!(bm.contains(Ipv4::new(203, 0, 113, 77)));
         assert!(!bm.contains(Ipv4::new(203, 0, 113, 9)));
         assert_eq!(bm.count(), 2, "only the lower /25");
         s.shutdown();
+        Ok(())
     }
 
     #[test]
-    fn malformed_packets_are_counted_not_fatal() {
+    fn malformed_packets_are_counted_not_fatal() -> Result<(), Box<dyn std::error::Error>> {
         let s = server();
-        let sock = UdpSocket::bind(("127.0.0.1", 0)).expect("bind");
-        sock.send_to(b"junk", s.local_addr()).expect("send");
+        let sock = UdpSocket::bind(("127.0.0.1", 0))?;
+        sock.send_to(b"junk", s.local_addr())?;
         // Server keeps answering afterwards.
-        let listed =
-            UdpDnsbl::lookup_v4(s.local_addr(), "bl.example", Ipv4::new(203, 0, 113, 7))
-                .expect("lookup");
+        let listed = UdpDnsbl::lookup_v4(s.local_addr(), "bl.example", Ipv4::new(203, 0, 113, 7))?;
         assert!(listed.is_some());
         assert!(s.stats().malformed.load(Ordering::Relaxed) >= 1);
         s.shutdown();
+        Ok(())
     }
 }

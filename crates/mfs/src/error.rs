@@ -16,6 +16,8 @@ pub enum StoreError {
     CorruptRecord(String),
     /// An offset/length fell outside the file.
     OutOfRange(String),
+    /// A fixed-width record field could not be read (short buffer).
+    TruncatedField(String),
     /// An underlying I/O failure (real-filesystem backend).
     Io(String),
 }
@@ -30,6 +32,7 @@ impl fmt::Display for StoreError {
             }
             StoreError::CorruptRecord(d) => write!(f, "corrupt stored record: {d}"),
             StoreError::OutOfRange(d) => write!(f, "access out of range: {d}"),
+            StoreError::TruncatedField(d) => write!(f, "truncated record field: {d}"),
             StoreError::Io(e) => write!(f, "storage i/o error: {e}"),
         }
     }
@@ -76,4 +79,17 @@ mod tests {
         let other = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied");
         assert!(matches!(StoreError::from(other), StoreError::Io(_)));
     }
+}
+
+/// Reads an `N`-byte big-endian field out of a record buffer, turning a
+/// short buffer into a typed [`StoreError::TruncatedField`] instead of a
+/// panic — decode paths may face hostile or corrupt bytes.
+pub(crate) fn be_array<const N: usize>(
+    b: &[u8],
+    at: usize,
+    path: &str,
+) -> Result<[u8; N], StoreError> {
+    b.get(at..at + N)
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or_else(|| StoreError::TruncatedField(format!("{path}: {N}-byte field at offset {at}")))
 }

@@ -146,35 +146,32 @@ mod tests {
     }
 
     #[test]
-    fn all_layouts_surface_read_faults() {
+    fn all_layouts_surface_read_faults() -> Result<(), Box<dyn std::error::Error>> {
         for layout in Layout::ALL {
             let mut store = layout.build({
                 let mut fs = FaultyBackend::new(MemFs::new());
                 fs.plan_mut().fail_reads = false;
                 fs
             });
-            store
-                .deliver(MailId(1), &["a"], DataRef::Bytes(b"x"))
-                .unwrap();
+            store.deliver(MailId(1), &["a"], DataRef::Bytes(b"x"))?;
             // No direct plan access after boxing: deliver a read fault by
             // rebuilding instead. Covered per-layout below for MFS.
-            let _ = store.read_mailbox("a").unwrap();
+            let _ = store.read_mailbox("a")?;
         }
         // Focused read-fault check on MFS (the layout with the most read
         // paths: key replay + shared data).
         let mut fs = FaultyBackend::new(MemFs::new());
         let mut store = MfsStore::new(fs);
-        store
-            .deliver(MailId(1), &["a", "b"], DataRef::Bytes(b"shared"))
-            .unwrap();
+        store.deliver(MailId(1), &["a", "b"], DataRef::Bytes(b"shared"))?;
         store.backend_mut().plan_mut().fail_reads = true;
         assert!(store.read_mailbox("a").is_err());
         fs = std::mem::replace(store.backend_mut(), FaultyBackend::new(MemFs::new()));
         let _ = fs;
+        Ok(())
     }
 
     #[test]
-    fn mfs_partial_write_failure_is_recoverable() {
+    fn mfs_partial_write_failure_is_recoverable() -> Result<(), Box<dyn std::error::Error>> {
         // Fail midway through a multi-recipient delivery, then recover by
         // replaying the key files: the store must come back self-consistent
         // (some recipients may have the mail, none may be corrupt).
@@ -182,28 +179,28 @@ mod tests {
         fs.plan_mut().fail_after = Some(4);
         let mut store = MfsStore::new(fs);
         let _ = store.deliver(MailId(1), &["a", "b", "c", "d"], DataRef::Bytes(b"mail"));
-        let inner = std::mem::replace(store.backend_mut(), FaultyBackend::new(MemFs::new()))
-            .into_inner();
-        let mut recovered = MfsStore::open(inner).unwrap();
+        let inner =
+            std::mem::replace(store.backend_mut(), FaultyBackend::new(MemFs::new())).into_inner();
+        let mut recovered = MfsStore::open(inner)?;
         // Every mailbox either has the complete mail or nothing.
         for mb in ["a", "b", "c", "d"] {
-            let mails = recovered.read_mailbox(mb).unwrap();
+            let mails = recovered.read_mailbox(mb)?;
             assert!(mails.len() <= 1, "{mb}");
             if let Some(m) = mails.first() {
                 assert_eq!(m.body, b"mail", "{mb}");
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn replay_surfaces_read_faults() {
+    fn replay_surfaces_read_faults() -> Result<(), Box<dyn std::error::Error>> {
         let mut store = MfsStore::new(MemFs::new());
-        store
-            .deliver(MailId(1), &["a"], DataRef::Bytes(b"x"))
-            .unwrap();
+        store.deliver(MailId(1), &["a"], DataRef::Bytes(b"x"))?;
         let inner = std::mem::replace(store.backend_mut(), MemFs::new());
         let mut faulty = FaultyBackend::new(inner);
         faulty.plan_mut().fail_reads = true;
         assert!(MfsStore::open(faulty).is_err());
+        Ok(())
     }
 }

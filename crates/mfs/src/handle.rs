@@ -62,7 +62,12 @@ impl<B: Backend> MfsStore<B> {
     ///
     /// [`StoreError::OutOfRange`] if the target falls outside
     /// `0..=mail_count`.
-    pub fn mail_seek(&mut self, file: &mut MailFile, offset: i64, whence: Whence) -> StoreResult<()> {
+    pub fn mail_seek(
+        &mut self,
+        file: &mut MailFile,
+        offset: i64,
+        whence: Whence,
+    ) -> StoreResult<()> {
         let count = self.mail_count(&file.mailbox) as i64;
         let base = match whence {
             Whence::Set => 0,
@@ -155,25 +160,27 @@ mod tests {
     }
 
     #[test]
-    fn read_iterates_in_order() {
+    fn read_iterates_in_order() -> Result<(), Box<dyn std::error::Error>> {
         let (mut s, mut f) = store_with_mail();
         let mut ids = Vec::new();
-        while let Some(m) = s.mail_read(&mut f).unwrap() {
+        while let Some(m) = s.mail_read(&mut f)? {
             ids.push(m.id.0);
         }
         assert_eq!(ids, vec![1, 2, 3]);
-        assert!(s.mail_read(&mut f).unwrap().is_none());
+        assert!(s.mail_read(&mut f)?.is_none());
+        Ok(())
     }
 
     #[test]
-    fn seek_set_cur_end() {
+    fn seek_set_cur_end() -> Result<(), Box<dyn std::error::Error>> {
         let (mut s, mut f) = store_with_mail();
-        s.mail_seek(&mut f, 2, Whence::Set).unwrap();
-        assert_eq!(s.mail_read(&mut f).unwrap().unwrap().id, MailId(3));
-        s.mail_seek(&mut f, -2, Whence::Cur).unwrap();
-        assert_eq!(s.mail_read(&mut f).unwrap().unwrap().id, MailId(2));
-        s.mail_seek(&mut f, -3, Whence::End).unwrap();
-        assert_eq!(s.mail_read(&mut f).unwrap().unwrap().id, MailId(1));
+        s.mail_seek(&mut f, 2, Whence::Set)?;
+        assert_eq!(s.mail_read(&mut f)?.ok_or("eof")?.id, MailId(3));
+        s.mail_seek(&mut f, -2, Whence::Cur)?;
+        assert_eq!(s.mail_read(&mut f)?.ok_or("eof")?.id, MailId(2));
+        s.mail_seek(&mut f, -3, Whence::End)?;
+        assert_eq!(s.mail_read(&mut f)?.ok_or("eof")?.id, MailId(1));
+        Ok(())
     }
 
     #[test]
@@ -187,36 +194,38 @@ mod tests {
     }
 
     #[test]
-    fn nwrite_through_handles() {
+    fn nwrite_through_handles() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = MfsStore::new(MemFs::new());
-        let a = s.mail_open("a").unwrap();
-        let b = s.mail_open("b").unwrap();
-        s.mail_nwrite(&[&a, &b], MailId(9), DataRef::Bytes(b"multi"))
-            .unwrap();
+        let a = s.mail_open("a")?;
+        let b = s.mail_open("b")?;
+        s.mail_nwrite(&[&a, &b], MailId(9), DataRef::Bytes(b"multi"))?;
         assert_eq!(s.stats().shared_mails, 1);
         let mut a = a;
-        assert_eq!(s.mail_read(&mut a).unwrap().unwrap().body, b"multi");
+        assert_eq!(s.mail_read(&mut a)?.ok_or("eof")?.body, b"multi");
+        Ok(())
     }
 
     #[test]
-    fn delete_at_cursor_shifts_stream() {
+    fn delete_at_cursor_shifts_stream() -> Result<(), Box<dyn std::error::Error>> {
         let (mut s, mut f) = store_with_mail();
-        s.mail_seek(&mut f, 1, Whence::Set).unwrap();
-        s.mail_delete(&mut f).unwrap();
+        s.mail_seek(&mut f, 1, Whence::Set)?;
+        s.mail_delete(&mut f)?;
         // Cursor now points at what was mail 3.
-        assert_eq!(s.mail_read(&mut f).unwrap().unwrap().id, MailId(3));
-        s.mail_seek(&mut f, 0, Whence::Set).unwrap();
-        assert_eq!(s.mail_read(&mut f).unwrap().unwrap().id, MailId(1));
+        assert_eq!(s.mail_read(&mut f)?.ok_or("eof")?.id, MailId(3));
+        s.mail_seek(&mut f, 0, Whence::Set)?;
+        assert_eq!(s.mail_read(&mut f)?.ok_or("eof")?.id, MailId(1));
+        Ok(())
     }
 
     #[test]
-    fn delete_at_end_errors() {
+    fn delete_at_end_errors() -> Result<(), Box<dyn std::error::Error>> {
         let (mut s, mut f) = store_with_mail();
-        s.mail_seek(&mut f, 0, Whence::End).unwrap();
+        s.mail_seek(&mut f, 0, Whence::End)?;
         assert!(matches!(
             s.mail_delete(&mut f),
             Err(StoreError::OutOfRange(_))
         ));
+        Ok(())
     }
 
     #[test]

@@ -144,72 +144,70 @@ mod tests {
     use crate::MemFs;
 
     #[test]
-    fn maildir_creates_file_per_recipient() {
+    fn maildir_creates_file_per_recipient() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = MaildirStore::new(MemFs::new());
-        s.deliver(MailId(1), &["a", "b"], DataRef::Bytes(b"body"))
-            .unwrap();
+        s.deliver(MailId(1), &["a", "b"], DataRef::Bytes(b"body"))?;
         assert_eq!(s.backend().inode_count(), 2);
         assert_eq!(s.backend().total_bytes(), 8);
-        assert_eq!(s.read_mailbox("a").unwrap()[0].body, b"body");
+        assert_eq!(s.read_mailbox("a")?[0].body, b"body");
+        Ok(())
     }
 
     #[test]
-    fn hardlink_shares_one_inode() {
+    fn hardlink_shares_one_inode() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = HardlinkStore::new(MemFs::new());
-        s.deliver(MailId(1), &["a", "b", "c"], DataRef::Bytes(b"body"))
-            .unwrap();
+        s.deliver(MailId(1), &["a", "b", "c"], DataRef::Bytes(b"body"))?;
         // One inode, three names: single-instance storage.
         assert_eq!(s.backend().inode_count(), 1);
         assert_eq!(s.backend().total_bytes(), 4);
         for mb in ["a", "b", "c"] {
-            assert_eq!(s.read_mailbox(mb).unwrap()[0].body, b"body");
+            assert_eq!(s.read_mailbox(mb)?[0].body, b"body");
         }
+        Ok(())
     }
 
     #[test]
-    fn hardlink_delete_preserves_other_recipients() {
+    fn hardlink_delete_preserves_other_recipients() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = HardlinkStore::new(MemFs::new());
-        s.deliver(MailId(1), &["a", "b"], DataRef::Bytes(b"x")).unwrap();
-        s.delete("a", MailId(1)).unwrap();
-        assert!(s.read_mailbox("a").unwrap().is_empty());
-        assert_eq!(s.read_mailbox("b").unwrap().len(), 1);
+        s.deliver(MailId(1), &["a", "b"], DataRef::Bytes(b"x"))?;
+        s.delete("a", MailId(1))?;
+        assert!(s.read_mailbox("a")?.is_empty());
+        assert_eq!(s.read_mailbox("b")?.len(), 1);
         // Deleting the last link frees the inode.
-        s.delete("b", MailId(1)).unwrap();
+        s.delete("b", MailId(1))?;
         assert_eq!(s.backend().inode_count(), 0);
+        Ok(())
     }
 
     #[test]
-    fn maildir_read_order_follows_ids() {
+    fn maildir_read_order_follows_ids() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = MaildirStore::new(MemFs::new());
         // Deliver out of id order: read-back must sort by id.
         for raw in [3u64, 1, 2] {
-            s.deliver(MailId(raw), &["inbox"], DataRef::Bytes(&[raw as u8]))
-                .unwrap();
+            s.deliver(MailId(raw), &["inbox"], DataRef::Bytes(&[raw as u8]))?;
         }
-        let ids: Vec<u64> = s
-            .read_mailbox("inbox")
-            .unwrap()
-            .iter()
-            .map(|m| m.id.0)
-            .collect();
+        let ids: Vec<u64> = s.read_mailbox("inbox")?.iter().map(|m| m.id.0).collect();
         assert_eq!(ids, vec![1, 2, 3]);
+        Ok(())
     }
 
     #[test]
-    fn duplicate_delivery_is_rejected() {
+    fn duplicate_delivery_is_rejected() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = MaildirStore::new(MemFs::new());
-        s.deliver(MailId(1), &["a"], DataRef::Bytes(b"x")).unwrap();
+        s.deliver(MailId(1), &["a"], DataRef::Bytes(b"x"))?;
         assert!(matches!(
             s.deliver(MailId(1), &["a"], DataRef::Bytes(b"x")),
             Err(StoreError::AlreadyExists(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn hardlink_empty_recipient_list_is_noop() {
+    fn hardlink_empty_recipient_list_is_noop() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = HardlinkStore::new(MemFs::new());
-        s.deliver(MailId(1), &[], DataRef::Bytes(b"x")).unwrap();
+        s.deliver(MailId(1), &[], DataRef::Bytes(b"x"))?;
         assert_eq!(s.backend().inode_count(), 0);
+        Ok(())
     }
 
     #[test]

@@ -59,14 +59,14 @@ impl<B: Backend> MboxStore<B> {
         if bytes.len() < HEADER_LEN as usize {
             return Err(StoreError::CorruptRecord(format!("{path}: short header")));
         }
-        let magic = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes"));
+        let magic = u32::from_be_bytes(crate::error::be_array(bytes, 0, path)?);
         if magic != MAGIC {
             return Err(StoreError::CorruptRecord(format!(
                 "{path}: bad magic {magic:#x}"
             )));
         }
-        let id = MailId(u64::from_be_bytes(bytes[4..12].try_into().expect("8")));
-        let len = u64::from_be_bytes(bytes[12..20].try_into().expect("8"));
+        let id = MailId(u64::from_be_bytes(crate::error::be_array(bytes, 4, path)?));
+        let len = u64::from_be_bytes(crate::error::be_array(bytes, 12, path)?);
         Ok((id, len))
     }
 
@@ -150,74 +150,79 @@ mod tests {
     }
 
     #[test]
-    fn multi_recipient_writes_body_per_mailbox() {
+    fn multi_recipient_writes_body_per_mailbox() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
-        s.deliver(MailId(1), &["a", "b", "c"], DataRef::Bytes(b"body"))
-            .unwrap();
+        s.deliver(MailId(1), &["a", "b", "c"], DataRef::Bytes(b"body"))?;
         for mb in ["a", "b", "c"] {
-            let mails = s.read_mailbox(mb).unwrap();
+            let mails = s.read_mailbox(mb)?;
             assert_eq!(mails.len(), 1);
             assert_eq!(mails[0].body, b"body");
         }
         // 3 copies on disk: the duplicated I/O.
         assert_eq!(s.backend().total_bytes(), 3 * (20 + 4));
+        Ok(())
     }
 
     #[test]
-    fn delivery_order_is_preserved() {
+    fn delivery_order_is_preserved() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
         for i in 1..=5u64 {
-            s.deliver(MailId(i), &["inbox"], DataRef::Bytes(&[i as u8]))
-                .unwrap();
+            s.deliver(MailId(i), &["inbox"], DataRef::Bytes(&[i as u8]))?;
         }
-        let mails = s.read_mailbox("inbox").unwrap();
+        let mails = s.read_mailbox("inbox")?;
         let ids: Vec<u64> = mails.iter().map(|m| m.id.0).collect();
         assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+        Ok(())
     }
 
     #[test]
-    fn delete_rewrites_without_record() {
+    fn delete_rewrites_without_record() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
-        s.deliver(MailId(1), &["inbox"], DataRef::Bytes(b"one")).unwrap();
-        s.deliver(MailId(2), &["inbox"], DataRef::Bytes(b"two")).unwrap();
-        s.deliver(MailId(3), &["inbox"], DataRef::Bytes(b"three")).unwrap();
-        s.delete("inbox", MailId(2)).unwrap();
-        let mails = s.read_mailbox("inbox").unwrap();
+        s.deliver(MailId(1), &["inbox"], DataRef::Bytes(b"one"))?;
+        s.deliver(MailId(2), &["inbox"], DataRef::Bytes(b"two"))?;
+        s.deliver(MailId(3), &["inbox"], DataRef::Bytes(b"three"))?;
+        s.delete("inbox", MailId(2))?;
+        let mails = s.read_mailbox("inbox")?;
         assert_eq!(mails.len(), 2);
         assert_eq!(mails[0].body, b"one");
         assert_eq!(mails[1].body, b"three");
+        Ok(())
     }
 
     #[test]
-    fn delete_only_affects_one_mailbox() {
+    fn delete_only_affects_one_mailbox() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
-        s.deliver(MailId(7), &["a", "b"], DataRef::Bytes(b"x")).unwrap();
-        s.delete("a", MailId(7)).unwrap();
-        assert!(s.read_mailbox("a").unwrap().is_empty());
-        assert_eq!(s.read_mailbox("b").unwrap().len(), 1);
+        s.deliver(MailId(7), &["a", "b"], DataRef::Bytes(b"x"))?;
+        s.delete("a", MailId(7))?;
+        assert!(s.read_mailbox("a")?.is_empty());
+        assert_eq!(s.read_mailbox("b")?.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn delete_missing_mail_errors() {
+    fn delete_missing_mail_errors() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
-        s.deliver(MailId(1), &["inbox"], DataRef::Bytes(b"x")).unwrap();
+        s.deliver(MailId(1), &["inbox"], DataRef::Bytes(b"x"))?;
         assert!(matches!(
             s.delete("inbox", MailId(9)),
             Err(StoreError::NotFound(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn empty_mailbox_reads_empty() {
+    fn empty_mailbox_reads_empty() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
-        assert!(s.read_mailbox("nobody").unwrap().is_empty());
+        assert!(s.read_mailbox("nobody")?.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn zero_length_body_roundtrips() {
+    fn zero_length_body_roundtrips() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
-        s.deliver(MailId(1), &["inbox"], DataRef::Bytes(b"")).unwrap();
-        let mails = s.read_mailbox("inbox").unwrap();
+        s.deliver(MailId(1), &["inbox"], DataRef::Bytes(b""))?;
+        let mails = s.read_mailbox("inbox")?;
         assert_eq!(mails[0].body, Vec::<u8>::new());
+        Ok(())
     }
 }

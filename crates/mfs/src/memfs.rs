@@ -185,36 +185,36 @@ mod tests {
     use super::*;
 
     #[test]
-    fn create_then_append_reads_back() {
+    fn create_then_append_reads_back() -> Result<(), Box<dyn std::error::Error>> {
         let mut fs = MemFs::new();
-        fs.create("f").unwrap();
-        assert_eq!(fs.append("f", DataRef::Bytes(b"ab")).unwrap(), 0);
-        assert_eq!(fs.append("f", DataRef::Bytes(b"cd")).unwrap(), 2);
-        assert_eq!(fs.read_at("f", 0, 4).unwrap(), b"abcd");
-        assert_eq!(fs.len("f").unwrap(), 4);
+        fs.create("f")?;
+        assert_eq!(fs.append("f", DataRef::Bytes(b"ab"))?, 0);
+        assert_eq!(fs.append("f", DataRef::Bytes(b"cd"))?, 2);
+        assert_eq!(fs.read_at("f", 0, 4)?, b"abcd");
+        assert_eq!(fs.len("f")?, 4);
+        Ok(())
     }
 
     #[test]
-    fn append_creates_implicitly() {
+    fn append_creates_implicitly() -> Result<(), Box<dyn std::error::Error>> {
         let mut fs = MemFs::new();
-        fs.append("implicit", DataRef::Bytes(b"x")).unwrap();
+        fs.append("implicit", DataRef::Bytes(b"x"))?;
         assert!(fs.exists("implicit"));
+        Ok(())
     }
 
     #[test]
-    fn create_rejects_duplicates() {
+    fn create_rejects_duplicates() -> Result<(), Box<dyn std::error::Error>> {
         let mut fs = MemFs::new();
-        fs.create("f").unwrap();
-        assert!(matches!(
-            fs.create("f"),
-            Err(StoreError::AlreadyExists(_))
-        ));
+        fs.create("f")?;
+        assert!(matches!(fs.create("f"), Err(StoreError::AlreadyExists(_))));
+        Ok(())
     }
 
     #[test]
-    fn read_bounds_checked() {
+    fn read_bounds_checked() -> Result<(), Box<dyn std::error::Error>> {
         let mut fs = MemFs::new();
-        fs.append("f", DataRef::Bytes(b"abc")).unwrap();
+        fs.append("f", DataRef::Bytes(b"abc"))?;
         assert!(matches!(
             fs.read_at("f", 1, 3),
             Err(StoreError::OutOfRange(_))
@@ -223,59 +223,65 @@ mod tests {
             fs.read_at("missing", 0, 1),
             Err(StoreError::NotFound(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn hard_links_share_content() {
+    fn hard_links_share_content() -> Result<(), Box<dyn std::error::Error>> {
         let mut fs = MemFs::new();
-        fs.append("a", DataRef::Bytes(b"shared")).unwrap();
-        fs.link("a", "b").unwrap();
-        assert_eq!(fs.read_at("b", 0, 6).unwrap(), b"shared");
+        fs.append("a", DataRef::Bytes(b"shared"))?;
+        fs.link("a", "b")?;
+        assert_eq!(fs.read_at("b", 0, 6)?, b"shared");
         assert_eq!(fs.inode_count(), 1);
         assert_eq!(fs.path_count(), 2);
         // Appending through one name is visible through the other.
-        fs.append("b", DataRef::Bytes(b"!")).unwrap();
-        assert_eq!(fs.len("a").unwrap(), 7);
+        fs.append("b", DataRef::Bytes(b"!"))?;
+        assert_eq!(fs.len("a")?, 7);
+        Ok(())
     }
 
     #[test]
-    fn remove_honours_link_counts() {
+    fn remove_honours_link_counts() -> Result<(), Box<dyn std::error::Error>> {
         let mut fs = MemFs::new();
-        fs.append("a", DataRef::Bytes(b"x")).unwrap();
-        fs.link("a", "b").unwrap();
-        fs.remove("a").unwrap();
+        fs.append("a", DataRef::Bytes(b"x"))?;
+        fs.link("a", "b")?;
+        fs.remove("a")?;
         assert!(!fs.exists("a"));
-        assert_eq!(fs.read_at("b", 0, 1).unwrap(), b"x");
-        fs.remove("b").unwrap();
+        assert_eq!(fs.read_at("b", 0, 1)?, b"x");
+        fs.remove("b")?;
         assert_eq!(fs.inode_count(), 0);
         assert_eq!(fs.total_bytes(), 0);
+        Ok(())
     }
 
     #[test]
-    fn link_to_taken_name_fails() {
+    fn link_to_taken_name_fails() -> Result<(), Box<dyn std::error::Error>> {
         let mut fs = MemFs::new();
-        fs.append("a", DataRef::Bytes(b"x")).unwrap();
-        fs.append("b", DataRef::Bytes(b"y")).unwrap();
+        fs.append("a", DataRef::Bytes(b"x"))?;
+        fs.append("b", DataRef::Bytes(b"y"))?;
         assert!(matches!(
             fs.link("a", "b"),
             Err(StoreError::AlreadyExists(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn size_only_mode_tracks_lengths_not_bytes() {
+    fn size_only_mode_tracks_lengths_not_bytes() -> Result<(), Box<dyn std::error::Error>> {
         let mut fs = MemFs::size_only();
-        fs.append("f", DataRef::Zeros(1 << 20)).unwrap();
-        assert_eq!(fs.len("f").unwrap(), 1 << 20);
-        assert_eq!(fs.read_at("f", 0, 4).unwrap(), vec![0; 4]);
+        fs.append("f", DataRef::Zeros(1 << 20))?;
+        assert_eq!(fs.len("f")?, 1 << 20);
+        assert_eq!(fs.read_at("f", 0, 4)?, vec![0; 4]);
         assert_eq!(fs.total_bytes(), 1 << 20);
+        Ok(())
     }
 
     #[test]
-    fn total_bytes_counts_linked_inode_once() {
+    fn total_bytes_counts_linked_inode_once() -> Result<(), Box<dyn std::error::Error>> {
         let mut fs = MemFs::new();
-        fs.append("a", DataRef::Bytes(b"12345")).unwrap();
-        fs.link("a", "b").unwrap();
+        fs.append("a", DataRef::Bytes(b"12345"))?;
+        fs.link("a", "b")?;
         assert_eq!(fs.total_bytes(), 5);
+        Ok(())
     }
 }

@@ -50,10 +50,10 @@ impl KeyRecord {
             )));
         }
         Ok(KeyRecord {
-            id: MailId(u64::from_be_bytes(b[..8].try_into().expect("8"))),
-            offset: u64::from_be_bytes(b[8..16].try_into().expect("8")),
-            len: u64::from_be_bytes(b[16..24].try_into().expect("8")),
-            delta: i64::from_be_bytes(b[24..32].try_into().expect("8")),
+            id: MailId(u64::from_be_bytes(crate::error::be_array(b, 0, path)?)),
+            offset: u64::from_be_bytes(crate::error::be_array(b, 8, path)?),
+            len: u64::from_be_bytes(crate::error::be_array(b, 16, path)?),
+            delta: i64::from_be_bytes(crate::error::be_array(b, 24, path)?),
         })
     }
 }
@@ -262,6 +262,7 @@ impl<B: Backend> MfsStore<B> {
             }
             self.mailboxes.insert(mailbox, entries);
         }
+        self.debug_check_shared_accounting();
         Ok(())
     }
 
@@ -308,14 +309,15 @@ impl<B: Backend> MfsStore<B> {
                         delta: 1,
                     };
                     self.append_key(mb, rec)?;
-                    self.mailboxes.entry((*mb).to_owned()).or_default().push(
-                        MailboxEntry {
+                    self.mailboxes
+                        .entry((*mb).to_owned())
+                        .or_default()
+                        .push(MailboxEntry {
                             id,
                             offset,
                             len: body.len(),
                             shared: false,
-                        },
-                    );
+                        });
                 }
                 Ok(())
             }
@@ -375,22 +377,65 @@ impl<B: Backend> MfsStore<B> {
                             delta: -1,
                         },
                     )?;
-                    self.mailboxes.entry((*mb).to_owned()).or_default().push(
-                        MailboxEntry {
+                    self.mailboxes
+                        .entry((*mb).to_owned())
+                        .or_default()
+                        .push(MailboxEntry {
                             id,
                             offset,
                             len,
                             shared: true,
-                        },
-                    );
+                        });
                 }
+                self.debug_check_shared_accounting();
                 Ok(())
             }
         }
     }
 
     fn live_entries(&self, mailbox: &str) -> &[MailboxEntry] {
-        self.mailboxes.get(mailbox).map(Vec::as_slice).unwrap_or(&[])
+        self.mailboxes
+            .get(mailbox)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Debug-build invariant check for §6.1's refcounting: every shared
+    /// entry's refcount is positive and at least the number of live
+    /// mailbox entries referencing it, and no mailbox entry points at an
+    /// already-reclaimed shared mail. Under-counting would reclaim the
+    /// single stored copy while mailboxes still reference it (data loss);
+    /// over-counting can legitimately arise from replaying a torn log and
+    /// merely delays reclamation. Compiles to a no-op in release builds.
+    fn debug_check_shared_accounting(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let mut held: HashMap<MailId, i64> = HashMap::new();
+        for entries in self.mailboxes.values() {
+            for e in entries.iter().filter(|e| e.shared) {
+                *held.entry(e.id).or_insert(0) += 1;
+            }
+        }
+        for (id, e) in &self.shared {
+            debug_assert!(
+                e.refs > 0,
+                "shared refcount for {id} not positive: {}",
+                e.refs
+            );
+            let live = held.get(id).copied().unwrap_or(0);
+            debug_assert!(
+                e.refs >= live,
+                "shared refcount for {id} under-counts live references: {} < {live}",
+                e.refs
+            );
+        }
+        for id in held.keys() {
+            debug_assert!(
+                self.shared.contains_key(id),
+                "live mailbox reference to reclaimed shared mail {id}"
+            );
+        }
     }
 }
 
@@ -448,12 +493,18 @@ impl<B: Backend> MailStore for MfsStore<B> {
             )?;
             if let Some(e) = self.shared.get_mut(&id) {
                 e.refs -= 1;
+                debug_assert!(
+                    e.refs >= 0,
+                    "shared refcount for {id} went negative: {}",
+                    e.refs
+                );
                 if e.refs <= 0 {
                     self.freed_shared_bytes += e.len;
                     self.shared.remove(&id);
                 }
             }
         }
+        self.debug_check_shared_accounting();
         Ok(())
     }
 
@@ -472,18 +523,17 @@ mod tests {
     }
 
     #[test]
-    fn multi_recipient_body_stored_once() {
+    fn multi_recipient_body_stored_once() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
-        s.deliver(MailId(1), &["a", "b", "c"], DataRef::Bytes(b"spam body"))
-            .unwrap();
+        s.deliver(MailId(1), &["a", "b", "c"], DataRef::Bytes(b"spam body"))?;
         // Shared data file holds one copy; key files hold 32-byte tuples.
         assert_eq!(
-            s.backend_mut().len("mfs/shmailbox.data").unwrap(),
+            s.backend_mut().len("mfs/shmailbox.data")?,
             9,
             "one body copy"
         );
         for mb in ["a", "b", "c"] {
-            let mails = s.read_mailbox(mb).unwrap();
+            let mails = s.read_mailbox(mb)?;
             assert_eq!(mails.len(), 1);
             assert_eq!(mails[0].body, b"spam body");
         }
@@ -491,116 +541,122 @@ mod tests {
         assert_eq!(stats.shared_mails, 1);
         assert_eq!(stats.shared_references, 3);
         assert_eq!(stats.own_records, 0);
+        Ok(())
     }
 
     #[test]
-    fn single_recipient_goes_to_own_data_file() {
+    fn single_recipient_goes_to_own_data_file() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
-        s.deliver(MailId(1), &["alice"], DataRef::Bytes(b"private"))
-            .unwrap();
-        assert_eq!(s.backend_mut().len("mfs/alice.data").unwrap(), 7);
+        s.deliver(MailId(1), &["alice"], DataRef::Bytes(b"private"))?;
+        assert_eq!(s.backend_mut().len("mfs/alice.data")?, 7);
         assert!(!s.backend_mut().exists("mfs/shmailbox.data"));
         assert_eq!(s.stats().own_records, 1);
+        Ok(())
     }
 
     #[test]
-    fn repeated_nwrite_same_id_skips_body_write() {
+    fn repeated_nwrite_same_id_skips_body_write() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
-        s.deliver(MailId(1), &["a", "b"], DataRef::Bytes(b"body")).unwrap();
-        let before = s.backend_mut().len("mfs/shmailbox.data").unwrap();
+        s.deliver(MailId(1), &["a", "b"], DataRef::Bytes(b"body"))?;
+        let before = s.backend_mut().len("mfs/shmailbox.data")?;
         // Remaining recipients delivered later under the same id.
-        s.deliver(MailId(1), &["c", "d"], DataRef::Bytes(b"body")).unwrap();
-        let after = s.backend_mut().len("mfs/shmailbox.data").unwrap();
+        s.deliver(MailId(1), &["c", "d"], DataRef::Bytes(b"body"))?;
+        let after = s.backend_mut().len("mfs/shmailbox.data")?;
         assert_eq!(before, after, "no second body write");
-        assert_eq!(s.read_mailbox("d").unwrap()[0].body, b"body");
+        assert_eq!(s.read_mailbox("d")?[0].body, b"body");
         assert_eq!(s.stats().shared_references, 4);
+        Ok(())
     }
 
     #[test]
-    fn mail_id_collision_is_rejected_as_attack() {
+    fn mail_id_collision_is_rejected_as_attack() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
-        s.deliver(MailId(7), &["a", "b"], DataRef::Bytes(b"original"))
-            .unwrap();
+        s.deliver(MailId(7), &["a", "b"], DataRef::Bytes(b"original"))?;
         // Attacker guesses id 7 and tries to bind junk of another size.
         let err = s
             .deliver(MailId(7), &["evil1", "evil2"], DataRef::Bytes(b"junk"))
             .unwrap_err();
         assert!(matches!(err, StoreError::MailIdCollision(_)));
         // Victim's mailboxes untouched.
-        assert_eq!(s.read_mailbox("a").unwrap()[0].body, b"original");
-        assert!(s.read_mailbox("evil1").unwrap().is_empty());
+        assert_eq!(s.read_mailbox("a")?[0].body, b"original");
+        assert!(s.read_mailbox("evil1")?.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn delete_decrements_shared_refcount() {
+    fn delete_decrements_shared_refcount() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
-        s.deliver(MailId(1), &["a", "b", "c"], DataRef::Bytes(b"xyz"))
-            .unwrap();
-        s.delete("a", MailId(1)).unwrap();
+        s.deliver(MailId(1), &["a", "b", "c"], DataRef::Bytes(b"xyz"))?;
+        s.delete("a", MailId(1))?;
         assert_eq!(s.stats().shared_mails, 1, "still referenced");
         assert_eq!(s.stats().freed_shared_bytes, 0);
-        s.delete("b", MailId(1)).unwrap();
-        s.delete("c", MailId(1)).unwrap();
+        s.delete("b", MailId(1))?;
+        s.delete("c", MailId(1))?;
         let stats = s.stats();
         assert_eq!(stats.shared_mails, 0);
         assert_eq!(stats.freed_shared_bytes, 3);
+        Ok(())
     }
 
     #[test]
-    fn delete_own_record() {
+    fn delete_own_record() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
-        s.deliver(MailId(1), &["a"], DataRef::Bytes(b"one")).unwrap();
-        s.deliver(MailId(2), &["a"], DataRef::Bytes(b"two")).unwrap();
-        s.delete("a", MailId(1)).unwrap();
-        let mails = s.read_mailbox("a").unwrap();
+        s.deliver(MailId(1), &["a"], DataRef::Bytes(b"one"))?;
+        s.deliver(MailId(2), &["a"], DataRef::Bytes(b"two"))?;
+        s.delete("a", MailId(1))?;
+        let mails = s.read_mailbox("a")?;
         assert_eq!(mails.len(), 1);
         assert_eq!(mails[0].id, MailId(2));
+        Ok(())
     }
 
     #[test]
-    fn delete_missing_errors() {
+    fn delete_missing_errors() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
         assert!(matches!(
             s.delete("ghost", MailId(1)),
             Err(StoreError::NotFound(_))
         ));
-        s.deliver(MailId(1), &["a"], DataRef::Bytes(b"x")).unwrap();
+        s.deliver(MailId(1), &["a"], DataRef::Bytes(b"x"))?;
         assert!(matches!(
             s.delete("a", MailId(2)),
             Err(StoreError::NotFound(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn mixed_own_and_shared_read_in_delivery_order() {
+    fn mixed_own_and_shared_read_in_delivery_order() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
-        s.deliver(MailId(1), &["a"], DataRef::Bytes(b"own1")).unwrap();
-        s.deliver(MailId(2), &["a", "b"], DataRef::Bytes(b"shared")).unwrap();
-        s.deliver(MailId(3), &["a"], DataRef::Bytes(b"own2")).unwrap();
-        let mails = s.read_mailbox("a").unwrap();
+        s.deliver(MailId(1), &["a"], DataRef::Bytes(b"own1"))?;
+        s.deliver(MailId(2), &["a", "b"], DataRef::Bytes(b"shared"))?;
+        s.deliver(MailId(3), &["a"], DataRef::Bytes(b"own2"))?;
+        let mails = s.read_mailbox("a")?;
         let ids: Vec<u64> = mails.iter().map(|m| m.id.0).collect();
         assert_eq!(ids, vec![1, 2, 3]);
         assert_eq!(mails[1].body, b"shared");
+        Ok(())
     }
 
     #[test]
-    fn replay_recovers_full_state() {
+    fn replay_recovers_full_state() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
-        s.deliver(MailId(1), &["a", "b"], DataRef::Bytes(b"shared")).unwrap();
-        s.deliver(MailId(2), &["a"], DataRef::Bytes(b"own")).unwrap();
-        s.deliver(MailId(3), &["b", "c"], DataRef::Bytes(b"gone")).unwrap();
-        s.delete("b", MailId(3)).unwrap();
-        s.delete("c", MailId(3)).unwrap();
+        s.deliver(MailId(1), &["a", "b"], DataRef::Bytes(b"shared"))?;
+        s.deliver(MailId(2), &["a"], DataRef::Bytes(b"own"))?;
+        s.deliver(MailId(3), &["b", "c"], DataRef::Bytes(b"gone"))?;
+        s.delete("b", MailId(3))?;
+        s.delete("c", MailId(3))?;
         let backend = std::mem::replace(s.backend_mut(), MemFs::new());
 
-        let mut recovered = MfsStore::open(backend).unwrap();
-        assert_eq!(recovered.read_mailbox("a").unwrap().len(), 2);
-        assert_eq!(recovered.read_mailbox("a").unwrap()[0].body, b"shared");
-        assert_eq!(recovered.read_mailbox("b").unwrap().len(), 1);
-        assert!(recovered.read_mailbox("c").unwrap().is_empty());
+        let mut recovered = MfsStore::open(backend)?;
+        assert_eq!(recovered.read_mailbox("a")?.len(), 2);
+        assert_eq!(recovered.read_mailbox("a")?[0].body, b"shared");
+        assert_eq!(recovered.read_mailbox("b")?.len(), 1);
+        assert!(recovered.read_mailbox("c")?.is_empty());
         let stats = recovered.stats();
         assert_eq!(stats.shared_mails, 1);
         assert_eq!(stats.freed_shared_bytes, 4);
+        Ok(())
     }
 
     #[test]
@@ -613,18 +669,20 @@ mod tests {
     }
 
     #[test]
-    fn empty_recipient_list_is_noop() {
+    fn empty_recipient_list_is_noop() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
-        s.deliver(MailId(1), &[], DataRef::Bytes(b"x")).unwrap();
+        s.deliver(MailId(1), &[], DataRef::Bytes(b"x"))?;
         assert_eq!(s.stats(), MfsStats::default());
+        Ok(())
     }
 
     #[test]
-    fn size_only_bodies_supported() {
+    fn size_only_bodies_supported() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = MfsStore::new(MemFs::size_only());
-        s.deliver(MailId(1), &["a", "b"], DataRef::Zeros(4096)).unwrap();
-        let mails = s.read_mailbox("a").unwrap();
+        s.deliver(MailId(1), &["a", "b"], DataRef::Zeros(4096))?;
+        let mails = s.read_mailbox("a")?;
         assert_eq!(mails[0].body.len(), 4096);
+        Ok(())
     }
 }
 
@@ -668,7 +726,10 @@ impl<B: Backend> MfsStore<B> {
         // 2. Collapse the shared key log.
         let mut key_bytes = Vec::with_capacity(ids.len() * RECORD_LEN as usize);
         for id in &ids {
-            let e = self.shared.get_mut(id).expect("listed id");
+            let Some(e) = self.shared.get_mut(id) else {
+                debug_assert!(false, "id {id} was listed from the shared index");
+                continue;
+            };
             e.offset = new_offsets[id];
             key_bytes.extend_from_slice(
                 &KeyRecord {
@@ -686,7 +747,10 @@ impl<B: Backend> MfsStore<B> {
         //    shared offsets.
         let names: Vec<String> = self.mailboxes.keys().cloned().collect();
         for mb in names {
-            let entries = self.mailboxes.get_mut(&mb).expect("listed mailbox");
+            let Some(entries) = self.mailboxes.get_mut(&mb) else {
+                debug_assert!(false, "mailbox {mb} was listed from the index");
+                continue;
+            };
             let mut bytes = Vec::with_capacity(entries.len() * RECORD_LEN as usize);
             for e in entries.iter_mut() {
                 if e.shared {
@@ -705,6 +769,7 @@ impl<B: Backend> MfsStore<B> {
             self.backend
                 .replace(&Self::key_path(&mb), DataRef::Bytes(&bytes))?;
         }
+        self.debug_check_shared_accounting();
         Ok(reclaimed)
     }
 }
@@ -720,7 +785,8 @@ mod compact_tests {
             .unwrap();
         s.deliver(MailId(2), &["a", "b", "c"], DataRef::Bytes(b"drop-me"))
             .unwrap();
-        s.deliver(MailId(3), &["a"], DataRef::Bytes(b"own")).unwrap();
+        s.deliver(MailId(3), &["a"], DataRef::Bytes(b"own"))
+            .unwrap();
         for mb in ["a", "b", "c"] {
             s.delete(mb, MailId(2)).unwrap();
         }
@@ -728,63 +794,68 @@ mod compact_tests {
     }
 
     #[test]
-    fn compact_reclaims_dead_shared_bytes() {
+    fn compact_reclaims_dead_shared_bytes() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = populated();
         assert_eq!(s.stats().freed_shared_bytes, 7);
-        let before = s.backend_mut().len("mfs/shmailbox.data").unwrap();
-        let reclaimed = s.compact().unwrap();
+        let before = s.backend_mut().len("mfs/shmailbox.data")?;
+        let reclaimed = s.compact()?;
         assert_eq!(reclaimed, 7);
-        let after = s.backend_mut().len("mfs/shmailbox.data").unwrap();
+        let after = s.backend_mut().len("mfs/shmailbox.data")?;
         assert_eq!(before - after, 7);
         assert_eq!(s.stats().freed_shared_bytes, 0);
+        Ok(())
     }
 
     #[test]
-    fn compact_preserves_mailbox_contents() {
+    fn compact_preserves_mailbox_contents() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = populated();
-        let before_a = s.read_mailbox("a").unwrap();
-        let before_b = s.read_mailbox("b").unwrap();
-        s.compact().unwrap();
-        assert_eq!(s.read_mailbox("a").unwrap(), before_a);
-        assert_eq!(s.read_mailbox("b").unwrap(), before_b);
-        assert!(s.read_mailbox("c").unwrap().is_empty());
+        let before_a = s.read_mailbox("a")?;
+        let before_b = s.read_mailbox("b")?;
+        s.compact()?;
+        assert_eq!(s.read_mailbox("a")?, before_a);
+        assert_eq!(s.read_mailbox("b")?, before_b);
+        assert!(s.read_mailbox("c")?.is_empty());
+        Ok(())
     }
 
     #[test]
-    fn compact_collapses_key_logs() {
+    fn compact_collapses_key_logs() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = populated();
-        let key_before = s.backend_mut().len("mfs/shmailbox.key").unwrap();
-        s.compact().unwrap();
-        let key_after = s.backend_mut().len("mfs/shmailbox.key").unwrap();
+        let key_before = s.backend_mut().len("mfs/shmailbox.key")?;
+        s.compact()?;
+        let key_after = s.backend_mut().len("mfs/shmailbox.key")?;
         assert!(key_after < key_before);
         // One live shared mail -> exactly one record.
         assert_eq!(key_after, 32);
+        Ok(())
     }
 
     #[test]
-    fn recovery_after_compaction_is_faithful() {
+    fn recovery_after_compaction_is_faithful() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = populated();
-        s.compact().unwrap();
-        let expected_a = s.read_mailbox("a").unwrap();
+        s.compact()?;
+        let expected_a = s.read_mailbox("a")?;
         let backend = std::mem::replace(s.backend_mut(), MemFs::new());
-        let mut recovered = MfsStore::open(backend).unwrap();
-        assert_eq!(recovered.read_mailbox("a").unwrap(), expected_a);
+        let mut recovered = MfsStore::open(backend)?;
+        assert_eq!(recovered.read_mailbox("a")?, expected_a);
         assert_eq!(recovered.stats().shared_mails, 1);
+        Ok(())
     }
 
     #[test]
-    fn deliveries_after_compaction_work() {
+    fn deliveries_after_compaction_work() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = populated();
-        s.compact().unwrap();
-        s.deliver(MailId(4), &["b", "c"], DataRef::Bytes(b"fresh"))
-            .unwrap();
-        assert_eq!(s.read_mailbox("c").unwrap()[0].body, b"fresh");
+        s.compact()?;
+        s.deliver(MailId(4), &["b", "c"], DataRef::Bytes(b"fresh"))?;
+        assert_eq!(s.read_mailbox("c")?[0].body, b"fresh");
         assert_eq!(s.stats().shared_mails, 2);
+        Ok(())
     }
 
     #[test]
-    fn compact_on_empty_store_is_noop() {
+    fn compact_on_empty_store_is_noop() -> Result<(), Box<dyn std::error::Error>> {
         let mut s: MfsStore<MemFs> = MfsStore::new(MemFs::new());
-        assert_eq!(s.compact().unwrap(), 0);
+        assert_eq!(s.compact()?, 0);
+        Ok(())
     }
 }

@@ -280,13 +280,13 @@ mod tests {
     }
 
     #[test]
-    fn metered_accumulates_counts_and_cost() {
+    fn metered_accumulates_counts_and_cost() -> Result<(), Box<dyn std::error::Error>> {
         let mut d = Metered::new(MemFs::new(), DiskProfile::ext3());
-        d.create("a").unwrap();
-        d.append("a", DataRef::Zeros(2048)).unwrap();
-        d.link("a", "b").unwrap();
-        d.read_at("a", 0, 1024).unwrap();
-        d.remove("b").unwrap();
+        d.create("a")?;
+        d.append("a", DataRef::Zeros(2048))?;
+        d.link("a", "b")?;
+        d.read_at("a", 0, 1024)?;
+        d.remove("b")?;
         let c = d.counts();
         assert_eq!(c.creates, 1);
         assert_eq!(c.appends, 1);
@@ -300,31 +300,35 @@ mod tests {
             + DiskProfile::ext3().read_cost(1024)
             + DiskProfile::ext3().delete;
         assert_eq!(d.cost(), expected);
+        Ok(())
     }
 
     #[test]
-    fn implicit_creation_charged_once() {
+    fn implicit_creation_charged_once() -> Result<(), Box<dyn std::error::Error>> {
         let mut d = Metered::new(MemFs::new(), DiskProfile::reiser());
-        d.append("fresh", DataRef::Zeros(10)).unwrap();
-        d.append("fresh", DataRef::Zeros(10)).unwrap();
+        d.append("fresh", DataRef::Zeros(10))?;
+        d.append("fresh", DataRef::Zeros(10))?;
         assert_eq!(d.counts().creates, 1);
         assert_eq!(d.counts().appends, 2);
+        Ok(())
     }
 
     #[test]
-    fn take_cost_drains() {
+    fn take_cost_drains() -> Result<(), Box<dyn std::error::Error>> {
         let mut d = Metered::new(MemFs::new(), DiskProfile::ext3());
-        d.append("f", DataRef::Zeros(1)).unwrap();
+        d.append("f", DataRef::Zeros(1))?;
         let c = d.take_cost();
         assert!(c > Nanos::ZERO);
         assert_eq!(d.cost(), Nanos::ZERO);
+        Ok(())
     }
 
     #[test]
-    fn free_profile_costs_nothing() {
+    fn free_profile_costs_nothing() -> Result<(), Box<dyn std::error::Error>> {
         let mut d = Metered::new(MemFs::new(), DiskProfile::free());
-        d.append("f", DataRef::Zeros(1 << 20)).unwrap();
+        d.append("f", DataRef::Zeros(1 << 20))?;
         assert_eq!(d.cost(), Nanos::ZERO);
+        Ok(())
     }
 
     #[test]

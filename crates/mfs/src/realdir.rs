@@ -94,8 +94,7 @@ impl Backend for RealDir {
 
     fn read_at(&mut self, path: &str, offset: u64, len: u64) -> StoreResult<Vec<u8>> {
         let full = self.resolve(path)?;
-        let mut f = fs::File::open(&full)
-            .map_err(|_| StoreError::NotFound(path.to_owned()))?;
+        let mut f = fs::File::open(&full).map_err(|_| StoreError::NotFound(path.to_owned()))?;
         let size = f.metadata()?.len();
         if offset + len > size {
             return Err(StoreError::OutOfRange(format!(
@@ -177,32 +176,35 @@ mod tests {
     }
 
     #[test]
-    fn append_and_read_roundtrip() {
+    fn append_and_read_roundtrip() -> Result<(), Box<dyn std::error::Error>> {
         let (mut fs, dir) = tmp();
-        assert_eq!(fs.append("m/box", DataRef::Bytes(b"hello")).unwrap(), 0);
-        assert_eq!(fs.append("m/box", DataRef::Bytes(b" world")).unwrap(), 5);
-        assert_eq!(fs.read_at("m/box", 0, 11).unwrap(), b"hello world");
-        assert_eq!(fs.len("m/box").unwrap(), 11);
+        assert_eq!(fs.append("m/box", DataRef::Bytes(b"hello"))?, 0);
+        assert_eq!(fs.append("m/box", DataRef::Bytes(b" world"))?, 5);
+        assert_eq!(fs.read_at("m/box", 0, 11)?, b"hello world");
+        assert_eq!(fs.len("m/box")?, 11);
         let _ = std::fs::remove_dir_all(dir);
+        Ok(())
     }
 
     #[test]
-    fn create_new_rejects_existing() {
+    fn create_new_rejects_existing() -> Result<(), Box<dyn std::error::Error>> {
         let (mut fs, dir) = tmp();
-        fs.create("f").unwrap();
+        fs.create("f")?;
         assert!(matches!(fs.create("f"), Err(StoreError::AlreadyExists(_))));
         let _ = std::fs::remove_dir_all(dir);
+        Ok(())
     }
 
     #[test]
-    fn hard_link_shares_and_remove_unlinks() {
+    fn hard_link_shares_and_remove_unlinks() -> Result<(), Box<dyn std::error::Error>> {
         let (mut fs, dir) = tmp();
-        fs.append("orig", DataRef::Bytes(b"shared")).unwrap();
-        fs.link("orig", "copy").unwrap();
-        assert_eq!(fs.read_at("copy", 0, 6).unwrap(), b"shared");
-        fs.remove("orig").unwrap();
-        assert_eq!(fs.read_at("copy", 0, 6).unwrap(), b"shared");
+        fs.append("orig", DataRef::Bytes(b"shared"))?;
+        fs.link("orig", "copy")?;
+        assert_eq!(fs.read_at("copy", 0, 6)?, b"shared");
+        fs.remove("orig")?;
+        assert_eq!(fs.read_at("copy", 0, 6)?, b"shared");
         let _ = std::fs::remove_dir_all(dir);
+        Ok(())
     }
 
     #[test]
@@ -215,11 +217,12 @@ mod tests {
     }
 
     #[test]
-    fn zeros_write_in_chunks() {
+    fn zeros_write_in_chunks() -> Result<(), Box<dyn std::error::Error>> {
         let (mut fs, dir) = tmp();
-        fs.append("big", DataRef::Zeros(200_000)).unwrap();
-        assert_eq!(fs.len("big").unwrap(), 200_000);
+        fs.append("big", DataRef::Zeros(200_000))?;
+        assert_eq!(fs.len("big")?, 200_000);
         let _ = std::fs::remove_dir_all(dir);
+        Ok(())
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The mailbox-layout abstraction: every storage scheme compared in
 //! Figs. 10/11 implements [`MailStore`].
 
-use crate::{MailId, StoreResult};
 use crate::backend::DataRef;
+use crate::{MailId, StoreResult};
 
 /// A mail retrieved from a mailbox.
 #[derive(Debug, Clone, PartialEq, Eq)]

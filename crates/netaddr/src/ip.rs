@@ -231,7 +231,14 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_input() {
         for s in [
-            "", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.x", "01.2.3.4", "1..2.3", " 1.2.3.4",
+            "",
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.1.1.1",
+            "1.2.3.x",
+            "01.2.3.4",
+            "1..2.3",
+            " 1.2.3.4",
             "1.2.3.4 ",
         ] {
             assert!(s.parse::<Ipv4>().is_err(), "accepted {s:?}");

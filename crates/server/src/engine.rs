@@ -18,6 +18,8 @@
 
 use crate::script::{build_script, Step};
 use crate::{CostModel, SimStore};
+use rand::rngs::StdRng;
+use rand::Rng;
 use spamaware_dnsbl::{CacheScheme, CachingResolver, DnsblServer, ResolverStats};
 use spamaware_mfs::{DiskProfile, Layout, OpCounts};
 use spamaware_sim::metrics::Histogram;
@@ -26,8 +28,6 @@ use spamaware_sim::{
 };
 use spamaware_smtp::{Command, MailAddr, ServerSession, SessionConfig, SessionOutcome};
 use spamaware_trace::Trace;
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::collections::VecDeque;
 
 /// Which concurrency architecture the server runs.
@@ -142,11 +142,13 @@ impl ServerConfig {
     /// general and applicable to other popular mail servers such as
     /// qmail".
     pub fn qmail_like() -> ServerConfig {
-        let mut cost = CostModel::default();
-        // Fresh exec per connection: heavier setup, no recycling...
-        cost.fork = Nanos::from_micros(900);
-        // ...but a simpler smtpd with a leaner command path.
-        cost.command_cpu = Nanos::from_micros(280);
+        let cost = CostModel {
+            // Fresh exec per connection: heavier setup, no recycling —
+            // but a simpler smtpd with a leaner command path.
+            fork: Nanos::from_micros(900),
+            command_cpu: Nanos::from_micros(280),
+            ..CostModel::default()
+        };
         ServerConfig {
             smtpd_max_requests: 1,
             cost,
@@ -236,6 +238,9 @@ pub struct RunReport {
     pub mails: u64,
     /// Mailbox deliveries (mails × recipients).
     pub deliveries: u64,
+    /// Deliveries the store rejected with an error (0 for the in-memory
+    /// backends; counted instead of panicking).
+    pub store_failures: u64,
     /// CPU context switches.
     pub context_switches: u64,
     /// Processes forked (pool growth).
@@ -405,6 +410,7 @@ struct World<'a> {
     unfinished: u64,
     mails: u64,
     deliveries: u64,
+    store_failures: u64,
     cpu_delivering: Nanos,
     cpu_bounce: Nanos,
     cpu_unfinished: Nanos,
@@ -427,10 +433,7 @@ impl<'a> World<'a> {
                 .collect(),
         };
         let (resolver, dns_server) = match cfg.dns {
-            Some(d) => (
-                Some(CachingResolver::new(d.scheme, d.ttl)),
-                Some(d.server),
-            ),
+            Some(d) => (Some(CachingResolver::new(d.scheme, d.ttl)), Some(d.server)),
             None => (None, None),
         };
         World {
@@ -469,6 +472,7 @@ impl<'a> World<'a> {
             unfinished: 0,
             mails: 0,
             deliveries: 0,
+            store_failures: 0,
             cpu_delivering: Nanos::ZERO,
             cpu_bounce: Nanos::ZERO,
             cpu_unfinished: Nanos::ZERO,
@@ -484,7 +488,9 @@ impl<'a> World<'a> {
             .map(|i| format!("user{i}"))
             .collect();
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-        self.store.prewarm(&refs);
+        if let Err(e) = self.store.prewarm(&refs) {
+            debug_assert!(false, "prewarm on in-memory store cannot fail: {e}");
+        }
         match self.client {
             ClientModel::Closed { concurrency } => {
                 for i in 0..concurrency {
@@ -503,6 +509,14 @@ impl<'a> World<'a> {
     }
 
     fn into_report(self, duration: Nanos) -> RunReport {
+        // CPU conservation: every nanosecond attributed to a connection
+        // category was first submitted to the shared CPU, whose busy time
+        // additionally carries context-switch penalties — so the
+        // categorised total can never exceed measured busy time.
+        debug_assert!(
+            self.cpu_delivering + self.cpu_bounce + self.cpu_unfinished <= self.cpu.stats().busy,
+            "categorised CPU time exceeds measured CPU busy time"
+        );
         RunReport {
             arch: self.arch,
             layout: self.layout,
@@ -513,6 +527,7 @@ impl<'a> World<'a> {
             unfinished: self.unfinished,
             mails: self.mails,
             deliveries: self.deliveries,
+            store_failures: self.store_failures,
             context_switches: self.cpu.stats().context_switches,
             forks: self.forks,
             cpu_busy: self.cpu.stats().busy,
@@ -521,7 +536,10 @@ impl<'a> World<'a> {
             cpu_unfinished: self.cpu_unfinished,
             disk_busy: self.disk_load,
             disk_ops: self.store.op_counts(),
-            dns: self.resolver.as_ref().map(|r| DnsReport::from_stats(r.stats())),
+            dns: self
+                .resolver
+                .as_ref()
+                .map(|r| DnsReport::from_stats(r.stats())),
             session_ms: self.session_ms,
         }
     }
@@ -550,7 +568,8 @@ impl<'a> World<'a> {
             cpu_used: Nanos::ZERO,
         });
         // Remember which spec this conn uses for DNS lookups.
-        self.spec_of.push((self.next_spec - 1) % self.trace.connections.len());
+        self.spec_of
+            .push((self.next_spec - 1) % self.trace.connections.len());
         self.try_accept(sched, id);
     }
 
@@ -570,8 +589,7 @@ impl<'a> World<'a> {
                     };
                     self.conns[id].pid = pid;
                     self.conns[id].phase = Phase::Setup;
-                    let service =
-                        self.cost.accept_cpu + fork_cost + self.cost.session_setup_cpu;
+                    let service = self.cost.accept_cpu + fork_cost + self.cost.session_setup_cpu;
                     self.conns[id].cpu_used += service;
                     self.cpu
                         .submit(sched, ServiceJob::new(pid, service, Ev::AcceptDone(id)));
@@ -599,13 +617,10 @@ impl<'a> World<'a> {
     fn exec_pid(&self, id: ConnId) -> ProcId {
         match self.arch {
             Architecture::Vanilla => self.conns[id].pid,
-            Architecture::Hybrid => {
-                if self.conns[id].worker_active {
-                    self.workers[self.conns[id].worker.expect("active worker")].pid
-                } else {
-                    MASTER
-                }
-            }
+            Architecture::Hybrid => match self.conns[id].worker {
+                Some(w) if self.conns[id].worker_active => self.workers[w].pid,
+                _ => MASTER,
+            },
         }
     }
 
@@ -661,7 +676,9 @@ impl<'a> World<'a> {
             Nanos::ZERO
         };
         match step {
-            Step::Cmd(Command::RcptTo(_)) if !matches!(self.arch, Architecture::Hybrid) || self.conns[id].worker_active => {
+            Step::Cmd(Command::RcptTo(_))
+                if !matches!(self.arch, Architecture::Hybrid) || self.conns[id].worker_active =>
+            {
                 let service = setup + self.cost.rcpt_cpu;
                 self.conns[id].pending = Some(step);
                 self.conns[id].cpu_used += service;
@@ -687,7 +704,8 @@ impl<'a> World<'a> {
 
     fn handle_command(&mut self, sched: &mut Scheduler<Ev>, id: ConnId) {
         let Some(Step::Cmd(cmd)) = self.conns[id].pending.take() else {
-            panic!("CmdCpuDone without a pending command");
+            debug_assert!(false, "CmdCpuDone without a pending command");
+            return;
         };
         let mailboxes = self.mailbox_count();
         let exists = move |a: &MailAddr| mailbox_exists(a, mailboxes);
@@ -697,9 +715,10 @@ impl<'a> World<'a> {
         // (the paper's design: the first valid recipient).
         let trusted = match self.trust_point {
             TrustPoint::AfterAccept => true,
-            TrustPoint::AfterHelo => {
-                !matches!(self.conns[id].session.phase(), spamaware_smtp::SessionPhase::Start)
-            }
+            TrustPoint::AfterHelo => !matches!(
+                self.conns[id].session.phase(),
+                spamaware_smtp::SessionPhase::Start
+            ),
             TrustPoint::AfterValidRcpt => self.conns[id].session.has_valid_recipient(),
         };
         if self.arch == Architecture::Hybrid && !self.conns[id].delegated && trusted {
@@ -722,7 +741,8 @@ impl<'a> World<'a> {
 
     fn handle_body_done(&mut self, sched: &mut Scheduler<Ev>, id: ConnId) {
         let Some(Step::Body(n)) = self.conns[id].pending.take() else {
-            panic!("BodyCpuDone without a pending body");
+            debug_assert!(false, "BodyCpuDone without a pending body");
+            return;
         };
         let mail_tag = format!("Q{id:X}-{}", self.conns[id].mails_recorded);
         let reply = self.conns[id].session.finish_data_sized(&mail_tag, n);
@@ -732,24 +752,27 @@ impl<'a> World<'a> {
             return;
         }
         self.conns[id].mails_recorded += 1;
-        let env = self.conns[id]
-            .session
-            .delivered()
-            .last()
-            .expect("finish_data recorded an envelope");
+        let Some(env) = self.conns[id].session.delivered().last() else {
+            debug_assert!(false, "finish_data recorded an envelope");
+            self.send_reply(sched, id);
+            return;
+        };
         let names: Vec<String> = env
             .recipients
             .iter()
             .map(|a| a.local_part().to_owned())
             .collect();
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-        let rcpts = name_refs.len() as u64;
-        let cost = self
-            .store
-            .deliver(&name_refs, n)
-            .expect("simulated delivery cannot fail");
-        self.mails += 1;
-        self.deliveries += rcpts;
+        let cost = match self.store.deliver(&name_refs, n) {
+            Ok(cost) => cost,
+            Err(_) => {
+                // A failed store keeps the session alive: count the fault
+                // and finish the transaction with zero storage work (the
+                // in-memory backends cannot actually fail).
+                self.store_failures += 1;
+                Nanos::ZERO
+            }
+        };
         // Journaled small writes are CPU-bound through the buffer cache:
         // the delivering process burns CPU for the storage cost, and the
         // disk resource tracks the same work for utilization reporting.
@@ -763,10 +786,12 @@ impl<'a> World<'a> {
     fn start_dns(&mut self, sched: &mut Scheduler<Ev>, id: ConnId) {
         let ip = self.client_ip(id);
         let now = sched.now();
-        let (resolver, server) = (
-            self.resolver.as_mut().expect("dns configured"),
-            self.dns_server.as_ref().expect("dns configured"),
-        );
+        let (Some(resolver), Some(server)) = (self.resolver.as_mut(), self.dns_server.as_ref())
+        else {
+            // DNS not configured: fall through to the greeting.
+            self.greet(sched, id);
+            return;
+        };
         let outcome = resolver.lookup(ip, now, server, &mut self.rng);
         self.conns[id].dns_was_miss = !outcome.cache_hit;
         sched.schedule_in(outcome.latency, Ev::DnsAnswer(id));
@@ -802,6 +827,7 @@ impl<'a> World<'a> {
                 self.conns[id].worker = Some(w);
                 self.activate_on_worker(sched, id);
                 self.admit_from_backlog(sched);
+                self.debug_check_worker_invariants();
                 return;
             }
             if worker.queue.len() < self.worker_queue_limit {
@@ -810,12 +836,45 @@ impl<'a> World<'a> {
                 self.master_sockets -= 1;
                 self.conns[id].worker = Some(w);
                 self.admit_from_backlog(sched);
+                self.debug_check_worker_invariants();
                 return;
             }
         }
         // Every worker socket is full: the master keeps the connection —
         // the finite socket buffers act as a natural throttle (§5.3).
         self.pending_delegation.push_back(id);
+        self.debug_check_worker_invariants();
+    }
+
+    /// Debug-build invariant check on hybrid dispatch: every worker queue
+    /// respects the configured socket-buffer bound, and each delegated
+    /// connection is held in exactly one place (a worker's active slot,
+    /// one worker queue, or the master's pending list) — a connection
+    /// counted twice would be served twice and corrupt the CPU accounting.
+    /// Compiles to a no-op in release builds.
+    fn debug_check_worker_invariants(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let mut seen = std::collections::HashSet::new();
+        for w in &self.workers {
+            debug_assert!(
+                w.queue.len() <= self.worker_queue_limit,
+                "worker {:?} queue length {} exceeds limit {}",
+                w.pid,
+                w.queue.len(),
+                self.worker_queue_limit
+            );
+            for id in w.current.iter().chain(w.queue.iter()) {
+                debug_assert!(seen.insert(*id), "connection {id} held twice by workers");
+            }
+        }
+        for id in &self.pending_delegation {
+            debug_assert!(
+                seen.insert(*id),
+                "connection {id} both pending and on a worker"
+            );
+        }
     }
 
     fn activate_on_worker(&mut self, sched: &mut Scheduler<Ev>, id: ConnId) {
@@ -840,6 +899,7 @@ impl<'a> World<'a> {
         if let Some(pid) = self.pending_delegation.pop_front() {
             self.delegate(sched, pid);
         }
+        self.debug_check_worker_invariants();
     }
 
     fn admit_from_backlog(&mut self, sched: &mut Scheduler<Ev>) {
@@ -971,6 +1031,16 @@ impl SimWorld for World<'_> {
             }
             Ev::DiskDone(id) => {
                 self.cpu.on_complete(sched);
+                // A mail counts as delivered only once its storage work has
+                // drained; counting at submit time credits layouts for a
+                // backlog they never finish within the horizon.
+                let rcpts = self.conns[id]
+                    .session
+                    .delivered()
+                    .last()
+                    .map_or(0, |env| env.recipients.len() as u64);
+                self.mails += 1;
+                self.deliveries += rcpts;
                 self.send_reply(sched, id);
             }
             Ev::DelegCpuDone(id) => {

@@ -2,8 +2,8 @@
 //! over a metered in-memory backend, delivering size-only bodies.
 
 use spamaware_mfs::{
-    DataRef, DiskProfile, HardlinkStore, Layout, MailId, MailIdAllocator, MailStore, MboxStore,
-    MaildirStore, MemFs, Metered, MfsStore, OpCounts, StoreResult,
+    DataRef, DiskProfile, HardlinkStore, Layout, MailId, MailIdAllocator, MailStore, MaildirStore,
+    MboxStore, MemFs, Metered, MfsStore, OpCounts, StoreResult,
 };
 use spamaware_sim::Nanos;
 
@@ -117,14 +117,20 @@ impl SimStore {
     /// run measures steady-state delivery cost rather than first-delivery
     /// file creation. Maildir-family layouts create a file per mail by
     /// design, so prewarming leaves their per-delivery cost unchanged.
-    pub fn prewarm(&mut self, mailboxes: &[&str]) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failed prewarm delivery (the in-memory
+    /// backends cannot fail).
+    pub fn prewarm(&mut self, mailboxes: &[&str]) -> StoreResult<()> {
         for mb in mailboxes {
-            self.deliver(&[mb], 1).expect("prewarm delivery");
+            self.deliver(&[mb], 1)?;
         }
         if mailboxes.len() >= 2 {
-            self.deliver(&mailboxes[..2], 1).expect("prewarm delivery");
+            self.deliver(&mailboxes[..2], 1)?;
         }
         self.reset_accounting();
+        Ok(())
     }
 
     /// Zeroes cost and operation counters.
@@ -163,73 +169,80 @@ mod tests {
     use super::*;
 
     #[test]
-    fn mfs_multi_recipient_cheaper_than_mbox() {
+    fn mfs_multi_recipient_cheaper_than_mbox() -> Result<(), Box<dyn std::error::Error>> {
         let boxes: Vec<String> = (0..15).map(|i| format!("user{i}")).collect();
         let names: Vec<&str> = boxes.iter().map(String::as_str).collect();
         let mut mfs = SimStore::new(Layout::Mfs, DiskProfile::ext3());
         let mut mbox = SimStore::new(Layout::Mbox, DiskProfile::ext3());
-        mfs.prewarm(&names);
-        mbox.prewarm(&names);
-        let c_mfs = mfs.deliver(&names, 4096).unwrap();
-        let c_mbox = mbox.deliver(&names, 4096).unwrap();
+        mfs.prewarm(&names)?;
+        mbox.prewarm(&names)?;
+        let c_mfs = mfs.deliver(&names, 4096)?;
+        let c_mbox = mbox.deliver(&names, 4096)?;
         assert!(
             c_mfs.as_nanos() * 3 < c_mbox.as_nanos() * 2,
             "mfs {c_mfs} vs mbox {c_mbox}"
         );
+        Ok(())
     }
 
     #[test]
-    fn maildir_on_ext3_is_catastrophic() {
+    fn maildir_on_ext3_is_catastrophic() -> Result<(), Box<dyn std::error::Error>> {
         let boxes: Vec<String> = (0..15).map(|i| format!("user{i}")).collect();
         let names: Vec<&str> = boxes.iter().map(String::as_str).collect();
         let mut maildir = SimStore::new(Layout::Maildir, DiskProfile::ext3());
         let mut mbox = SimStore::new(Layout::Mbox, DiskProfile::ext3());
-        maildir.prewarm(&names);
-        mbox.prewarm(&names);
-        let c_maildir = maildir.deliver(&names, 4096).unwrap();
-        let c_mbox = mbox.deliver(&names, 4096).unwrap();
+        maildir.prewarm(&names)?;
+        mbox.prewarm(&names)?;
+        let c_maildir = maildir.deliver(&names, 4096)?;
+        let c_mbox = mbox.deliver(&names, 4096)?;
         assert!(c_maildir > c_mbox * 3, "maildir {c_maildir} mbox {c_mbox}");
+        Ok(())
     }
 
     #[test]
-    fn hardlink_recovers_on_reiser() {
+    fn hardlink_recovers_on_reiser() -> Result<(), Box<dyn std::error::Error>> {
         let boxes: Vec<String> = (0..15).map(|i| format!("user{i}")).collect();
         let names: Vec<&str> = boxes.iter().map(String::as_str).collect();
         let mut hl_ext3 = SimStore::new(Layout::Hardlink, DiskProfile::ext3());
         let mut hl_reiser = SimStore::new(Layout::Hardlink, DiskProfile::reiser());
-        let a = hl_ext3.deliver(&names, 4096).unwrap();
-        let b = hl_reiser.deliver(&names, 4096).unwrap();
+        let a = hl_ext3.deliver(&names, 4096)?;
+        let b = hl_reiser.deliver(&names, 4096)?;
         assert!(a > b * 3, "ext3 {a} vs reiser {b}");
+        Ok(())
     }
 
     #[test]
-    fn single_recipient_costs_are_close_across_mbox_and_mfs() {
+    fn single_recipient_costs_are_close_across_mbox_and_mfs(
+    ) -> Result<(), Box<dyn std::error::Error>> {
         let mut mfs = SimStore::new(Layout::Mfs, DiskProfile::ext3());
         let mut mbox = SimStore::new(Layout::Mbox, DiskProfile::ext3());
-        mfs.prewarm(&["alice"]);
-        mbox.prewarm(&["alice"]);
-        let c_mfs = mfs.deliver(&["alice"], 4096).unwrap();
-        let c_mbox = mbox.deliver(&["alice"], 4096).unwrap();
+        mfs.prewarm(&["alice"])?;
+        mbox.prewarm(&["alice"])?;
+        let c_mfs = mfs.deliver(&["alice"], 4096)?;
+        let c_mbox = mbox.deliver(&["alice"], 4096)?;
         let ratio = c_mfs.as_secs_f64() / c_mbox.as_secs_f64();
         assert!((0.5..=2.0).contains(&ratio), "ratio {ratio}");
+        Ok(())
     }
 
     #[test]
-    fn op_counts_accumulate() {
+    fn op_counts_accumulate() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = SimStore::new(Layout::Mbox, DiskProfile::ext3());
-        s.deliver(&["a"], 100).unwrap();
-        s.deliver(&["a", "b"], 100).unwrap();
+        s.deliver(&["a"], 100)?;
+        s.deliver(&["a", "b"], 100)?;
         let c = s.op_counts();
         assert_eq!(c.appends, 3); // one vectored record write per mailbox delivery
         assert!(s.stored_bytes() > 0);
+        Ok(())
     }
 
     #[test]
-    fn ids_are_unique_across_deliveries() {
+    fn ids_are_unique_across_deliveries() -> Result<(), Box<dyn std::error::Error>> {
         // Regression guard: duplicate ids would make maildir delivery fail.
         let mut s = SimStore::new(Layout::Maildir, DiskProfile::ext3());
         for _ in 0..100 {
-            s.deliver(&["a"], 10).unwrap();
+            s.deliver(&["a"], 10)?;
         }
+        Ok(())
     }
 }

@@ -314,7 +314,11 @@ mod tests {
         let d = LogNormal::with_median(100.0, 0.5);
         assert!((d.median() - 100.0).abs() < 1e-9);
         let m = mean_of(60_000, || d.sample(&mut rng));
-        assert!((m - d.mean()).abs() / d.mean() < 0.05, "mean {m} vs {}", d.mean());
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.05,
+            "mean {m} vs {}",
+            d.mean()
+        );
     }
 
     #[test]
@@ -357,10 +361,7 @@ mod tests {
         let mut rng = det_rng(17);
         let d = Weighted::new(vec![(0u8, 1.0), (1u8, 3.0)]);
         let n = 40_000;
-        let ones = (0..n)
-            .filter(|_| *d.sample_value(&mut rng) == 1)
-            .count() as f64
-            / n as f64;
+        let ones = (0..n).filter(|_| *d.sample_value(&mut rng) == 1).count() as f64 / n as f64;
         assert!((ones - 0.75).abs() < 0.02, "p {ones}");
     }
 
@@ -466,7 +467,10 @@ mod count_tests {
     fn binomial_mean_matches() {
         let mut rng = det_rng(34);
         let n = 30_000;
-        let mean = (0..n).map(|_| binomial(&mut rng, 40, 0.25) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| binomial(&mut rng, 40, 0.25) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 10.0).abs() < 0.15, "mean {mean}");
     }
 

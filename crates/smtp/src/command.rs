@@ -203,27 +203,29 @@ mod tests {
     }
 
     #[test]
-    fn parse_simple_verbs() {
-        assert_eq!(Command::parse("DATA").unwrap(), Command::Data);
-        assert_eq!(Command::parse("quit").unwrap(), Command::Quit);
-        assert_eq!(Command::parse("RsEt").unwrap(), Command::Rset);
-        assert_eq!(Command::parse("NOOP").unwrap(), Command::Noop);
+    fn parse_simple_verbs() -> Result<(), Box<dyn std::error::Error>> {
+        assert_eq!(Command::parse("DATA")?, Command::Data);
+        assert_eq!(Command::parse("quit")?, Command::Quit);
+        assert_eq!(Command::parse("RsEt")?, Command::Rset);
+        assert_eq!(Command::parse("NOOP")?, Command::Noop);
+        Ok(())
     }
 
     #[test]
-    fn parse_helo_ehlo() {
+    fn parse_helo_ehlo() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(
-            Command::parse("HELO mx.example").unwrap(),
+            Command::parse("HELO mx.example")?,
             Command::Helo("mx.example".into())
         );
         assert_eq!(
-            Command::parse("EHLO [127.0.0.1]").unwrap(),
+            Command::parse("EHLO [127.0.0.1]")?,
             Command::Ehlo("[127.0.0.1]".into())
         );
+        Ok(())
     }
 
     #[test]
-    fn parse_mail_from_variants() {
+    fn parse_mail_from_variants() -> Result<(), Box<dyn std::error::Error>> {
         for line in [
             "MAIL FROM:<bob@example.com>",
             "MAIL FROM: <bob@example.com>",
@@ -231,27 +233,27 @@ mod tests {
             "MAIL FROM:<bob@example.com> SIZE=1000",
         ] {
             assert_eq!(
-                Command::parse(line).unwrap(),
+                Command::parse(line)?,
                 Command::MailFrom(Some(addr("bob@example.com"))),
                 "line {line:?}"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn parse_null_sender() {
-        assert_eq!(
-            Command::parse("MAIL FROM:<>").unwrap(),
-            Command::MailFrom(None)
-        );
+    fn parse_null_sender() -> Result<(), Box<dyn std::error::Error>> {
+        assert_eq!(Command::parse("MAIL FROM:<>")?, Command::MailFrom(None));
+        Ok(())
     }
 
     #[test]
-    fn parse_rcpt_to() {
+    fn parse_rcpt_to() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(
-            Command::parse("RCPT TO:<alice@example.com>").unwrap(),
+            Command::parse("RCPT TO:<alice@example.com>")?,
             Command::RcptTo(addr("alice@example.com"))
         );
+        Ok(())
     }
 
     #[test]
@@ -266,15 +268,16 @@ mod tests {
     }
 
     #[test]
-    fn unknown_verbs_are_preserved() {
-        match Command::parse("XCLIENT foo=bar").unwrap() {
+    fn unknown_verbs_are_preserved() -> Result<(), Box<dyn std::error::Error>> {
+        match Command::parse("XCLIENT foo=bar")? {
             Command::Unknown(l) => assert_eq!(l, "XCLIENT foo=bar"),
             other => panic!("unexpected {other:?}"),
         }
+        Ok(())
     }
 
     #[test]
-    fn display_roundtrips_through_parse() {
+    fn display_roundtrips_through_parse() -> Result<(), Box<dyn std::error::Error>> {
         let cmds = vec![
             Command::helo("mx.example"),
             Command::Ehlo("mx.example".into()),
@@ -289,12 +292,14 @@ mod tests {
         ];
         for c in cmds {
             let line = c.to_string();
-            assert_eq!(Command::parse(&line).unwrap(), c, "line {line:?}");
+            assert_eq!(Command::parse(&line)?, c, "line {line:?}");
         }
+        Ok(())
     }
 
     #[test]
-    fn crlf_is_stripped() {
-        assert_eq!(Command::parse("QUIT\r\n").unwrap(), Command::Quit);
+    fn crlf_is_stripped() -> Result<(), Box<dyn std::error::Error>> {
+        assert_eq!(Command::parse("QUIT\r\n")?, Command::Quit);
+        Ok(())
     }
 }

@@ -49,7 +49,8 @@ impl Reply {
         assert!(!rest.is_empty(), "multiline reply needs extra lines");
         let mut lines = vec![first.into()];
         lines.extend(rest);
-        let text = lines.pop().expect("nonempty");
+        // The assert above guarantees at least two lines.
+        let text = lines.pop().unwrap_or_default();
         Reply {
             code,
             text,
@@ -124,6 +125,21 @@ impl Reply {
     /// `452` too many recipients.
     pub fn too_many_recipients() -> Reply {
         Reply::new(452, "4.5.3 Error: too many recipients")
+    }
+
+    /// `452` session transaction cap reached.
+    pub fn too_many_transactions() -> Reply {
+        Reply::new(452, "4.5.3 Too many transactions")
+    }
+
+    /// `552` message exceeds the advertised SIZE limit.
+    pub fn message_too_large() -> Reply {
+        Reply::new(552, "5.3.4 Message size exceeds limit")
+    }
+
+    /// `451` transient server-side failure (e.g. the mail store errored).
+    pub fn local_error() -> Reply {
+        Reply::new(451, "4.3.0 Local error in processing")
     }
 
     /// `252` noncommittal VRFY answer (standard anti-harvesting practice).
@@ -237,7 +253,10 @@ mod tests {
         let r = Reply::hello_esmtp("mx.example", Some(10_000_000));
         assert!(r.is_multiline());
         let wire = r.to_wire();
-        assert_eq!(wire, "250-mx.example\r\n250-8BITMIME\r\n250 SIZE 10000000\r\n");
+        assert_eq!(
+            wire,
+            "250-mx.example\r\n250-8BITMIME\r\n250 SIZE 10000000\r\n"
+        );
     }
 
     #[test]

@@ -204,13 +204,15 @@ impl ServerSession {
                 SessionPhase::Closed => Reply::bad_sequence("connection"),
                 SessionPhase::Greeted => {
                     if self.delivered.len() >= self.cfg.max_transactions {
-                        return Reply::new(452, "4.5.3 Too many transactions");
+                        return Reply::too_many_transactions();
                     }
                     self.sender = sender;
                     self.phase = SessionPhase::MailGiven;
                     Reply::ok()
                 }
-                SessionPhase::Data => unreachable!(),
+                // Commands are not parsed during DATA; answer defensively
+                // rather than aborting on a driver bug.
+                SessionPhase::Data => Reply::bad_sequence("end of data"),
             },
             Command::RcptTo(rcpt) => match self.phase {
                 SessionPhase::MailGiven | SessionPhase::RcptGiven => {
@@ -298,7 +300,7 @@ impl ServerSession {
                 // Oversized: discard the transaction (RFC 5321 552).
                 self.reset_transaction();
                 self.phase = SessionPhase::Greeted;
-                return Reply::new(552, "5.3.4 Message size exceeds limit");
+                return Reply::message_too_large();
             }
         }
         self.delivered.push(Envelope {

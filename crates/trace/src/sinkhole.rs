@@ -18,7 +18,7 @@
 //! counts are drawn first, then the mean mails-per-bot is solved so the
 //! expected connection total hits the configured target.
 
-use crate::{ConnectionKind, ConnectionSpec, MailSpec, MailSizeModel, RcptCountModel, Trace};
+use crate::{ConnectionKind, ConnectionSpec, MailSizeModel, MailSpec, RcptCountModel, Trace};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use spamaware_netaddr::{Ipv4, Prefix24};

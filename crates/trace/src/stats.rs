@@ -79,7 +79,11 @@ impl fmt::Display for TraceStats {
         writeln!(f, "Mails delivered:            {}", self.mails)?;
         writeln!(f, "Mailbox deliveries:         {}", self.deliveries)?;
         writeln!(f, "Mean recipients per mail:   {:.2}", self.mean_rcpts)?;
-        writeln!(f, "Spam ratio (of mails):      {:.0}%", self.spam_ratio * 100.0)?;
+        writeln!(
+            f,
+            "Spam ratio (of mails):      {:.0}%",
+            self.spam_ratio * 100.0
+        )?;
         writeln!(
             f,
             "Bounce connections:         {:.1}%",

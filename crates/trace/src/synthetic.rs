@@ -1,7 +1,9 @@
 //! Derived synthetic traces: the bounce-ratio sweep of Fig. 8 and the
 //! 15-mailbox delivery sequences of Figs. 10/11.
 
-use crate::{ConnectionKind, ConnectionSpec, MailSpec, MailboxId, MailSizeModel, RcptCountModel, Trace};
+use crate::{
+    ConnectionKind, ConnectionSpec, MailSizeModel, MailSpec, MailboxId, RcptCountModel, Trace,
+};
 use rand::Rng;
 use spamaware_sim::{det_rng, Nanos};
 
@@ -34,7 +36,7 @@ pub fn bounce_sweep_trace(
 ) -> Trace {
     assert!((0.0..=1.0).contains(&bounce_ratio), "bounce ratio range");
     assert!(connections > 0, "need at least one connection");
-    let mut rng = det_rng(seed ^ 0xF16_8);
+    let mut rng = det_rng(seed ^ 0xF168);
     let span = Nanos::from_secs(3600);
     // Univ mail sizes: a 67/33 spam/ham mixture (paper §3: the synthetic
     // trace "follows the mail sizes in the Univ trace").
@@ -155,13 +157,12 @@ mod tests {
     fn bounce_ratio_is_respected() {
         for ratio in [0.0, 0.3, 0.9, 1.0] {
             let t = bounce_sweep_trace(1, 4000, ratio, 400);
-            let bounces = t
-                .connections
-                .iter()
-                .filter(|c| !c.kind.delivers())
-                .count() as f64
-                / 4000.0;
-            assert!((bounces - ratio).abs() < 0.03, "ratio {ratio} got {bounces}");
+            let bounces =
+                t.connections.iter().filter(|c| !c.kind.delivers()).count() as f64 / 4000.0;
+            assert!(
+                (bounces - ratio).abs() < 0.03,
+                "ratio {ratio} got {bounces}"
+            );
         }
     }
 

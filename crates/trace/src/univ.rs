@@ -14,7 +14,7 @@
 //! at the ECN-measured rates so the combined §8 experiment sees the full
 //! workload. Set the fractions to zero for the delivery-only view.
 
-use crate::{ConnectionKind, ConnectionSpec, MailSpec, MailSizeModel, RcptCountModel, Trace};
+use crate::{ConnectionKind, ConnectionSpec, MailSizeModel, MailSpec, RcptCountModel, Trace};
 use rand::Rng;
 use spamaware_netaddr::{Ipv4, Prefix24};
 use spamaware_sim::dist::{poisson, Exponential, Sample};
@@ -51,7 +51,7 @@ impl UnivConfig {
     /// The paper's trace dimensions.
     pub fn paper() -> UnivConfig {
         UnivConfig {
-            seed: 0x0u64 ^ 0x0041_5EED,
+            seed: 0x0041_5EED,
             connections: 1_862_349,
             bounce_fraction: 0.20,
             unfinished_fraction: 0.08,
@@ -211,7 +211,11 @@ impl UnivConfig {
                 arrival: Nanos::from_nanos(rng.gen_range(0..=span.as_nanos())),
                 client_ip: ip,
                 kind: ConnectionKind::Mail(vec![MailSpec {
-                    valid_rcpts: crate::draw_distinct_mailboxes(&mut rng, n_rcpts, self.mailbox_count),
+                    valid_rcpts: crate::draw_distinct_mailboxes(
+                        &mut rng,
+                        n_rcpts,
+                        self.mailbox_count,
+                    ),
                     invalid_rcpts: 0,
                     size: ham_sizes.sample(&mut rng),
                     spam: false,

@@ -1,0 +1,244 @@
+//! Determinism lint.
+//!
+//! Simulation results must be a pure function of the trace and the seed
+//! (ROADMAP: reproducible figures). This pass forbids, inside the scoped
+//! crates (`sim`, `server`, `dnsbl`):
+//!
+//! * wall-clock reads (`SystemTime::now`, `Instant::now`),
+//! * ambient randomness (`thread_rng`, `from_entropy`, `rand::random`),
+//! * environment-dependent branching (`env::var`, `env::vars`, `var_os`),
+//! * iteration over `HashMap`/`HashSet` values declared in the same file,
+//!   whose order can leak into ordered output.
+//!
+//! Order-independent uses (commutative folds, tie-broken selection) are
+//! waived per line with `// lint:allow(hashmap-iter): <why>`; the other
+//! rules use `lint:allow(time|rng|env)`.
+
+use crate::findings::Finding;
+use crate::scan::{find_token, SourceFile};
+use std::collections::BTreeSet;
+
+const TIME_TOKENS: &[&str] = &["SystemTime::now", "Instant::now"];
+const RNG_TOKENS: &[&str] = &["thread_rng", "from_entropy", "rand::random"];
+const ENV_TOKENS: &[&str] = &["env::var", "env::vars", "var_os"];
+
+/// Methods whose results depend on hash iteration order.
+const ORDERED_SINKS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".drain(",
+];
+
+/// Runs the determinism pass over one scoped file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let hash_names = hash_container_names(file);
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        for (rule, tokens) in [
+            ("time", TIME_TOKENS),
+            ("rng", RNG_TOKENS),
+            ("env", ENV_TOKENS),
+        ] {
+            for tok in tokens {
+                if find_token(&line.code, tok).is_some() && !file.waived(i, rule) {
+                    out.push(Finding::new(
+                        &file.path,
+                        i + 1,
+                        "determinism",
+                        format!("nondeterministic `{tok}` in simulation-scoped crate"),
+                    ));
+                }
+            }
+        }
+        for name in &hash_names {
+            // Method chains wrap across lines (`self\n.cache\n.iter()`), so
+            // match against a short window of trimmed lines joined together,
+            // anchored at the line naming the container.
+            if find_token(&line.code, name).is_none() {
+                continue;
+            }
+            let window = chain_window(file, i);
+            let anchor_len = line.code.trim().len();
+            if iterates_container(&window, name).is_some_and(|at| at < anchor_len)
+                && !file.waived(i, "hashmap-iter")
+            {
+                out.push(Finding::new(
+                    &file.path,
+                    i + 1,
+                    "determinism",
+                    format!(
+                        "iteration over hash container `{name}` — order may leak into output \
+                         (sort, use BTreeMap, or waive with lint:allow(hashmap-iter))"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Joins the trimmed code of lines `i..i+3` so wrapped method chains read
+/// as one expression.
+fn chain_window(file: &SourceFile, i: usize) -> String {
+    file.lines[i..(i + 3).min(file.lines.len())]
+        .iter()
+        .map(|l| l.code.trim())
+        .collect::<Vec<_>>()
+        .join("")
+}
+
+/// Names of bindings/fields declared with a `HashMap<…>` / `HashSet<…>` type
+/// or initialized from `HashMap::new()` / `HashSet::new()` in this file.
+fn hash_container_names(file: &SourceFile) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in &file.lines {
+        let code = &line.code;
+        for ty in ["HashMap", "HashSet"] {
+            let mut start = 0;
+            while let Some(pos) = code[start..].find(ty) {
+                let at = start + pos;
+                start = at + ty.len();
+                // `name: HashMap<…>` (field or typed let) — walk back over
+                // the path prefix and a `:` to the identifier.
+                if let Some(name) = decl_name_before(code, at) {
+                    names.insert(name);
+                }
+            }
+        }
+        // `let name = HashMap::new()` / `= HashSet::with_capacity(…)`.
+        if let Some(eq) = code.find('=') {
+            let rhs = &code[eq + 1..];
+            if rhs.contains("HashMap::") || rhs.contains("HashSet::") {
+                if let Some(name) = let_binding_name(&code[..eq]) {
+                    names.insert(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// For `… name: [std::collections::]HashMap` with `ty_at` pointing at the
+/// type name, extracts `name`.
+fn decl_name_before(code: &str, ty_at: usize) -> Option<String> {
+    let mut head = code[..ty_at].trim_end();
+    // Strip a path prefix like `std::collections::`.
+    while let Some(stripped) = head.strip_suffix("::") {
+        let trimmed = stripped.trim_end_matches(|c: char| c.is_alphanumeric() || c == '_');
+        head = trimmed.trim_end();
+    }
+    let head = head.strip_suffix(':')?.trim_end();
+    let name: String = head
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    (!name.is_empty() && !name.chars().next().is_some_and(|c| c.is_numeric())).then_some(name)
+}
+
+/// For `… let [mut] name …`, extracts `name`.
+fn let_binding_name(lhs: &str) -> Option<String> {
+    let at = lhs.rfind("let ")?;
+    let rest = lhs[at + 4..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Finds where `code` starts iterating over the named container, if at all.
+fn iterates_container(code: &str, name: &str) -> Option<usize> {
+    for sink in ORDERED_SINKS {
+        let pat = format!("{name}{sink}");
+        if let Some(at) = code.find(&pat) {
+            // Require a non-identifier char before the name so `ip_cache`
+            // does not match `big_ip_cache`.
+            let boundary = at == 0
+                || !code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if boundary {
+                return Some(at);
+            }
+        }
+    }
+    // `for … in &name` / `for … in &mut name` / `for … in name`.
+    if code.contains("for ") {
+        for pre in ["in &mut ", "in &", "in "] {
+            if let Some(at) = code.find(&format!("{pre}{name}")) {
+                let after = at + pre.len() + name.len();
+                let after_ok = !code[after..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.');
+                if after_ok {
+                    return Some(at + pre.len());
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    #[test]
+    fn flags_wall_clock_and_rng() {
+        let f = scan_source(
+            "t.rs",
+            "fn a() { let t = std::time::Instant::now(); let r = rand::thread_rng(); }\n",
+        );
+        let found = check(&f);
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn ignores_strings_comments_and_tests() {
+        let src = "fn a() { let s = \"Instant::now\"; } // thread_rng\n#[cfg(test)]\nmod tests { fn b() { let t = std::time::Instant::now(); } }\n";
+        let f = scan_source("t.rs", src);
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn flags_hashmap_iteration_and_accepts_waiver() {
+        let src = "struct S { cache: HashMap<u32, u64> }\nfn a(s: &S) { for v in s.cache.values() { use_it(v); } }\nfn b(s: &S) {\n    // lint:allow(hashmap-iter): commutative sum\n    let t: u64 = s.cache.values().sum();\n}\n";
+        let f = scan_source("t.rs", src);
+        let found = check(&f);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn env_branching_flagged() {
+        let f = scan_source("t.rs", "fn a() { if std::env::var(\"X\").is_ok() { } }\n");
+        assert_eq!(check(&f).len(), 1);
+    }
+
+    #[test]
+    fn decl_name_extraction() {
+        let f = scan_source(
+            "t.rs",
+            "struct S { ip_cache: std::collections::HashMap<u32, u8> }\nfn f() { let mut seen = HashSet::new(); for x in &seen { } }\n",
+        );
+        let names = hash_container_names(&f);
+        assert!(names.contains("ip_cache"));
+        assert!(names.contains("seen"));
+        assert_eq!(check(&f).len(), 1);
+    }
+}

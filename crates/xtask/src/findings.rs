@@ -1,0 +1,42 @@
+//! Lint diagnostics.
+
+use std::fmt;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File the violation is in.
+    pub file: String,
+    /// 1-based line number; 0 for file-level findings.
+    pub line: usize,
+    /// Pass name (`determinism`, `panic-safety`, `unsafe-audit`, …).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding.
+    pub fn new(file: &str, line: usize, rule: &'static str, message: String) -> Finding {
+        Finding {
+            file: file.to_owned(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}

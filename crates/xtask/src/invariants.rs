@@ -1,0 +1,180 @@
+//! Domain-invariant lint.
+//!
+//! Two repo-specific rules that the type system alone does not fully close
+//! off:
+//!
+//! 1. **Reply provenance** — SMTP reply codes are part of the protocol
+//!    surface the paper's figures depend on (550 bounces drive Fig. 8, 250
+//!    acknowledgements drive goodput). Every reply must come from a named
+//!    constructor in `crates/smtp/src/reply.rs`; ad-hoc `Reply::new(…)`
+//!    calls elsewhere scatter code/text pairs and drift out of RFC shape.
+//!    Waive deliberate pass-throughs with `lint:allow(reply-ctor)`.
+//!
+//! 2. **MFS refcount confinement** — the shared-record refcount fields
+//!    (`KeyRecord::delta`, `SharedEntry::refs`) implement §6.1's "a shared
+//!    record cannot be deleted until it is deleted from all MFS files that
+//!    share it". All mutation must stay inside `crates/mfs/src/mfs_store.rs`
+//!    next to the log-structured replay logic; the fields are private, and
+//!    this pass keeps textual regressions (e.g. a helper moved to another
+//!    module) from reopening the hole. Waive with `lint:allow(mfs-refcount)`.
+
+use crate::findings::Finding;
+use crate::scan::SourceFile;
+
+const REPLY_HOME: &str = "smtp/src/reply.rs";
+const REFCOUNT_HOME: &str = "mfs/src/mfs_store.rs";
+const REFCOUNT_FIELDS: &[&str] = &["refs", "delta"];
+
+/// Runs both invariant rules over one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let norm = file.path.replace('\\', "/");
+    if !norm.ends_with(REPLY_HOME) {
+        check_reply_provenance(file, &mut out);
+    }
+    if norm.contains("mfs/src/") && !norm.ends_with(REFCOUNT_HOME) {
+        check_refcount_confinement(file, &mut out);
+    }
+    out
+}
+
+fn check_reply_provenance(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        for ctor in ["Reply::new(", "Reply::multiline("] {
+            if line.code.contains(ctor) && !file.waived(i, "reply-ctor") {
+                out.push(Finding::new(
+                    &file.path,
+                    i + 1,
+                    "reply-provenance",
+                    format!(
+                        "`{ctor}…)` outside smtp/src/reply.rs — add a named constructor there \
+                         so the code/text pair is defined once"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_refcount_confinement(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        for field in REFCOUNT_FIELDS {
+            if (mutates_field(&line.code, field) || initializes_field(&line.code, field))
+                && !file.waived(i, "mfs-refcount")
+            {
+                out.push(Finding::new(
+                    &file.path,
+                    i + 1,
+                    "mfs-refcount",
+                    format!(
+                        "refcount field `{field}` touched outside mfs_store.rs — §6.1 refcount \
+                         accounting must stay next to the replay logic"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `….field = …`, `+=`, `-=` — but not `==`.
+fn mutates_field(code: &str, field: &str) -> bool {
+    let pat = format!(".{field}");
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(&pat) {
+        let after = from + pos + pat.len();
+        from = after;
+        let rest = code[after..].trim_start();
+        if let Some(op) = rest.chars().next() {
+            let two: String = rest.chars().take(2).collect();
+            if two == "+=" || two == "-=" || (op == '=' && !two.starts_with("==")) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Struct-literal initialization `field: value` (outside a type context is
+/// indistinguishable at token level, so any `refs:`/`delta:` init counts).
+fn initializes_field(code: &str, field: &str) -> bool {
+    let pat = format!("{field}:");
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(&pat) {
+        let at = from + pos;
+        from = at + pat.len();
+        let boundary = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.');
+        // `field::` is a path, not an initializer.
+        if boundary && !code[at + pat.len()..].starts_with(':') {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    #[test]
+    fn ad_hoc_reply_is_flagged_outside_home() {
+        let f = scan_source(
+            "crates/smtp/src/session.rs",
+            "fn a() -> Reply { Reply::new(452, \"\") }\n",
+        );
+        assert_eq!(check(&f).len(), 1);
+    }
+
+    #[test]
+    fn reply_home_is_exempt() {
+        let f = scan_source(
+            "crates/smtp/src/reply.rs",
+            "pub fn ok() -> Reply { Reply::new(250, \"\") }\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn refcount_mutation_flagged_outside_store() {
+        let f = scan_source(
+            "crates/mfs/src/compact.rs",
+            "fn a(e: &mut SharedEntry) { e.refs -= 1; }\n",
+        );
+        assert_eq!(check(&f).len(), 1);
+    }
+
+    #[test]
+    fn refcount_comparison_is_fine() {
+        let f = scan_source(
+            "crates/mfs/src/compact.rs",
+            "fn a(e: &SharedEntry) -> bool { e.refs == 0 && e.delta <= 1 }\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn waivers_apply() {
+        let src = "// lint:allow(reply-ctor): proxying a parsed upstream code\nfn a(c: u16) -> Reply { Reply::new(c, \"\") }\n";
+        let f = scan_source("crates/core/src/live.rs", src);
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn unrelated_fields_do_not_match() {
+        let f = scan_source(
+            "crates/mfs/src/other.rs",
+            "fn a(s: &mut Stats) { s.prefs = 1; s.refsx = 2; }\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! CLI for the workspace lint: `cargo run -p spamaware-xtask -- lint`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown command `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: spamaware-xtask lint [--root <workspace-root>]");
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let root = match parse_root(args) {
+        Ok(root) => root,
+        Err(msg) => {
+            eprintln!("{msg}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    match spamaware_xtask::lint_workspace(&root) {
+        Ok(report) => {
+            for finding in &report.findings {
+                println!("{finding}");
+            }
+            let waived: usize = report.waivers_used.values().sum();
+            if report.findings.is_empty() {
+                println!(
+                    "lint clean: {} files scanned, {waived} budgeted panic waivers in use",
+                    report.files_scanned
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "lint failed: {} finding(s) across {} files",
+                    report.findings.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("lint error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `--root <path>` if given, else the workspace root containing this crate
+/// (via `CARGO_MANIFEST_DIR`), else the current directory.
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    let mut it = args.iter();
+    if let Some(arg) = it.next() {
+        return match arg.as_str() {
+            "--root" => it
+                .next()
+                .map(PathBuf::from)
+                .ok_or_else(|| "--root needs a path".to_owned()),
+            other => Err(format!("unknown flag `{other}`")),
+        };
+    }
+    if let Some(manifest) = std::env::var_os("CARGO_MANIFEST_DIR") {
+        let manifest = PathBuf::from(manifest);
+        if let Some(root) = manifest.parent().and_then(|p| p.parent()) {
+            return Ok(root.to_owned());
+        }
+    }
+    Ok(PathBuf::from("."))
+}

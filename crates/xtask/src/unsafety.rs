@@ -1,0 +1,67 @@
+//! Unsafe-audit lint.
+//!
+//! Every `unsafe` block, function, impl, or trait must carry an adjacent
+//! `// SAFETY:` comment explaining why the contract holds — on the same
+//! line or within the three lines above. The workspace currently contains
+//! no unsafe code at all (and `[workspace.lints]` denies `unsafe_code`),
+//! so this pass is a tripwire for the day that changes: the justification
+//! has to land in the same diff as the `unsafe` itself.
+
+use crate::findings::Finding;
+use crate::scan::{has_token, SourceFile};
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
+const SAFETY_WINDOW: usize = 3;
+
+/// Runs the unsafe-audit pass over one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if !has_token(&line.code, "unsafe") {
+            continue;
+        }
+        let lo = i.saturating_sub(SAFETY_WINDOW);
+        let documented = (lo..=i).any(|j| file.lines[j].comment.contains("SAFETY:"));
+        if !documented {
+            out.push(Finding::new(
+                &file.path,
+                i + 1,
+                "unsafe-audit",
+                "`unsafe` without an adjacent `// SAFETY:` comment".to_owned(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    #[test]
+    fn undocumented_unsafe_is_flagged() {
+        let f = scan_source("t.rs", "fn a(p: *const u8) -> u8 { unsafe { *p } }\n");
+        assert_eq!(check(&f).len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_the_audit() {
+        let src = "fn a(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid for reads.\n    unsafe { *p }\n}\n";
+        let f = scan_source("t.rs", src);
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn lint_attr_name_is_not_unsafe_code() {
+        let f = scan_source("t.rs", "#![deny(unsafe_code)]\n");
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn applies_inside_tests_too() {
+        let src = "#[cfg(test)]\nmod tests { fn b() { unsafe { core::hint::unreachable_unchecked() } } }\n";
+        let f = scan_source("t.rs", src);
+        assert_eq!(check(&f).len(), 1);
+    }
+}

@@ -1,0 +1,32 @@
+// Fixture: deterministic code the pass must accept, including decoys in
+// strings, comments, and test modules: SystemTime::now, thread_rng.
+use std::collections::BTreeMap;
+
+pub struct Cache {
+    entries: BTreeMap<u32, u64>,
+    histogram: std::collections::HashMap<u32, u64>,
+}
+
+impl Cache {
+    pub fn dump(&self) -> Vec<u64> {
+        // BTreeMap iteration is ordered; no finding.
+        self.entries.values().copied().collect()
+    }
+
+    pub fn total(&self) -> u64 {
+        // lint:allow(hashmap-iter): commutative sum, order-independent
+        self.histogram.values().sum()
+    }
+
+    pub fn describe(&self) -> &'static str {
+        "uses Instant::now for nothing; env::var is only a string here"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: panic-free error handling the pass must accept. Decoys live in
+// strings ("don't .unwrap() me"), comments (panic!(…)), and tests.
+pub fn parse(input: &str) -> Result<u32, String> {
+    let n: u32 = input
+        .parse()
+        .map_err(|e| format!("bad id {input:?}: {e} — do not .unwrap() this"))?;
+    if n == 0 {
+        return Err("zero is not a valid id".to_owned());
+    }
+    Ok(n)
+}
+
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::parse("7").unwrap(), 7);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: documented unsafe the audit must accept, plus an `unsafe_code`
+// lint-attribute decoy that must not be mistaken for the keyword.
+#![deny(unsafe_code)]
+
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is non-null, aligned, and valid
+    // for reads for the lifetime of the call.
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+// Fixture: determinism violation — behavior branches on the environment.
+pub fn fast_mode() -> bool {
+    std::env::var("SPAMAWARE_FAST").is_ok()
+}

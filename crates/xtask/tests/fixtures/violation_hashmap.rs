@@ -1,0 +1,17 @@
+// Fixture: determinism violation — hash iteration order leaks into an
+// ordered output vector.
+use std::collections::HashMap;
+
+pub struct Cache {
+    entries: HashMap<u32, u64>,
+}
+
+impl Cache {
+    pub fn dump(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for v in self.entries.values() {
+            out.push(*v);
+        }
+        out
+    }
+}

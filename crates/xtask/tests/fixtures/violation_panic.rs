@@ -1,0 +1,12 @@
+// Fixture: panic-safety violations — unwrap/expect/panic in non-test code.
+pub fn parse(input: &str) -> u32 {
+    let n: u32 = input.parse().unwrap();
+    if n == 0 {
+        panic!("zero is not a valid id");
+    }
+    n
+}
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().expect("nonempty")
+}

@@ -1,0 +1,5 @@
+// Fixture: invariant violation — refcount mutation outside mfs_store.rs
+// (scanned as if it lived in crates/mfs/src/).
+pub fn leak_a_reference(entry: &mut SharedEntry) {
+    entry.refs += 1;
+}

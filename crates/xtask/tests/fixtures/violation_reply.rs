@@ -1,0 +1,5 @@
+// Fixture: invariant violation — ad-hoc reply construction outside
+// smtp/src/reply.rs (scanned as if it lived in crates/server/src/).
+pub fn greet() -> Reply {
+    Reply::new(220, "mx.example ESMTP ad-hoc")
+}

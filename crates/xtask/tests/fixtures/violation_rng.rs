@@ -1,0 +1,5 @@
+// Fixture: determinism violation — ambient RNG instead of a seeded one.
+pub fn roll() -> u8 {
+    use rand::Rng;
+    rand::thread_rng().gen()
+}

@@ -1,0 +1,4 @@
+// Fixture: determinism violation — wall-clock read in simulation code.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,4 @@
+// Fixture: unsafe-audit violation — no SAFETY comment anywhere near.
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

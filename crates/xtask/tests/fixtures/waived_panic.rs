@@ -1,0 +1,6 @@
+// Fixture: a budgeted waiver — accepted, but counted against the budget.
+pub fn checked(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty(), "caller guarantees nonempty");
+    // lint:allow(panic): guarded by the assert above
+    *xs.first().expect("nonempty")
+}

@@ -54,8 +54,7 @@ fn main() {
         v_per_conn * 1e3,
         h_per_conn * 1e3
     );
-    let v_bounce_ms =
-        vanilla.cpu_bounce.as_secs_f64() * 1e3 / vanilla.bounces.max(1) as f64;
+    let v_bounce_ms = vanilla.cpu_bounce.as_secs_f64() * 1e3 / vanilla.bounces.max(1) as f64;
     let h_bounce_ms = hybrid.cpu_bounce.as_secs_f64() * 1e3 / hybrid.bounces.max(1) as f64;
     println!(
         "CPU per BOUNCE         {:>9.2}ms   {:>14.2}ms   ({:.0}x less waste)",

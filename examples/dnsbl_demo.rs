@@ -35,7 +35,11 @@ fn main() {
     if let WireAnswer::Bitmap(bytes) = server.answer_wire(v6.as_str(), QueryScheme::PrefixV6) {
         let bitmap = PrefixBitmap::from_wire(client.prefix25(), bytes);
         println!("  AAAA payload (hex): {}", hex(&bytes));
-        println!("  decoded: {} listed hosts in {}:", bitmap.count(), bitmap.prefix());
+        println!(
+            "  decoded: {} listed hosts in {}:",
+            bitmap.count(),
+            bitmap.prefix()
+        );
         for ip in bitmap.iter() {
             println!("    {ip}");
         }

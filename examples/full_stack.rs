@@ -52,7 +52,9 @@ fn main() {
             "RCPT TO:<bob@dept.example>",
             "DATA",
         ] {
-            stream.write_all(format!("{cmd}\r\n").as_bytes()).expect("w");
+            stream
+                .write_all(format!("{cmd}\r\n").as_bytes())
+                .expect("w");
             line.clear();
             reader.read_line(&mut line).expect("r");
         }
@@ -75,7 +77,9 @@ fn main() {
         let mut line = String::new();
         reader.read_line(&mut line).expect("banner");
         for cmd in ["USER bob", "PASS anything", "STAT", "RETR 1"] {
-            stream.write_all(format!("{cmd}\r\n").as_bytes()).expect("w");
+            stream
+                .write_all(format!("{cmd}\r\n").as_bytes())
+                .expect("w");
             line.clear();
             reader.read_line(&mut line).expect("r");
             print!("POP3 {cmd:<14} -> {line}");

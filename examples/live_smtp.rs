@@ -68,7 +68,10 @@ fn main() {
         cfg.bind = bind.parse().expect("bind address");
     }
     let server = LiveServer::start(cfg).expect("start server");
-    println!("spam-aware SMTP server listening on {}", server.local_addr());
+    println!(
+        "spam-aware SMTP server listening on {}",
+        server.local_addr()
+    );
 
     if interactive.is_some() {
         println!("talk to it with: nc {}", server.local_addr());

@@ -40,7 +40,11 @@ fn main() {
     let eve = store.mail_open("eve").expect("open");
     let mallory = store.mail_open("mallory").expect("open");
     let err = store
-        .mail_nwrite(&[&eve, &mallory], MailId(1), DataRef::Bytes(b"guessed-id junk"))
+        .mail_nwrite(
+            &[&eve, &mallory],
+            MailId(1),
+            DataRef::Bytes(b"guessed-id junk"),
+        )
         .expect_err("collision must be rejected");
     println!("mail-id collision attack rejected: {err}");
 

@@ -18,7 +18,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.1);
-    println!("generating sinkhole trace at {:.0}% scale...", scale * 100.0);
+    println!(
+        "generating sinkhole trace at {:.0}% scale...",
+        scale * 100.0
+    );
     let sink = SinkholeConfig::scaled(scale).generate();
     println!(
         "  {} connections, {} unique IPs, {} /24 prefixes\n",
@@ -52,7 +55,11 @@ fn main() {
     println!("\nDNSBL caching schemes (vanilla architecture, mbox):");
     println!("  scheme      mails/s   hit ratio   queries issued");
     let server = default_dnsbl(sink.blacklisted.iter().copied());
-    for scheme in [CacheScheme::None, CacheScheme::PerIp, CacheScheme::PerPrefix] {
+    for scheme in [
+        CacheScheme::None,
+        CacheScheme::PerIp,
+        CacheScheme::PerPrefix,
+    ] {
         let cfg = ServerConfig {
             dns: Some(DnsConfig {
                 scheme,

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Pre-PR gate: run the full local verification pipeline.
+#
+#   scripts/check.sh
+#
+# Every stage must pass before a change is proposed. The stages are
+# ordered cheapest-first so failures surface quickly:
+#
+#   1. cargo fmt --check       — formatting is canonical
+#   2. cargo clippy            — workspace lints, warnings are errors
+#   3. spamaware-xtask lint    — determinism / panic-safety / unsafe-audit /
+#                                invariant-provenance static analysis
+#                                (see DESIGN.md "Invariants & static analysis")
+#   4. cargo test              — unit, integration, property and doc tests
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --quiet -- -D warnings
+
+echo "==> cargo run -p spamaware-xtask -- lint"
+cargo run --quiet -p spamaware-xtask -- lint
+
+echo "==> cargo test"
+cargo test --quiet
+
+echo "all checks passed"

@@ -227,7 +227,8 @@ fn hybrid_and_vanilla_deliver_identical_mail_sets_logically() {
             Nanos::from_secs(60),
         );
         let per_conn_deliveries = rep.deliveries as f64 / rep.delivered_connections as f64;
-        let expected = stats.deliveries as f64 / stats.connections as f64
+        let expected = stats.deliveries as f64
+            / stats.connections as f64
             / (1.0 - stats.bounce_fraction - stats.unfinished_fraction);
         assert!(
             (per_conn_deliveries / expected - 1.0).abs() < 0.1,
@@ -271,7 +272,12 @@ fn smtpd_recycling_forks_periodically() {
     let b = run(&trace, high_reuse, client, Nanos::from_secs(30));
     // max_use 5 re-forks roughly every 5 connections; effectively-infinite
     // max_use forks only the initial pool.
-    assert!(a.forks >= a.connections / 6, "forks {} conns {}", a.forks, a.connections);
+    assert!(
+        a.forks >= a.connections / 6,
+        "forks {} conns {}",
+        a.forks,
+        a.connections
+    );
     assert!(b.forks <= 8, "forks {}", b.forks);
     // Reuse saves fork CPU: goodput must not be lower with recycling.
     assert!(b.goodput() >= a.goodput() * 0.99);
@@ -285,7 +291,12 @@ fn archived_trace_replays_identically() {
     let restored = spamaware_trace::Trace::load_json(buf.as_slice()).expect("load");
     let client = ClientModel::Closed { concurrency: 50 };
     let a = run(&trace, ServerConfig::hybrid(), client, Nanos::from_secs(10));
-    let b = run(&restored, ServerConfig::hybrid(), client, Nanos::from_secs(10));
+    let b = run(
+        &restored,
+        ServerConfig::hybrid(),
+        client,
+        Nanos::from_secs(10),
+    );
     assert_eq!(a.mails, b.mails);
     assert_eq!(a.connections, b.connections);
     assert_eq!(a.context_switches, b.context_switches);
@@ -308,6 +319,81 @@ fn bounce_cpu_waste_is_eliminated_by_hybrid() {
     );
     // Per-outcome accounting is consistent with the totals.
     let v_sum = v.cpu_delivering + v.cpu_bounce + v.cpu_unfinished;
-    assert!(v_sum <= v.cpu_busy, "attributed {} vs busy {}", v_sum, v.cpu_busy);
+    assert!(
+        v_sum <= v.cpu_busy,
+        "attributed {} vs busy {}",
+        v_sum,
+        v.cpu_busy
+    );
     assert!(v_sum > v.cpu_busy * 0.7, "most CPU is attributable");
+}
+
+#[test]
+fn hybrid_run_report_serializes_bit_identically() {
+    // Regression guard for the determinism lint's runtime counterpart:
+    // the full Fig. 7 hybrid engine (DNS caching enabled, so the resolver
+    // cache paths are exercised) must produce byte-identical serialized
+    // reports on repeated runs with the same seed. Any HashMap-iteration
+    // or wall-clock dependence shows up here as a diff.
+    let sink = SinkholeConfig::scaled(0.02).generate();
+    let run_once = || {
+        let server = default_dnsbl(sink.blacklisted.iter().copied());
+        let cfg = ServerConfig {
+            dns: Some(DnsConfig {
+                scheme: CacheScheme::PerIp,
+                ttl: Nanos::from_secs(86_400),
+                server,
+            }),
+            ..ServerConfig::hybrid()
+        };
+        let rep = run(
+            &trace_of(&sink),
+            cfg,
+            ClientModel::Closed { concurrency: 100 },
+            Nanos::from_secs(15),
+        );
+        serde_json::to_string(&rep).expect("report serializes")
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b, "hybrid run reports diverged between identical runs");
+}
+
+#[test]
+fn resolver_eviction_is_hash_order_independent() {
+    // Two CachingResolver instances hash their caches with different
+    // random seeds (std HashMap's per-instance RandomState). Identical
+    // lookup sequences against capacity-bounded caches must still evict
+    // the same victims — the eviction tie-break is by (expiry, key), not
+    // by iteration order.
+    use spamaware_dnsbl::CachingResolver;
+    use spamaware_netaddr::Ipv4;
+    use spamaware_sim::det_rng;
+
+    let sink = SinkholeConfig::scaled(0.01).generate();
+    let server = default_dnsbl(sink.blacklisted.iter().copied());
+    let ips: Vec<Ipv4> = (0u32..64)
+        .map(|i| Ipv4::new(10, 0, (i / 8) as u8, (i % 8) as u8))
+        .collect();
+    let drive = || {
+        let mut r =
+            CachingResolver::new(CacheScheme::PerIp, Nanos::from_secs(100)).with_capacity(16);
+        let mut rng = det_rng(77);
+        let mut hits = Vec::new();
+        // Fill past capacity with same-expiry entries (forcing tie-breaks),
+        // then re-probe: the hit pattern reveals which entries survived.
+        for &ip in &ips {
+            r.lookup(ip, Nanos::from_secs(1), &server, &mut rng);
+        }
+        for &ip in &ips {
+            let out = r.lookup(ip, Nanos::from_secs(2), &server, &mut rng);
+            hits.push(out.cache_hit);
+        }
+        (hits, r.stats().evictions)
+    };
+    let (hits_a, ev_a) = drive();
+    let (hits_b, ev_b) = drive();
+    assert_eq!(hits_a, hits_b, "eviction victims depended on hash order");
+    assert_eq!(ev_a, ev_b);
+    assert!(ev_a > 0, "test must actually exercise eviction");
 }

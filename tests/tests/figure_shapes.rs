@@ -14,7 +14,11 @@ fn quick() -> Scale {
 }
 
 fn tput(p: &Fig10Point, l: Layout) -> f64 {
-    p.throughput.iter().find(|(x, _)| *x == l).expect("layout").1
+    p.throughput
+        .iter()
+        .find(|(x, _)| *x == l)
+        .expect("layout")
+        .1
 }
 
 #[test]
@@ -68,7 +72,10 @@ fn fig11_reiser_orderings() {
     let mbox = tput(p, Layout::Mbox);
     let maildir = tput(p, Layout::Maildir);
     assert!(mfs > hl, "MFS {mfs} vs hardlink {hl}");
-    assert!((hl / mbox - 1.0).abs() < 0.25, "hardlink {hl} vs mbox {mbox}");
+    assert!(
+        (hl / mbox - 1.0).abs() < 0.25,
+        "hardlink {hl} vs mbox {mbox}"
+    );
     assert!(maildir < mbox * 0.7, "maildir {maildir}");
     let over_maildir = mfs / maildir - 1.0;
     assert!(over_maildir > 1.0, "MFS over maildir {over_maildir}");
@@ -91,15 +98,16 @@ fn fig14_gap_opens_at_saturation() {
     let low = &pts[0];
     let high = &pts[1];
     // At low rate the schemes are equal (both keep up with offered load).
-    let low_gap = low.prefix_caching.connection_throughput()
-        / low.ip_caching.connection_throughput()
-        - 1.0;
+    let low_gap =
+        low.prefix_caching.connection_throughput() / low.ip_caching.connection_throughput() - 1.0;
     assert!(low_gap.abs() < 0.03, "low-rate gap {low_gap}");
     // At 200/s (past saturation) prefix caching wins by ~10%.
-    let high_gap = high.prefix_caching.connection_throughput()
-        / high.ip_caching.connection_throughput()
-        - 1.0;
-    assert!((0.04..=0.20).contains(&high_gap), "high-rate gap {high_gap}");
+    let high_gap =
+        high.prefix_caching.connection_throughput() / high.ip_caching.connection_throughput() - 1.0;
+    assert!(
+        (0.04..=0.20).contains(&high_gap),
+        "high-rate gap {high_gap}"
+    );
 }
 
 #[test]

@@ -97,7 +97,9 @@ fn multi_recipient_spam_stored_once() {
     c.cmd("HELO bot.example");
     c.cmd("MAIL FROM:<spam@bot.example>");
     for mb in ["a", "b", "c"] {
-        assert!(c.cmd(&format!("RCPT TO:<{mb}@dept.example>")).starts_with("250"));
+        assert!(c
+            .cmd(&format!("RCPT TO:<{mb}@dept.example>"))
+            .starts_with("250"));
     }
     assert!(c.cmd("DATA").starts_with("354"));
     c.raw("spam body");
@@ -217,9 +219,7 @@ fn oversized_line_is_rejected() {
     let (srv, root) = server("overflow", &["alice"]);
     let mut c = Client::connect(&srv);
     let huge = "X".repeat(5000);
-    c.stream
-        .write_all(huge.as_bytes())
-        .expect("write flood");
+    c.stream.write_all(huge.as_bytes()).expect("write flood");
     c.stream.write_all(b"\r\n").expect("write");
     let mut reply = String::new();
     // Server answers 500 and closes, or just closes; both are acceptable

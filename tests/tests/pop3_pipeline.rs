@@ -87,10 +87,12 @@ fn smtp_deliver(addr: std::net::SocketAddr, rcpts: &[&str], body: &str) {
     cmd(&mut stream, &mut reader, "HELO c.example");
     cmd(&mut stream, &mut reader, "MAIL FROM:<s@remote.example>");
     for r in rcpts {
-        assert!(
-            cmd(&mut stream, &mut reader, &format!("RCPT TO:<{r}@dept.example>"))
-                .starts_with("250")
-        );
+        assert!(cmd(
+            &mut stream,
+            &mut reader,
+            &format!("RCPT TO:<{r}@dept.example>")
+        )
+        .starts_with("250"));
     }
     assert!(cmd(&mut stream, &mut reader, "DATA").starts_with("354"));
     stream
@@ -254,15 +256,30 @@ fn live_server_queries_real_udp_dnsbl() {
         std::thread::sleep(Duration::from_millis(10));
     }
     let (_, _, _, _, _, _, blacklisted) = smtp.stats().snapshot();
-    assert_eq!(blacklisted, 1, "the listed client was flagged via UDP DNSBL");
-    assert!(dnsbl.stats().answered.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    assert_eq!(
+        blacklisted, 1,
+        "the listed client was flagged via UDP DNSBL"
+    );
+    assert!(
+        dnsbl
+            .stats()
+            .answered
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
 
     // Second connection from the same /25 hits the bitmap cache: no new
     // DNS query.
-    let before = dnsbl.stats().answered.load(std::sync::atomic::Ordering::Relaxed);
+    let before = dnsbl
+        .stats()
+        .answered
+        .load(std::sync::atomic::Ordering::Relaxed);
     smtp_deliver(smtp.local_addr(), &["alice"], "second mail");
     std::thread::sleep(Duration::from_millis(100));
-    let after = dnsbl.stats().answered.load(std::sync::atomic::Ordering::Relaxed);
+    let after = dnsbl
+        .stats()
+        .answered
+        .load(std::sync::atomic::Ordering::Relaxed);
     assert_eq!(after, before, "cached bitmap answered locally");
 
     smtp.shutdown();

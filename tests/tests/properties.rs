@@ -5,9 +5,9 @@ use spamaware_mfs::{
     Backend, DataRef, HardlinkStore, Layout, MailId, MailStore, MboxStore, MemFs, MfsStore,
 };
 use spamaware_netaddr::{Ipv4, PrefixBitmap, QueryName, QueryScheme};
-use spamaware_smtp::{Command, MailAddr, Reply};
 use spamaware_sim::metrics::Histogram;
 use spamaware_sim::Nanos;
+use spamaware_smtp::{Command, MailAddr, Reply};
 use std::collections::HashMap;
 
 // ------------------------------------------------------------- netaddr

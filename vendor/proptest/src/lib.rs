@@ -1,0 +1,738 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Keeps the API surface the workspace's property tests use — the
+//! `proptest!` macro, `Strategy` combinators, `any`, ranges, a small
+//! regex-subset string generator, and `collection::{vec, btree_set}` —
+//! backed by a deterministic SplitMix64 RNG. Failing cases report their
+//! case index and seed; there is no shrinking.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running exactly `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property case (raised by `prop_assert!`-family macros).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure carrying `message`.
+        pub fn fail(message: String) -> TestCaseError {
+            TestCaseError { message }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic SplitMix64 generator used to drive strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator.
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits (SplitMix64 step).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Multiply-shift bound reduction; bias is irrelevant for tests.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform value in `[lo, hi)`.
+        pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+            debug_assert!(lo < hi, "empty range");
+            lo + self.below(hi - lo)
+        }
+
+        /// Uniform signed value in `[lo, hi)`.
+        pub fn in_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+            debug_assert!(lo < hi, "empty range");
+            let span = (hi as i128 - lo as i128) as u64;
+            (lo as i128 + self.below(span) as i128) as i64
+        }
+
+        /// Uniform float in `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Executes a property's cases with deterministic per-case seeds.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Builds a runner for `config`.
+        pub fn new(config: ProptestConfig) -> TestRunner {
+            TestRunner { config }
+        }
+
+        /// Runs `f` once per case, panicking (test failure) on the first
+        /// case whose closure reports an error.
+        pub fn run<F>(&mut self, name: &str, mut f: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            let base = fnv1a(name.as_bytes());
+            for case in 0..self.config.cases {
+                let seed = base ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = TestRng::from_seed(seed);
+                if let Err(e) = f(&mut rng) {
+                    panic!("property {name} failed at case {case} (seed {seed:#x}): {e}");
+                }
+            }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// A recipe for producing random values of `Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree or shrinking; a
+    /// strategy generates a concrete value directly from the runner RNG,
+    /// which keeps the trait object-safe for [`BoxedStrategy`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy created by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternative strategies (see `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `options` must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    /// Values with a canonical "any value" strategy (see [`crate::arbitrary::any`]).
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    arbitrary_int!(i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, moderate magnitude: ample for property tests.
+            (rng.unit_f64() - 0.5) * 2e9
+        }
+    }
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! range_strategy_uint {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.in_range(self.start as u64, self.end as u64) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.in_range(*self.start() as u64, *self.end() as u64 + 1) as $t
+                }
+            }
+        )+};
+    }
+
+    range_strategy_uint!(u8, u16, u32, usize);
+
+    impl Strategy for std::ops::Range<u64> {
+        type Value = u64;
+
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            rng.in_range(self.start, self.end)
+        }
+    }
+
+    macro_rules! range_strategy_int {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.in_range_i64(self.start as i64, self.end as i64) as $t
+                }
+            }
+        )+};
+    }
+
+    range_strategy_int!(i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident: $idx:tt),+);)+) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A: 0, B: 1);
+        (A: 0, B: 1, C: 2);
+        (A: 0, B: 1, C: 2, D: 3);
+        (A: 0, B: 1, C: 2, D: 3, E: 4);
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Any, Arbitrary};
+    use std::marker::PhantomData;
+
+    /// The canonical strategy for `T` (`any::<u32>()` etc.).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod string {
+    //! A regex-subset string generator covering the patterns the
+    //! workspace uses: character classes (`[a-z0-9]`), literal and
+    //! escaped characters, alternation groups (`(com|org|example)`),
+    //! the printable-any class `\PC`, and `{m}` / `{m,n}` repetition.
+
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        Alt(Vec<String>),
+        Printable,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = find(&chars, i, ']');
+                    let mut ranges = Vec::new();
+                    let body = &chars[i + 1..close];
+                    let mut j = 0;
+                    while j < body.len() {
+                        if j + 2 < body.len() && body[j + 1] == '-' {
+                            ranges.push((body[j], body[j + 2]));
+                            j += 3;
+                        } else {
+                            ranges.push((body[j], body[j]));
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    Atom::Class(ranges)
+                }
+                '(' => {
+                    let close = find(&chars, i, ')');
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    Atom::Alt(body.split('|').map(str::to_owned).collect())
+                }
+                '\\' => {
+                    let next = chars[i + 1];
+                    if next == 'P' || next == 'p' {
+                        // \PC / \p{...}: treat as "any printable ASCII".
+                        i += if chars.get(i + 2) == Some(&'{') {
+                            find(&chars, i + 2, '}') + 1 - i
+                        } else {
+                            3
+                        };
+                        Atom::Printable
+                    } else {
+                        i += 2;
+                        Atom::Lit(next)
+                    }
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = find(&chars, i, '}');
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (parse_u32(lo), parse_u32(hi)),
+                    None => {
+                        let n = parse_u32(&body);
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn find(chars: &[char], from: usize, target: char) -> usize {
+        chars[from..]
+            .iter()
+            .position(|&c| c == target)
+            .map(|p| from + p)
+            .unwrap_or_else(|| panic!("unclosed '{target}' in pattern"))
+    }
+
+    fn parse_u32(s: &str) -> u32 {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad repetition count {s:?} in pattern"))
+    }
+
+    /// Generates one string matching `pattern` (subset described above).
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let reps = rng.in_range(u64::from(piece.min), u64::from(piece.max) + 1);
+            for _ in 0..reps {
+                match &piece.atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for &(lo, hi) in ranges {
+                            let span = hi as u64 - lo as u64 + 1;
+                            if pick < span {
+                                out.push(char::from_u32(lo as u32 + pick as u32).unwrap_or(lo));
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                    Atom::Alt(opts) => {
+                        out.push_str(&opts[rng.below(opts.len() as u64) as usize]);
+                    }
+                    Atom::Printable => {
+                        out.push(char::from_u32(rng.in_range(0x20, 0x7F) as u32).unwrap_or(' '));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.in_range(self.size.start as u64, self.size.end as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s aiming for a size drawn from `size`.
+    ///
+    /// If the element domain is smaller than the drawn size the set
+    /// saturates at whatever distinct values were found.
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.in_range(self.size.start as u64, self.size.end as u64) as usize;
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 20 + 50 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod prelude {
+    //! The customary glob import.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions that run a property across random cases.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` and any number
+/// of `fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (@fns ($cfg:expr)) => {};
+    (@fns ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run(stringify!($name), |rng| {
+                $(let $p = $crate::strategy::Strategy::generate(&($s), rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::proptest! { @fns ($cfg) $($rest)* }
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @fns ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @fns ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Fails the current property case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current property case when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Uniform choice among strategies that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = crate::test_runner::TestRng::from_seed(7);
+        for _ in 0..200 {
+            let s = crate::string::generate_from_pattern("[a-z][a-z0-9]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().is_some_and(|c| c.is_ascii_lowercase()));
+            let d = crate::string::generate_from_pattern("[a-z]\\.(com|org|example)", &mut rng);
+            assert!(
+                d.ends_with(".com") || d.ends_with(".org") || d.ends_with(".example"),
+                "{d:?}"
+            );
+            let p = crate::string::generate_from_pattern("\\PC{0,200}", &mut rng);
+            assert!(p.len() <= 200);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let gen_once = || {
+            let mut rng = crate::test_runner::TestRng::from_seed(42);
+            Strategy::generate(&crate::collection::vec(any::<u32>(), 1..20), &mut rng)
+        };
+        assert_eq!(gen_once(), gen_once());
+    }
+
+    proptest! {
+        #[test]
+        fn macro_ranges_respect_bounds(x in 0u8..6, y in 10u64..20, f in 0.0f64..1.0) {
+            prop_assert!(x < 6);
+            prop_assert!((10..20).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f), "f = {}", f);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_oneof_and_map(v in prop_oneof![
+            (0u32..4).prop_map(|n| n * 2),
+            Just(99u32),
+        ]) {
+            prop_assert!(v == 99 || v < 8);
+        }
+
+        #[test]
+        fn macro_collections(mut xs in crate::collection::vec(any::<u16>(), 1..30),
+                             set in crate::collection::btree_set(0u8..6, 1..5)) {
+            xs.sort_unstable();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(!set.is_empty() && set.len() <= 4);
+            prop_assert_eq!(set.iter().filter(|&&v| v >= 6).count(), 0);
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde streams through a visitor-based data model; this
+//! stand-in routes everything through an owned [`Value`] tree instead,
+//! which is dramatically simpler and entirely sufficient for the
+//! workspace's needs (JSON round-trips of report/trace structs). The
+//! public trait shapes — `Serialize`/`Serializer` with `Ok`/`Error`
+//! associated types, `Deserialize<'de>`/`Deserializer<'de>`,
+//! `de::Error::custom`, `Serializer::collect_str` — match upstream
+//! closely enough that idiomatic impls (see `spamaware_netaddr::Ipv4`)
+//! compile unchanged.
+
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree every (de)serialization routes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / Rust `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (negative values).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Key-ordered map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Shared error type for both directions.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom<T: Display>(msg: T) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub mod ser {
+    //! Serialization-side error trait.
+    pub use crate::Error;
+}
+
+pub mod de {
+    //! Deserialization-side error plumbing.
+    use std::fmt::Display;
+
+    /// Error constructor available to `Deserialize` impls.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    impl Error for crate::Error {
+        fn custom<T: Display>(msg: T) -> Self {
+            crate::Error::custom(msg)
+        }
+    }
+}
+
+/// A data format that can accept a [`Value`] tree.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: From<Error> + std::error::Error;
+
+    /// Consumes a fully-built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a `Display`able as a string.
+    fn collect_str<T: Display + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(value.to_string()))
+    }
+}
+
+/// Types that can serialize themselves.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data format that can produce a [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Yields the decoded value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types that can deserialize themselves.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+// ------------------------------------------------------------------
+// Value <-> Value plumbing used by derives and helper fns.
+
+struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_value(self, value: Value) -> Result<Value, Error> {
+        Ok(value)
+    }
+}
+
+/// Serializes any `Serialize` into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+struct ValueDeserializer(Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn take_value(self) -> Result<Value, Error> {
+        Ok(self.0)
+    }
+}
+
+/// Deserializes any `Deserialize` from a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+// ------------------------------------------------------------------
+// Serialize impls for std types.
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::UInt(*self as u64))
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    s.serialize_value(Value::UInt(v as u64))
+                } else {
+                    s.serialize_value(Value::Int(v))
+                }
+            }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Float(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut seq = Vec::with_capacity(self.len());
+        for item in self {
+            seq.push(to_value(item).map_err(S::Error::from)?);
+        }
+        s.serialize_value(Value::Seq(seq))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let seq = vec![
+            to_value(&self.0).map_err(S::Error::from)?,
+            to_value(&self.1).map_err(S::Error::from)?,
+        ];
+        s.serialize_value(Value::Seq(seq))
+    }
+}
+
+impl<K: Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut map = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            map.push((k.to_string(), to_value(v).map_err(S::Error::from)?));
+        }
+        s.serialize_value(Value::Map(map))
+    }
+}
+
+impl<K: Display + Ord, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Sort keys so serialized output is deterministic regardless of
+        // hasher state — a workspace-wide invariant (see xtask lint).
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let mut map = Vec::with_capacity(entries.len());
+        for (k, v) in entries {
+            map.push((k.to_string(), to_value(v).map_err(S::Error::from)?));
+        }
+        s.serialize_value(Value::Map(map))
+    }
+}
+
+// ------------------------------------------------------------------
+// Deserialize impls for std types.
+
+fn wrong_type<E: de::Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, got {got:?}"))
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::UInt(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom(concat!("out of range for ", stringify!($t)))),
+                    Value::Int(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom(concat!("out of range for ", stringify!($t)))),
+                    other => Err(wrong_type(stringify!($t), &other)),
+                }
+            }
+        }
+    )*};
+}
+
+de_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Float(v) => Ok(v),
+            Value::UInt(v) => Ok(v as f64),
+            Value::Int(v) => Ok(v as f64),
+            other => Err(wrong_type("f64", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(wrong_type("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(wrong_type("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Cow<'de, str> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        String::deserialize(d).map(Cow::Owned)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            other => from_value::<T>(other).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| from_value::<T>(v).map_err(de::Error::custom))
+                .collect(),
+            other => Err(wrong_type("sequence", &other)),
+        }
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                let a =
+                    from_value::<A>(it.next().unwrap_or(Value::Null)).map_err(de::Error::custom)?;
+                let b =
+                    from_value::<B>(it.next().unwrap_or(Value::Null)).map_err(de::Error::custom)?;
+                Ok((a, b))
+            }
+            other => Err(wrong_type("2-element sequence", &other)),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: std::str::FromStr + Ord,
+    K::Err: Display,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Map(entries) => {
+                let mut out = BTreeMap::new();
+                for (k, v) in entries {
+                    let key = k.parse::<K>().map_err(de::Error::custom)?;
+                    let val = from_value::<V>(v).map_err(de::Error::custom)?;
+                    out.insert(key, val);
+                }
+                Ok(out)
+            }
+            other => Err(wrong_type("map", &other)),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: std::str::FromStr + std::hash::Hash + Eq,
+    K::Err: Display,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Map(entries) => {
+                let mut out = HashMap::with_capacity(entries.len());
+                for (k, v) in entries {
+                    let key = k.parse::<K>().map_err(de::Error::custom)?;
+                    let val = from_value::<V>(v).map_err(de::Error::custom)?;
+                    out.insert(key, val);
+                }
+                Ok(out)
+            }
+            other => Err(wrong_type("map", &other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_value_roundtrips() {
+        assert_eq!(to_value(&7u32).unwrap(), Value::UInt(7));
+        assert_eq!(to_value(&-3i64).unwrap(), Value::Int(-3));
+        assert_eq!(to_value(&1.5f64).unwrap(), Value::Float(1.5));
+        assert_eq!(from_value::<u32>(Value::UInt(7)).unwrap(), 7);
+        assert_eq!(from_value::<String>(Value::Str("x".into())).unwrap(), "x");
+        assert!(from_value::<u8>(Value::UInt(300)).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        let tree = to_value(&v).unwrap();
+        assert_eq!(from_value::<Vec<u32>>(tree).unwrap(), v);
+        let pair = (1u8, "a".to_string());
+        let tree = to_value(&pair).unwrap();
+        assert_eq!(from_value::<(u8, String)>(tree).unwrap(), pair);
+        assert_eq!(from_value::<Option<u8>>(Value::Null).unwrap(), None);
+        assert_eq!(from_value::<Option<u8>>(Value::UInt(4)).unwrap(), Some(4));
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u8);
+        m.insert("a".to_string(), 1u8);
+        let Value::Map(entries) = to_value(&m).unwrap() else {
+            panic!("expected map");
+        };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,453 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input at the token level (no `syn`/`quote`, which
+//! are unavailable offline) and supports exactly the shapes this
+//! workspace derives on:
+//!
+//! * structs with named fields — serialized as an ordered map;
+//! * tuple structs with one field (newtypes, incl. `#[serde(transparent)]`)
+//!   — serialized as the inner value;
+//! * enums with unit, 1-field-tuple (newtype), and named-field variants —
+//!   unit variants serialize as the variant-name string, data variants as
+//!   an externally-tagged single-entry map (matching upstream serde).
+//!
+//! Anything else (generics, multi-field tuple variants/structs) produces
+//! a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct with the field identifiers in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Single-field tuple struct (newtype).
+    Newtype { name: String },
+    /// Enum of unit and/or data-carrying variants.
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` for supported shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_serialize(&shape),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` for supported shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_deserialize(&shape),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error tokens")
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive does not support generics (on `{name}`)"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Struct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                if n == 1 {
+                    Ok(Shape::Newtype { name })
+                } else {
+                    Err(format!(
+                        "serde stand-in derive supports only 1-field tuple structs (`{name}` has {n})"
+                    ))
+                }
+            }
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive serde impls for `{other}`")),
+    }
+}
+
+/// Extracts field identifiers from a named-field body, skipping
+/// attributes, visibility, and each field's type tokens.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes (incl. doc comments).
+        while matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        // Skip visibility.
+        if matches!(&iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+        let Some(tok) = iter.next() else { break };
+        let TokenTree::Ident(field) = tok else {
+            return Err(format!("expected field name, got {tok:?}"));
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        for tok in iter.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field.to_string());
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut angle = 0i32;
+    let mut saw_tokens = false;
+    for tok in body {
+        saw_tokens = true;
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => n += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma would overcount by one, but `Foo(u32,)` is not a
+    // shape this workspace writes; treat N commas as N+1 fields.
+    if saw_tokens {
+        n + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        while matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let Some(tok) = iter.next() else { break };
+        let TokenTree::Ident(variant) = tok else {
+            return Err(format!("expected variant name, got {tok:?}"));
+        };
+        let name = variant.to_string();
+        match iter.next() {
+            None => {
+                variants.push(Variant {
+                    name,
+                    kind: VariantKind::Unit,
+                });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant {
+                    name,
+                    kind: VariantKind::Unit,
+                });
+            }
+            Some(TokenTree::Group(g)) => {
+                let kind = match g.delimiter() {
+                    Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        if n != 1 {
+                            return Err(format!(
+                                "serde stand-in derive supports only 1-field tuple enum variants (`{name}` has {n})"
+                            ));
+                        }
+                        VariantKind::Newtype
+                    }
+                    Delimiter::Brace => VariantKind::Struct(parse_named_fields(g.stream())?),
+                    other => return Err(format!("unexpected variant body delimiter {other:?}")),
+                };
+                variants.push(Variant { name, kind });
+                // Consume the trailing comma, if any.
+                if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    iter.next();
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Discriminant: skip the expression up to the comma.
+                for tok in iter.by_ref() {
+                    if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+                variants.push(Variant {
+                    name,
+                    kind: VariantKind::Unit,
+                });
+            }
+            other => return Err(format!("unexpected token after variant: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(shape: &Shape) -> TokenStream {
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "map.push(({f:?}.to_string(), serde::to_value(&self.{f})\
+                     .map_err(<S::Error as ::std::convert::From<serde::Error>>::from)?));\n"
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize<S: serde::Serializer>(&self, s: S) -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                         let mut map: Vec<(String, serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         serde::Serializer::serialize_value(s, serde::Value::Map(map))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn serialize<S: serde::Serializer>(&self, s: S) -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                     serde::Serialize::serialize(&self.0, s)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            // Unit variants serialize as the bare variant-name string;
+            // data variants as an externally-tagged single-entry map.
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str({vn:?}.to_string()),\n"
+                        ),
+                        VariantKind::Newtype => format!(
+                            "{name}::{vn}(inner) => serde::Value::Map(vec![({vn:?}.to_string(), \
+                             serde::to_value(inner)\
+                             .map_err(<S::Error as ::std::convert::From<serde::Error>>::from)?)]),\n"
+                        ),
+                        VariantKind::Struct(fields) => {
+                            let bindings = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "inner.push(({f:?}.to_string(), serde::to_value({f})\
+                                         .map_err(<S::Error as ::std::convert::From<serde::Error>>::from)?));\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {bindings} }} => {{\n\
+                                     let mut inner: Vec<(String, serde::Value)> = Vec::new();\n\
+                                     {pushes}\
+                                     serde::Value::Map(vec![({vn:?}.to_string(), serde::Value::Map(inner))])\n\
+                                 }},\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize<S: serde::Serializer>(&self, s: S) -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                         let value = match self {{ {arms} }};\n\
+                         serde::Serializer::serialize_value(s, value)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+fn gen_deserialize(shape: &Shape) -> TokenStream {
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: {{\n\
+                         let v = match entries.iter().position(|(k, _)| k == {f:?}) {{\n\
+                             Some(i) => entries.swap_remove(i).1,\n\
+                             None => serde::Value::Null,\n\
+                         }};\n\
+                         serde::from_value(v).map_err(|e| <D::Error as serde::de::Error>::custom(\
+                             format!(\"field `{f}` of `{name}`: {{e}}\")))?\n\
+                     }},\n"
+                ));
+            }
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: serde::Deserializer<'de>>(d: D) -> ::std::result::Result<Self, D::Error> {{\n\
+                         match serde::Deserializer::take_value(d)? {{\n\
+                             serde::Value::Map(mut entries) => Ok({name} {{ {inits} }}),\n\
+                             other => Err(<D::Error as serde::de::Error>::custom(\
+                                 format!(\"expected map for `{name}`, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: serde::Deserializer<'de>>(d: D) -> ::std::result::Result<Self, D::Error> {{\n\
+                     Ok({name}(serde::Deserialize::deserialize(d)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => Ok({name}::{vn}),\n")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Newtype => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(serde::from_value(value)\
+                             .map_err(|e| <D::Error as serde::de::Error>::custom(\
+                             format!(\"variant `{vn}` of `{name}`: {{e}}\")))?)),\n"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: {{\n\
+                                             let v = match entries.iter().position(|(k, _)| k == {f:?}) {{\n\
+                                                 Some(i) => entries.swap_remove(i).1,\n\
+                                                 None => serde::Value::Null,\n\
+                                             }};\n\
+                                             serde::from_value(v).map_err(|e| <D::Error as serde::de::Error>::custom(\
+                                                 format!(\"field `{f}` of `{name}::{vn}`: {{e}}\")))?\n\
+                                         }},\n"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => match value {{\n\
+                                     serde::Value::Map(mut entries) => Ok({name}::{vn} {{ {inits} }}),\n\
+                                     other => Err(<D::Error as serde::de::Error>::custom(\
+                                         format!(\"expected map for `{name}::{vn}`, got {{other:?}}\"))),\n\
+                                 }},\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: serde::Deserializer<'de>>(d: D) -> ::std::result::Result<Self, D::Error> {{\n\
+                         match serde::Deserializer::take_value(d)? {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => Err(<D::Error as serde::de::Error>::custom(\
+                                     format!(\"unknown `{name}` variant {{other:?}}\"))),\n\
+                             }},\n\
+                             serde::Value::Map(mut outer) => {{\n\
+                                 if outer.len() != 1 {{\n\
+                                     return Err(<D::Error as serde::de::Error>::custom(\
+                                         format!(\"expected single-entry variant map for `{name}`, got {{}} entries\", outer.len())));\n\
+                                 }}\n\
+                                 let (tag, value) = match outer.pop() {{\n\
+                                     Some(entry) => entry,\n\
+                                     None => return Err(<D::Error as serde::de::Error>::custom(\
+                                         \"empty variant map\".to_string())),\n\
+                                 }};\n\
+                                 let _ = &value; // unused when every variant is a unit variant\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     other => Err(<D::Error as serde::de::Error>::custom(\
+                                         format!(\"unknown `{name}` variant {{other:?}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(<D::Error as serde::de::Error>::custom(\
+                                 format!(\"expected string or map for `{name}`, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
