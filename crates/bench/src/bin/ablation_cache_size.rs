@@ -3,12 +3,28 @@
 //! before the prefix scheme's advantage erodes — and that prefix caching
 //! *needs fewer entries* for the same hit ratio (one /25 bitmap covers up
 //! to 128 bots).
+//!
+//! With `--json <path>`, writes the sweep rows as JSON and a deterministic
+//! metrics snapshot (per-cell `cap_*.{per_ip,per_prefix}.*` cache counters)
+//! to `<path with .metrics extension>`.
 
-use spamaware_bench::{banner, scale_from_args};
+use spamaware_bench::{
+    banner, experiment_registry, json_path_from_args, scale_from_args, write_json,
+    write_metrics_sidecar,
+};
 use spamaware_core::experiment::default_dnsbl;
 use spamaware_dnsbl::{CacheScheme, CachingResolver};
 use spamaware_sim::{det_rng, Nanos};
 use spamaware_trace::SinkholeConfig;
+
+#[derive(serde::Serialize)]
+struct Row {
+    capacity: Option<usize>,
+    per_ip_hit_ratio: f64,
+    per_ip_evictions: u64,
+    per_prefix_hit_ratio: f64,
+    per_prefix_evictions: u64,
+}
 
 fn main() {
     let scale = scale_from_args();
@@ -16,11 +32,22 @@ fn main() {
     let sink = SinkholeConfig::scaled(scale.trace.max(0.25)).generate();
     let server = default_dnsbl(sink.blacklisted.iter().copied());
     let ttl = Nanos::from_secs(86_400);
+    let registry = experiment_registry();
+    let mut rows = Vec::new();
     println!("  capacity     per-IP hit (evictions)    per-/25 hit (evictions)");
     for cap in [100usize, 500, 2_000, 10_000, usize::MAX] {
+        let label = if cap == usize::MAX {
+            "unbounded".to_owned()
+        } else {
+            cap.to_string()
+        };
         let mut cells = Vec::new();
-        for scheme in [CacheScheme::PerIp, CacheScheme::PerPrefix] {
-            let mut r = CachingResolver::new(scheme, ttl);
+        for (scheme, tag) in [
+            (CacheScheme::PerIp, "per_ip"),
+            (CacheScheme::PerPrefix, "per_prefix"),
+        ] {
+            let mut r = CachingResolver::new(scheme, ttl)
+                .with_metrics(&registry, &format!("cap_{label}.{tag}"));
             if cap != usize::MAX {
                 r = r.with_capacity(cap);
             }
@@ -30,11 +57,6 @@ fn main() {
             }
             cells.push((r.stats().hit_ratio(), r.stats().evictions));
         }
-        let label = if cap == usize::MAX {
-            "unbounded".to_owned()
-        } else {
-            cap.to_string()
-        };
         println!(
             "  {label:>9}   {:>9.1}%  ({:>8})   {:>10.1}%  ({:>8})",
             cells[0].0 * 100.0,
@@ -42,9 +64,20 @@ fn main() {
             cells[1].0 * 100.0,
             cells[1].1
         );
+        rows.push(Row {
+            capacity: (cap != usize::MAX).then_some(cap),
+            per_ip_hit_ratio: cells[0].0,
+            per_ip_evictions: cells[0].1,
+            per_prefix_hit_ratio: cells[1].0,
+            per_prefix_evictions: cells[1].1,
+        });
     }
     println!();
     println!("  the bitmap cache tolerates much smaller capacities: one entry");
     println!("  covers a whole /25 of bots (paper's unbounded setting at the");
     println!("  bottom row).");
+    if let Some(path) = json_path_from_args() {
+        write_json(&path, &rows);
+        write_metrics_sidecar(&path, &registry);
+    }
 }

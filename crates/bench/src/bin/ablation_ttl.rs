@@ -2,18 +2,34 @@
 //! "these lists are updated rather infrequently" (§7.2); this sweep shows
 //! the hit-ratio cost of shorter TTLs and the diminishing returns beyond
 //! a day.
+//!
+//! With `--json <path>`, writes the sweep rows as JSON and a deterministic
+//! metrics snapshot (per-cell `ttl_*.{per_ip,per_prefix}.*` cache counters)
+//! to `<path with .metrics extension>`.
 
-use spamaware_bench::{banner, scale_from_args};
+use spamaware_bench::{
+    banner, experiment_registry, json_path_from_args, scale_from_args, write_json,
+    write_metrics_sidecar,
+};
 use spamaware_core::experiment::default_dnsbl;
 use spamaware_dnsbl::{CacheScheme, CachingResolver};
 use spamaware_sim::{det_rng, Nanos};
 use spamaware_trace::SinkholeConfig;
+
+#[derive(serde::Serialize)]
+struct Row {
+    ttl_secs: u64,
+    per_ip_hit_ratio: f64,
+    per_prefix_hit_ratio: f64,
+}
 
 fn main() {
     let scale = scale_from_args();
     banner("ablation", "DNSBL cache TTL sensitivity", scale);
     let sink = SinkholeConfig::scaled(scale.trace.max(0.25)).generate();
     let server = default_dnsbl(sink.blacklisted.iter().copied());
+    let registry = experiment_registry();
+    let mut rows = Vec::new();
     println!("  TTL        per-IP hit   per-/25 hit   prefix advantage");
     for (label, secs) in [
         ("15 min", 900u64),
@@ -23,8 +39,12 @@ fn main() {
         ("7 days", 604_800),
     ] {
         let mut row = Vec::new();
-        for scheme in [CacheScheme::PerIp, CacheScheme::PerPrefix] {
-            let mut r = CachingResolver::new(scheme, Nanos::from_secs(secs));
+        for (scheme, tag) in [
+            (CacheScheme::PerIp, "per_ip"),
+            (CacheScheme::PerPrefix, "per_prefix"),
+        ] {
+            let mut r = CachingResolver::new(scheme, Nanos::from_secs(secs))
+                .with_metrics(&registry, &format!("ttl_{secs}s.{tag}"));
             let mut rng = det_rng(3);
             for c in &sink.trace.connections {
                 r.lookup(c.client_ip, c.arrival, &server, &mut rng);
@@ -42,5 +62,14 @@ fn main() {
                 ""
             }
         );
+        rows.push(Row {
+            ttl_secs: secs,
+            per_ip_hit_ratio: row[0],
+            per_prefix_hit_ratio: row[1],
+        });
+    }
+    if let Some(path) = json_path_from_args() {
+        write_json(&path, &rows);
+        write_metrics_sidecar(&path, &registry);
     }
 }

@@ -1,8 +1,23 @@
 //! Fig. 15: CDF of DNSBL lookup time under no / per-IP / prefix caching,
 //! with the cache-hit and query-fraction numbers of §7.2.
+//!
+//! With `--json <path>`, writes the summary rows as JSON and a
+//! deterministic metrics snapshot (per-scheme `dnsbl.*` cache counters and
+//! lookup-latency histograms) to `<path with .metrics extension>`.
 
-use spamaware_bench::{banner, scale_from_args, thin_cdf};
-use spamaware_core::experiment::fig15;
+use spamaware_bench::{
+    banner, experiment_registry, json_path_from_args, scale_from_args, thin_cdf, write_json,
+    write_metrics_sidecar,
+};
+use spamaware_core::experiment::fig15_with_metrics;
+
+#[derive(serde::Serialize)]
+struct Row {
+    scheme: String,
+    hit_ratio: f64,
+    query_fraction: f64,
+    latency_cdf_ms: Vec<(f64, f64)>,
+}
 
 fn main() {
     let scale = scale_from_args();
@@ -11,7 +26,8 @@ fn main() {
         "DNSBL lookup-time CDFs and cache statistics",
         scale,
     );
-    let f = fig15(scale);
+    let registry = experiment_registry();
+    let f = fig15_with_metrics(scale, &registry);
     for (scheme, hist, hit, qfrac) in &f.rows {
         println!("  {scheme:?}:");
         for (ms, frac) in thin_cdf(&hist.cdf(), 8) {
@@ -43,4 +59,18 @@ fn main() {
         pr.3 * 100.0,
         (pr.3 / ip.3 - 1.0) * 100.0
     );
+    if let Some(path) = json_path_from_args() {
+        let rows: Vec<Row> = f
+            .rows
+            .iter()
+            .map(|(scheme, hist, hit, qfrac)| Row {
+                scheme: format!("{scheme:?}"),
+                hit_ratio: *hit,
+                query_fraction: *qfrac,
+                latency_cdf_ms: thin_cdf(&hist.cdf(), 32),
+            })
+            .collect();
+        write_json(&path, &rows);
+        write_metrics_sidecar(&path, &registry);
+    }
 }

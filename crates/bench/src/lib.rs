@@ -64,6 +64,27 @@ pub fn write_json<T: serde::Serialize>(path: &std::path::Path, value: &T) {
     println!("(wrote {})", path.display());
 }
 
+/// Writes a metrics registry's deterministic text report next to a
+/// `--json` artifact, with the extension swapped to `.metrics`.
+///
+/// # Panics
+///
+/// Panics on I/O failure, like [`write_json`].
+pub fn write_metrics_sidecar(json_path: &std::path::Path, registry: &spamaware_metrics::Registry) {
+    let path = json_path.with_extension("metrics");
+    std::fs::write(&path, registry.render())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("(wrote {})", path.display());
+}
+
+/// A deterministic registry for experiment binaries: time is a
+/// [`spamaware_metrics::ManualClock`] pinned at zero, so snapshots depend
+/// only on what the instrumented code records (simulated latencies,
+/// counters), never on the host.
+pub fn experiment_registry() -> spamaware_metrics::Registry {
+    spamaware_metrics::Registry::new(std::sync::Arc::new(spamaware_metrics::ManualClock::new()))
+}
+
 /// Prints a figure banner.
 pub fn banner(id: &str, caption: &str, scale: Scale) {
     println!("=== {id}: {caption}");

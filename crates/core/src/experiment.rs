@@ -347,6 +347,16 @@ pub struct Fig15 {
 
 /// Runs the Fig. 15 replay.
 pub fn fig15(scale: Scale) -> Fig15 {
+    let registry = spamaware_metrics::Registry::new(std::sync::Arc::new(
+        spamaware_metrics::ManualClock::new(),
+    ));
+    fig15_with_metrics(scale, &registry)
+}
+
+/// Runs the Fig. 15 replay with each scheme's resolver instrumented into
+/// `registry` (prefixes `dnsbl.none`, `dnsbl.per_ip`, `dnsbl.per_prefix`),
+/// so the benchmark harness can emit a metrics snapshot beside its JSON.
+pub fn fig15_with_metrics(scale: Scale, registry: &spamaware_metrics::Registry) -> Fig15 {
     let sink = SinkholeConfig::scaled(scale.trace).generate();
     let server = default_dnsbl(sink.blacklisted.iter().copied());
     let rows = [
@@ -356,7 +366,13 @@ pub fn fig15(scale: Scale) -> Fig15 {
     ]
     .into_iter()
     .map(|scheme| {
-        let mut resolver = CachingResolver::new(scheme, DAY.max(Nanos::from_secs(1)));
+        let prefix = match scheme {
+            CacheScheme::None => "dnsbl.none",
+            CacheScheme::PerIp => "dnsbl.per_ip",
+            CacheScheme::PerPrefix => "dnsbl.per_prefix",
+        };
+        let mut resolver = CachingResolver::new(scheme, DAY.max(Nanos::from_secs(1)))
+            .with_metrics(registry, prefix);
         let mut rng = det_rng(15);
         for c in &sink.trace.connections {
             resolver.lookup(c.client_ip, c.arrival, &server, &mut rng);

@@ -30,11 +30,13 @@
 //! ```
 
 pub mod experiment;
+mod linebuf;
 mod live;
 mod mix;
 mod pop3;
 
-pub use live::{LiveConfig, LiveServer, LiveStats};
+pub use linebuf::{LineBuffer, LineOverflow, MAX_LINE};
+pub use live::{LiveConfig, LiveServer, LiveSnapshot, LiveStats};
 pub use mix::combined_workload;
 pub use pop3::{Pop3Server, Pop3Stats};
 

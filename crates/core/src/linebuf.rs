@@ -1,0 +1,129 @@
+//! Fixed-size line accumulation for socket dialogs.
+//!
+//! The paper's §5.2 security argument requires the master to read client
+//! input into a *fixed-size* receive buffer: a pre-trust client must never
+//! be able to grow server-side state without bound. [`LineBuffer`] is that
+//! buffer, shared by the master's pre-trust event loop and the workers'
+//! post-trust command loops.
+
+/// Longest accepted command line, in bytes, excluding the terminator.
+///
+/// RFC 5321 §4.5.3.1.6 requires at least 512 octets; we allow 2 KiB to be
+/// generous to long `MAIL FROM` parameter lists while still bounding
+/// per-connection memory.
+pub const MAX_LINE: usize = 2048;
+
+/// Fixed-size line accumulator (the paper's "fixed-size receive buffer").
+///
+/// Bytes go in via [`LineBuffer::push`]; complete lines come out via
+/// [`LineBuffer::pop_line`]. Line semantics are deliberately forgiving,
+/// matching classic MTA behaviour:
+///
+/// * a line ends at the first `\n`, whatever precedes it;
+/// * **all** trailing `\r` and `\n` bytes are stripped from the returned
+///   line — `"HELO a\r\r\n"` yields `"HELO a"`, not `"HELO a\r"`;
+/// * a buffer holding more than [`MAX_LINE`] bytes with no `\n` is an
+///   overflow ([`LineOverflow`]): the peer is flooding and must be
+///   disconnected.
+///
+/// # Example
+///
+/// ```
+/// use spamaware_core::LineBuffer;
+/// let mut lb = LineBuffer::new();
+/// lb.push(b"EHLO relay\r\nMAIL");
+/// assert_eq!(lb.pop_line().unwrap().unwrap(), b"EHLO relay");
+/// assert_eq!(lb.pop_line().unwrap(), None); // "MAIL" is incomplete
+/// ```
+#[derive(Debug, Default)]
+pub struct LineBuffer {
+    buf: Vec<u8>,
+}
+
+impl LineBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> LineBuffer {
+        LineBuffer { buf: Vec::new() }
+    }
+
+    /// Appends raw bytes read from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops one complete line (without terminator), or signals overflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LineOverflow`] when more than [`MAX_LINE`] bytes have
+    /// accumulated without a newline.
+    pub fn pop_line(&mut self) -> Result<Option<Vec<u8>>, LineOverflow> {
+        if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+            while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            Ok(Some(line))
+        } else if self.buf.len() > MAX_LINE {
+            Err(LineOverflow)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Consumes the buffer, yielding any unconsumed partial line (handed
+    /// to a worker along with the delegated connection).
+    pub fn into_remaining(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A command line exceeded [`MAX_LINE`] bytes without a terminator —
+/// the connection must be answered with a 500 and dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineOverflow;
+
+impl std::fmt::Display for LineOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line exceeds {MAX_LINE} bytes without a terminator")
+    }
+}
+
+impl std::error::Error for LineOverflow {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_buffer_splits_crlf_and_lf() {
+        let mut lb = LineBuffer::new();
+        lb.push(b"HELO a\r\nMAIL");
+        assert_eq!(lb.pop_line().unwrap().unwrap(), b"HELO a");
+        assert_eq!(lb.pop_line().unwrap(), None);
+        lb.push(b" FROM:<a@b.c>\n");
+        assert_eq!(lb.pop_line().unwrap().unwrap(), b"MAIL FROM:<a@b.c>");
+    }
+
+    #[test]
+    fn line_buffer_overflow_detected() {
+        let mut lb = LineBuffer::new();
+        lb.push(&vec![b'x'; MAX_LINE + 1]);
+        assert!(lb.pop_line().is_err());
+    }
+
+    #[test]
+    fn line_buffer_keeps_partial_remainder() {
+        let mut lb = LineBuffer::new();
+        lb.push(b"DATA\r\npartial body");
+        assert_eq!(lb.pop_line().unwrap().unwrap(), b"DATA");
+        assert_eq!(lb.into_remaining(), b"partial body");
+    }
+
+    #[test]
+    fn all_trailing_carriage_returns_stripped() {
+        let mut lb = LineBuffer::new();
+        lb.push(b"NOOP\r\r\r\n");
+        assert_eq!(lb.pop_line().unwrap().unwrap(), b"NOOP");
+    }
+}

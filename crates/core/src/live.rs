@@ -17,11 +17,25 @@
 //! * workers finish the transaction (`DATA` onward) and store mail in an
 //!   [`MfsStore`] over [`RealDir`] — multi-recipient spam hits the disk
 //!   once.
+//!
+//! # Observability
+//!
+//! Every layer feeds a shared [`spamaware_metrics::Registry`]: lifecycle
+//! counters (`live.*`), per-verb counts (`smtp.verb.*`), span timings for
+//! the master's pre-trust dialog and DNSBL checks (`master.*`), worker
+//! queue wait / `DATA` / storage latencies plus queue depth (`worker.*`),
+//! and the instrumented DNSBL cache (`dnsbl.*`) and mail store (`mfs.*`).
+//! [`LiveServer::metrics_report`] renders the registry deterministically;
+//! the same text is served over a localhost admin socket
+//! ([`LiveServer::admin_addr`]) in answer to a `METRICS` (or `STAT`)
+//! command line.
 
+use crate::linebuf::{LineBuffer, LineOverflow};
 use crate::ServeError;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use spamaware_dnsbl::{CacheScheme, CachingResolver, DnsblServer};
+use spamaware_metrics::{Counter, Gauge, Registry, SpanHandle};
 use spamaware_mfs::{DataRef, MailId, MailStore, MfsStore, RealDir};
 use spamaware_netaddr::Ipv4;
 use spamaware_sim::Nanos;
@@ -36,8 +50,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-
-const MAX_LINE: usize = 2048;
 
 /// Configuration for [`LiveServer::start`].
 #[derive(Debug, Clone)]
@@ -85,42 +97,138 @@ impl LiveConfig {
     }
 }
 
-/// Aggregate counters exposed by a running [`LiveServer`].
-#[derive(Debug, Default)]
+/// Registry-backed lifecycle counters of a running [`LiveServer`].
+///
+/// Each field is a handle into the server's metrics registry (the same
+/// instruments appear as `live.*` in [`LiveServer::metrics_report`]);
+/// [`LiveStats::snapshot`] reads them all at once.
+#[derive(Debug, Clone)]
 pub struct LiveStats {
     /// Connections accepted.
-    pub accepted: AtomicU64,
+    pub accepted: Arc<Counter>,
     /// Connections closed after delivering mail.
-    pub delivered: AtomicU64,
+    pub delivered: Arc<Counter>,
     /// Bounce connections dispatched entirely by the master.
-    pub bounces: AtomicU64,
+    pub bounces: Arc<Counter>,
     /// Unfinished connections dispatched entirely by the master.
-    pub unfinished: AtomicU64,
+    pub unfinished: Arc<Counter>,
     /// Connections delegated to workers.
-    pub delegated: AtomicU64,
+    pub delegated: Arc<Counter>,
     /// Mails stored.
-    pub mails_stored: AtomicU64,
+    pub mails_stored: Arc<Counter>,
     /// Connections whose client IP was blacklisted.
-    pub blacklisted: AtomicU64,
+    pub blacklisted: Arc<Counter>,
+    /// IPv6 peers refused with a 554 reply (the server is IPv4-only).
+    pub rejected_ipv6: Arc<Counter>,
+    /// Connections dropped for overflowing the fixed-size line buffer.
+    pub overflows: Arc<Counter>,
+    /// Pre-trust connections evicted by the idle timeout.
+    pub idle_evictions: Arc<Counter>,
+}
+
+/// Point-in-time values of every [`LiveStats`] counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LiveSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections closed after delivering mail.
+    pub delivered: u64,
+    /// Bounce connections dispatched entirely by the master.
+    pub bounces: u64,
+    /// Unfinished connections dispatched entirely by the master.
+    pub unfinished: u64,
+    /// Connections delegated to workers.
+    pub delegated: u64,
+    /// Mails stored.
+    pub mails_stored: u64,
+    /// Connections whose client IP was blacklisted.
+    pub blacklisted: u64,
+    /// IPv6 peers refused with a 554 reply.
+    pub rejected_ipv6: u64,
+    /// Connections dropped for overflowing the line buffer.
+    pub overflows: u64,
+    /// Pre-trust connections evicted by the idle timeout.
+    pub idle_evictions: u64,
 }
 
 impl LiveStats {
-    fn get(v: &AtomicU64) -> u64 {
-        v.load(Ordering::Relaxed)
+    fn register(registry: &Registry) -> LiveStats {
+        LiveStats {
+            accepted: registry.counter("live.accepted"),
+            delivered: registry.counter("live.delivered"),
+            bounces: registry.counter("live.bounces"),
+            unfinished: registry.counter("live.unfinished"),
+            delegated: registry.counter("live.delegated"),
+            mails_stored: registry.counter("live.mails_stored"),
+            blacklisted: registry.counter("live.blacklisted"),
+            rejected_ipv6: registry.counter("live.rejected_ipv6"),
+            overflows: registry.counter("live.overflows"),
+            idle_evictions: registry.counter("live.idle_evictions"),
+        }
     }
 
-    /// Snapshot as plain numbers `(accepted, delivered, bounces,
-    /// unfinished, delegated, mails_stored, blacklisted)`.
-    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64, u64) {
-        (
-            Self::get(&self.accepted),
-            Self::get(&self.delivered),
-            Self::get(&self.bounces),
-            Self::get(&self.unfinished),
-            Self::get(&self.delegated),
-            Self::get(&self.mails_stored),
-            Self::get(&self.blacklisted),
-        )
+    /// Reads every counter at once.
+    pub fn snapshot(&self) -> LiveSnapshot {
+        LiveSnapshot {
+            accepted: self.accepted.get(),
+            delivered: self.delivered.get(),
+            bounces: self.bounces.get(),
+            unfinished: self.unfinished.get(),
+            delegated: self.delegated.get(),
+            mails_stored: self.mails_stored.get(),
+            blacklisted: self.blacklisted.get(),
+            rejected_ipv6: self.rejected_ipv6.get(),
+            overflows: self.overflows.get(),
+            idle_evictions: self.idle_evictions.get(),
+        }
+    }
+}
+
+/// Per-verb command counters (`smtp.verb.*`), shared by the master's
+/// pre-trust loop and the worker pool.
+#[derive(Debug, Clone)]
+struct VerbCounters {
+    helo: Arc<Counter>,
+    ehlo: Arc<Counter>,
+    mail: Arc<Counter>,
+    rcpt: Arc<Counter>,
+    data: Arc<Counter>,
+    rset: Arc<Counter>,
+    noop: Arc<Counter>,
+    vrfy: Arc<Counter>,
+    quit: Arc<Counter>,
+    unknown: Arc<Counter>,
+}
+
+impl VerbCounters {
+    fn register(registry: &Registry) -> VerbCounters {
+        VerbCounters {
+            helo: registry.counter("smtp.verb.helo"),
+            ehlo: registry.counter("smtp.verb.ehlo"),
+            mail: registry.counter("smtp.verb.mail"),
+            rcpt: registry.counter("smtp.verb.rcpt"),
+            data: registry.counter("smtp.verb.data"),
+            rset: registry.counter("smtp.verb.rset"),
+            noop: registry.counter("smtp.verb.noop"),
+            vrfy: registry.counter("smtp.verb.vrfy"),
+            quit: registry.counter("smtp.verb.quit"),
+            unknown: registry.counter("smtp.verb.unknown"),
+        }
+    }
+
+    fn count(&self, cmd: &Command) {
+        match cmd {
+            Command::Helo(_) => self.helo.inc(),
+            Command::Ehlo(_) => self.ehlo.inc(),
+            Command::MailFrom(_) => self.mail.inc(),
+            Command::RcptTo(_) => self.rcpt.inc(),
+            Command::Data => self.data.inc(),
+            Command::Rset => self.rset.inc(),
+            Command::Noop => self.noop.inc(),
+            Command::Vrfy(_) => self.vrfy.inc(),
+            Command::Quit => self.quit.inc(),
+            Command::Unknown(_) => self.unknown.inc(),
+        }
     }
 }
 
@@ -134,15 +242,19 @@ impl LiveStats {
 /// let cfg = LiveConfig::localhost("/tmp/spamaware-mail", vec!["alice".into()]);
 /// let server = LiveServer::start(cfg)?;
 /// println!("listening on {}", server.local_addr());
+/// println!("{}", server.metrics_report());
 /// server.shutdown();
 /// # Ok::<(), spamaware_core::ServeError>(())
 /// ```
 pub struct LiveServer {
     addr: SocketAddr,
+    admin_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
+    admin: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<LiveStats>,
+    registry: Arc<Registry>,
     store: Arc<Mutex<MfsStore<RealDir>>>,
 }
 
@@ -151,14 +263,17 @@ struct Delegated {
     session: ServerSession,
     leftover: Vec<u8>,
     peer: Ipv4,
+    /// Registry-clock instant the master enqueued this task, for the
+    /// `worker.queue_wait_ns` span.
+    enqueued_ns: u64,
 }
 
 impl LiveServer {
-    /// Binds and starts the acceptor and worker threads.
+    /// Binds and starts the acceptor, admin, and worker threads.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError`] if the socket cannot be bound or the storage
+    /// Returns [`ServeError`] if a socket cannot be bound or the storage
     /// root cannot be created.
     pub fn start(cfg: LiveConfig) -> Result<LiveServer, ServeError> {
         if cfg.workers == 0 || cfg.worker_queue == 0 {
@@ -173,14 +288,16 @@ impl LiveServer {
         let addr = listener
             .local_addr()
             .map_err(|e| ServeError::Io(e.to_string()))?;
+        let registry = Arc::new(Registry::with_wall_clock());
         let store = Arc::new(Mutex::new(
             MfsStore::open(
                 RealDir::new(&cfg.storage_root).map_err(|e| ServeError::Io(e.to_string()))?,
             )
-            .map_err(|e| ServeError::Io(e.to_string()))?,
+            .map_err(|e| ServeError::Io(e.to_string()))?
+            .with_metrics(&registry, "mfs"),
         ));
         let stop = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(LiveStats::default());
+        let stats = Arc::new(LiveStats::register(&registry));
         let next_id = Arc::new(AtomicU64::new(1));
         let mailboxes: Arc<HashSet<String>> = Arc::new(cfg.mailboxes.iter().cloned().collect());
 
@@ -193,10 +310,11 @@ impl LiveServer {
             let stats = Arc::clone(&stats);
             let next_id = Arc::clone(&next_id);
             let mailboxes = Arc::clone(&mailboxes);
+            let registry = Arc::clone(&registry);
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("smtpd-{w}"))
-                    .spawn(move || worker_loop(rx, store, stats, next_id, mailboxes))
+                    .spawn(move || worker_loop(rx, store, stats, next_id, mailboxes, registry))
                     .expect("spawn worker"),
             );
         }
@@ -205,6 +323,7 @@ impl LiveServer {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
             let mailboxes = Arc::clone(&mailboxes);
+            let registry = Arc::clone(&registry);
             let hostname = cfg.hostname.clone();
             let dnsbl = cfg.dnsbl;
             let dnsbl_udp = cfg.dnsbl_udp;
@@ -213,30 +332,66 @@ impl LiveServer {
                 .name("master".to_owned())
                 .spawn(move || {
                     master_loop(
-                        listener, senders, stop, stats, mailboxes, hostname, dnsbl, dnsbl_udp, idle,
+                        listener, senders, stop, stats, mailboxes, hostname, dnsbl, dnsbl_udp,
+                        idle, registry,
                     )
                 })
                 .expect("spawn master")
         };
 
+        let admin_listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| ServeError::Io(e.to_string()))?;
+        admin_listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        let admin_addr = admin_listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        let admin = {
+            let stop = Arc::clone(&stop);
+            let registry = Arc::clone(&registry);
+            std::thread::Builder::new()
+                .name("admin".to_owned())
+                .spawn(move || admin_loop(admin_listener, registry, stop))
+                .expect("spawn admin")
+        };
+
         Ok(LiveServer {
             addr,
+            admin_addr,
             stop,
             acceptor: Some(acceptor),
+            admin: Some(admin),
             workers: worker_handles,
             stats,
+            registry,
             store,
         })
     }
 
-    /// The bound address.
+    /// The bound SMTP address.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The localhost admin socket answering `METRICS`/`STAT` commands.
+    pub fn admin_addr(&self) -> SocketAddr {
+        self.admin_addr
     }
 
     /// Live counters.
     pub fn stats(&self) -> &LiveStats {
         &self.stats
+    }
+
+    /// The server's metrics registry (counters, gauges, span histograms).
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Renders every registered metric as deterministic, sorted text.
+    pub fn metrics_report(&self) -> String {
+        self.registry.render()
     }
 
     /// Shared handle to the mail store (for inspection).
@@ -246,8 +401,15 @@ impl LiveServer {
 
     /// Stops the acceptor and workers, waiting for them to exit.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.admin.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -258,47 +420,7 @@ impl LiveServer {
 
 impl Drop for LiveServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-        for h in self.workers.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-/// Fixed-size line accumulator (the paper's "fixed-size receive buffer").
-struct LineBuffer {
-    buf: Vec<u8>,
-}
-
-impl LineBuffer {
-    fn new() -> LineBuffer {
-        LineBuffer { buf: Vec::new() }
-    }
-
-    fn push(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
-    }
-
-    /// Pops one complete line (without terminator), or signals overflow.
-    fn pop_line(&mut self) -> Result<Option<Vec<u8>>, ()> {
-        if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
-            let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
-            while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
-                line.pop();
-            }
-            Ok(Some(line))
-        } else if self.buf.len() > MAX_LINE {
-            Err(())
-        } else {
-            Ok(None)
-        }
-    }
-
-    fn into_remaining(self) -> Vec<u8> {
-        self.buf
+        self.stop_and_join();
     }
 }
 
@@ -308,6 +430,17 @@ struct PreTrust {
     lines: LineBuffer,
     peer: Ipv4,
     last_activity: std::time::Instant,
+    /// Registry-clock instant the connection was accepted, for the
+    /// `master.pretrust_ns` span.
+    accepted_ns: u64,
+}
+
+/// Pre-resolved instrument handles for the master thread.
+struct MasterMetrics {
+    pretrust_ns: SpanHandle,
+    dnsbl_ns: SpanHandle,
+    queue_depth: Arc<Gauge>,
+    verbs: VerbCounters,
 }
 
 /// One blocking DNSBLv6 UDP lookup; failures degrade to an all-clear
@@ -333,10 +466,18 @@ fn master_loop(
     dnsbl: Option<DnsblServer>,
     dnsbl_udp: Option<(SocketAddr, String)>,
     pretrust_idle_timeout: Duration,
+    registry: Arc<Registry>,
 ) {
+    let mm = MasterMetrics {
+        pretrust_ns: registry.span("master.pretrust_ns"),
+        dnsbl_ns: registry.span("master.dnsbl_ns"),
+        queue_depth: registry.gauge("worker.queue_depth"),
+        verbs: VerbCounters::register(&registry),
+    };
     let mut conns: Vec<PreTrust> = Vec::new();
     let mut rr = 0usize;
-    let mut resolver = CachingResolver::new(CacheScheme::PerPrefix, Nanos::from_secs(86_400));
+    let mut resolver = CachingResolver::new(CacheScheme::PerPrefix, Nanos::from_secs(86_400))
+        .with_metrics(&registry, "dnsbl");
     let mut udp_cache: std::collections::HashMap<
         spamaware_netaddr::Prefix25,
         spamaware_netaddr::PrefixBitmap,
@@ -350,23 +491,40 @@ fn master_loop(
             match listener.accept() {
                 Ok((stream, peer)) => {
                     progress = true;
-                    stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    stats.accepted.inc();
                     let peer_ip = match peer.ip() {
                         std::net::IpAddr::V4(v4) => Ipv4::from(v4),
-                        std::net::IpAddr::V6(_) => Ipv4::new(127, 0, 0, 1),
+                        std::net::IpAddr::V6(_) => {
+                            // The DNSBL cache and trust machinery are
+                            // IPv4-only; refuse rather than impersonate a
+                            // loopback peer.
+                            stats.rejected_ipv6.inc();
+                            let mut stream = stream;
+                            let _ = write_reply(
+                                &mut stream,
+                                &spamaware_smtp::Reply::ipv6_unsupported(),
+                            );
+                            continue;
+                        }
                     };
                     if let Some((server_addr, zone)) = &dnsbl_udp {
                         // Real DNSBLv6 query over UDP, cached per /25.
+                        let start = mm.dnsbl_ns.now();
                         let bitmap = udp_cache
                             .entry(peer_ip.prefix25())
                             .or_insert_with(|| udp_bitmap_lookup(*server_addr, zone, peer_ip));
-                        if bitmap.contains(peer_ip) {
-                            stats.blacklisted.fetch_add(1, Ordering::Relaxed);
+                        let listed = bitmap.contains(peer_ip);
+                        mm.dnsbl_ns.record_since(start);
+                        if listed {
+                            stats.blacklisted.inc();
                         }
                     } else if let Some(server) = &dnsbl {
+                        let start = mm.dnsbl_ns.now();
                         let now = Nanos::from_nanos(0);
-                        if resolver.lookup(peer_ip, now, server, &mut rng).listed {
-                            stats.blacklisted.fetch_add(1, Ordering::Relaxed);
+                        let listed = resolver.lookup(peer_ip, now, server, &mut rng).listed;
+                        mm.dnsbl_ns.record_since(start);
+                        if listed {
+                            stats.blacklisted.inc();
                         }
                     }
                     let _ = stream.set_nonblocking(true);
@@ -382,6 +540,7 @@ fn master_loop(
                         lines: LineBuffer::new(),
                         peer: peer_ip,
                         last_activity: std::time::Instant::now(),
+                        accepted_ns: mm.pretrust_ns.now(),
                     });
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
@@ -391,14 +550,16 @@ fn master_loop(
         // Event loop over pre-trust connections.
         let mut i = 0;
         while i < conns.len() {
-            match pump_pretrust(&mut conns[i], &exists) {
+            match pump_pretrust(&mut conns[i], &exists, &mm.verbs) {
                 PumpResult::Idle => {
                     if conns[i].last_activity.elapsed() > pretrust_idle_timeout {
                         // Idle slow client: drop it without touching a
                         // worker (counts as an unfinished transaction).
                         let c = conns.swap_remove(i);
+                        mm.pretrust_ns.record_since(c.accepted_ns);
                         drop(c);
-                        stats.unfinished.fetch_add(1, Ordering::Relaxed);
+                        stats.idle_evictions.inc();
+                        stats.unfinished.inc();
                         progress = true;
                     } else {
                         i += 1;
@@ -409,26 +570,36 @@ fn master_loop(
                     conns[i].last_activity = std::time::Instant::now();
                     i += 1;
                 }
+                PumpResult::Overflow => {
+                    progress = true;
+                    let c = conns.swap_remove(i);
+                    mm.pretrust_ns.record_since(c.accepted_ns);
+                    stats.overflows.inc();
+                    stats.unfinished.inc();
+                }
                 PumpResult::Close => {
                     progress = true;
                     let c = conns.swap_remove(i);
+                    mm.pretrust_ns.record_since(c.accepted_ns);
                     match c.session.outcome() {
                         SessionOutcome::Bounce => {
-                            stats.bounces.fetch_add(1, Ordering::Relaxed);
+                            stats.bounces.inc();
                         }
                         _ => {
-                            stats.unfinished.fetch_add(1, Ordering::Relaxed);
+                            stats.unfinished.inc();
                         }
                     }
                 }
                 PumpResult::Trusted => {
                     progress = true;
                     let c = conns.swap_remove(i);
+                    mm.pretrust_ns.record_since(c.accepted_ns);
                     let task = Delegated {
                         stream: c.stream,
                         session: c.session,
                         leftover: c.lines.into_remaining(),
                         peer: c.peer,
+                        enqueued_ns: registry.now_nanos(),
                     };
                     // Round-robin non-blocking dispatch; full queues push
                     // the task to the next worker (natural throttle).
@@ -438,7 +609,8 @@ fn master_loop(
                         match senders[w].try_send(task.take().expect("task present")) {
                             Ok(()) => {
                                 rr = (w + 1) % senders.len();
-                                stats.delegated.fetch_add(1, Ordering::Relaxed);
+                                stats.delegated.inc();
+                                mm.queue_depth.inc();
                                 break;
                             }
                             Err(TrySendError::Full(t)) | Err(TrySendError::Disconnected(t)) => {
@@ -450,7 +622,8 @@ fn master_loop(
                         // Every queue full: block briefly on the next one.
                         let w = rr % senders.len();
                         if senders[w].send(t).is_ok() {
-                            stats.delegated.fetch_add(1, Ordering::Relaxed);
+                            stats.delegated.inc();
+                            mm.queue_depth.inc();
                         }
                         rr = (w + 1) % senders.len();
                     }
@@ -468,10 +641,15 @@ enum PumpResult {
     Idle,
     Progress,
     Close,
+    Overflow,
     Trusted,
 }
 
-fn pump_pretrust(conn: &mut PreTrust, exists: &dyn Fn(&MailAddr) -> bool) -> PumpResult {
+fn pump_pretrust(
+    conn: &mut PreTrust,
+    exists: &dyn Fn(&MailAddr) -> bool,
+    verbs: &VerbCounters,
+) -> PumpResult {
     let mut tmp = [0u8; 1024];
     let mut result = PumpResult::Idle;
     match conn.stream.read(&mut tmp) {
@@ -488,8 +666,14 @@ fn pump_pretrust(conn: &mut PreTrust, exists: &dyn Fn(&MailAddr) -> bool) -> Pum
             Ok(Some(line)) => {
                 let text = String::from_utf8_lossy(&line).into_owned();
                 let reply = match Command::parse(&text) {
-                    Ok(cmd) => conn.session.handle(cmd, exists),
-                    Err(_) => spamaware_smtp::Reply::bad_argument(),
+                    Ok(cmd) => {
+                        verbs.count(&cmd);
+                        conn.session.handle(cmd, exists)
+                    }
+                    Err(_) => {
+                        verbs.unknown.inc();
+                        spamaware_smtp::Reply::bad_argument()
+                    }
                 };
                 let closing = conn.session.phase() == spamaware_smtp::SessionPhase::Closed;
                 if write_reply(&mut conn.stream, &reply).is_err() || closing {
@@ -501,9 +685,9 @@ fn pump_pretrust(conn: &mut PreTrust, exists: &dyn Fn(&MailAddr) -> bool) -> Pum
                 result = PumpResult::Progress;
             }
             Ok(None) => break,
-            Err(()) => {
+            Err(LineOverflow) => {
                 let _ = write_reply(&mut conn.stream, &spamaware_smtp::Reply::syntax_error());
-                return PumpResult::Close;
+                return PumpResult::Overflow;
             }
         }
     }
@@ -516,9 +700,17 @@ fn worker_loop(
     stats: Arc<LiveStats>,
     next_id: Arc<AtomicU64>,
     mailboxes: Arc<HashSet<String>>,
+    registry: Arc<Registry>,
 ) {
+    let queue_wait_ns = registry.span("worker.queue_wait_ns");
+    let data_ns = registry.span("worker.data_ns");
+    let storage_ns = registry.span("worker.storage_ns");
+    let queue_depth = registry.gauge("worker.queue_depth");
+    let verbs = VerbCounters::register(&registry);
     let exists = |a: &MailAddr| mailboxes.contains(a.local_part());
     while let Ok(task) = rx.recv() {
+        queue_depth.dec();
+        queue_wait_ns.record_since(task.enqueued_ns);
         let _ = task.peer;
         let mut session = task.session;
         session.capture_bodies(true);
@@ -529,6 +721,7 @@ fn worker_loop(
         lines.push(&task.leftover);
         let mut tmp = [0u8; 4096];
         let mut in_data = false;
+        let mut data_start: Option<u64> = None;
         'conn: loop {
             // Drain complete lines first, then read more.
             loop {
@@ -537,6 +730,9 @@ fn worker_loop(
                         if in_data {
                             if session.data_line(&line) == DataVerdict::Complete {
                                 in_data = false;
+                                if let Some(start) = data_start.take() {
+                                    data_ns.record_since(start);
+                                }
                                 let id = MailId(next_id.fetch_add(1, Ordering::Relaxed));
                                 let reply = session.finish_data(&id.to_string());
                                 let env = session.delivered().last().expect("envelope").clone();
@@ -546,11 +742,13 @@ fn worker_loop(
                                     .map(|a| a.local_part().to_owned())
                                     .collect();
                                 let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-                                let stored =
-                                    store.lock().deliver(id, &refs, DataRef::Bytes(&env.body));
+                                let stored = {
+                                    let _span = storage_ns.start();
+                                    store.lock().deliver(id, &refs, DataRef::Bytes(&env.body))
+                                };
                                 let reply = match stored {
                                     Ok(()) => {
-                                        stats.mails_stored.fetch_add(1, Ordering::Relaxed);
+                                        stats.mails_stored.inc();
                                         reply
                                     }
                                     Err(_) => spamaware_smtp::Reply::local_error(),
@@ -562,11 +760,18 @@ fn worker_loop(
                         } else {
                             let text = String::from_utf8_lossy(&line).into_owned();
                             let reply = match Command::parse(&text) {
-                                Ok(cmd) => session.handle(cmd, &exists),
-                                Err(_) => spamaware_smtp::Reply::bad_argument(),
+                                Ok(cmd) => {
+                                    verbs.count(&cmd);
+                                    session.handle(cmd, &exists)
+                                }
+                                Err(_) => {
+                                    verbs.unknown.inc();
+                                    spamaware_smtp::Reply::bad_argument()
+                                }
                             };
                             if reply.code() == 354 {
                                 in_data = true;
+                                data_start = Some(data_ns.now());
                             }
                             let closing = session.phase() == spamaware_smtp::SessionPhase::Closed;
                             if write_reply(&mut stream, &reply).is_err() {
@@ -578,7 +783,8 @@ fn worker_loop(
                         }
                     }
                     Ok(None) => break,
-                    Err(()) => {
+                    Err(LineOverflow) => {
+                        stats.overflows.inc();
                         let _ = write_reply(&mut stream, &spamaware_smtp::Reply::syntax_error());
                         break 'conn;
                     }
@@ -590,38 +796,48 @@ fn worker_loop(
                 Err(_) => break,
             }
         }
+        if let Some(start) = data_start.take() {
+            // Disconnected mid-DATA: close out the span so abandoned
+            // transfers still show up in the latency histogram.
+            data_ns.record_since(start);
+        }
         if session.outcome() == SessionOutcome::Delivered {
-            stats.delivered.fetch_add(1, Ordering::Relaxed);
+            stats.delivered.inc();
         }
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn line_buffer_splits_crlf_and_lf() {
-        let mut lb = LineBuffer::new();
-        lb.push(b"HELO a\r\nMAIL");
-        assert_eq!(lb.pop_line().unwrap().unwrap(), b"HELO a");
-        assert_eq!(lb.pop_line().unwrap(), None);
-        lb.push(b" FROM:<a@b.c>\n");
-        assert_eq!(lb.pop_line().unwrap().unwrap(), b"MAIL FROM:<a@b.c>");
-    }
-
-    #[test]
-    fn line_buffer_overflow_detected() {
-        let mut lb = LineBuffer::new();
-        lb.push(&vec![b'x'; MAX_LINE + 1]);
-        assert!(lb.pop_line().is_err());
-    }
-
-    #[test]
-    fn line_buffer_keeps_partial_remainder() {
-        let mut lb = LineBuffer::new();
-        lb.push(b"DATA\r\npartial body");
-        assert_eq!(lb.pop_line().unwrap().unwrap(), b"DATA");
-        assert_eq!(lb.into_remaining(), b"partial body");
+/// Serves the metrics report over a localhost admin socket: one command
+/// line per connection (`METRICS` or its alias `STAT`), answered with
+/// [`Registry::render`] output, then the connection closes.
+fn admin_loop(listener: TcpListener, registry: Arc<Registry>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                let mut buf = Vec::new();
+                let mut tmp = [0u8; 128];
+                while !buf.contains(&b'\n') && buf.len() <= 128 {
+                    match stream.read(&mut tmp) {
+                        Ok(0) => break,
+                        Ok(n) => buf.extend_from_slice(&tmp[..n]),
+                        Err(_) => break,
+                    }
+                }
+                let line = String::from_utf8_lossy(&buf);
+                let cmd = line.trim();
+                let response =
+                    if cmd.eq_ignore_ascii_case("METRICS") || cmd.eq_ignore_ascii_case("STAT") {
+                        registry.render()
+                    } else {
+                        "ERR unknown admin command; try METRICS\n".to_owned()
+                    };
+                let _ = stream.write_all(response.as_bytes());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
     }
 }

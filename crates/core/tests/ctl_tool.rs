@@ -61,7 +61,7 @@ fn ctl_inspects_compacts_and_deletes() {
         reader.read_line(&mut line).expect("r");
     }
     for _ in 0..200 {
-        if srv.stats().snapshot().5 >= 1 {
+        if srv.stats().snapshot().mails_stored >= 1 {
             break;
         }
         std::thread::sleep(Duration::from_millis(10));

@@ -8,10 +8,23 @@
 
 use crate::DnsblServer;
 use rand::Rng;
+use spamaware_metrics::{Counter, LogHistogram, Registry};
 use spamaware_netaddr::{Ipv4, Prefix25, PrefixBitmap};
 use spamaware_sim::metrics::Histogram;
 use spamaware_sim::Nanos;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Registry-backed resolver instrumentation (see
+/// [`CachingResolver::with_metrics`]).
+#[derive(Debug)]
+struct ResolverMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    /// Virtual (model) lookup latency in nanoseconds.
+    lookup_ns: Arc<LogHistogram>,
+}
 
 /// Which caching granularity the resolver uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,6 +131,7 @@ pub struct CachingResolver {
     ip_cache: HashMap<Ipv4, (Nanos, bool)>,
     prefix_cache: HashMap<Prefix25, (Nanos, PrefixBitmap)>,
     stats: ResolverStats,
+    metrics: Option<ResolverMetrics>,
 }
 
 impl CachingResolver {
@@ -141,7 +155,23 @@ impl CachingResolver {
             ip_cache: HashMap::new(),
             prefix_cache: HashMap::new(),
             stats: ResolverStats::new(),
+            metrics: None,
         }
+    }
+
+    /// Reports cache hits/misses/evictions and the (virtual) lookup
+    /// latency into `registry` under `<prefix>.cache_hit`,
+    /// `<prefix>.cache_miss`, `<prefix>.eviction`, and
+    /// `<prefix>.lookup_ns`. The prefix keeps several resolvers (one per
+    /// cache scheme in the ablation sweeps) apart in one registry.
+    pub fn with_metrics(mut self, registry: &Registry, prefix: &str) -> CachingResolver {
+        self.metrics = Some(ResolverMetrics {
+            hits: registry.counter(&format!("{prefix}.cache_hit")),
+            misses: registry.counter(&format!("{prefix}.cache_miss")),
+            evictions: registry.counter(&format!("{prefix}.eviction")),
+            lookup_ns: registry.histogram(&format!("{prefix}.lookup_ns")),
+        });
+        self
     }
 
     /// Bounds the cache to `capacity` entries. When full, entries closest
@@ -174,6 +204,9 @@ impl CachingResolver {
                 let Some(victim) = victim else { break };
                 self.ip_cache.remove(&victim);
                 self.stats.evictions += 1;
+                if let Some(m) = &self.metrics {
+                    m.evictions.inc();
+                }
             }
         }
         if self.prefix_cache.len() >= cap {
@@ -188,6 +221,9 @@ impl CachingResolver {
                 let Some(victim) = victim else { break };
                 self.prefix_cache.remove(&victim);
                 self.stats.evictions += 1;
+                if let Some(m) = &self.metrics {
+                    m.evictions.inc();
+                }
             }
         }
     }
@@ -260,6 +296,14 @@ impl CachingResolver {
             self.stats.hits += 1;
         }
         self.stats.latency_ms.record_nanos_as_ms(outcome.latency);
+        if let Some(m) = &self.metrics {
+            if outcome.cache_hit {
+                m.hits.inc();
+            } else {
+                m.misses.inc();
+            }
+            m.lookup_ns.record(outcome.latency.as_nanos());
+        }
         outcome
     }
 
@@ -479,5 +523,43 @@ mod tests {
     #[should_panic(expected = "nonzero TTL")]
     fn zero_ttl_with_caching_rejected() {
         CachingResolver::new(CacheScheme::PerIp, Nanos::ZERO);
+    }
+
+    #[test]
+    fn registry_metrics_track_hits_misses_and_latency() {
+        let s = server();
+        let registry = Registry::new(Arc::new(spamaware_metrics::ManualClock::new()));
+        let mut r = CachingResolver::new(CacheScheme::PerIp, DAY).with_metrics(&registry, "dnsbl");
+        let mut rng = det_rng(77);
+        let ip = Ipv4::new(203, 0, 113, 7);
+        for i in 0..4 {
+            r.lookup(ip, Nanos::from_secs(i), &s, &mut rng);
+        }
+        assert_eq!(registry.counter_value("dnsbl.cache_hit"), Some(3));
+        assert_eq!(registry.counter_value("dnsbl.cache_miss"), Some(1));
+        assert_eq!(registry.counter_value("dnsbl.eviction"), Some(0));
+        assert_eq!(registry.histogram_count("dnsbl.lookup_ns"), Some(4));
+    }
+
+    #[test]
+    fn registry_metrics_count_capacity_evictions() {
+        let db: BlacklistDb = (0..8u8).map(|i| Ipv4::new(10, 0, i, 1)).collect();
+        let s = DnsblServer::new("bl.example", db, LatencyModel::new(40.0, 0.8, 0.0));
+        let registry = Registry::new(Arc::new(spamaware_metrics::ManualClock::new()));
+        let mut r = CachingResolver::new(CacheScheme::PerIp, Nanos::from_secs(3600))
+            .with_capacity(2)
+            .with_metrics(&registry, "dnsbl");
+        let mut rng = det_rng(78);
+        for i in 0..8u8 {
+            r.lookup(
+                Ipv4::new(10, 0, i, 1),
+                Nanos::from_secs(i as u64),
+                &s,
+                &mut rng,
+            );
+        }
+        let evicted = registry.counter_value("dnsbl.eviction");
+        assert_eq!(evicted, Some(r.stats().evictions));
+        assert!(evicted.is_some_and(|e| e >= 5), "{evicted:?}");
     }
 }

@@ -1,0 +1,244 @@
+//! The three instrument kinds: counters, gauges, and log2 histograms.
+//!
+//! Everything is lock-free (`AtomicU64`/`AtomicI64` with relaxed ordering)
+//! so the hot paths of the live server — the master's accept loop and the
+//! worker pool — never contend on a metrics mutex. Reads taken while
+//! writers are active are individually atomic but not a consistent cut;
+//! reports are rendered at quiescence (tests) or accepted as approximate
+//! (the admin socket).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous level (queue depth, live connections, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets: one per power of two of a `u64`, plus the zero bucket.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-bucket log2 histogram over `u64` samples (typically nanoseconds).
+///
+/// Bucket `0` holds exact zeros; bucket `i` (`1 ..= 64`) holds samples in
+/// `[2^(i-1), 2^i)`, i.e. one bucket per bit position. Quantiles report the
+/// inclusive upper edge of the covering bucket (`2^i - 1`), so the answer
+/// is within 2× of the true quantile — plenty for steering optimization
+/// work, and exactly reproducible: identical sample multisets render
+/// identical reports byte for byte.
+///
+/// # Example
+///
+/// ```
+/// use spamaware_metrics::LogHistogram;
+/// let h = LogHistogram::new();
+/// for v in [100, 200, 400, 100_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.quantile(50), 255); // 200 lands in [128, 256)
+/// assert_eq!(h.max(), 100_000);
+/// ```
+#[derive(Debug)]
+pub struct LogHistogram {
+    counts: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper edge of bucket `i`.
+    fn bucket_edge(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1..=63 => (1u64 << i) - 1,
+            _ => u64::MAX,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.counts[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The value at or below which `percent`% of samples fall, reported as
+    /// the covering bucket's upper edge (0 when empty). `percent` is
+    /// clamped to `0..=100`.
+    pub fn quantile(&self, percent: u64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let percent = percent.min(100);
+        // Ceiling of total * percent / 100 in u128 to dodge overflow.
+        let target = ((total as u128 * percent as u128).div_ceil(100)).max(1) as u64;
+        let mut acc = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            acc = acc.saturating_add(c.load(Ordering::Relaxed));
+            if acc >= target {
+                return Self::bucket_edge(i);
+            }
+        }
+        self.max()
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn buckets_cover_the_u64_range() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        assert_eq!(LogHistogram::bucket_edge(0), 0);
+        assert_eq!(LogHistogram::bucket_edge(1), 1);
+        assert_eq!(LogHistogram::bucket_edge(10), 1023);
+        assert_eq!(LogHistogram::bucket_edge(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_bracket_truth_within_a_bucket() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(50);
+        assert!((500..=1023).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(99);
+        assert!((990..=1023).contains(&p99), "p99 {p99}");
+        assert_eq!(h.quantile(100), 1023);
+    }
+
+    #[test]
+    fn zeros_land_in_the_zero_bucket() {
+        let h = LogHistogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(8);
+        assert_eq!(h.quantile(50), 0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 8);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(50), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

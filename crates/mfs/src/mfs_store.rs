@@ -17,7 +17,23 @@
 
 use crate::backend::DataRef;
 use crate::{Backend, MailId, MailStore, StoreError, StoreResult, StoredMail};
+use spamaware_metrics::{Counter, Registry, SpanHandle};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Registry-backed store instrumentation (see [`MfsStore::with_metrics`]).
+#[derive(Debug)]
+struct StoreMetrics {
+    write_ns: SpanHandle,
+    read_ns: SpanHandle,
+    delete_ns: SpanHandle,
+    /// Body bytes that landed in the shared data file (written once).
+    shared_bytes: Arc<Counter>,
+    /// Body bytes written into per-mailbox (private) data files.
+    private_bytes: Arc<Counter>,
+    /// Shared-refcount delta records appended to the shared key log.
+    refcount_ops: Arc<Counter>,
+}
 
 const RECORD_LEN: u64 = 32;
 const SHARED: &str = "shmailbox";
@@ -109,6 +125,7 @@ pub struct MfsStore<B> {
     mailboxes: HashMap<String, Vec<MailboxEntry>>,
     freed_shared_bytes: u64,
     share_threshold: usize,
+    metrics: Option<StoreMetrics>,
 }
 
 impl<B: Backend> MfsStore<B> {
@@ -123,7 +140,26 @@ impl<B: Backend> MfsStore<B> {
             mailboxes: HashMap::new(),
             freed_shared_bytes: 0,
             share_threshold: 2,
+            metrics: None,
         }
+    }
+
+    /// Reports storage latency and byte/refcount accounting into
+    /// `registry` under `<prefix>.write_ns`, `<prefix>.read_ns`,
+    /// `<prefix>.delete_ns`, `<prefix>.shared_bytes`,
+    /// `<prefix>.private_bytes`, and `<prefix>.refcount_ops`. Durations
+    /// come from the registry's injected clock, so simulated stores stay
+    /// deterministic.
+    pub fn with_metrics(mut self, registry: &Registry, prefix: &str) -> MfsStore<B> {
+        self.metrics = Some(StoreMetrics {
+            write_ns: registry.span(&format!("{prefix}.write_ns")),
+            read_ns: registry.span(&format!("{prefix}.read_ns")),
+            delete_ns: registry.span(&format!("{prefix}.delete_ns")),
+            shared_bytes: registry.counter(&format!("{prefix}.shared_bytes")),
+            private_bytes: registry.counter(&format!("{prefix}.private_bytes")),
+            refcount_ops: registry.counter(&format!("{prefix}.refcount_ops")),
+        });
+        self
     }
 
     /// Sets the minimum recipient count at which a mail is routed through
@@ -291,6 +327,7 @@ impl<B: Backend> MfsStore<B> {
     /// [`StoreError::MailIdCollision`] if `id` already names shared content
     /// of a different size — the §6.4 random-guessing attack defence.
     pub fn nwrite(&mut self, id: MailId, mailboxes: &[&str], body: DataRef<'_>) -> StoreResult<()> {
+        let _span = self.metrics.as_ref().map(|m| m.write_ns.start());
         for mb in mailboxes {
             Self::check_mailbox_name(mb)?;
         }
@@ -302,6 +339,9 @@ impl<B: Backend> MfsStore<B> {
                 // own data file.
                 for mb in mbs {
                     let offset = self.backend.append(&Self::data_path(mb), body)?;
+                    if let Some(m) = &self.metrics {
+                        m.private_bytes.add(body.len());
+                    }
                     let rec = KeyRecord {
                         id,
                         offset,
@@ -343,6 +383,9 @@ impl<B: Backend> MfsStore<B> {
                                 delta: n,
                             },
                         )?;
+                        if let Some(m) = &self.metrics {
+                            m.refcount_ops.inc();
+                        }
                         (o, l)
                     }
                     None => {
@@ -356,6 +399,10 @@ impl<B: Backend> MfsStore<B> {
                                 delta: n,
                             },
                         )?;
+                        if let Some(m) = &self.metrics {
+                            m.shared_bytes.add(body.len());
+                            m.refcount_ops.inc();
+                        }
                         self.shared.insert(
                             id,
                             SharedEntry {
@@ -445,6 +492,7 @@ impl<B: Backend> MailStore for MfsStore<B> {
     }
 
     fn read_mailbox(&mut self, mailbox: &str) -> StoreResult<Vec<StoredMail>> {
+        let _span = self.metrics.as_ref().map(|m| m.read_ns.start());
         let entries: Vec<MailboxEntry> = self.live_entries(mailbox).to_vec();
         let mut out = Vec::with_capacity(entries.len());
         for e in entries {
@@ -460,6 +508,7 @@ impl<B: Backend> MailStore for MfsStore<B> {
     }
 
     fn delete(&mut self, mailbox: &str, id: MailId) -> StoreResult<()> {
+        let _span = self.metrics.as_ref().map(|m| m.delete_ns.start());
         let entries = self
             .mailboxes
             .get_mut(mailbox)
@@ -491,6 +540,9 @@ impl<B: Backend> MailStore for MfsStore<B> {
                     delta: -1,
                 },
             )?;
+            if let Some(m) = &self.metrics {
+                m.refcount_ops.inc();
+            }
             if let Some(e) = self.shared.get_mut(&id) {
                 e.refs -= 1;
                 debug_assert!(
@@ -673,6 +725,27 @@ mod tests {
         let mut s = store();
         s.deliver(MailId(1), &[], DataRef::Bytes(b"x"))?;
         assert_eq!(s.stats(), MfsStats::default());
+        Ok(())
+    }
+
+    #[test]
+    fn registry_metrics_account_bytes_and_refcounts() -> Result<(), Box<dyn std::error::Error>> {
+        use spamaware_metrics::{ManualClock, Registry};
+        let clock = ManualClock::new();
+        let registry = Registry::new(std::sync::Arc::new(clock.clone()));
+        let mut s = MfsStore::new(MemFs::new()).with_metrics(&registry, "mfs");
+        s.deliver(MailId(1), &["a", "b", "c"], DataRef::Bytes(b"spam body"))?;
+        s.deliver(MailId(2), &["a"], DataRef::Bytes(b"own"))?;
+        clock.advance(500);
+        s.read_mailbox("a")?;
+        s.delete("b", MailId(1))?;
+        assert_eq!(registry.counter_value("mfs.shared_bytes"), Some(9));
+        assert_eq!(registry.counter_value("mfs.private_bytes"), Some(3));
+        // One delta record on shared delivery, one on the shared delete.
+        assert_eq!(registry.counter_value("mfs.refcount_ops"), Some(2));
+        assert_eq!(registry.histogram_count("mfs.write_ns"), Some(2));
+        assert_eq!(registry.histogram_count("mfs.read_ns"), Some(1));
+        assert_eq!(registry.histogram_count("mfs.delete_ns"), Some(1));
         Ok(())
     }
 

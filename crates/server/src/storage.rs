@@ -11,7 +11,9 @@ enum Inner {
     Mbox(MboxStore<Metered<MemFs>>),
     Maildir(MaildirStore<Metered<MemFs>>),
     Hardlink(HardlinkStore<Metered<MemFs>>),
-    Mfs(MfsStore<Metered<MemFs>>),
+    // Boxed: MfsStore is much larger than the other layouts
+    // (clippy::large_enum_variant).
+    Mfs(Box<MfsStore<Metered<MemFs>>>),
 }
 
 /// A mailbox store wired for simulation: size-only bodies, per-delivery
@@ -58,7 +60,9 @@ impl SimStore {
             Layout::Mbox => Inner::Mbox(MboxStore::new(backend())),
             Layout::Maildir => Inner::Maildir(MaildirStore::new(backend())),
             Layout::Hardlink => Inner::Hardlink(HardlinkStore::new(backend())),
-            Layout::Mfs => Inner::Mfs(MfsStore::new(backend()).with_share_threshold(threshold)),
+            Layout::Mfs => Inner::Mfs(Box::new(
+                MfsStore::new(backend()).with_share_threshold(threshold),
+            )),
         };
         SimStore {
             inner,

@@ -46,7 +46,7 @@ mod sched;
 mod time;
 
 pub use resource::{FifoResource, ProcId, ResourceStats, ServiceJob};
-pub use sched::{run, run_until, Scheduler, World};
+pub use sched::{run, run_until, Scheduler, SimClock, World};
 pub use time::Nanos;
 
 /// Creates a deterministic small RNG from a 64-bit seed.

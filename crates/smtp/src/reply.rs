@@ -107,6 +107,13 @@ impl Reply {
         Reply::new(554, format!("5.7.1 Service unavailable; {reason}"))
     }
 
+    /// `554` transport not supported — the live server speaks IPv4 only
+    /// (DNSBL prefix caching is defined over IPv4 /25s), so IPv6 peers
+    /// are told to retry over IPv4 instead of being silently remapped.
+    pub fn ipv6_unsupported() -> Reply {
+        Reply::new(554, "5.3.4 IPv6 transport not supported; connect via IPv4")
+    }
+
     /// `500` unrecognized command.
     pub fn syntax_error() -> Reply {
         Reply::new(500, "5.5.2 Error: command not recognized")

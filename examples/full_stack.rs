@@ -96,10 +96,10 @@ fn main() {
         stream.write_all(b"QUIT\r\n").expect("w");
     }
 
-    let (accepted, _, _, _, _, stored, blacklisted) = smtp.stats().snapshot();
+    let snap = smtp.stats().snapshot();
     println!(
-        "\nSMTP stats: accepted={accepted} stored={stored} blacklisted={blacklisted} \
-         (the client IP was on the DNSBL)"
+        "\nSMTP stats: accepted={} stored={} blacklisted={} (the client IP was on the DNSBL)",
+        snap.accepted, snap.mails_stored, snap.blacklisted
     );
     println!(
         "DNSBL answered {} UDP queries",

@@ -127,11 +127,15 @@ fn main() {
 
     // Give workers a moment to finish storing.
     std::thread::sleep(std::time::Duration::from_millis(300));
-    let (accepted, delivered, bounces, unfinished, delegated, stored, _bl) =
-        server.stats().snapshot();
+    let snap = server.stats().snapshot();
     println!(
-        "stats: accepted={accepted} delivered={delivered} bounces={bounces} \
-         unfinished={unfinished} delegated={delegated} mails_stored={stored}"
+        "stats: accepted={} delivered={} bounces={} unfinished={} delegated={} mails_stored={}",
+        snap.accepted,
+        snap.delivered,
+        snap.bounces,
+        snap.unfinished,
+        snap.delegated,
+        snap.mails_stored
     );
     {
         let store = server.store();

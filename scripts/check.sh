@@ -9,8 +9,10 @@
 #   1. cargo fmt --check       — formatting is canonical
 #   2. cargo clippy            — workspace lints, warnings are errors
 #   3. spamaware-xtask lint    — determinism / panic-safety / unsafe-audit /
-#                                invariant-provenance static analysis
-#                                (see DESIGN.md "Invariants & static analysis")
+#                                invariant-provenance static analysis, covering
+#                                crates/metrics alongside the sim/server/dnsbl
+#                                scopes (see DESIGN.md "Invariants & static
+#                                analysis")
 #   4. cargo test              — unit, integration, property and doc tests
 
 set -eu

@@ -59,7 +59,7 @@ fn server(tag: &str, mailboxes: &[&str]) -> (LiveServer, std::path::PathBuf) {
 
 fn wait_for_mails(server: &LiveServer, n: u64) {
     for _ in 0..200 {
-        if server.stats().snapshot().5 >= n {
+        if server.stats().snapshot().mails_stored >= n {
             return;
         }
         std::thread::sleep(Duration::from_millis(10));
@@ -130,15 +130,15 @@ fn bounce_connection_never_reaches_workers() {
     assert!(c.cmd("QUIT").starts_with("221"));
     // Master dispatched it: bounces counted, nothing delegated.
     for _ in 0..100 {
-        if srv.stats().snapshot().2 == 1 {
+        if srv.stats().snapshot().bounces == 1 {
             break;
         }
         std::thread::sleep(Duration::from_millis(10));
     }
-    let (_, _, bounces, _, delegated, stored, _) = srv.stats().snapshot();
-    assert_eq!(bounces, 1);
-    assert_eq!(delegated, 0);
-    assert_eq!(stored, 0);
+    let snap = srv.stats().snapshot();
+    assert_eq!(snap.bounces, 1);
+    assert_eq!(snap.delegated, 0);
+    assert_eq!(snap.mails_stored, 0);
     srv.shutdown();
     let _ = std::fs::remove_dir_all(root);
 }
@@ -150,12 +150,12 @@ fn unfinished_connection_counted() {
     c.cmd("HELO shy.example");
     c.cmd("QUIT");
     for _ in 0..100 {
-        if srv.stats().snapshot().3 == 1 {
+        if srv.stats().snapshot().unfinished == 1 {
             break;
         }
         std::thread::sleep(Duration::from_millis(10));
     }
-    assert_eq!(srv.stats().snapshot().3, 1);
+    assert_eq!(srv.stats().snapshot().unfinished, 1);
     srv.shutdown();
     let _ = std::fs::remove_dir_all(root);
 }
@@ -253,7 +253,11 @@ fn idle_pretrust_connection_is_dropped() {
     let mut line = String::new();
     let n = c.reader.read_line(&mut line).unwrap_or(0);
     assert_eq!(n, 0, "connection should be closed, got {line:?}");
-    assert_eq!(srv.stats().snapshot().3, 1, "counted as unfinished");
+    assert_eq!(
+        srv.stats().snapshot().unfinished,
+        1,
+        "counted as unfinished"
+    );
     // The server still serves new clients.
     let mut c2 = Client::connect(&srv);
     assert!(c2.cmd("HELO fresh.example").starts_with("250"));

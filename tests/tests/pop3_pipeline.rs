@@ -104,7 +104,7 @@ fn smtp_deliver(addr: std::net::SocketAddr, rcpts: &[&str], body: &str) {
 
 fn wait_for_mails(server: &LiveServer, n: u64) {
     for _ in 0..300 {
-        if server.stats().snapshot().5 >= n {
+        if server.stats().snapshot().mails_stored >= n {
             return;
         }
         std::thread::sleep(Duration::from_millis(10));
@@ -250,12 +250,12 @@ fn live_server_queries_real_udp_dnsbl() {
 
     smtp_deliver(smtp.local_addr(), &["alice"], "mail from a listed host");
     for _ in 0..200 {
-        if smtp.stats().snapshot().6 >= 1 {
+        if smtp.stats().snapshot().blacklisted >= 1 {
             break;
         }
         std::thread::sleep(Duration::from_millis(10));
     }
-    let (_, _, _, _, _, _, blacklisted) = smtp.stats().snapshot();
+    let blacklisted = smtp.stats().snapshot().blacklisted;
     assert_eq!(
         blacklisted, 1,
         "the listed client was flagged via UDP DNSBL"

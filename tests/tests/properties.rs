@@ -383,3 +383,75 @@ proptest! {
         prop_assert_eq!(back, resp);
     }
 }
+
+// ------------------------------------------------------------- linebuf
+
+/// Reference line splitter for [`spamaware_core::LineBuffer`]: a line ends
+/// at each `\n`, and **all** trailing `\r` bytes are stripped from it (so
+/// `"a\r\r\n"` yields `"a"`); bytes after the last `\n` are the remainder.
+fn reference_split(bytes: &[u8]) -> (Vec<Vec<u8>>, Vec<u8>) {
+    let mut lines = Vec::new();
+    let mut rest: &[u8] = bytes;
+    while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+        let mut line = rest[..pos].to_vec();
+        while line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        lines.push(line);
+        rest = &rest[pos + 1..];
+    }
+    (lines, rest.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn line_buffer_matches_reference_splitter(
+        raw in proptest::collection::vec(any::<u8>(), 0..600),
+        chunk_sizes in proptest::collection::vec(1usize..40, 1..20),
+    ) {
+        // Bias the stream toward terminators so multi-line and `\r`-run
+        // cases are exercised often, not once in 128 bytes.
+        let bytes: Vec<u8> = raw
+            .iter()
+            .map(|&b| match b % 8 {
+                0 => b'\n',
+                1 => b'\r',
+                _ => b,
+            })
+            .collect();
+        let mut lb = spamaware_core::LineBuffer::new();
+        let mut popped: Vec<Vec<u8>> = Vec::new();
+        let mut offset = 0;
+        let mut chunk = chunk_sizes.iter().cycle();
+        while offset < bytes.len() {
+            let n = (*chunk.next().unwrap()).min(bytes.len() - offset);
+            lb.push(&bytes[offset..offset + n]);
+            offset += n;
+            // Total input stays far below MAX_LINE, so overflow (Err) is
+            // impossible here; it has its own unit + fault tests.
+            while let Some(line) = lb.pop_line().expect("no overflow") {
+                popped.push(line);
+            }
+        }
+        let (want_lines, want_rest) = reference_split(&bytes);
+        prop_assert_eq!(popped, want_lines);
+        prop_assert_eq!(lb.into_remaining(), want_rest);
+    }
+
+    #[test]
+    fn line_buffer_overflow_only_without_newline(pad in 0usize..64) {
+        // MAX_LINE + pad + 1 bytes with no terminator must overflow ...
+        let mut lb = spamaware_core::LineBuffer::new();
+        lb.push(&vec![b'x'; spamaware_core::MAX_LINE + pad + 1]);
+        prop_assert!(lb.pop_line().is_err());
+        // ... while the same payload terminated by `\n` pops cleanly.
+        let mut lb = spamaware_core::LineBuffer::new();
+        let mut payload = vec![b'x'; spamaware_core::MAX_LINE + pad + 1];
+        payload.push(b'\n');
+        lb.push(&payload);
+        prop_assert_eq!(
+            lb.pop_line().expect("newline present").expect("one line").len(),
+            spamaware_core::MAX_LINE + pad + 1
+        );
+    }
+}
