@@ -1,10 +1,13 @@
 //! Criterion micro-benchmarks for the performance-critical substrate
-//! operations: SMTP command parsing, storage-layout delivery, DNSBL
-//! resolver lookups, bitmap wire handling, and raw DES event throughput.
+//! operations: SMTP command parsing, storage-layout delivery, sharded vs
+//! global-mutex store concurrency, DNSBL resolver lookups, bitmap wire
+//! handling, and raw DES event throughput.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use spamaware_dnsbl::{BlacklistDb, CacheScheme, CachingResolver, DnsblServer, LatencyModel};
-use spamaware_mfs::{DataRef, Layout, MailId, MemFs};
+use spamaware_mfs::{
+    DataRef, Layout, MailId, MailStore, MemFs, MfsStore, ShardedStore, SyncBackend,
+};
 use spamaware_netaddr::{Ipv4, PrefixBitmap, QueryName, QueryScheme};
 use spamaware_server::{run, ClientModel, ServerConfig};
 use spamaware_sim::{det_rng, Nanos};
@@ -67,6 +70,75 @@ fn bench_storage(c: &mut Criterion) {
             )
         });
     }
+    group.finish();
+}
+
+fn bench_store_concurrency(c: &mut Criterion) {
+    use std::sync::{Arc, Mutex};
+
+    const THREADS: usize = 4;
+    const MAILS: u64 = 32;
+    let boxes: Vec<String> = (0..THREADS).map(|i| format!("user{i}")).collect();
+
+    // The same 4-thread disjoint-mailbox delivery storm, once against the
+    // sharded store (per-mailbox locks) and once against a single mutex
+    // over the whole store — the live server's two storage regimes.
+    let mut group = c.benchmark_group("storage/concurrent_deliver_4x32");
+    group.bench_function("sharded", |b| {
+        let boxes = boxes.clone();
+        b.iter_batched(
+            || {
+                let fs = SyncBackend::new(MemFs::size_only());
+                Arc::new(ShardedStore::open_with(8, || Ok(fs.clone())).unwrap())
+            },
+            |store| {
+                std::thread::scope(|s| {
+                    for (t, mb) in boxes.iter().enumerate() {
+                        let store = Arc::clone(&store);
+                        s.spawn(move || {
+                            for i in 0..MAILS {
+                                store
+                                    .deliver(
+                                        MailId(t as u64 * MAILS + i + 1),
+                                        &[mb.as_str()],
+                                        DataRef::Zeros(4096),
+                                    )
+                                    .unwrap();
+                            }
+                        });
+                    }
+                });
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("global_mutex", |b| {
+        let boxes = boxes.clone();
+        b.iter_batched(
+            || Arc::new(Mutex::new(MfsStore::new(MemFs::size_only()))),
+            |store| {
+                std::thread::scope(|s| {
+                    for (t, mb) in boxes.iter().enumerate() {
+                        let store = Arc::clone(&store);
+                        s.spawn(move || {
+                            for i in 0..MAILS {
+                                store
+                                    .lock()
+                                    .unwrap()
+                                    .deliver(
+                                        MailId(t as u64 * MAILS + i + 1),
+                                        &[mb.as_str()],
+                                        DataRef::Zeros(4096),
+                                    )
+                                    .unwrap();
+                            }
+                        });
+                    }
+                });
+            },
+            BatchSize::SmallInput,
+        )
+    });
     group.finish();
 }
 
@@ -138,6 +210,6 @@ fn bench_engine(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_smtp_parse, bench_storage, bench_dnsbl, bench_engine
+    targets = bench_smtp_parse, bench_storage, bench_store_concurrency, bench_dnsbl, bench_engine
 }
 criterion_main!(benches);

@@ -1,0 +1,364 @@
+//! Live-server delivery throughput: sharded store vs a global lock.
+//!
+//! Unlike the fig* binaries this is NOT a simulation: it boots the real
+//! threaded TCP SMTP server (`LiveServer`) plus its POP3 sibling over the
+//! same store, and measures wall-clock delivered-mails/second while a
+//! POP3 client repeatedly scans a large pre-seeded mailbox. The sweep
+//! crosses worker counts {1,2,4,8} with the storage-concurrency regime:
+//!
+//! * **sharded** — the default `ShardedStore` (8 shards), where the POP3
+//!   scan locks only the hot mailbox's shard and SMTP deliveries to the
+//!   other mailboxes proceed;
+//! * **global** — `store_shards = 1`, which degrades the same code to a
+//!   single global storage lock (the pre-sharding architecture): every
+//!   delivery waits out the scan.
+//!
+//! The POP3 interference is the point: raw parallel-delivery scaling
+//! needs as many cores as workers, but reader-blocks-writer stalls show
+//! up at any core count, which is exactly the contention the sharded
+//! store removes.
+//!
+//! Flags (on top of the shared `--json`): `--clients M`, `--mails K`,
+//! `--body-bytes N`, `--seed N` (hot-mailbox size), `--no-reader` (pure
+//! delivery sweep), `--global-lock` (baseline regime only), `--smoke`
+//! (one tiny config pair, used by `scripts/check.sh` as a boot test).
+//!
+//! With `--json` the run also writes a `.metrics` sidecar holding the
+//! final sharded configuration's live metrics report (shard contention,
+//! buffer pool hit rates, per-stage spans).
+
+use spamaware_bench::{json_path_from_args, write_json, write_metrics_sidecar};
+use spamaware_core::{LiveConfig, LiveServer, Pop3Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Transactions pipelined per socket write (the server coalesces the
+/// replies to each burst into one write back).
+const BATCH: usize = 8;
+/// Transactions per connection, kept under the session's
+/// `max_transactions` cap (100) so a long client run never trips 452s.
+const PER_CONNECTION: usize = 96;
+/// The pre-seeded mailbox the POP3 client hammers.
+const HOT_MAILBOX: &str = "archive";
+
+#[derive(Clone, Copy, serde::Serialize)]
+struct Row {
+    workers: usize,
+    global_lock: bool,
+    clients: usize,
+    mails: usize,
+    body_bytes: usize,
+    /// Mails pre-seeded into the hot mailbox the POP3 reader scans.
+    seed_mails: usize,
+    /// Full-mailbox POP3 scans completed during the measured window.
+    pop3_scans: u64,
+    elapsed_secs: f64,
+    mails_per_sec: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    rows: Vec<Row>,
+    /// sharded ÷ global mails/sec at the widest worker count measured.
+    speedup_at_max_workers: Option<f64>,
+}
+
+struct Args {
+    clients: usize,
+    mails: usize,
+    body_bytes: usize,
+    seed: usize,
+    reader: bool,
+    smoke: bool,
+    global_only: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: usize| {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    Args {
+        clients: get("--clients", if smoke { 2 } else { 4 }),
+        mails: get("--mails", if smoke { 16 } else { 1000 }),
+        body_bytes: get("--body-bytes", if smoke { 2048 } else { 16 * 1024 }),
+        seed: get("--seed", if smoke { 16 } else { 512 }),
+        reader: !argv.iter().any(|a| a == "--no-reader"),
+        smoke,
+        global_only: argv.iter().any(|a| a == "--global-lock"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let worker_counts: &[usize] = if args.smoke { &[2] } else { &[1, 2, 4, 8] };
+    let regimes: &[bool] = if args.global_only {
+        &[true]
+    } else {
+        &[false, true] // sharded first, then the global-lock baseline
+    };
+
+    println!("=== live_throughput: sharded vs global-lock storage, real TCP");
+    println!(
+        "    ({} clients x {} mails x {} B bodies per config, {} seeded mails{})",
+        args.clients,
+        args.mails,
+        args.body_bytes,
+        args.seed,
+        if args.reader {
+            ", POP3 scanner on"
+        } else {
+            ", no reader"
+        }
+    );
+    println!();
+
+    let mut rows = Vec::new();
+    let mut final_metrics: Option<String> = None;
+    for &workers in worker_counts {
+        for &global_lock in regimes {
+            let (row, metrics) = run_config(&args, workers, global_lock);
+            println!(
+                "  workers {workers}  {}  {:>8.1} mails/s   ({:.2}s, {} scans)",
+                if global_lock { "global " } else { "sharded" },
+                row.mails_per_sec,
+                row.elapsed_secs,
+                row.pop3_scans
+            );
+            rows.push(row);
+            if !global_lock {
+                final_metrics = Some(metrics);
+            }
+        }
+    }
+
+    let max_workers = worker_counts.iter().copied().max().unwrap_or(1);
+    let at = |global: bool| {
+        rows.iter()
+            .find(|r| r.workers == max_workers && r.global_lock == global)
+            .map(|r| r.mails_per_sec)
+    };
+    let speedup = match (at(false), at(true)) {
+        (Some(s), Some(g)) if g > 0.0 => Some(s / g),
+        _ => None,
+    };
+    if let Some(x) = speedup {
+        println!();
+        println!("  sharded / global-lock at {max_workers} workers: {x:.2}x");
+    }
+
+    if let Some(path) = json_path_from_args() {
+        write_json(
+            &path,
+            &Report {
+                rows,
+                speedup_at_max_workers: speedup,
+            },
+        );
+        if let Some(report) = &final_metrics {
+            let side = path.with_extension("metrics");
+            std::fs::write(&side, report)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", side.display()));
+            println!("(wrote {})", side.display());
+        } else {
+            // --global-lock only: still emit a sidecar from an empty
+            // registry so downstream tooling finds the artifact pair.
+            write_metrics_sidecar(&path, &spamaware_bench::experiment_registry());
+        }
+    }
+}
+
+/// Boots a server pair in the given regime, seeds the hot mailbox,
+/// hammers SMTP under POP3 scan pressure, and returns the row plus the
+/// SMTP server's metrics report.
+fn run_config(args: &Args, workers: usize, global_lock: bool) -> (Row, String) {
+    let root = std::env::temp_dir().join(format!(
+        "spamaware-livebench-{}-w{workers}-{}",
+        std::process::id(),
+        if global_lock { "global" } else { "sharded" }
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut mailboxes: Vec<String> = (0..args.clients).map(|i| format!("user{i}")).collect();
+    mailboxes.push(HOT_MAILBOX.to_owned());
+    let mut cfg = LiveConfig::localhost(&root, mailboxes.clone());
+    cfg.workers = workers;
+    cfg.store_shards = if global_lock { 1 } else { 8 };
+    let server = LiveServer::start(cfg).expect("start live server");
+    let addr = server.local_addr();
+    let pop = Pop3Server::start(
+        "127.0.0.1:0".parse().expect("addr"),
+        server.store(),
+        mailboxes,
+    )
+    .expect("start pop3 server");
+
+    // Seed the hot mailbox (untimed) so each POP3 scan is a long read.
+    drive_client(addr, HOT_MAILBOX, args.seed, args.body_bytes);
+    wait_for_stored(&server, args.seed as u64);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = args.reader.then(|| {
+        let stop = Arc::clone(&stop);
+        let pop_addr = pop.local_addr();
+        std::thread::spawn(move || scan_loop(pop_addr, &stop))
+    });
+
+    // lint:allow(time): wall-clock elapsed time IS the measurement here
+    let started = std::time::Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let mails = args.mails;
+            let body_bytes = args.body_bytes;
+            std::thread::spawn(move || drive_client(addr, &format!("user{c}"), mails, body_bytes))
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let expected = (args.seed + args.clients * args.mails) as u64;
+    // Deliveries are acked at SMTP before the stats counter ticks; wait
+    // for the counters to catch up so elapsed covers all storage work.
+    wait_for_stored(&server, expected);
+    let elapsed = started.elapsed().as_secs_f64();
+    stop.store(true, Ordering::SeqCst);
+    let scans = match reader {
+        Some(h) => h.join().expect("reader thread"),
+        None => 0,
+    };
+    let stored = server.stats().snapshot().mails_stored;
+    assert_eq!(stored, expected, "lost mail under load");
+    let metrics = server.metrics_report();
+    pop.shutdown();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    (
+        Row {
+            workers,
+            global_lock,
+            clients: args.clients,
+            mails: args.mails,
+            body_bytes: args.body_bytes,
+            seed_mails: args.seed,
+            pop3_scans: scans,
+            elapsed_secs: elapsed,
+            mails_per_sec: (args.clients * args.mails) as f64 / elapsed,
+        },
+        metrics,
+    )
+}
+
+fn wait_for_stored(server: &LiveServer, n: u64) {
+    for _ in 0..4000 {
+        if server.stats().snapshot().mails_stored >= n {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!(
+        "timed out waiting for {n} stored mails (have {})",
+        server.stats().snapshot().mails_stored
+    );
+}
+
+/// POP3 client looping full-mailbox retrievals of the hot mailbox until
+/// stopped; returns the number of completed scans. Each `RETR` re-reads
+/// the whole mailbox under its shard's lock — the interference source.
+fn scan_loop(addr: SocketAddr, stop: &AtomicBool) -> u64 {
+    let stream = TcpStream::connect(addr).expect("pop3 connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut out = stream;
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("banner");
+    for cmd in [format!("USER {HOT_MAILBOX}"), "PASS x".to_owned()] {
+        out.write_all(format!("{cmd}\r\n").as_bytes()).expect("cmd");
+        line.clear();
+        reader.read_line(&mut line).expect("reply");
+        assert!(line.starts_with("+OK"), "{cmd}: {line:?}");
+    }
+    let mut scans = 0;
+    while !stop.load(Ordering::SeqCst) {
+        out.write_all(b"RETR 1\r\n").expect("retr");
+        line.clear();
+        reader.read_line(&mut line).expect("retr reply");
+        assert!(line.starts_with("+OK"), "RETR: {line:?}");
+        loop {
+            line.clear();
+            reader.read_line(&mut line).expect("retr body");
+            if line.trim_end() == "." {
+                break;
+            }
+        }
+        scans += 1;
+        // Client think time between retrievals; without it an unfair
+        // mutex lets the scanner monopolize the global lock entirely.
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    let _ = out.write_all(b"QUIT\r\n");
+    scans
+}
+
+/// One SMTP client: long-lived connections, transactions pipelined in
+/// batches, every mail addressed to `mailbox`.
+fn drive_client(addr: SocketAddr, mailbox: &str, mails: usize, body_bytes: usize) {
+    let body_line = "x".repeat(72);
+    let body_lines = body_bytes / (body_line.len() + 2);
+    let mut sent = 0;
+    while sent < mails {
+        let in_this_conn = (mails - sent).min(PER_CONNECTION);
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut out = stream;
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("greeting");
+        out.write_all(b"HELO bench.example\r\n").expect("helo");
+        line.clear();
+        reader.read_line(&mut line).expect("helo reply");
+
+        let mut done = 0;
+        while done < in_this_conn {
+            let batch = (in_this_conn - done).min(BATCH);
+            let mut burst = String::new();
+            for _ in 0..batch {
+                burst.push_str("MAIL FROM:<load@remote.example>\r\n");
+                burst.push_str(&format!("RCPT TO:<{mailbox}@dept.example>\r\n"));
+                burst.push_str("DATA\r\n");
+                for _ in 0..body_lines {
+                    burst.push_str(&body_line);
+                    burst.push_str("\r\n");
+                }
+                burst.push_str(".\r\n");
+            }
+            out.write_all(burst.as_bytes()).expect("burst");
+            // 4 replies per transaction: MAIL, RCPT, 354, queued.
+            for _ in 0..batch * 4 {
+                line.clear();
+                reader.read_line(&mut line).expect("reply");
+                assert!(
+                    line.starts_with('2') || line.starts_with("354"),
+                    "unexpected reply: {line:?}"
+                );
+            }
+            done += batch;
+        }
+        out.write_all(b"QUIT\r\n").expect("quit");
+        line.clear();
+        let _ = reader.read_line(&mut line);
+        sent += in_this_conn;
+    }
+}

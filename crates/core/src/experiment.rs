@@ -304,9 +304,8 @@ pub fn fig14(scale: Scale, rates: &[f64]) -> Vec<Fig14Point> {
     rates
         .iter()
         .map(|&rate| {
-            let mut reports = [CacheScheme::PerIp, CacheScheme::PerPrefix]
-                .into_iter()
-                .map(|scheme| {
+            let [ip_caching, prefix_caching] =
+                [CacheScheme::PerIp, CacheScheme::PerPrefix].map(|scheme| {
                     let cfg = ServerConfig {
                         process_limit: 1000,
                         dns: Some(DnsConfig {
@@ -322,10 +321,7 @@ pub fn fig14(scale: Scale, rates: &[f64]) -> Vec<Fig14Point> {
                         ClientModel::Open { rate_per_sec: rate },
                         scale.horizon(),
                     )
-                })
-                .collect::<Vec<_>>();
-            let prefix_caching = reports.pop().expect("two runs");
-            let ip_caching = reports.pop().expect("two runs");
+                });
             Fig14Point {
                 offered_rate: rate,
                 ip_caching,
@@ -421,7 +417,9 @@ impl CombinedResult {
     /// Relative reduction in DNSBL queries issued, normalized per lookup
     /// (the runs may complete different connection counts).
     pub fn dns_query_reduction(&self) -> f64 {
+        // lint:allow(panic): combined() always runs with dns configured
         let v = self.vanilla.dns.as_ref().expect("dns enabled");
+        // lint:allow(panic): combined() always runs with dns configured
         let s = self.spamaware.dns.as_ref().expect("dns enabled");
         1.0 - s.query_fraction() / v.query_fraction()
     }

@@ -33,6 +33,7 @@ pub mod experiment;
 mod linebuf;
 mod live;
 mod mix;
+mod pool;
 mod pop3;
 
 pub use linebuf::{LineBuffer, LineOverflow, MAX_LINE};
@@ -43,7 +44,7 @@ pub use pop3::{Pop3Server, Pop3Stats};
 // Re-export the workspace's main types so downstream users can depend on
 // this crate alone.
 pub use spamaware_dnsbl::{BlacklistDb, CacheScheme, CachingResolver, DnsblServer, LatencyModel};
-pub use spamaware_mfs::{Layout, MailId, MailStore, MfsStore, RealDir};
+pub use spamaware_mfs::{Layout, MailId, MailStore, MfsStore, RealDir, ShardedStore, SyncBackend};
 pub use spamaware_server::{
     run, Architecture, ClientModel, CostModel, DnsConfig, RunReport, ServerConfig, TrustPoint,
 };

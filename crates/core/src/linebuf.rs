@@ -46,6 +46,14 @@ impl LineBuffer {
         LineBuffer { buf: Vec::new() }
     }
 
+    /// Creates a buffer over an existing allocation, keeping its content —
+    /// how a worker adopts both the leftover bytes a delegating master
+    /// buffered and their allocation, and how a pooled buffer (cleared by
+    /// the pool) is recycled into a fresh connection's line buffer.
+    pub fn from_remaining(buf: Vec<u8>) -> LineBuffer {
+        LineBuffer { buf }
+    }
+
     /// Appends raw bytes read from the socket.
     pub fn push(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);

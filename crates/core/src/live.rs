@@ -14,9 +14,19 @@
 //!   already-buffered bytes — to one of a pool of **worker threads** over
 //!   bounded queues (the 64 KiB-UNIX-socket analogue), round-robin with
 //!   non-blocking sends so full queues throttle the master naturally;
-//! * workers finish the transaction (`DATA` onward) and store mail in an
-//!   [`MfsStore`] over [`RealDir`] — multi-recipient spam hits the disk
-//!   once.
+//! * workers finish the transaction (`DATA` onward) and store mail in a
+//!   [`ShardedStore`] over [`RealDir`] — multi-recipient spam hits the
+//!   disk once, and deliveries to different mailboxes proceed in parallel
+//!   because the store stripes per-mailbox locks instead of serializing
+//!   everything behind one mutex.
+//!
+//! # Hot-path allocation discipline
+//!
+//! Steady-state traffic reuses memory instead of allocating: line buffers
+//! and DATA bodies come from bounded [`BufferPool`]s (`live.pool_reuse` /
+//! `live.pool_miss` counters), the announced hostname is one shared
+//! `Arc<str>` rather than a per-connection clone, and the replies to a
+//! pipelined command burst are coalesced into a single socket write.
 //!
 //! # Observability
 //!
@@ -31,12 +41,12 @@
 //! command line.
 
 use crate::linebuf::{LineBuffer, LineOverflow};
+use crate::pool::BufferPool;
 use crate::ServeError;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use parking_lot::Mutex;
 use spamaware_dnsbl::{CacheScheme, CachingResolver, DnsblServer};
 use spamaware_metrics::{Counter, Gauge, Registry, SpanHandle};
-use spamaware_mfs::{DataRef, MailId, MailStore, MfsStore, RealDir};
+use spamaware_mfs::{DataRef, MailId, RealDir, ShardedStore};
 use spamaware_netaddr::Ipv4;
 use spamaware_sim::Nanos;
 use spamaware_smtp::{
@@ -56,14 +66,19 @@ use std::time::Duration;
 pub struct LiveConfig {
     /// Address to bind (use port 0 for an ephemeral port in tests).
     pub bind: SocketAddr,
-    /// Hostname announced in the greeting.
-    pub hostname: String,
+    /// Hostname announced in the greeting — shared by reference across
+    /// every connection, so keep it an `Arc<str>`.
+    pub hostname: Arc<str>,
     /// Worker threads (the smtpd pool).
     pub workers: usize,
     /// Delegated connections a worker's queue holds (paper: ≈28).
     pub worker_queue: usize,
     /// Root directory for the MFS mail store.
     pub storage_root: PathBuf,
+    /// Mailbox-lock stripes in the sharded store. More shards means less
+    /// false contention between unrelated mailboxes; the default of 8
+    /// comfortably covers the 4-worker default pool (see DESIGN.md §11).
+    pub store_shards: usize,
     /// Valid mailbox local parts.
     pub mailboxes: Vec<String>,
     /// Optional DNSBL checked (with prefix caching) per connection; the
@@ -84,11 +99,12 @@ impl LiveConfig {
     /// A localhost config rooted at `storage_root` hosting `mailboxes`.
     pub fn localhost(storage_root: impl Into<PathBuf>, mailboxes: Vec<String>) -> LiveConfig {
         LiveConfig {
-            bind: "127.0.0.1:0".parse().expect("static addr"),
-            hostname: "mx.spamaware.test".to_owned(),
+            bind: SocketAddr::from(([127, 0, 0, 1], 0)),
+            hostname: "mx.spamaware.test".into(),
             workers: 4,
             worker_queue: 28,
             storage_root: storage_root.into(),
+            store_shards: 8,
             mailboxes,
             dnsbl: None,
             dnsbl_udp: None,
@@ -255,7 +271,7 @@ pub struct LiveServer {
     workers: Vec<JoinHandle<()>>,
     stats: Arc<LiveStats>,
     registry: Arc<Registry>,
-    store: Arc<Mutex<MfsStore<RealDir>>>,
+    store: Arc<ShardedStore<RealDir>>,
 }
 
 struct Delegated {
@@ -276,9 +292,9 @@ impl LiveServer {
     /// Returns [`ServeError`] if a socket cannot be bound or the storage
     /// root cannot be created.
     pub fn start(cfg: LiveConfig) -> Result<LiveServer, ServeError> {
-        if cfg.workers == 0 || cfg.worker_queue == 0 {
+        if cfg.workers == 0 || cfg.worker_queue == 0 || cfg.store_shards == 0 {
             return Err(ServeError::Config(
-                "need at least one worker and queue slot".to_owned(),
+                "need at least one worker, queue slot, and store shard".to_owned(),
             ));
         }
         let listener = TcpListener::bind(cfg.bind).map_err(|e| ServeError::Io(e.to_string()))?;
@@ -289,17 +305,19 @@ impl LiveServer {
             .local_addr()
             .map_err(|e| ServeError::Io(e.to_string()))?;
         let registry = Arc::new(Registry::with_wall_clock());
-        let store = Arc::new(Mutex::new(
-            MfsStore::open(
-                RealDir::new(&cfg.storage_root).map_err(|e| ServeError::Io(e.to_string()))?,
-            )
-            .map_err(|e| ServeError::Io(e.to_string()))?
-            .with_metrics(&registry, "mfs"),
-        ));
+        let store = Arc::new(
+            ShardedStore::open_with(cfg.store_shards, || RealDir::new(&cfg.storage_root))
+                .map_err(|e| ServeError::Io(e.to_string()))?
+                .with_metrics(&registry, "mfs"),
+        );
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(LiveStats::register(&registry));
         let next_id = Arc::new(AtomicU64::new(1));
         let mailboxes: Arc<HashSet<String>> = Arc::new(cfg.mailboxes.iter().cloned().collect());
+        // Line buffers cycle between the master's pre-trust loop and the
+        // workers; body buffers cycle per DATA transaction.
+        let line_pool = Arc::new(BufferPool::new(&registry, 64, 4096));
+        let body_pool = Arc::new(BufferPool::new(&registry, 32, 16 * 1024));
 
         let mut worker_handles = Vec::new();
         let mut senders: Vec<Sender<Delegated>> = Vec::new();
@@ -311,12 +329,17 @@ impl LiveServer {
             let next_id = Arc::clone(&next_id);
             let mailboxes = Arc::clone(&mailboxes);
             let registry = Arc::clone(&registry);
-            worker_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("smtpd-{w}"))
-                    .spawn(move || worker_loop(rx, store, stats, next_id, mailboxes, registry))
-                    .expect("spawn worker"),
-            );
+            let line_pool = Arc::clone(&line_pool);
+            let body_pool = Arc::clone(&body_pool);
+            let handle = std::thread::Builder::new()
+                .name(format!("smtpd-{w}"))
+                .spawn(move || {
+                    worker_loop(
+                        rx, store, stats, next_id, mailboxes, registry, line_pool, body_pool,
+                    )
+                })
+                .map_err(|e| ServeError::Io(format!("spawn worker: {e}")))?;
+            worker_handles.push(handle);
         }
 
         let acceptor = {
@@ -324,7 +347,8 @@ impl LiveServer {
             let stats = Arc::clone(&stats);
             let mailboxes = Arc::clone(&mailboxes);
             let registry = Arc::clone(&registry);
-            let hostname = cfg.hostname.clone();
+            let line_pool = Arc::clone(&line_pool);
+            let hostname = Arc::clone(&cfg.hostname);
             let dnsbl = cfg.dnsbl;
             let dnsbl_udp = cfg.dnsbl_udp;
             let idle = cfg.pretrust_idle_timeout;
@@ -333,27 +357,41 @@ impl LiveServer {
                 .spawn(move || {
                     master_loop(
                         listener, senders, stop, stats, mailboxes, hostname, dnsbl, dnsbl_udp,
-                        idle, registry,
+                        idle, registry, line_pool,
                     )
                 })
-                .expect("spawn master")
+                .map_err(|e| ServeError::Io(format!("spawn master: {e}")))?
         };
 
-        let admin_listener =
-            TcpListener::bind("127.0.0.1:0").map_err(|e| ServeError::Io(e.to_string()))?;
-        admin_listener
-            .set_nonblocking(true)
-            .map_err(|e| ServeError::Io(e.to_string()))?;
-        let admin_addr = admin_listener
-            .local_addr()
-            .map_err(|e| ServeError::Io(e.to_string()))?;
-        let admin = {
+        let admin_result: Result<(TcpListener, SocketAddr), ServeError> = (|| {
+            let listener =
+                TcpListener::bind("127.0.0.1:0").map_err(|e| ServeError::Io(e.to_string()))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| ServeError::Io(e.to_string()))?;
+            let addr = listener
+                .local_addr()
+                .map_err(|e| ServeError::Io(e.to_string()))?;
+            Ok((listener, addr))
+        })();
+        let admin_spawn = admin_result.and_then(|(admin_listener, admin_addr)| {
             let stop = Arc::clone(&stop);
             let registry = Arc::clone(&registry);
             std::thread::Builder::new()
                 .name("admin".to_owned())
                 .spawn(move || admin_loop(admin_listener, registry, stop))
-                .expect("spawn admin")
+                .map(|h| (h, admin_addr))
+                .map_err(|e| ServeError::Io(format!("spawn admin: {e}")))
+        });
+        let (admin, admin_addr) = match admin_spawn {
+            Ok(pair) => pair,
+            Err(e) => {
+                // The acceptor is already live: stop it before bailing so
+                // a failed start leaves no thread behind.
+                stop.store(true, Ordering::SeqCst);
+                let _ = acceptor.join();
+                return Err(e);
+            }
         };
 
         Ok(LiveServer {
@@ -394,8 +432,9 @@ impl LiveServer {
         self.registry.render()
     }
 
-    /// Shared handle to the mail store (for inspection).
-    pub fn store(&self) -> Arc<Mutex<MfsStore<RealDir>>> {
+    /// Shared handle to the mail store (for inspection or a co-located
+    /// POP3 server; all access methods take `&self`).
+    pub fn store(&self) -> Arc<ShardedStore<RealDir>> {
         Arc::clone(&self.store)
     }
 
@@ -462,11 +501,12 @@ fn master_loop(
     stop: Arc<AtomicBool>,
     stats: Arc<LiveStats>,
     mailboxes: Arc<HashSet<String>>,
-    hostname: String,
+    hostname: Arc<str>,
     dnsbl: Option<DnsblServer>,
     dnsbl_udp: Option<(SocketAddr, String)>,
     pretrust_idle_timeout: Duration,
     registry: Arc<Registry>,
+    line_pool: Arc<BufferPool>,
 ) {
     let mm = MasterMetrics {
         pretrust_ns: registry.span("master.pretrust_ns"),
@@ -484,6 +524,8 @@ fn master_loop(
     > = std::collections::HashMap::new();
     let mut rng = spamaware_sim::det_rng(0x11FE);
     let exists = |a: &MailAddr| mailboxes.contains(a.local_part());
+    // Reply bytes for one pumped burst, written to the socket in one call.
+    let mut out: Vec<u8> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
         let mut progress = false;
         // Accept everything pending.
@@ -528,8 +570,12 @@ fn master_loop(
                         }
                     }
                     let _ = stream.set_nonblocking(true);
+                    // Replies are coalesced into one write per pipelined
+                    // burst, so Nagle only adds delayed-ACK stalls between
+                    // our small writes and the client's next burst.
+                    let _ = stream.set_nodelay(true);
                     let session = ServerSession::new(SessionConfig {
-                        hostname: hostname.clone(),
+                        hostname: Arc::clone(&hostname),
                         ..SessionConfig::default()
                     });
                     let mut stream = stream;
@@ -537,7 +583,7 @@ fn master_loop(
                     conns.push(PreTrust {
                         stream,
                         session,
-                        lines: LineBuffer::new(),
+                        lines: LineBuffer::from_remaining(line_pool.take_vec()),
                         peer: peer_ip,
                         last_activity: std::time::Instant::now(),
                         accepted_ns: mm.pretrust_ns.now(),
@@ -550,14 +596,14 @@ fn master_loop(
         // Event loop over pre-trust connections.
         let mut i = 0;
         while i < conns.len() {
-            match pump_pretrust(&mut conns[i], &exists, &mm.verbs) {
+            match pump_pretrust(&mut conns[i], &exists, &mm.verbs, &mut out) {
                 PumpResult::Idle => {
                     if conns[i].last_activity.elapsed() > pretrust_idle_timeout {
                         // Idle slow client: drop it without touching a
                         // worker (counts as an unfinished transaction).
                         let c = conns.swap_remove(i);
                         mm.pretrust_ns.record_since(c.accepted_ns);
-                        drop(c);
+                        line_pool.put(c.lines.into_remaining());
                         stats.idle_evictions.inc();
                         stats.unfinished.inc();
                         progress = true;
@@ -574,6 +620,7 @@ fn master_loop(
                     progress = true;
                     let c = conns.swap_remove(i);
                     mm.pretrust_ns.record_since(c.accepted_ns);
+                    line_pool.put(c.lines.into_remaining());
                     stats.overflows.inc();
                     stats.unfinished.inc();
                 }
@@ -581,6 +628,7 @@ fn master_loop(
                     progress = true;
                     let c = conns.swap_remove(i);
                     mm.pretrust_ns.record_since(c.accepted_ns);
+                    line_pool.put(c.lines.into_remaining());
                     match c.session.outcome() {
                         SessionOutcome::Bounce => {
                             stats.bounces.inc();
@@ -606,12 +654,13 @@ fn master_loop(
                     let mut task = Some(task);
                     for probe in 0..senders.len() {
                         let w = (rr + probe) % senders.len();
-                        match senders[w].try_send(task.take().expect("task present")) {
+                        // Empty only once a try_send succeeded.
+                        let Some(t) = task.take() else { break };
+                        match senders[w].try_send(t) {
                             Ok(()) => {
                                 rr = (w + 1) % senders.len();
                                 stats.delegated.inc();
                                 mm.queue_depth.inc();
-                                break;
                             }
                             Err(TrySendError::Full(t)) | Err(TrySendError::Disconnected(t)) => {
                                 task = Some(t);
@@ -645,13 +694,25 @@ enum PumpResult {
     Trusted,
 }
 
+/// Writes accumulated reply bytes as one socket write (the coalesced
+/// answer to a pipelined burst); no-op for an empty buffer.
+fn flush_replies(stream: &mut TcpStream, out: &[u8]) -> std::io::Result<()> {
+    if out.is_empty() {
+        Ok(())
+    } else {
+        stream.write_all(out)
+    }
+}
+
 fn pump_pretrust(
     conn: &mut PreTrust,
     exists: &dyn Fn(&MailAddr) -> bool,
     verbs: &VerbCounters,
+    out: &mut Vec<u8>,
 ) -> PumpResult {
     let mut tmp = [0u8; 1024];
     let mut result = PumpResult::Idle;
+    out.clear();
     match conn.stream.read(&mut tmp) {
         Ok(0) => return PumpResult::Close,
         Ok(n) => {
@@ -675,39 +736,56 @@ fn pump_pretrust(
                         spamaware_smtp::Reply::bad_argument()
                     }
                 };
-                let closing = conn.session.phase() == spamaware_smtp::SessionPhase::Closed;
-                if write_reply(&mut conn.stream, &reply).is_err() || closing {
+                // Replies accumulate; the whole burst is flushed at once
+                // when the connection changes state or input runs dry.
+                reply.write_wire(out);
+                if conn.session.phase() == spamaware_smtp::SessionPhase::Closed {
+                    let _ = flush_replies(&mut conn.stream, out);
                     return PumpResult::Close;
                 }
                 if conn.session.has_valid_recipient() {
+                    if flush_replies(&mut conn.stream, out).is_err() {
+                        return PumpResult::Close;
+                    }
                     return PumpResult::Trusted;
                 }
                 result = PumpResult::Progress;
             }
             Ok(None) => break,
             Err(LineOverflow) => {
-                let _ = write_reply(&mut conn.stream, &spamaware_smtp::Reply::syntax_error());
+                spamaware_smtp::Reply::syntax_error().write_wire(out);
+                let _ = flush_replies(&mut conn.stream, out);
                 return PumpResult::Overflow;
             }
         }
     }
+    if flush_replies(&mut conn.stream, out).is_err() {
+        return PumpResult::Close;
+    }
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     rx: Receiver<Delegated>,
-    store: Arc<Mutex<MfsStore<RealDir>>>,
+    store: Arc<ShardedStore<RealDir>>,
     stats: Arc<LiveStats>,
     next_id: Arc<AtomicU64>,
     mailboxes: Arc<HashSet<String>>,
     registry: Arc<Registry>,
+    line_pool: Arc<BufferPool>,
+    body_pool: Arc<BufferPool>,
 ) {
     let queue_wait_ns = registry.span("worker.queue_wait_ns");
     let data_ns = registry.span("worker.data_ns");
     let storage_ns = registry.span("worker.storage_ns");
     let queue_depth = registry.gauge("worker.queue_depth");
+    let internal_errors = registry.counter("live.internal_error");
     let verbs = VerbCounters::register(&registry);
     let exists = |a: &MailAddr| mailboxes.contains(a.local_part());
+    // Worker-lifetime reply buffer: one coalesced write per drained burst.
+    // Pooled with a return-on-drop guard so it recycles on worker exit.
+    let mut out = line_pool.take();
     while let Ok(task) = rx.recv() {
         queue_depth.dec();
         queue_wait_ns.record_since(task.enqueued_ns);
@@ -717,13 +795,15 @@ fn worker_loop(
         let mut stream = task.stream;
         let _ = stream.set_nonblocking(false);
         let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-        let mut lines = LineBuffer::new();
-        lines.push(&task.leftover);
+        // Adopt the master's leftover bytes *and* their allocation; it
+        // returns to the line pool when the connection ends.
+        let mut lines = LineBuffer::from_remaining(task.leftover);
         let mut tmp = [0u8; 4096];
         let mut in_data = false;
         let mut data_start: Option<u64> = None;
         'conn: loop {
             // Drain complete lines first, then read more.
+            out.clear();
             loop {
                 match lines.pop_line() {
                     Ok(Some(line)) => {
@@ -735,27 +815,45 @@ fn worker_loop(
                                 }
                                 let id = MailId(next_id.fetch_add(1, Ordering::Relaxed));
                                 let reply = session.finish_data(&id.to_string());
-                                let env = session.delivered().last().expect("envelope").clone();
-                                let names: Vec<String> = env
-                                    .recipients
-                                    .iter()
-                                    .map(|a| a.local_part().to_owned())
-                                    .collect();
-                                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-                                let stored = {
-                                    let _span = storage_ns.start();
-                                    store.lock().deliver(id, &refs, DataRef::Bytes(&env.body))
-                                };
-                                let reply = match stored {
-                                    Ok(()) => {
-                                        stats.mails_stored.inc();
-                                        reply
+                                let reply = if reply.code() == 250 {
+                                    match session.take_last_delivered() {
+                                        Some(env) => {
+                                            let refs: Vec<&str> = env
+                                                .recipients
+                                                .iter()
+                                                .map(|a| a.local_part())
+                                                .collect();
+                                            let stored = {
+                                                let _span = storage_ns.start();
+                                                store.deliver(id, &refs, DataRef::Bytes(&env.body))
+                                            };
+                                            let reply = match stored {
+                                                Ok(()) => {
+                                                    stats.mails_stored.inc();
+                                                    reply
+                                                }
+                                                Err(_) => spamaware_smtp::Reply::local_error(),
+                                            };
+                                            // The body's allocation goes back
+                                            // to the pool for the next DATA.
+                                            body_pool.put(env.body);
+                                            reply
+                                        }
+                                        None => {
+                                            // A 250 with no envelope is a
+                                            // state-machine bug: log it as a
+                                            // counter and degrade to 451
+                                            // instead of crashing the worker.
+                                            internal_errors.inc();
+                                            spamaware_smtp::Reply::local_error()
+                                        }
                                     }
-                                    Err(_) => spamaware_smtp::Reply::local_error(),
+                                } else {
+                                    // 552 oversized (or similar): the session
+                                    // already discarded the transaction.
+                                    reply
                                 };
-                                if write_reply(&mut stream, &reply).is_err() {
-                                    break 'conn;
-                                }
+                                reply.write_wire(&mut out);
                             }
                         } else {
                             let text = String::from_utf8_lossy(&line).into_owned();
@@ -772,12 +870,12 @@ fn worker_loop(
                             if reply.code() == 354 {
                                 in_data = true;
                                 data_start = Some(data_ns.now());
+                                // Capture the body into a pooled buffer.
+                                session.provide_body_buffer(body_pool.take_vec());
                             }
-                            let closing = session.phase() == spamaware_smtp::SessionPhase::Closed;
-                            if write_reply(&mut stream, &reply).is_err() {
-                                break 'conn;
-                            }
-                            if closing {
+                            reply.write_wire(&mut out);
+                            if session.phase() == spamaware_smtp::SessionPhase::Closed {
+                                let _ = flush_replies(&mut stream, &out);
                                 break 'conn;
                             }
                         }
@@ -785,10 +883,14 @@ fn worker_loop(
                     Ok(None) => break,
                     Err(LineOverflow) => {
                         stats.overflows.inc();
-                        let _ = write_reply(&mut stream, &spamaware_smtp::Reply::syntax_error());
+                        spamaware_smtp::Reply::syntax_error().write_wire(&mut out);
+                        let _ = flush_replies(&mut stream, &out);
                         break 'conn;
                     }
                 }
+            }
+            if flush_replies(&mut stream, &out).is_err() {
+                break;
             }
             match stream.read(&mut tmp) {
                 Ok(0) => break,
@@ -796,6 +898,7 @@ fn worker_loop(
                 Err(_) => break,
             }
         }
+        line_pool.put(lines.into_remaining());
         if let Some(start) = data_start.take() {
             // Disconnected mid-DATA: close out the span so abandoned
             // transfers still show up in the latency histogram.

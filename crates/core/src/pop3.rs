@@ -4,13 +4,14 @@
 //! server/POP/IMAP servers)" whose accesses are all mail-granular (§6.1).
 //! This module is the retrieval side of that claim: a threaded POP3
 //! (RFC 1939) server whose `STAT`/`LIST`/`RETR`/`DELE` map directly onto
-//! [`MailStore::read_mailbox`] and [`MailStore::delete`], sharing the same
-//! on-disk store as the SMTP side — deleting a shared spam from one
-//! mailbox decrements the refcount, exactly as §6.1 requires.
+//! [`ShardedStore::read_mailbox`] and [`ShardedStore::delete`], sharing
+//! the same on-disk store as the SMTP side — deleting a shared spam from
+//! one mailbox decrements the refcount, exactly as §6.1 requires. Because
+//! the store stripes its locks per mailbox, a POP3 client draining one
+//! mailbox never stalls SMTP deliveries headed elsewhere.
 
 use crate::ServeError;
-use parking_lot::Mutex;
-use spamaware_mfs::{MailId, MailStore, MfsStore, RealDir};
+use spamaware_mfs::{MailId, RealDir, ShardedStore};
 use std::collections::HashSet;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -50,7 +51,7 @@ impl Pop3Server {
     /// Returns [`ServeError`] if the socket cannot be bound.
     pub fn start(
         bind: SocketAddr,
-        store: Arc<Mutex<MfsStore<RealDir>>>,
+        store: Arc<ShardedStore<RealDir>>,
         mailboxes: Vec<String>,
     ) -> Result<Pop3Server, ServeError> {
         let listener = TcpListener::bind(bind).map_err(|e| ServeError::Io(e.to_string()))?;
@@ -69,7 +70,7 @@ impl Pop3Server {
             std::thread::Builder::new()
                 .name("pop3".to_owned())
                 .spawn(move || accept_loop(listener, store, mailboxes, stop, stats))
-                .expect("spawn pop3 acceptor")
+                .map_err(|e| ServeError::Io(format!("spawn pop3 acceptor: {e}")))?
         };
         Ok(Pop3Server {
             addr,
@@ -110,7 +111,7 @@ impl Drop for Pop3Server {
 
 fn accept_loop(
     listener: TcpListener,
-    store: Arc<Mutex<MfsStore<RealDir>>>,
+    store: Arc<ShardedStore<RealDir>>,
     mailboxes: Arc<HashSet<String>>,
     stop: Arc<AtomicBool>,
     stats: Arc<Pop3Stats>,
@@ -123,14 +124,17 @@ fn accept_loop(
                 let store = Arc::clone(&store);
                 let mailboxes = Arc::clone(&mailboxes);
                 let stats = Arc::clone(&stats);
-                sessions.push(
-                    std::thread::Builder::new()
-                        .name("pop3-session".to_owned())
-                        .spawn(move || {
-                            let _ = session(stream, &store, &mailboxes, &stats);
-                        })
-                        .expect("spawn pop3 session"),
-                );
+                let handle = std::thread::Builder::new()
+                    .name("pop3-session".to_owned())
+                    .spawn(move || {
+                        let _ = session(stream, &store, &mailboxes, &stats);
+                    });
+                match handle {
+                    Ok(h) => sessions.push(h),
+                    // Out of threads: drop the connection; the client
+                    // retries against a less loaded server.
+                    Err(_) => continue,
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -146,7 +150,9 @@ fn accept_loop(
 
 struct SessionState {
     user: Option<String>,
-    authed: bool,
+    /// The authenticated mailbox, set once PASS succeeds (doubles as the
+    /// "is authed" flag so the mailbox name never needs re-unwrapping).
+    authed: Option<String>,
     /// Mail ids visible this session, with per-mail sizes.
     listing: Vec<(MailId, usize)>,
     /// Indices (0-based) marked for deletion.
@@ -155,17 +161,20 @@ struct SessionState {
 
 fn session(
     stream: TcpStream,
-    store: &Mutex<MfsStore<RealDir>>,
+    store: &ShardedStore<RealDir>,
     mailboxes: &HashSet<String>,
     stats: &Pop3Stats,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    // Replies are coalesced into single writes; Nagle would only delay
+    // them behind the client's delayed ACKs.
+    let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = stream;
     writeln!(out, "+OK spamaware POP3 ready\r")?;
     let mut st = SessionState {
         user: None,
-        authed: false,
+        authed: None,
         listing: Vec::new(),
         marked: HashSet::new(),
     };
@@ -191,72 +200,72 @@ fn session(
             }
             "PASS" => match &st.user {
                 Some(user) => {
-                    st.authed = true;
-                    let mails = store.lock().read_mailbox(user).unwrap_or_default();
+                    let mails = store.read_mailbox(user).unwrap_or_default();
                     st.listing = mails.iter().map(|m| (m.id, m.body.len())).collect();
+                    st.authed = Some(user.clone());
                     writeln!(out, "+OK {} messages\r", st.listing.len())?;
                 }
                 None => writeln!(out, "-ERR USER first\r")?,
             },
-            "STAT" if st.authed => {
+            "STAT" if st.authed.is_some() => {
                 let (n, bytes) =
                     live(&st).fold((0usize, 0usize), |(n, b), (_, (_, sz))| (n + 1, b + sz));
                 writeln!(out, "+OK {n} {bytes}\r")?;
             }
-            "LIST" if st.authed => {
+            "LIST" if st.authed.is_some() => {
                 writeln!(out, "+OK scan listing follows\r")?;
                 for (idx, (_, size)) in live(&st) {
                     writeln!(out, "{} {}\r", idx + 1, size)?;
                 }
                 writeln!(out, ".\r")?;
             }
-            "RETR" if st.authed => match parse_index(arg, &st) {
-                Some(idx) => {
-                    let user = st.user.clone().expect("authed");
+            "RETR" if st.authed.is_some() => match (st.authed.as_deref(), parse_index(arg, &st)) {
+                (Some(user), Some(idx)) => {
                     let body = store
-                        .lock()
-                        .read_mailbox(&user)
+                        .read_mailbox(user)
                         .ok()
                         .and_then(|mails| mails.into_iter().find(|m| m.id == st.listing[idx].0))
                         .map(|m| m.body);
                     match body {
                         Some(body) => {
                             stats.retrieved.fetch_add(1, Ordering::Relaxed);
-                            writeln!(out, "+OK {} octets\r", body.len())?;
+                            // Coalesce the whole reply into one write: a
+                            // per-line write pattern stalls on Nagle and
+                            // turns retrieval latency into dead air.
+                            let mut wire = format!("+OK {} octets\r\n", body.len()).into_bytes();
                             // Byte-stuff lines starting with '.'.
                             for l in body.split(|&b| b == b'\n') {
                                 let l = l.strip_suffix(b"\r").unwrap_or(l);
                                 if l.first() == Some(&b'.') {
-                                    out.write_all(b".")?;
+                                    wire.push(b'.');
                                 }
-                                out.write_all(l)?;
-                                out.write_all(b"\r\n")?;
+                                wire.extend_from_slice(l);
+                                wire.extend_from_slice(b"\r\n");
                             }
-                            writeln!(out, ".\r")?;
+                            wire.extend_from_slice(b".\r\n");
+                            out.write_all(&wire)?;
                         }
                         None => writeln!(out, "-ERR no such message\r")?,
                     }
                 }
-                None => writeln!(out, "-ERR no such message\r")?,
+                _ => writeln!(out, "-ERR no such message\r")?,
             },
-            "DELE" if st.authed => match parse_index(arg, &st) {
+            "DELE" if st.authed.is_some() => match parse_index(arg, &st) {
                 Some(idx) => {
                     st.marked.insert(idx);
                     writeln!(out, "+OK marked\r")?;
                 }
                 None => writeln!(out, "-ERR no such message\r")?,
             },
-            "RSET" if st.authed => {
+            "RSET" if st.authed.is_some() => {
                 st.marked.clear();
                 writeln!(out, "+OK\r")?;
             }
             "NOOP" => writeln!(out, "+OK\r")?,
             "QUIT" => {
-                if st.authed {
-                    let user = st.user.clone().expect("authed");
-                    let mut store = store.lock();
+                if let Some(user) = &st.authed {
                     for &idx in &st.marked {
-                        if store.delete(&user, st.listing[idx].0).is_ok() {
+                        if store.delete(user, st.listing[idx].0).is_ok() {
                             stats.deleted.fetch_add(1, Ordering::Relaxed);
                         }
                     }

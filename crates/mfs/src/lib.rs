@@ -53,6 +53,7 @@ mod memfs;
 mod mfs_store;
 mod profile;
 mod realdir;
+mod sharded;
 mod store;
 
 pub use backend::{Backend, DataRef};
@@ -66,6 +67,7 @@ pub use memfs::MemFs;
 pub use mfs_store::{MfsStats, MfsStore};
 pub use profile::{DiskProfile, Metered, OpCounts};
 pub use realdir::RealDir;
+pub use sharded::{ShardedStore, SyncBackend};
 pub use store::{MailStore, StoredMail};
 
 /// The storage layouts compared in Figs. 10/11, as a value for sweeping.

@@ -126,6 +126,11 @@ pub struct MfsStore<B> {
     freed_shared_bytes: u64,
     share_threshold: usize,
     metrics: Option<StoreMetrics>,
+    /// True when this store is one partition of a [`crate::ShardedStore`]:
+    /// mailbox shards hold shared *references* without the shared index
+    /// (and vice versa), so the cross-file accounting check must not run —
+    /// the sharding layer's equivalence tests cover it instead.
+    detached: bool,
 }
 
 impl<B: Backend> MfsStore<B> {
@@ -141,7 +146,14 @@ impl<B: Backend> MfsStore<B> {
             freed_shared_bytes: 0,
             share_threshold: 2,
             metrics: None,
+            detached: false,
         }
+    }
+
+    /// Marks this store as one partition of a sharded store (see
+    /// [`MfsStore::detached`] field docs).
+    pub(crate) fn set_detached(&mut self) {
+        self.detached = true;
     }
 
     /// Reports storage latency and byte/refcount accounting into
@@ -234,7 +246,7 @@ impl<B: Backend> MfsStore<B> {
         Ok(())
     }
 
-    fn check_mailbox_name(mailbox: &str) -> StoreResult<()> {
+    pub(crate) fn check_mailbox_name(mailbox: &str) -> StoreResult<()> {
         if mailbox == SHARED || mailbox.is_empty() || mailbox.contains('/') {
             return Err(StoreError::Io(format!("illegal mailbox name: {mailbox:?}")));
         }
@@ -243,12 +255,24 @@ impl<B: Backend> MfsStore<B> {
 
     /// Replays all key files into the in-memory index.
     fn replay(&mut self) -> StoreResult<()> {
+        self.replay_partition(true, &|_| true)
+    }
+
+    /// Replays a partition of the key files: the shared key file when
+    /// `include_shared`, and exactly the mailbox key files whose name
+    /// passes `keep`. A [`crate::ShardedStore`] opens one detached store
+    /// per partition so shards never hold each other's index.
+    pub(crate) fn replay_partition(
+        &mut self,
+        include_shared: bool,
+        keep: &dyn Fn(&str) -> bool,
+    ) -> StoreResult<()> {
         self.shared.clear();
         self.mailboxes.clear();
         self.freed_shared_bytes = 0;
         // Shared key file first, so mailbox shared-refs can validate.
         let sh_key = Self::key_path(SHARED);
-        if self.backend.exists(&sh_key) {
+        if include_shared && self.backend.exists(&sh_key) {
             for rec in self.read_key_records(&sh_key)? {
                 match self.shared.get_mut(&rec.id) {
                     Some(e) => {
@@ -280,7 +304,7 @@ impl<B: Backend> MfsStore<B> {
             else {
                 continue;
             };
-            if stem == SHARED {
+            if stem == SHARED || !keep(stem) {
                 continue;
             }
             let mailbox = stem.to_owned();
@@ -338,106 +362,238 @@ impl<B: Backend> MfsStore<B> {
                 // paper's default): each mailbox gets its own copy in its
                 // own data file.
                 for mb in mbs {
-                    let offset = self.backend.append(&Self::data_path(mb), body)?;
-                    if let Some(m) = &self.metrics {
-                        m.private_bytes.add(body.len());
-                    }
-                    let rec = KeyRecord {
-                        id,
-                        offset,
-                        len: body.len(),
-                        delta: 1,
-                    };
-                    self.append_key(mb, rec)?;
-                    self.mailboxes
-                        .entry((*mb).to_owned())
-                        .or_default()
-                        .push(MailboxEntry {
-                            id,
-                            offset,
-                            len: body.len(),
-                            shared: false,
-                        });
+                    self.write_own(mb, id, body)?;
                 }
                 Ok(())
             }
             _ => {
-                let n = mailboxes.len() as i64;
-                let (offset, len) = match self.shared.get_mut(&id) {
-                    Some(e) => {
-                        // "The file system skips the steps of writing data
-                        // ... if it finds that mail-id already exists"
-                        // (§6.2) — but content of a different size under an
-                        // existing id is the §6.4 attack.
-                        if e.len != body.len() {
-                            return Err(StoreError::MailIdCollision(id.to_string()));
-                        }
-                        e.refs += n;
-                        let (o, l) = (e.offset, e.len);
-                        self.append_key(
-                            SHARED,
-                            KeyRecord {
-                                id,
-                                offset: o,
-                                len: l,
-                                delta: n,
-                            },
-                        )?;
-                        if let Some(m) = &self.metrics {
-                            m.refcount_ops.inc();
-                        }
-                        (o, l)
-                    }
-                    None => {
-                        let offset = self.backend.append(&Self::data_path(SHARED), body)?;
-                        self.append_key(
-                            SHARED,
-                            KeyRecord {
-                                id,
-                                offset,
-                                len: body.len(),
-                                delta: n,
-                            },
-                        )?;
-                        if let Some(m) = &self.metrics {
-                            m.shared_bytes.add(body.len());
-                            m.refcount_ops.inc();
-                        }
-                        self.shared.insert(
-                            id,
-                            SharedEntry {
-                                offset,
-                                len: body.len(),
-                                refs: n,
-                            },
-                        );
-                        (offset, body.len())
-                    }
-                };
+                let (offset, len) = self.shared_acquire(id, body, mailboxes.len() as i64)?;
                 for mb in mailboxes {
-                    self.append_key(
-                        mb,
-                        KeyRecord {
-                            id,
-                            offset,
-                            len,
-                            delta: -1,
-                        },
-                    )?;
-                    self.mailboxes
-                        .entry((*mb).to_owned())
-                        .or_default()
-                        .push(MailboxEntry {
-                            id,
-                            offset,
-                            len,
-                            shared: true,
-                        });
+                    self.attach_shared(mb, id, offset, len)?;
                 }
                 self.debug_check_shared_accounting();
                 Ok(())
             }
         }
+    }
+
+    /// Writes one mail as a mailbox-private copy: body appended to the
+    /// mailbox's own data file plus an own-record (`delta = 1`) key tuple.
+    ///
+    /// Sharding primitive — the caller is responsible for the write span
+    /// and mailbox-name validation; everything it touches belongs to one
+    /// mailbox, so a [`crate::ShardedStore`] may call it under that
+    /// mailbox's shard lock alone.
+    pub(crate) fn write_own(
+        &mut self,
+        mailbox: &str,
+        id: MailId,
+        body: DataRef<'_>,
+    ) -> StoreResult<()> {
+        let offset = self.backend.append(&Self::data_path(mailbox), body)?;
+        if let Some(m) = &self.metrics {
+            m.private_bytes.add(body.len());
+        }
+        self.append_key(
+            mailbox,
+            KeyRecord {
+                id,
+                offset,
+                len: body.len(),
+                delta: 1,
+            },
+        )?;
+        self.mailboxes
+            .entry(mailbox.to_owned())
+            .or_default()
+            .push(MailboxEntry {
+                id,
+                offset,
+                len: body.len(),
+                shared: false,
+            });
+        Ok(())
+    }
+
+    /// Acquires `n` references to shared content `id`, writing the body to
+    /// the shared data file only if the id is new, and appending one
+    /// refcount-delta tuple to the shared key log. Returns the body's
+    /// `(offset, len)` in the shared data file.
+    ///
+    /// Sharding primitive — touches only `shmailbox` state, so a
+    /// [`crate::ShardedStore`] calls it under the short-hold shared lock
+    /// and releases that lock before touching any recipient shard.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MailIdCollision`] if `id` already names shared content
+    /// of a different size — the §6.4 random-guessing attack defence.
+    pub(crate) fn shared_acquire(
+        &mut self,
+        id: MailId,
+        body: DataRef<'_>,
+        n: i64,
+    ) -> StoreResult<(u64, u64)> {
+        match self.shared.get_mut(&id) {
+            Some(e) => {
+                // "The file system skips the steps of writing data
+                // ... if it finds that mail-id already exists"
+                // (§6.2) — but content of a different size under an
+                // existing id is the §6.4 attack.
+                if e.len != body.len() {
+                    return Err(StoreError::MailIdCollision(id.to_string()));
+                }
+                e.refs += n;
+                let (o, l) = (e.offset, e.len);
+                self.append_key(
+                    SHARED,
+                    KeyRecord {
+                        id,
+                        offset: o,
+                        len: l,
+                        delta: n,
+                    },
+                )?;
+                if let Some(m) = &self.metrics {
+                    m.refcount_ops.inc();
+                }
+                Ok((o, l))
+            }
+            None => {
+                let offset = self.backend.append(&Self::data_path(SHARED), body)?;
+                self.append_key(
+                    SHARED,
+                    KeyRecord {
+                        id,
+                        offset,
+                        len: body.len(),
+                        delta: n,
+                    },
+                )?;
+                if let Some(m) = &self.metrics {
+                    m.shared_bytes.add(body.len());
+                    m.refcount_ops.inc();
+                }
+                self.shared.insert(
+                    id,
+                    SharedEntry {
+                        offset,
+                        len: body.len(),
+                        refs: n,
+                    },
+                );
+                Ok((offset, body.len()))
+            }
+        }
+    }
+
+    /// Records one shared reference in a mailbox: a `delta = -1` key tuple
+    /// pointing at `(offset, len)` in the shared data file.
+    ///
+    /// Sharding primitive — touches only the named mailbox, so it runs
+    /// under that mailbox's shard lock; the matching refcount must already
+    /// be held via [`MfsStore::shared_acquire`].
+    pub(crate) fn attach_shared(
+        &mut self,
+        mailbox: &str,
+        id: MailId,
+        offset: u64,
+        len: u64,
+    ) -> StoreResult<()> {
+        self.append_key(
+            mailbox,
+            KeyRecord {
+                id,
+                offset,
+                len,
+                delta: -1,
+            },
+        )?;
+        self.mailboxes
+            .entry(mailbox.to_owned())
+            .or_default()
+            .push(MailboxEntry {
+                id,
+                offset,
+                len,
+                shared: true,
+            });
+        Ok(())
+    }
+
+    /// Removes one mail from a mailbox's in-memory index and appends the
+    /// tombstone (`delta = 0`) key tuple. Returns `Some((offset, len))` if
+    /// the removed entry referenced shared content — the caller must then
+    /// release that reference via [`MfsStore::shared_release`].
+    ///
+    /// Sharding primitive — touches only the named mailbox, so it runs
+    /// under that mailbox's shard lock alone.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] when the mailbox or mail id is unknown.
+    pub(crate) fn delete_local(
+        &mut self,
+        mailbox: &str,
+        id: MailId,
+    ) -> StoreResult<Option<(u64, u64)>> {
+        let entries = self
+            .mailboxes
+            .get_mut(mailbox)
+            .ok_or_else(|| StoreError::NotFound(format!("{mailbox}/{id}")))?;
+        let idx = entries
+            .iter()
+            .position(|e| e.id == id)
+            .ok_or_else(|| StoreError::NotFound(format!("{mailbox}/{id}")))?;
+        let entry = entries.remove(idx);
+        self.append_key(
+            mailbox,
+            KeyRecord {
+                id,
+                offset: 0,
+                len: 0,
+                delta: 0,
+            },
+        )?;
+        Ok(entry.shared.then_some((entry.offset, entry.len)))
+    }
+
+    /// Releases one reference to shared content `id`, reclaiming the body
+    /// bytes when the refcount reaches zero.
+    ///
+    /// "A shared record cannot be deleted until it is deleted from all MFS
+    /// files that share it" (§6.1): decrement the refcount; reclaim only
+    /// when it reaches zero.
+    ///
+    /// Sharding primitive — touches only `shmailbox` state, so a
+    /// [`crate::ShardedStore`] calls it under the short-hold shared lock,
+    /// after [`MfsStore::delete_local`] returned the shared coordinates.
+    pub(crate) fn shared_release(&mut self, id: MailId, offset: u64, len: u64) -> StoreResult<()> {
+        self.append_key(
+            SHARED,
+            KeyRecord {
+                id,
+                offset,
+                len,
+                delta: -1,
+            },
+        )?;
+        if let Some(m) = &self.metrics {
+            m.refcount_ops.inc();
+        }
+        if let Some(e) = self.shared.get_mut(&id) {
+            e.refs -= 1;
+            debug_assert!(
+                e.refs >= 0,
+                "shared refcount for {id} went negative: {}",
+                e.refs
+            );
+            if e.refs <= 0 {
+                self.freed_shared_bytes += e.len;
+                self.shared.remove(&id);
+            }
+        }
+        Ok(())
     }
 
     fn live_entries(&self, mailbox: &str) -> &[MailboxEntry] {
@@ -455,7 +611,7 @@ impl<B: Backend> MfsStore<B> {
     /// over-counting can legitimately arise from replaying a torn log and
     /// merely delays reclamation. Compiles to a no-op in release builds.
     fn debug_check_shared_accounting(&self) {
-        if !cfg!(debug_assertions) {
+        if !cfg!(debug_assertions) || self.detached {
             return;
         }
         let mut held: HashMap<MailId, i64> = HashMap::new();
@@ -509,52 +665,8 @@ impl<B: Backend> MailStore for MfsStore<B> {
 
     fn delete(&mut self, mailbox: &str, id: MailId) -> StoreResult<()> {
         let _span = self.metrics.as_ref().map(|m| m.delete_ns.start());
-        let entries = self
-            .mailboxes
-            .get_mut(mailbox)
-            .ok_or_else(|| StoreError::NotFound(format!("{mailbox}/{id}")))?;
-        let idx = entries
-            .iter()
-            .position(|e| e.id == id)
-            .ok_or_else(|| StoreError::NotFound(format!("{mailbox}/{id}")))?;
-        let entry = entries.remove(idx);
-        self.append_key(
-            mailbox,
-            KeyRecord {
-                id,
-                offset: 0,
-                len: 0,
-                delta: 0,
-            },
-        )?;
-        if entry.shared {
-            // "A shared record cannot be deleted until it is deleted from
-            // all MFS files that share it" (§6.1): decrement the refcount;
-            // reclaim only when it reaches zero.
-            self.append_key(
-                SHARED,
-                KeyRecord {
-                    id,
-                    offset: entry.offset,
-                    len: entry.len,
-                    delta: -1,
-                },
-            )?;
-            if let Some(m) = &self.metrics {
-                m.refcount_ops.inc();
-            }
-            if let Some(e) = self.shared.get_mut(&id) {
-                e.refs -= 1;
-                debug_assert!(
-                    e.refs >= 0,
-                    "shared refcount for {id} went negative: {}",
-                    e.refs
-                );
-                if e.refs <= 0 {
-                    self.freed_shared_bytes += e.len;
-                    self.shared.remove(&id);
-                }
-            }
+        if let Some((offset, len)) = self.delete_local(mailbox, id)? {
+            self.shared_release(id, offset, len)?;
         }
         self.debug_check_shared_accounting();
         Ok(())

@@ -1,0 +1,500 @@
+//! Sharded concurrent facade over [`MfsStore`] — per-mailbox lock striping.
+//!
+//! The live server originally serialized every delivery and retrieval
+//! behind one `Mutex<MfsStore>`: POP3 reading mailbox A blocked SMTP
+//! delivering to mailbox B, so worker threads bought nothing once DATA
+//! volume rose. [`ShardedStore`] restores the scaling the paper's §5
+//! architecture promises by partitioning the store:
+//!
+//! * **N mailbox shards**, selected by FNV-1a hash of the mailbox name.
+//!   Each shard is a full (detached) [`MfsStore`] whose in-memory index
+//!   covers exactly its own mailboxes; operations on different shards
+//!   never contend.
+//! * **One shared partition** holding the §6.1 `shmailbox` state (the
+//!   single-copy bodies and the refcount log). Multi-recipient delivery
+//!   takes this lock once, appends the body, and releases it *before*
+//!   touching any recipient's shard.
+//!
+//! # Lock ordering (deadlock freedom)
+//!
+//! No thread ever holds two partition locks at once. `deliver` acquires
+//! shared → release → each recipient shard in turn; `delete` acquires the
+//! shard → release → shared. Since every hold is singular, no cycle can
+//! form. The underlying files stay consistent without cross-lock critical
+//! sections because every MFS file is append-only and a shared body's
+//! `(offset, len)` is only published to shards *after* its append
+//! completed.
+//!
+//! All partitions must observe the same underlying files: with
+//! [`crate::RealDir`] each partition opens its own handle onto the same
+//! directory; for in-memory backends, [`SyncBackend`] turns one
+//! [`crate::MemFs`] into cloneable handles.
+
+use crate::backend::DataRef;
+use crate::{Backend, MailId, MailStore, MfsStats, MfsStore, StoreResult, StoredMail};
+use parking_lot::Mutex;
+use spamaware_metrics::{Registry, SpanHandle};
+use std::sync::{Arc, MutexGuard};
+
+/// FNV-1a shard selection: stable across runs and platforms, so a store
+/// reopened with the same shard count replays each mailbox into the same
+/// shard that wrote it.
+fn shard_index(mailbox: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in mailbox.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// Sharding-layer instrumentation (see [`ShardedStore::with_metrics`]).
+#[derive(Debug)]
+struct ShardMetrics {
+    write_ns: SpanHandle,
+    delete_ns: SpanHandle,
+    /// Time spent *waiting* for a partition lock — the contention signal
+    /// the `live_throughput` bench sweeps worker counts against.
+    contention_ns: SpanHandle,
+}
+
+/// A concurrent MFS store: `&self` delivery/retrieval/deletion with
+/// per-mailbox lock striping.
+///
+/// Observationally equivalent to a single-lock [`MfsStore`] (enforced by
+/// the `sharded_prop` proptest); the difference is purely which operations
+/// can proceed in parallel.
+///
+/// # Example
+///
+/// ```
+/// use spamaware_mfs::{DataRef, MailId, MemFs, ShardedStore, SyncBackend};
+///
+/// let fs = SyncBackend::new(MemFs::new());
+/// let store = ShardedStore::open_with(4, || Ok(fs.clone()))?;
+/// // &self: no outer mutex needed, share via Arc across worker threads.
+/// store.deliver(MailId(1), &["a", "b", "c"], DataRef::Bytes(b"spam!"))?;
+/// assert_eq!(store.read_mailbox("b")?[0].body, b"spam!");
+/// assert_eq!(store.stats().shared_mails, 1);
+/// # Ok::<(), spamaware_mfs::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedStore<B> {
+    /// The `shmailbox` partition: single-copy bodies + refcount log.
+    shared: Mutex<MfsStore<B>>,
+    /// Mailbox partitions, indexed by [`shard_index`].
+    shards: Vec<Mutex<MfsStore<B>>>,
+    /// Recipient count at which delivery routes through `shmailbox`
+    /// (mirrors [`MfsStore::with_share_threshold`], default 2).
+    share_threshold: usize,
+    metrics: Option<ShardMetrics>,
+}
+
+impl<B: Backend> ShardedStore<B> {
+    /// Opens a sharded store with `shards` mailbox partitions, calling
+    /// `make` once per partition (plus once for the shared partition) to
+    /// produce backend handles that all view the same files — e.g.
+    /// `|| RealDir::new(&root)` or `|| Ok(sync_memfs.clone())`.
+    ///
+    /// Existing MFS files are replayed exactly once across partitions:
+    /// each mailbox key file into its shard, the shared key file into the
+    /// shared partition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction failures and
+    /// [`crate::StoreError::CorruptRecord`] from replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn open_with(
+        shards: usize,
+        mut make: impl FnMut() -> StoreResult<B>,
+    ) -> StoreResult<ShardedStore<B>> {
+        assert!(shards >= 1, "shard count must be at least 1");
+        let mut shared = MfsStore::new(make()?);
+        shared.replay_partition(true, &|_| false)?;
+        let mut parts = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let mut shard = MfsStore::new(make()?);
+            shard.set_detached();
+            shard.replay_partition(false, &|mb| shard_index(mb, shards) == i)?;
+            parts.push(Mutex::new(shard));
+        }
+        Ok(ShardedStore {
+            shared: Mutex::new(shared),
+            shards: parts,
+            share_threshold: 2,
+            metrics: None,
+        })
+    }
+
+    /// Reports the same per-operation metrics as
+    /// [`MfsStore::with_metrics`] (identical names, so dashboards don't
+    /// care which store variant is live), plus
+    /// `<prefix>.shard_contention_ns` — cumulative time threads spent
+    /// blocked on partition locks.
+    ///
+    /// `write_ns`/`delete_ns` are recorded at this layer (one span per
+    /// logical operation, however many shards it touches); `read_ns` and
+    /// the byte/refcount counters are recorded by the inner partitions.
+    pub fn with_metrics(self, registry: &Registry, prefix: &str) -> ShardedStore<B> {
+        let shared = Mutex::new(self.shared.into_inner().with_metrics(registry, prefix));
+        let shards = self
+            .shards
+            .into_iter()
+            .map(|m| Mutex::new(m.into_inner().with_metrics(registry, prefix)))
+            .collect();
+        ShardedStore {
+            shared,
+            shards,
+            share_threshold: self.share_threshold,
+            metrics: Some(ShardMetrics {
+                write_ns: registry.span(&format!("{prefix}.write_ns")),
+                delete_ns: registry.span(&format!("{prefix}.delete_ns")),
+                contention_ns: registry.span(&format!("{prefix}.shard_contention_ns")),
+            }),
+        }
+    }
+
+    /// Sets the share threshold (see [`MfsStore::with_share_threshold`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn with_share_threshold(mut self, threshold: usize) -> ShardedStore<B> {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        self.share_threshold = threshold;
+        self
+    }
+
+    /// Number of mailbox shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Acquires a partition lock, charging wait time to
+    /// `shard_contention_ns` when metrics are on.
+    fn locked<'a>(&self, part: &'a Mutex<MfsStore<B>>) -> MutexGuard<'a, MfsStore<B>> {
+        match &self.metrics {
+            Some(m) => {
+                let start = m.contention_ns.now();
+                let guard = part.lock();
+                m.contention_ns.record_since(start);
+                guard
+            }
+            None => part.lock(),
+        }
+    }
+
+    fn shard_for(&self, mailbox: &str) -> &Mutex<MfsStore<B>> {
+        &self.shards[shard_index(mailbox, self.shards.len())]
+    }
+
+    /// Delivers one mail to all `mailboxes` — the concurrent
+    /// `mail_nwrite`. Below the share threshold each recipient's body goes
+    /// to its own shard under that shard's lock alone; at or above it, the
+    /// body is appended once to `shmailbox` under the short-hold shared
+    /// lock, which is released before the per-recipient key tuples are
+    /// attached shard by shard.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`MfsStore::nwrite`], including
+    /// [`crate::StoreError::MailIdCollision`] for the §6.4 defence.
+    pub fn deliver(&self, id: MailId, mailboxes: &[&str], body: DataRef<'_>) -> StoreResult<()> {
+        let _span = self.metrics.as_ref().map(|m| m.write_ns.start());
+        for mb in mailboxes {
+            MfsStore::<B>::check_mailbox_name(mb)?;
+        }
+        match mailboxes {
+            [] => Ok(()),
+            mbs if mbs.len() < self.share_threshold => {
+                for mb in mbs {
+                    self.locked(self.shard_for(mb)).write_own(mb, id, body)?;
+                }
+                Ok(())
+            }
+            _ => {
+                let (offset, len) =
+                    self.locked(&self.shared)
+                        .shared_acquire(id, body, mailboxes.len() as i64)?;
+                // Shared lock released: the body is durably appended and
+                // its coordinates fixed, so shards may now reference it.
+                for mb in mailboxes {
+                    self.locked(self.shard_for(mb))
+                        .attach_shared(mb, id, offset, len)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads every live mail in a mailbox, in delivery order, holding only
+    /// that mailbox's shard lock. Shared bodies are read through the
+    /// shard's own backend handle: the shared data file is append-only and
+    /// coordinates are published only after the append completed, so no
+    /// shared lock is needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend read failures.
+    pub fn read_mailbox(&self, mailbox: &str) -> StoreResult<Vec<StoredMail>> {
+        self.locked(self.shard_for(mailbox)).read_mailbox(mailbox)
+    }
+
+    /// Deletes one mail from one mailbox: tombstone under the shard lock,
+    /// then — only if the mail was shared — a refcount release under the
+    /// shared lock (never both at once).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::StoreError::NotFound`] when the mailbox or id is unknown.
+    pub fn delete(&self, mailbox: &str, id: MailId) -> StoreResult<()> {
+        let _span = self.metrics.as_ref().map(|m| m.delete_ns.start());
+        let freed = self
+            .locked(self.shard_for(mailbox))
+            .delete_local(mailbox, id)?;
+        if let Some((offset, len)) = freed {
+            self.locked(&self.shared).shared_release(id, offset, len)?;
+        }
+        Ok(())
+    }
+
+    /// Aggregate statistics summed across all partitions. Consistent only
+    /// when quiescent (locks are taken one partition at a time, so a
+    /// concurrent delivery may be half-counted — fine for reporting).
+    pub fn stats(&self) -> MfsStats {
+        let mut total = self.shared.lock().stats();
+        for shard in &self.shards {
+            let s = shard.lock().stats();
+            total.shared_mails += s.shared_mails;
+            total.shared_bytes += s.shared_bytes;
+            total.freed_shared_bytes += s.freed_shared_bytes;
+            total.own_records += s.own_records;
+            total.shared_references += s.shared_references;
+        }
+        total
+    }
+}
+
+impl<B: Backend> MailStore for ShardedStore<B> {
+    fn deliver(&mut self, id: MailId, mailboxes: &[&str], body: DataRef<'_>) -> StoreResult<()> {
+        ShardedStore::deliver(self, id, mailboxes, body)
+    }
+
+    fn read_mailbox(&mut self, mailbox: &str) -> StoreResult<Vec<StoredMail>> {
+        ShardedStore::read_mailbox(self, mailbox)
+    }
+
+    fn delete(&mut self, mailbox: &str, id: MailId) -> StoreResult<()> {
+        ShardedStore::delete(self, mailbox, id)
+    }
+
+    fn layout_name(&self) -> &'static str {
+        "mfs-sharded"
+    }
+}
+
+/// Clonable, thread-safe handle wrapping a single [`Backend`]: every clone
+/// locks the same underlying file system for each operation.
+///
+/// This is how an in-memory backend (one [`crate::MemFs`]) serves all
+/// [`ShardedStore`] partitions in tests and benches; [`crate::RealDir`]
+/// doesn't need it because independent handles onto one directory already
+/// share the files.
+#[derive(Debug)]
+pub struct SyncBackend<B> {
+    inner: Arc<Mutex<B>>,
+}
+
+impl<B> SyncBackend<B> {
+    /// Wraps a backend for shared multi-handle access.
+    pub fn new(backend: B) -> SyncBackend<B> {
+        SyncBackend {
+            inner: Arc::new(Mutex::new(backend)),
+        }
+    }
+}
+
+impl<B> Clone for SyncBackend<B> {
+    fn clone(&self) -> SyncBackend<B> {
+        SyncBackend {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<B: Backend> Backend for SyncBackend<B> {
+    fn create(&mut self, path: &str) -> StoreResult<()> {
+        self.inner.lock().create(path)
+    }
+
+    fn append(&mut self, path: &str, data: DataRef<'_>) -> StoreResult<u64> {
+        self.inner.lock().append(path, data)
+    }
+
+    fn read_at(&mut self, path: &str, offset: u64, len: u64) -> StoreResult<Vec<u8>> {
+        self.inner.lock().read_at(path, offset, len)
+    }
+
+    fn len(&mut self, path: &str) -> StoreResult<u64> {
+        self.inner.lock().len(path)
+    }
+
+    fn link(&mut self, src: &str, dst: &str) -> StoreResult<()> {
+        self.inner.lock().link(src, dst)
+    }
+
+    fn remove(&mut self, path: &str) -> StoreResult<()> {
+        self.inner.lock().remove(path)
+    }
+
+    fn exists(&mut self, path: &str) -> bool {
+        self.inner.lock().exists(path)
+    }
+
+    fn list(&mut self, prefix: &str) -> StoreResult<Vec<String>> {
+        self.inner.lock().list(prefix)
+    }
+
+    // The defaults would take the lock twice, letting another handle's
+    // write interleave inside one logical operation; hold it once instead.
+    fn replace(&mut self, path: &str, data: DataRef<'_>) -> StoreResult<()> {
+        self.inner.lock().replace(path, data)
+    }
+
+    fn append_record(&mut self, path: &str, header: &[u8], body: DataRef<'_>) -> StoreResult<u64> {
+        self.inner.lock().append_record(path, header, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemFs;
+
+    fn sharded(n: usize) -> ShardedStore<SyncBackend<MemFs>> {
+        let fs = SyncBackend::new(MemFs::new());
+        ShardedStore::open_with(n, || Ok(fs.clone())).unwrap()
+    }
+
+    #[test]
+    fn single_recipient_lands_in_own_shard() {
+        let s = sharded(4);
+        s.deliver(MailId(1), &["alice"], DataRef::Bytes(b"private"))
+            .unwrap();
+        let mails = s.read_mailbox("alice").unwrap();
+        assert_eq!(mails.len(), 1);
+        assert_eq!(mails[0].body, b"private");
+        let stats = s.stats();
+        assert_eq!(stats.own_records, 1);
+        assert_eq!(stats.shared_mails, 0);
+    }
+
+    #[test]
+    fn multi_recipient_body_stored_once_across_shards() {
+        let s = sharded(4);
+        s.deliver(MailId(7), &["a", "b", "c"], DataRef::Bytes(b"spam body"))
+            .unwrap();
+        for mb in ["a", "b", "c"] {
+            assert_eq!(s.read_mailbox(mb).unwrap()[0].body, b"spam body");
+        }
+        let stats = s.stats();
+        assert_eq!(stats.shared_mails, 1);
+        assert_eq!(stats.shared_references, 3);
+        assert_eq!(stats.own_records, 0);
+    }
+
+    #[test]
+    fn delete_releases_shared_refcount() {
+        let s = sharded(4);
+        s.deliver(MailId(7), &["a", "b"], DataRef::Bytes(b"twice"))
+            .unwrap();
+        s.delete("a", MailId(7)).unwrap();
+        assert_eq!(s.stats().shared_mails, 1, "b still references the body");
+        s.delete("b", MailId(7)).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.shared_mails, 0);
+        assert_eq!(stats.freed_shared_bytes, 5);
+    }
+
+    #[test]
+    fn mail_id_collision_detected_across_shards() {
+        let s = sharded(4);
+        s.deliver(MailId(9), &["a", "b"], DataRef::Bytes(b"first"))
+            .unwrap();
+        let err = s
+            .deliver(MailId(9), &["c", "d"], DataRef::Bytes(b"different-size"))
+            .unwrap_err();
+        assert!(matches!(err, crate::StoreError::MailIdCollision(_)));
+    }
+
+    #[test]
+    fn reopen_replays_each_mailbox_into_its_shard() {
+        let fs = SyncBackend::new(MemFs::new());
+        {
+            let s = ShardedStore::open_with(4, || Ok(fs.clone())).unwrap();
+            s.deliver(MailId(1), &["alice"], DataRef::Bytes(b"own"))
+                .unwrap();
+            s.deliver(MailId(2), &["a", "b", "c"], DataRef::Bytes(b"shared"))
+                .unwrap();
+            s.delete("b", MailId(2)).unwrap();
+        }
+        // Different shard count: every mailbox must still be found.
+        let s = ShardedStore::open_with(7, || Ok(fs.clone())).unwrap();
+        assert_eq!(s.read_mailbox("alice").unwrap()[0].body, b"own");
+        assert_eq!(s.read_mailbox("a").unwrap()[0].body, b"shared");
+        assert!(s.read_mailbox("b").unwrap().is_empty());
+        let stats = s.stats();
+        assert_eq!(stats.shared_mails, 1);
+        assert_eq!(stats.shared_references, 2);
+        assert_eq!(stats.own_records, 1);
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        for n in [1usize, 2, 4, 8, 13] {
+            for mb in ["alice", "bob", "carol", "shmailbox-not", ""] {
+                let i = shard_index(mb, n);
+                assert!(i < n);
+                assert_eq!(i, shard_index(mb, n), "deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn illegal_mailbox_name_rejected() {
+        let s = sharded(2);
+        assert!(s
+            .deliver(MailId(1), &["shmailbox"], DataRef::Bytes(b"x"))
+            .is_err());
+        assert!(s
+            .deliver(MailId(1), &["a/b"], DataRef::Bytes(b"x"))
+            .is_err());
+    }
+
+    #[test]
+    fn parallel_disjoint_mailboxes_do_not_interfere() {
+        let s = std::sync::Arc::new(sharded(8));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = std::sync::Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mb = format!("user{t}");
+                for i in 0..50u64 {
+                    s.deliver(MailId(t * 1000 + i), &[mb.as_str()], DataRef::Bytes(b"m"))
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4u64 {
+            assert_eq!(s.read_mailbox(&format!("user{t}")).unwrap().len(), 50);
+        }
+        assert_eq!(s.stats().own_records, 200);
+    }
+}

@@ -1,0 +1,77 @@
+//! Observational-equivalence property test: a [`ShardedStore`] driven
+//! through an arbitrary op sequence must be indistinguishable from a
+//! single-lock [`MfsStore`] given the same sequence — same mailbox
+//! contents (ids, bodies, order), same error/success outcomes, same
+//! aggregate statistics. Sharding may only change *which operations can
+//! run in parallel*, never what any observer reads back.
+
+use proptest::prelude::*;
+use spamaware_mfs::{DataRef, MailId, MailStore, MemFs, MfsStore, ShardedStore, SyncBackend};
+
+const MAILBOXES: [&str; 5] = ["alice", "bob", "carol", "dave", "erin"];
+
+/// Decoded op: deliver to a recipient subset, read a mailbox, or delete.
+#[derive(Debug, Clone)]
+enum Op {
+    Deliver { id: u64, first: usize, count: usize },
+    Delete { mailbox: usize, id: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..8, 0usize..MAILBOXES.len(), 1usize..=MAILBOXES.len())
+            .prop_map(|(id, first, count)| Op::Deliver { id, first, count }),
+        (0usize..MAILBOXES.len(), 0u64..8).prop_map(|(mailbox, id)| Op::Delete { mailbox, id }),
+    ]
+}
+
+/// Recipient slice for a deliver op: `count` mailboxes starting at
+/// `first`, wrapping around — exercises both single-recipient (own copy)
+/// and multi-recipient (shared copy) paths across shard boundaries.
+fn recipients(first: usize, count: usize) -> Vec<&'static str> {
+    (0..count)
+        .map(|i| MAILBOXES[(first + i) % MAILBOXES.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+    #[test]
+    fn sharded_store_is_observationally_equivalent_to_single_lock(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        shards in 1usize..9,
+    ) {
+        let mut single = MfsStore::new(MemFs::new());
+        let fs = SyncBackend::new(MemFs::new());
+        let sharded = ShardedStore::open_with(shards, || Ok(fs.clone()))
+            .expect("open sharded");
+
+        for op in &ops {
+            match *op {
+                Op::Deliver { id, first, count } => {
+                    let mbs = recipients(first, count);
+                    // Body varies with id so a collision check has teeth.
+                    let body = vec![b'x'; 4 + (id as usize % 3)];
+                    let a = single.deliver(MailId(id), &mbs, DataRef::Bytes(&body));
+                    let b = sharded.deliver(MailId(id), &mbs, DataRef::Bytes(&body));
+                    prop_assert_eq!(a.is_ok(), b.is_ok(), "deliver outcome diverged: {:?}", op);
+                }
+                Op::Delete { mailbox, id } => {
+                    let mb = MAILBOXES[mailbox];
+                    let a = single.delete(mb, MailId(id));
+                    let b = sharded.delete(mb, MailId(id));
+                    prop_assert_eq!(a.is_ok(), b.is_ok(), "delete outcome diverged: {:?}", op);
+                }
+            }
+
+            // After every op: identical view through every mailbox...
+            for mb in MAILBOXES {
+                let a = single.read_mailbox(mb).expect("single read");
+                let b = sharded.read_mailbox(mb).expect("sharded read");
+                prop_assert_eq!(a, b, "mailbox {} diverged", mb);
+            }
+            // ...and identical aggregate accounting.
+            prop_assert_eq!(single.stats(), sharded.stats());
+        }
+    }
+}

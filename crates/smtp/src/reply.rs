@@ -187,12 +187,21 @@ impl Reply {
     /// Serializes as wire lines, CRLF-terminated, handling multiline
     /// replies (`250-a`, `250 b`).
     pub fn to_wire(&self) -> String {
-        let mut out = String::new();
+        let mut out = Vec::new();
+        self.write_wire(&mut out);
+        String::from_utf8(out).unwrap_or_default()
+    }
+
+    /// Appends the wire form to an existing buffer — lets a server
+    /// coalesce the replies to a pipelined command burst into one socket
+    /// write without intermediate `String`s.
+    pub fn write_wire(&self, out: &mut Vec<u8>) {
+        use std::io::Write;
         for line in &self.extra {
-            out.push_str(&format!("{}-{}\r\n", self.code, line));
+            // Writing into a Vec cannot fail.
+            let _ = write!(out, "{}-{}\r\n", self.code, line);
         }
-        out.push_str(&format!("{} {}\r\n", self.code, self.text));
-        out
+        let _ = write!(out, "{} {}\r\n", self.code, self.text);
     }
 
     /// Whether this reply spans multiple wire lines.

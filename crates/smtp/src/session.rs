@@ -1,12 +1,15 @@
 //! Server-side SMTP session state machine.
 
 use crate::{Command, MailAddr, Reply};
+use std::sync::Arc;
 
 /// Static per-session policy knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionConfig {
-    /// Hostname announced in the greeting.
-    pub hostname: String,
+    /// Hostname announced in the greeting. `Arc<str>` so a server
+    /// delegating thousands of connections shares one allocation instead
+    /// of cloning the string per session.
+    pub hostname: Arc<str>,
     /// Maximum recipients accepted per transaction (postfix default 1000;
     /// we default to 100, ample for the paper's 5–15 rcpt spam).
     pub max_recipients: usize,
@@ -20,7 +23,7 @@ pub struct SessionConfig {
 impl Default for SessionConfig {
     fn default() -> SessionConfig {
         SessionConfig {
-            hostname: "mx.spamaware.test".to_owned(),
+            hostname: "mx.spamaware.test".into(),
             max_recipients: 100,
             max_transactions: 100,
             max_message_size: Some(10 * 1024 * 1024),
@@ -102,6 +105,10 @@ pub struct ServerSession {
     body_size_only: u64,
     capture_body: bool,
     delivered: Vec<Envelope>,
+    /// Mails accepted over the connection's lifetime. Tracked separately
+    /// from `delivered.len()` because a live server may drain envelopes
+    /// with [`ServerSession::take_last_delivered`] as they complete.
+    accepted: usize,
     rejected_rcpts: u64,
     commands_handled: u64,
 }
@@ -118,6 +125,7 @@ impl ServerSession {
             body_size_only: 0,
             capture_body: false,
             delivered: Vec::new(),
+            accepted: 0,
             rejected_rcpts: 0,
             commands_handled: 0,
         }
@@ -156,7 +164,8 @@ impl ServerSession {
         self.commands_handled
     }
 
-    /// Mails accepted so far.
+    /// Mails accepted so far and not yet drained by
+    /// [`ServerSession::take_last_delivered`].
     pub fn delivered(&self) -> &[Envelope] {
         &self.delivered
     }
@@ -164,6 +173,26 @@ impl ServerSession {
     /// Consumes the session, returning accepted mails.
     pub fn into_delivered(self) -> Vec<Envelope> {
         self.delivered
+    }
+
+    /// Removes and returns the most recently accepted envelope, if any —
+    /// how the live server takes ownership of a mail for storage right
+    /// after [`ServerSession::finish_data`] returns `250`. Draining does
+    /// not change [`ServerSession::outcome`] or the transaction limit,
+    /// which count *accepted* mails, not retained ones.
+    pub fn take_last_delivered(&mut self) -> Option<Envelope> {
+        self.delivered.pop()
+    }
+
+    /// Donates a reusable allocation for DATA content: the next captured
+    /// body grows into `buf`'s capacity instead of a fresh `Vec`. The
+    /// buffer is cleared on arrival; ignored if body capture is already
+    /// holding content.
+    pub fn provide_body_buffer(&mut self, mut buf: Vec<u8>) {
+        if self.body.is_empty() {
+            buf.clear();
+            self.body = buf;
+        }
     }
 
     /// Handles one command, returning the reply to send.
@@ -203,7 +232,7 @@ impl ServerSession {
                 SessionPhase::MailGiven | SessionPhase::RcptGiven => Reply::bad_sequence("DATA"),
                 SessionPhase::Closed => Reply::bad_sequence("connection"),
                 SessionPhase::Greeted => {
-                    if self.delivered.len() >= self.cfg.max_transactions {
+                    if self.accepted >= self.cfg.max_transactions {
                         return Reply::too_many_transactions();
                     }
                     self.sender = sender;
@@ -309,6 +338,7 @@ impl ServerSession {
             body,
             body_size: size,
         });
+        self.accepted += 1;
         self.body_size_only = 0;
         self.phase = SessionPhase::Greeted;
         Reply::queued(mail_id)
@@ -330,7 +360,7 @@ impl ServerSession {
     /// Classifies the connection per the paper's taxonomy. Valid at any
     /// point; normally consulted after QUIT or connection drop.
     pub fn outcome(&self) -> SessionOutcome {
-        if !self.delivered.is_empty() {
+        if self.accepted > 0 {
             SessionOutcome::Delivered
         } else if self.rejected_rcpts > 0 {
             SessionOutcome::Bounce
@@ -496,6 +526,60 @@ mod tests {
                 .code(),
             503
         );
+    }
+
+    #[test]
+    fn draining_envelopes_preserves_outcome_and_limits() {
+        let mut s = ServerSession::new(SessionConfig {
+            max_transactions: 2,
+            ..SessionConfig::default()
+        });
+        s.handle(Command::helo("c.example"), &all_exist);
+        for t in 0..2 {
+            s.handle(Command::mail_from(None), &all_exist);
+            s.handle(Command::rcpt_to(addr("u@d.example")), &all_exist);
+            s.handle(Command::Data, &all_exist);
+            s.finish_data_sized(&format!("M{t}"), 10);
+            // Live-server style: take ownership immediately.
+            let env = s.take_last_delivered().unwrap();
+            assert_eq!(env.body_size, 10);
+            assert!(s.delivered().is_empty());
+        }
+        // Both accepted mails count against max_transactions even though
+        // the delivered list was drained.
+        assert_eq!(s.handle(Command::mail_from(None), &all_exist).code(), 452);
+        assert_eq!(s.outcome(), SessionOutcome::Delivered);
+        assert_eq!(s.take_last_delivered(), None);
+    }
+
+    #[test]
+    fn provided_body_buffer_capacity_is_reused() {
+        let mut s = greeted();
+        s.capture_bodies(true);
+        s.provide_body_buffer(Vec::with_capacity(4096));
+        s.handle(Command::mail_from(None), &all_exist);
+        s.handle(Command::rcpt_to(addr("u@d.example")), &all_exist);
+        s.handle(Command::Data, &all_exist);
+        s.data_line(b"hello");
+        s.data_line(b".");
+        s.finish_data("M1");
+        let env = s.take_last_delivered().unwrap();
+        assert_eq!(env.body.as_slice(), b"hello\r\n");
+        assert!(env.body.capacity() >= 4096, "body grew into the donation");
+    }
+
+    #[test]
+    fn body_buffer_donation_ignored_mid_capture() {
+        let mut s = greeted();
+        s.capture_bodies(true);
+        s.handle(Command::mail_from(None), &all_exist);
+        s.handle(Command::rcpt_to(addr("u@d.example")), &all_exist);
+        s.handle(Command::Data, &all_exist);
+        s.data_line(b"kept");
+        s.provide_body_buffer(Vec::with_capacity(64));
+        s.data_line(b".");
+        s.finish_data("M1");
+        assert_eq!(s.delivered()[0].body.as_slice(), b"kept\r\n");
     }
 
     #[test]

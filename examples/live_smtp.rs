@@ -11,7 +11,7 @@
 //! an ephemeral port, runs the scripted clients, prints the resulting
 //! mailbox contents, and exits.
 
-use spamaware_core::{LiveConfig, LiveServer, MailStore};
+use spamaware_core::{LiveConfig, LiveServer};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
@@ -139,7 +139,6 @@ fn main() {
     );
     {
         let store = server.store();
-        let mut store = store.lock();
         for mb in ["alice", "bob", "carol"] {
             let mails = store.read_mailbox(mb).expect("read mailbox");
             println!("mailbox {mb}: {} mail(s)", mails.len());

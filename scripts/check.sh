@@ -14,6 +14,10 @@
 #                                scopes (see DESIGN.md "Invariants & static
 #                                analysis")
 #   4. cargo test              — unit, integration, property and doc tests
+#   5. live_throughput --smoke — boots the real TCP server pair once with a
+#                                tiny client load and asserts the run
+#                                completes with a non-empty JSON report and
+#                                metrics sidecar
 
 set -eu
 
@@ -30,5 +34,18 @@ cargo run --quiet -p spamaware-xtask -- lint
 
 echo "==> cargo test"
 cargo test --quiet
+
+echo "==> live_throughput --smoke"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --quiet --release -p spamaware-bench --bin live_throughput -- \
+    --smoke --json "$smoke_dir/smoke.json"
+for f in "$smoke_dir/smoke.json" "$smoke_dir/smoke.metrics"; do
+    [ -s "$f" ] || { echo "missing or empty $f" >&2; exit 1; }
+done
+grep -q '"mails_per_sec"' "$smoke_dir/smoke.json" || {
+    echo "smoke.json lacks mails_per_sec rows" >&2
+    exit 1
+}
 
 echo "all checks passed"

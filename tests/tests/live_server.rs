@@ -1,7 +1,7 @@
 //! End-to-end tests of the live fork-after-trust SMTP server over real
 //! TCP sockets.
 
-use spamaware_core::{LiveConfig, LiveServer, MailStore};
+use spamaware_core::{LiveConfig, LiveServer};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -82,7 +82,7 @@ fn delivers_single_recipient_mail() {
     assert!(c.cmd("QUIT").starts_with("221"));
     wait_for_mails(&srv, 1);
     let store = srv.store();
-    let mails = store.lock().read_mailbox("alice").expect("read");
+    let mails = store.read_mailbox("alice").expect("read");
     assert_eq!(mails.len(), 1);
     let body = String::from_utf8_lossy(&mails[0].body).into_owned();
     assert!(body.contains("body line"), "{body:?}");
@@ -107,7 +107,6 @@ fn multi_recipient_spam_stored_once() {
     c.cmd("QUIT");
     wait_for_mails(&srv, 1);
     let store = srv.store();
-    let mut store = store.lock();
     for mb in ["a", "b", "c"] {
         assert_eq!(store.read_mailbox(mb).expect("read").len(), 1, "{mb}");
     }
@@ -184,7 +183,7 @@ fn concurrent_clients_all_delivered() {
     }
     wait_for_mails(&srv, n as u64);
     let store = srv.store();
-    let mails = store.lock().read_mailbox("inbox").expect("read");
+    let mails = store.read_mailbox("inbox").expect("read");
     assert_eq!(mails.len(), n);
     srv.shutdown();
     let _ = std::fs::remove_dir_all(root);
@@ -208,7 +207,7 @@ fn mail_survives_server_restart() {
     let cfg = LiveConfig::localhost(&root, vec!["alice".into()]);
     let srv2 = LiveServer::start(cfg).expect("restart");
     let store = srv2.store();
-    let mails = store.lock().read_mailbox("alice").expect("read");
+    let mails = store.read_mailbox("alice").expect("read");
     assert_eq!(mails.len(), 1);
     srv2.shutdown();
     let _ = std::fs::remove_dir_all(root);

@@ -1,7 +1,7 @@
 //! Full mail-lifecycle tests: deliver over SMTP, retrieve and delete over
 //! POP3, against the same on-disk MFS store.
 
-use spamaware_core::{LiveConfig, LiveServer, MailStore, Pop3Server};
+use spamaware_core::{LiveConfig, LiveServer, Pop3Server};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -138,7 +138,7 @@ fn pop3_delete_decrements_shared_refcount() {
     wait_for_mails(&smtp, 1);
     {
         let store = smtp.store();
-        assert_eq!(store.lock().stats().shared_mails, 1);
+        assert_eq!(store.stats().shared_mails, 1);
     }
 
     // Alice deletes her copy; the shared record must survive for Bob.
@@ -150,7 +150,6 @@ fn pop3_delete_decrements_shared_refcount() {
     std::thread::sleep(Duration::from_millis(100));
     {
         let store = smtp.store();
-        let mut store = store.lock();
         assert_eq!(store.stats().shared_mails, 1, "bob still references it");
         assert!(store.read_mailbox("alice").expect("read").is_empty());
         assert_eq!(store.read_mailbox("bob").expect("read").len(), 1);
@@ -165,7 +164,7 @@ fn pop3_delete_decrements_shared_refcount() {
     std::thread::sleep(Duration::from_millis(100));
     {
         let store = smtp.store();
-        let stats = store.lock().stats();
+        let stats = store.stats();
         assert_eq!(stats.shared_mails, 0);
         assert!(stats.freed_shared_bytes > 0);
     }
@@ -195,7 +194,7 @@ fn pop3_rset_unmarks_and_bad_auth_rejected() {
     std::thread::sleep(Duration::from_millis(100));
     {
         let store = smtp.store();
-        assert_eq!(store.lock().read_mailbox("alice").expect("read").len(), 1);
+        assert_eq!(store.read_mailbox("alice").expect("read").len(), 1);
     }
     pop.shutdown();
     smtp.shutdown();
