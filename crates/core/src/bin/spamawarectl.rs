@@ -7,14 +7,24 @@
 //! spamawarectl cat <store-root> <mailbox> <n>
 //! spamawarectl delete <store-root> <mailbox> <n>
 //! spamawarectl compact <store-root>
+//! spamawarectl fsck <store-root>
+//! spamawarectl serve <store-root> <mailbox,...>
 //! spamawarectl trace-stats <trace.json>
 //! ```
 //!
 //! The store format is exactly what [`spamaware_core::LiveServer`] writes,
 //! so this tool can inspect a live server's spool (stop the server first —
-//! the store is single-writer).
+//! the store is single-writer). `fsck` repairs a crashed spool in place
+//! (torn key-file tails, refcount drift, orphaned shared bodies) and
+//! prints a deterministic report; `serve` runs a [`LiveServer`] on an
+//! ephemeral localhost port until killed, printing `LISTENING <addr>` on
+//! startup — the crash-recovery integration tests drive a real process
+//! through it and `SIGKILL` it mid-delivery.
+//!
+//! [`LiveServer`]: spamaware_core::LiveServer
 
-use spamaware_core::{MailStore, MfsStore, RealDir, Trace, TraceStats};
+use spamaware_core::{LiveConfig, LiveServer, MailStore, MfsStore, RealDir, Trace, TraceStats};
+use std::io::Write;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -30,6 +40,8 @@ fn main() -> ExitCode {
             eprintln!("  spamawarectl cat <store-root> <mailbox> <n>");
             eprintln!("  spamawarectl delete <store-root> <mailbox> <n>");
             eprintln!("  spamawarectl compact <store-root>");
+            eprintln!("  spamawarectl fsck <store-root>");
+            eprintln!("  spamawarectl serve <store-root> <mailbox,...>");
             eprintln!("  spamawarectl trace-stats <trace.json>");
             ExitCode::FAILURE
         }
@@ -98,6 +110,36 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("compact failed: {e}"))?;
             println!("reclaimed {reclaimed} shared bytes");
             Ok(())
+        }
+        "fsck" => {
+            let root = arg(args, 1, "store-root")?;
+            let backend = RealDir::new(root).map_err(|e| format!("cannot open {root}: {e}"))?;
+            let (_store, report) =
+                spamaware_core::fsck(backend).map_err(|e| format!("fsck failed: {e}"))?;
+            print!("{report}");
+            Ok(())
+        }
+        "serve" => {
+            let root = arg(args, 1, "store-root")?;
+            let boxes: Vec<String> = arg(args, 2, "mailbox,...")?
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect();
+            if boxes.is_empty() {
+                return Err("no mailboxes given".to_owned());
+            }
+            let server = LiveServer::start(LiveConfig::localhost(root, boxes))
+                .map_err(|e| format!("cannot start server: {e}"))?;
+            println!("LISTENING {}", server.local_addr());
+            std::io::stdout()
+                .flush()
+                .map_err(|e| format!("stdout: {e}"))?;
+            // Runs until the process is killed; the store's crash
+            // consistency is exactly what the SIGKILL tests exercise.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
         }
         "trace-stats" => {
             let path = arg(args, 1, "trace file")?;

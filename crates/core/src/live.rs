@@ -140,6 +140,12 @@ pub struct LiveStats {
     pub overflows: Arc<Counter>,
     /// Pre-trust connections evicted by the idle timeout.
     pub idle_evictions: Arc<Counter>,
+    /// Torn key records truncated away while recovering the store at
+    /// startup (a clean shutdown leaves this at zero).
+    pub recovered_records: Arc<Counter>,
+    /// Repairs the startup `fsck` pass made durable (torn tails, refcount
+    /// rebuilds, orphan reclamation — see `spamaware_mfs::FsckReport`).
+    pub fsck_repairs: Arc<Counter>,
 }
 
 /// Point-in-time values of every [`LiveStats`] counter.
@@ -165,6 +171,10 @@ pub struct LiveSnapshot {
     pub overflows: u64,
     /// Pre-trust connections evicted by the idle timeout.
     pub idle_evictions: u64,
+    /// Torn key records truncated away recovering the store at startup.
+    pub recovered_records: u64,
+    /// Repairs made durable by the startup `fsck` pass.
+    pub fsck_repairs: u64,
 }
 
 impl LiveStats {
@@ -180,6 +190,8 @@ impl LiveStats {
             rejected_ipv6: registry.counter("live.rejected_ipv6"),
             overflows: registry.counter("live.overflows"),
             idle_evictions: registry.counter("live.idle_evictions"),
+            recovered_records: registry.counter("live.recovered_records"),
+            fsck_repairs: registry.counter("live.fsck_repairs"),
         }
     }
 
@@ -196,6 +208,8 @@ impl LiveStats {
             rejected_ipv6: self.rejected_ipv6.get(),
             overflows: self.overflows.get(),
             idle_evictions: self.idle_evictions.get(),
+            recovered_records: self.recovered_records.get(),
+            fsck_repairs: self.fsck_repairs.get(),
         }
     }
 }
@@ -305,14 +319,20 @@ impl LiveServer {
             .local_addr()
             .map_err(|e| ServeError::Io(e.to_string()))?;
         let registry = Arc::new(Registry::with_wall_clock());
-        let store = Arc::new(
-            ShardedStore::open_with(cfg.store_shards, || RealDir::new(&cfg.storage_root))
-                .map_err(|e| ServeError::Io(e.to_string()))?
-                .with_metrics(&registry, "mfs"),
-        );
+        // Crash recovery first: fsck truncates torn tails and repairs
+        // shmailbox refcounts on disk, then the partitions replay clean.
+        let (store, fsck_report) =
+            ShardedStore::open_with_fsck(cfg.store_shards, || RealDir::new(&cfg.storage_root))
+                .map_err(|e| ServeError::Io(e.to_string()))?;
+        let store = Arc::new(store.with_metrics(&registry, "mfs"));
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(LiveStats::register(&registry));
-        let next_id = Arc::new(AtomicU64::new(1));
+        stats.recovered_records.add(fsck_report.recovered_records());
+        stats.fsck_repairs.add(fsck_report.repairs());
+        // Seed ids above everything already on disk: a restarted server
+        // must never hand out a MailId a surviving record still uses.
+        let first_id = store.max_mail_id().map_or(1, |id| id.0 + 1);
+        let next_id = Arc::new(AtomicU64::new(first_id));
         let mailboxes: Arc<HashSet<String>> = Arc::new(cfg.mailboxes.iter().cloned().collect());
         // Line buffers cycle between the master's pre-trust loop and the
         // workers; body buffers cycle per DATA transaction.

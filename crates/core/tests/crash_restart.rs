@@ -1,0 +1,182 @@
+//! Graceful-restart torture: a real `spamawarectl serve` process is
+//! SIGKILLed mid-DATA and the surviving spool must contain exactly the
+//! accepted mail — nothing acknowledged is lost, nothing unacknowledged
+//! appears — and a restarted server on the same root must keep serving.
+//!
+//! This is the process-level end of the crash-consistency story; the
+//! byte-level end (every possible torn write) is swept exhaustively by
+//! `spamaware-mfs`'s `crash_sweep` test.
+
+#![cfg(unix)]
+
+use spamaware_core::{fsck, MailStore, RealDir};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// A `spamawarectl serve` child process, killed on drop.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn spawn(root: &PathBuf) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_spamawarectl"))
+            .arg("serve")
+            .arg(root)
+            .arg("alice,bob")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn spamawarectl serve");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read LISTENING line");
+        let addr = line
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("unexpected serve banner {line:?}"))
+            .trim()
+            .to_owned();
+        Server { child, addr }
+    }
+
+    fn connect(&self) -> Client {
+        // The banner is printed after bind, so the port is live already;
+        // retry briefly anyway in case the accept loop is still spinning up.
+        for _ in 0..50 {
+            if let Ok(stream) = TcpStream::connect(&self.addr) {
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .expect("timeout");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut greeting = String::new();
+                reader.read_line(&mut greeting).expect("greeting");
+                assert!(greeting.starts_with("220"), "greeting {greeting:?}");
+                return Client { stream, reader };
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        panic!("could not connect to {}", self.addr);
+    }
+
+    /// SIGKILL — no shutdown hooks, no flushes: the power-cut analogue.
+    fn kill(mut self) {
+        self.child.kill().expect("kill");
+        self.child.wait().expect("wait");
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn cmd(&mut self, line: &str) -> String {
+        self.stream
+            .write_all(format!("{line}\r\n").as_bytes())
+            .expect("write");
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> String {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("reply");
+        reply
+    }
+
+    /// Full transaction through the acknowledged 250 after `.`.
+    fn deliver(&mut self, rcpt: &str, body: &str) {
+        assert!(self.cmd("MAIL FROM:<x@client.example>").starts_with("250"));
+        assert!(self
+            .cmd(&format!("RCPT TO:<{rcpt}@dept.example>"))
+            .starts_with("250"));
+        assert!(self.cmd("DATA").starts_with("354"));
+        self.stream
+            .write_all(format!("{body}\r\n.\r\n").as_bytes())
+            .expect("body");
+        let ack = self.read_reply();
+        assert!(ack.starts_with("250"), "delivery ack {ack:?}");
+    }
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "spamaware-crash-{tag}-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ))
+}
+
+#[test]
+fn sigkill_mid_data_loses_no_acked_mail_and_invents_none() {
+    let root = temp_root("middata");
+
+    // Phase 1: accept two mails, then die mid-DATA of a third.
+    let server = Server::spawn(&root);
+    let mut c = server.connect();
+    assert!(c.cmd("HELO client.example").starts_with("250"));
+    c.deliver("alice", "first accepted mail");
+    c.deliver("alice", "second accepted mail");
+    assert!(c.cmd("MAIL FROM:<x@client.example>").starts_with("250"));
+    assert!(c.cmd("RCPT TO:<alice@dept.example>").starts_with("250"));
+    assert!(c.cmd("DATA").starts_with("354"));
+    c.stream
+        .write_all(b"a third mail the server will never finish rea")
+        .expect("partial body");
+    server.kill();
+
+    // Phase 2: repair and audit the surviving spool. The acknowledged
+    // mails are intact; the aborted third never made it to storage.
+    let backend = RealDir::new(&root).expect("reopen root");
+    let (mut store, report) = fsck(backend).expect("fsck");
+    let mails = store.read_mailbox("alice").expect("read alice");
+    assert_eq!(mails.len(), 2, "exactly the acked mails; report:\n{report}");
+    let text = |i: usize| String::from_utf8_lossy(&mails[i].body).into_owned();
+    assert!(text(0).contains("first accepted mail"), "{:?}", text(0));
+    assert!(text(1).contains("second accepted mail"), "{:?}", text(1));
+    assert!(
+        !text(0).contains("third") && !text(1).contains("third"),
+        "unacked mail must not appear"
+    );
+    drop(store);
+
+    // Phase 3: a restarted server on the same root serves new mail.
+    let server = Server::spawn(&root);
+    let mut c = server.connect();
+    assert!(c.cmd("HELO client.example").starts_with("250"));
+    c.deliver("alice", "post-restart mail");
+    assert!(c.cmd("QUIT").starts_with("221"));
+    server.kill();
+
+    let backend = RealDir::new(&root).expect("reopen root");
+    let (mut store, report) = fsck(backend).expect("fsck after restart");
+    assert!(
+        report.is_clean(),
+        "quiescent kill leaves a clean store:\n{report}"
+    );
+    let mails = store.read_mailbox("alice").expect("read alice");
+    assert_eq!(mails.len(), 3);
+    assert!(
+        String::from_utf8_lossy(&mails[2].body).contains("post-restart mail"),
+        "restarted server stores new mail"
+    );
+    drop(store);
+
+    let _ = std::fs::remove_dir_all(root);
+}

@@ -88,6 +88,11 @@ fn ctl_inspects_compacts_and_deletes() {
     assert!(ok, "{compact}");
     assert!(compact.contains("reclaimed"), "{compact}");
 
+    // A healthy spool audits clean.
+    let (fsck_out, ok) = ctl(&["fsck", &rootstr]);
+    assert!(ok, "{fsck_out}");
+    assert_eq!(fsck_out, "mfsck: clean\n");
+
     // Errors are reported with a failing exit code.
     let (_, ok) = ctl(&["cat", &rootstr, "alice", "1"]);
     assert!(!ok, "cat of deleted mail must fail");

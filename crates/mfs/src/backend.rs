@@ -85,6 +85,16 @@ pub trait Backend {
     /// Removes a path (content survives under other hard links).
     fn remove(&mut self, path: &str) -> StoreResult<()>;
 
+    /// Shrinks a file to exactly `len` bytes (crash recovery: a torn
+    /// trailing record is cut off so the file ends on a frame boundary).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::StoreError::NotFound`] for a missing file;
+    /// [`crate::StoreError::OutOfRange`] if `len` exceeds the current
+    /// length — truncation never grows a file.
+    fn truncate(&mut self, path: &str, len: u64) -> StoreResult<()>;
+
     /// Whether a path exists.
     fn exists(&mut self, path: &str) -> bool;
 

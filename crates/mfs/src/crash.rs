@@ -1,0 +1,300 @@
+//! Crash injection: a backend wrapper that dies mid-write, for proving
+//! the store recovers from every possible torn write.
+//!
+//! [`FaultyBackend`](crate::FaultyBackend) models an I/O *error* — the
+//! operation fails but the process keeps running. [`CrashBackend`] models
+//! a *power cut*: at a chosen byte of a chosen write the backend persists
+//! only a prefix of the data, the operation errors, and every subsequent
+//! operation fails — exactly what the surviving files look like after
+//! `kill -9`. The crash-point torture tests sweep every `(write, byte)`
+//! pair of a scripted workload and reopen the store from the survivors.
+
+use crate::{Backend, DataRef, StoreError, StoreResult};
+
+/// Where to kill the store: the `byte`-th byte of the `write`-th
+/// write-side operation (both 0-based). `byte == 0` loses the whole
+/// write; `byte == size` persists it fully but still crashes before the
+/// caller sees success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Index of the write-side operation to interrupt.
+    pub write: u64,
+    /// Bytes of that operation to let through before dying.
+    pub byte: u64,
+}
+
+/// A [`Backend`] wrapper that simulates a crash at a [`CrashPoint`].
+///
+/// In *recording* mode (no crash point armed) it forwards everything and
+/// logs the byte size of each write-side operation — the script for an
+/// exhaustive sweep. Metadata operations (create/link/remove/truncate)
+/// count as 1-byte writes: they either happened or they didn't.
+///
+/// # Example
+///
+/// ```
+/// use spamaware_mfs::{Backend, CrashBackend, CrashPoint, DataRef, MemFs};
+/// let mut fs = CrashBackend::with_plan(MemFs::new(), CrashPoint { write: 1, byte: 2 });
+/// fs.append("f", DataRef::Bytes(b"ok"))?;
+/// assert!(fs.append("f", DataRef::Bytes(b"doomed")).is_err());
+/// assert!(fs.crashed());
+/// // Only the first 2 bytes of the torn append survive.
+/// let mut survivor = fs.into_inner();
+/// assert_eq!(survivor.len("f")?, 4);
+/// # Ok::<(), spamaware_mfs::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct CrashBackend<B> {
+    inner: B,
+    plan: Option<CrashPoint>,
+    writes_seen: u64,
+    crashed: bool,
+    write_log: Vec<u64>,
+}
+
+impl<B: Backend> CrashBackend<B> {
+    /// Wraps a backend in recording mode: nothing fails, every write-side
+    /// operation's byte size is logged.
+    pub fn new(inner: B) -> CrashBackend<B> {
+        CrashBackend {
+            inner,
+            plan: None,
+            writes_seen: 0,
+            crashed: false,
+            write_log: Vec::new(),
+        }
+    }
+
+    /// Wraps a backend armed to crash at `point`.
+    pub fn with_plan(inner: B, point: CrashPoint) -> CrashBackend<B> {
+        CrashBackend {
+            plan: Some(point),
+            ..CrashBackend::new(inner)
+        }
+    }
+
+    /// Byte sizes of the write-side operations seen so far, in order.
+    pub fn write_log(&self) -> &[u64] {
+        &self.write_log
+    }
+
+    /// Whether the crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Unwraps the inner backend — "reboots the machine": the surviving
+    /// bytes are whatever landed before the crash.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    fn dead(&self) -> StoreError {
+        StoreError::Io("crashed store".to_owned())
+    }
+
+    /// Accounts one write-side operation of `size` bytes. `Ok(None)` lets
+    /// it through whole; `Ok(Some(n))` means the crash fires now and only
+    /// the first `n` bytes may be persisted.
+    fn write_gate(&mut self, size: u64) -> StoreResult<Option<u64>> {
+        if self.crashed {
+            return Err(self.dead());
+        }
+        let index = self.writes_seen;
+        self.writes_seen += 1;
+        self.write_log.push(size);
+        if let Some(p) = self.plan {
+            if p.write == index {
+                self.crashed = true;
+                return Ok(Some(p.byte.min(size)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn read_gate(&self) -> StoreResult<()> {
+        if self.crashed {
+            return Err(self.dead());
+        }
+        Ok(())
+    }
+}
+
+impl<B: Backend> Backend for CrashBackend<B> {
+    fn create(&mut self, path: &str) -> StoreResult<()> {
+        match self.write_gate(1)? {
+            None => self.inner.create(path),
+            Some(cut) => {
+                if cut >= 1 {
+                    self.inner.create(path)?;
+                }
+                Err(self.dead())
+            }
+        }
+    }
+
+    fn append(&mut self, path: &str, data: DataRef<'_>) -> StoreResult<u64> {
+        match self.write_gate(data.len())? {
+            None => self.inner.append(path, data),
+            Some(cut) => {
+                if cut > 0 {
+                    let partial = match data {
+                        DataRef::Bytes(b) => DataRef::Bytes(&b[..cut as usize]),
+                        DataRef::Zeros(_) => DataRef::Zeros(cut),
+                    };
+                    self.inner.append(path, partial)?;
+                }
+                Err(self.dead())
+            }
+        }
+    }
+
+    fn read_at(&mut self, path: &str, offset: u64, len: u64) -> StoreResult<Vec<u8>> {
+        self.read_gate()?;
+        self.inner.read_at(path, offset, len)
+    }
+
+    fn len(&mut self, path: &str) -> StoreResult<u64> {
+        self.read_gate()?;
+        self.inner.len(path)
+    }
+
+    fn link(&mut self, src: &str, dst: &str) -> StoreResult<()> {
+        match self.write_gate(1)? {
+            None => self.inner.link(src, dst),
+            Some(cut) => {
+                if cut >= 1 {
+                    self.inner.link(src, dst)?;
+                }
+                Err(self.dead())
+            }
+        }
+    }
+
+    fn remove(&mut self, path: &str) -> StoreResult<()> {
+        match self.write_gate(1)? {
+            None => self.inner.remove(path),
+            Some(cut) => {
+                if cut >= 1 {
+                    self.inner.remove(path)?;
+                }
+                Err(self.dead())
+            }
+        }
+    }
+
+    fn truncate(&mut self, path: &str, len: u64) -> StoreResult<()> {
+        match self.write_gate(1)? {
+            None => self.inner.truncate(path, len),
+            Some(cut) => {
+                if cut >= 1 {
+                    self.inner.truncate(path, len)?;
+                }
+                Err(self.dead())
+            }
+        }
+    }
+
+    fn exists(&mut self, path: &str) -> bool {
+        !self.crashed && self.inner.exists(path)
+    }
+
+    fn list(&mut self, prefix: &str) -> StoreResult<Vec<String>> {
+        self.read_gate()?;
+        self.inner.list(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MailId, MailStore, MemFs, MfsStore};
+
+    #[test]
+    fn recording_mode_logs_write_sizes() -> Result<(), Box<dyn std::error::Error>> {
+        let mut fs = CrashBackend::new(MemFs::new());
+        fs.append("f", DataRef::Bytes(b"abcd"))?;
+        fs.create("g")?;
+        fs.remove("g")?;
+        fs.truncate("f", 2)?;
+        assert_eq!(fs.write_log(), &[4, 1, 1, 1]);
+        assert!(!fs.crashed());
+        Ok(())
+    }
+
+    #[test]
+    fn partial_append_persists_prefix_only() -> Result<(), Box<dyn std::error::Error>> {
+        let mut fs = CrashBackend::with_plan(MemFs::new(), CrashPoint { write: 0, byte: 3 });
+        assert!(fs.append("f", DataRef::Bytes(b"abcdef")).is_err());
+        let mut survivor = fs.into_inner();
+        assert_eq!(survivor.read_at("f", 0, 3)?, b"abc");
+        assert_eq!(survivor.len("f")?, 3);
+        Ok(())
+    }
+
+    #[test]
+    fn zero_byte_cut_loses_the_write() {
+        let mut fs = CrashBackend::with_plan(MemFs::new(), CrashPoint { write: 0, byte: 0 });
+        assert!(fs.append("f", DataRef::Bytes(b"gone")).is_err());
+        let mut survivor = fs.into_inner();
+        assert!(!survivor.exists("f"));
+    }
+
+    #[test]
+    fn full_cut_persists_but_still_errors() -> Result<(), Box<dyn std::error::Error>> {
+        let mut fs = CrashBackend::with_plan(MemFs::new(), CrashPoint { write: 0, byte: 99 });
+        assert!(fs.append("f", DataRef::Bytes(b"all")).is_err());
+        let mut survivor = fs.into_inner();
+        assert_eq!(survivor.read_at("f", 0, 3)?, b"all");
+        Ok(())
+    }
+
+    #[test]
+    fn everything_fails_after_the_crash() {
+        let mut fs = CrashBackend::with_plan(MemFs::new(), CrashPoint { write: 0, byte: 0 });
+        let _ = fs.append("f", DataRef::Bytes(b"x"));
+        assert!(fs.append("g", DataRef::Bytes(b"y")).is_err());
+        assert!(fs.read_at("f", 0, 1).is_err());
+        assert!(fs.len("f").is_err());
+        assert!(fs.list("").is_err());
+        assert!(fs.create("h").is_err());
+        assert!(!fs.exists("f"));
+    }
+
+    #[test]
+    fn zeros_payload_cut_preserves_size_semantics() -> Result<(), Box<dyn std::error::Error>> {
+        let mut fs = CrashBackend::with_plan(MemFs::size_only(), CrashPoint { write: 0, byte: 7 });
+        assert!(fs.append("f", DataRef::Zeros(100)).is_err());
+        let mut survivor = fs.into_inner();
+        assert_eq!(survivor.len("f")?, 7);
+        Ok(())
+    }
+
+    #[test]
+    fn torn_key_append_recovers_on_reopen() -> Result<(), Box<dyn std::error::Error>> {
+        // Find the key append for mailbox "a" by recording first.
+        let mut rec = MfsStore::new(CrashBackend::new(MemFs::new()));
+        rec.deliver(MailId(1), &["a"], DataRef::Bytes(b"mail"))?;
+        let writes = rec.backend_mut().write_log().len() as u64;
+        assert_eq!(writes, 2, "body append + key append");
+
+        // Crash 5 bytes into the key append: the body survives whole, the
+        // key record is torn; replay must drop it.
+        let mut store = MfsStore::new(CrashBackend::with_plan(
+            MemFs::new(),
+            CrashPoint { write: 1, byte: 5 },
+        ));
+        assert!(store
+            .deliver(MailId(1), &["a"], DataRef::Bytes(b"mail"))
+            .is_err());
+        let survivor =
+            std::mem::replace(store.backend_mut(), CrashBackend::new(MemFs::new())).into_inner();
+        let mut recovered = MfsStore::open(survivor)?;
+        assert_eq!(recovered.recovered_records(), 1);
+        assert!(recovered.read_mailbox("a")?.is_empty());
+        // The store stays writable after recovery.
+        recovered.deliver(MailId(1), &["a"], DataRef::Bytes(b"mail"))?;
+        assert_eq!(recovered.read_mailbox("a")?.len(), 1);
+        Ok(())
+    }
+}

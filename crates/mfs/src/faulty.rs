@@ -107,6 +107,11 @@ impl<B: Backend> Backend for FaultyBackend<B> {
         self.inner.remove(path)
     }
 
+    fn truncate(&mut self, path: &str, len: u64) -> StoreResult<()> {
+        self.gate(true)?;
+        self.inner.truncate(path, len)
+    }
+
     fn exists(&mut self, path: &str) -> bool {
         self.inner.exists(path)
     }

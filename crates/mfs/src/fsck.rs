@@ -1,0 +1,473 @@
+//! `mfsck` — offline repair for an MFS store.
+//!
+//! Strict replay ([`MfsStore::open`]) recovers from the one artifact a
+//! crash can leave — a torn trailing record — and refuses anything else.
+//! `fsck` repairs what replay won't, making every fix durable on disk:
+//!
+//! 1. **Torn tails** are truncated (same rule as replay).
+//! 2. **Corrupt frames** (invalid bytes mid-file) truncate the key file at
+//!    the corruption point, dropping everything after it.
+//! 3. **Truncated bodies**: key records whose byte range runs past the end
+//!    of their data file are dropped (the key file is rewritten without
+//!    them — a by-id tombstone couldn't single out one of several
+//!    same-id entries).
+//! 4. **Dangling refs**: mailbox entries referencing a shared mail absent
+//!    from the shmailbox index are dropped the same way.
+//! 5. **Refcounts** are rebuilt from the mailbox key files: over-counts
+//!    are clamped, under-counts raised, and orphaned shared bodies (zero
+//!    live references) garbage-collected — all by appending corrective
+//!    delta records to the shared key log.
+//!
+//! The report lists every repair in deterministic (path/id-sorted) order,
+//! so repeated runs over identical stores print byte-identical reports —
+//! pinned by the golden-fixture tests.
+
+use crate::frame::{self, Tail};
+use crate::mfs_store::{KeyRecord, SHARED};
+use crate::{Backend, DataRef, MailId, MfsStore, StoreResult};
+use std::fmt;
+
+/// Everything [`fsck`] repaired, in deterministic order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Key files whose torn trailing bytes were truncated:
+    /// `(path, bytes dropped)`.
+    pub torn_tails: Vec<(String, u64)>,
+    /// Key files truncated at a mid-file corrupt frame:
+    /// `(path, offset, bytes dropped)`.
+    pub corrupt_frames: Vec<(String, u64, u64)>,
+    /// Key records dropped because their byte range ran past the end
+    /// of the data file: `(mailbox, id)`; `shmailbox` entries lose the
+    /// shared body for every referencing mailbox.
+    pub truncated_bodies: Vec<(String, MailId)>,
+    /// Mailbox entries dropped for referencing a shared mail that is
+    /// not in the shmailbox index: `(mailbox, id)`.
+    pub dangling_refs: Vec<(String, MailId)>,
+    /// Shared refcounts lowered to the live reference count:
+    /// `(id, from, to)`.
+    pub clamped_refcounts: Vec<(MailId, i64, i64)>,
+    /// Shared refcounts raised to cover live references (under-counting
+    /// risks reclaiming a still-referenced body): `(id, from, to)`.
+    pub raised_refcounts: Vec<(MailId, i64, i64)>,
+    /// Shared bodies with zero live references garbage-collected:
+    /// `(id, reclaimable bytes)`.
+    pub orphans_reclaimed: Vec<(MailId, u64)>,
+}
+
+impl FsckReport {
+    /// Total repairs made.
+    pub fn repairs(&self) -> u64 {
+        (self.torn_tails.len()
+            + self.corrupt_frames.len()
+            + self.truncated_bodies.len()
+            + self.dangling_refs.len()
+            + self.clamped_refcounts.len()
+            + self.raised_refcounts.len()
+            + self.orphans_reclaimed.len()) as u64
+    }
+
+    /// Key files whose tail (torn or corrupt) was truncated — the
+    /// record-level recovery count reported as `live.recovered_records`.
+    pub fn recovered_records(&self) -> u64 {
+        (self.torn_tails.len() + self.corrupt_frames.len()) as u64
+    }
+
+    /// Whether the store needed no repair.
+    pub fn is_clean(&self) -> bool {
+        self.repairs() == 0
+    }
+}
+
+impl fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return writeln!(f, "mfsck: clean");
+        }
+        writeln!(f, "mfsck: {} repair(s)", self.repairs())?;
+        for (path, bytes) in &self.torn_tails {
+            writeln!(f, "  torn tail: {path} ({bytes} bytes dropped)")?;
+        }
+        for (path, offset, bytes) in &self.corrupt_frames {
+            writeln!(
+                f,
+                "  corrupt frame: {path} at offset {offset} ({bytes} bytes dropped)"
+            )?;
+        }
+        for (mb, id) in &self.truncated_bodies {
+            writeln!(f, "  truncated body: {mb}/{id} dropped")?;
+        }
+        for (mb, id) in &self.dangling_refs {
+            writeln!(f, "  dangling shared ref: {mb}/{id} dropped")?;
+        }
+        for (id, from, to) in &self.clamped_refcounts {
+            writeln!(f, "  refcount clamped: mail {id}: {from} -> {to}")?;
+        }
+        for (id, from, to) in &self.raised_refcounts {
+            writeln!(f, "  refcount raised: mail {id}: {from} -> {to}")?;
+        }
+        for (id, bytes) in &self.orphans_reclaimed {
+            writeln!(
+                f,
+                "  orphan shared body: mail {id} ({bytes} bytes reclaimed)"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn len_or_zero<B: Backend>(backend: &mut B, path: &str) -> StoreResult<u64> {
+    if backend.exists(path) {
+        backend.len(path)
+    } else {
+        Ok(0)
+    }
+}
+
+/// Repairs an MFS store in place and opens it, returning the usable store
+/// plus a deterministic report of every repair. Running `fsck` on the
+/// resulting files again reports clean.
+///
+/// # Errors
+///
+/// Propagates backend I/O failures; unlike [`MfsStore::open`], corrupt
+/// key files are repaired (truncated at the corruption point), not
+/// reported as errors.
+pub fn fsck<B: Backend>(backend: B) -> StoreResult<(MfsStore<B>, FsckReport)> {
+    let mut report = FsckReport::default();
+    let mut store = MfsStore::new(backend);
+    let backend = store.backend_mut();
+
+    // 1+2. Cut every key file back to its longest valid frame prefix.
+    for path in backend.list("mfs/")? {
+        if !path.ends_with(".key") {
+            continue;
+        }
+        let total = backend.len(&path)?;
+        let bytes = backend.read_at(&path, 0, total)?;
+        match frame::scan(&bytes).1 {
+            Tail::Clean => {}
+            Tail::Torn { offset, .. } => {
+                backend.truncate(&path, offset)?;
+                report.torn_tails.push((path, total - offset));
+            }
+            Tail::Corrupt { offset, .. } => {
+                backend.truncate(&path, offset)?;
+                report.corrupt_frames.push((path, offset, total - offset));
+            }
+        }
+    }
+
+    // Replay the now frame-clean files without clamping, so every
+    // refcount discrepancy is still visible for reporting. Detach first:
+    // the accounting debug-check would trip on the very damage (dangling
+    // refs, under-counts) this pass exists to repair.
+    store.set_detached();
+    store.replay_partition(true, &|_| true, false)?;
+
+    // 3a. Shared entries whose body range runs past the shared data file:
+    // the body is unreadable, so zero the refcount out of the log.
+    let shared_data_len = len_or_zero(store.backend_mut(), &MfsStore::<B>::data_path(SHARED))?;
+    let mut shared_ids: Vec<MailId> = store.shared.keys().copied().collect();
+    shared_ids.sort_unstable();
+    for id in &shared_ids {
+        let Some(e) = store.shared.get(id).copied() else {
+            continue;
+        };
+        if e.offset.saturating_add(e.len) > shared_data_len {
+            store.append_key(
+                SHARED,
+                KeyRecord {
+                    id: *id,
+                    offset: e.offset,
+                    len: e.len,
+                    delta: -e.refs,
+                },
+            )?;
+            store.shared.remove(id);
+            report.truncated_bodies.push((SHARED.to_owned(), *id));
+        }
+    }
+
+    // 3b+4. Mailbox entries that are unreadable (own body range past the
+    // data file) or dangling (shared mail absent from the index). A by-id
+    // tombstone can't single out one of several same-id entries, so the
+    // repair rewrites the key file from the surviving entries instead —
+    // the one place fsck replaces a log rather than appending to it.
+    let mut mailbox_names: Vec<String> = store.mailboxes.keys().cloned().collect();
+    mailbox_names.sort_unstable();
+    for mb in &mailbox_names {
+        let data_len = len_or_zero(store.backend_mut(), &MfsStore::<B>::data_path(mb))?;
+        let entries = store.mailboxes.get(mb).cloned().unwrap_or_default();
+        let mut keep = Vec::with_capacity(entries.len());
+        for e in &entries {
+            let (bad, dangling) = if e.shared {
+                match store.shared.get(&e.id) {
+                    None => (true, true),
+                    // Range vs the shared data file was checked in 3a via
+                    // the index entry all references share.
+                    Some(_) => (false, false),
+                }
+            } else {
+                (e.offset.saturating_add(e.len) > data_len, false)
+            };
+            if bad {
+                if dangling {
+                    report.dangling_refs.push((mb.clone(), e.id));
+                } else {
+                    report.truncated_bodies.push((mb.clone(), e.id));
+                }
+            } else {
+                keep.push(*e);
+            }
+        }
+        if keep.len() != entries.len() {
+            let mut bytes = Vec::with_capacity(keep.len() * frame::FRAME_LEN);
+            for e in &keep {
+                bytes.extend_from_slice(&frame::encode(
+                    &KeyRecord {
+                        id: e.id,
+                        offset: e.offset,
+                        len: e.len,
+                        delta: if e.shared { -1 } else { 1 },
+                    }
+                    .encode(),
+                ));
+            }
+            store
+                .backend_mut()
+                .replace(&MfsStore::<B>::key_path(mb), DataRef::Bytes(&bytes))?;
+            store.mailboxes.insert(mb.clone(), keep);
+        }
+    }
+
+    // 5. Rebuild shmailbox refcounts from the surviving mailbox entries.
+    let mut held: std::collections::HashMap<MailId, i64> = std::collections::HashMap::new();
+    for entries in store.mailboxes.values() {
+        for e in entries.iter().filter(|e| e.shared) {
+            *held.entry(e.id).or_insert(0) += 1;
+        }
+    }
+    let mut shared_ids: Vec<MailId> = store.shared.keys().copied().collect();
+    shared_ids.sort_unstable();
+    for id in &shared_ids {
+        let live = held.get(id).copied().unwrap_or(0);
+        let Some(e) = store.shared.get(id).copied() else {
+            continue;
+        };
+        if e.refs == live {
+            continue;
+        }
+        store.append_key(
+            SHARED,
+            KeyRecord {
+                id: *id,
+                offset: e.offset,
+                len: e.len,
+                delta: live - e.refs,
+            },
+        )?;
+        if live == 0 {
+            store.freed_shared_bytes += e.len;
+            store.shared.remove(id);
+            report.orphans_reclaimed.push((*id, e.len));
+        } else {
+            if let Some(entry) = store.shared.get_mut(id) {
+                entry.refs = live;
+            }
+            if e.refs > live {
+                report.clamped_refcounts.push((*id, e.refs, live));
+            } else {
+                report.raised_refcounts.push((*id, e.refs, live));
+            }
+        }
+    }
+
+    store.set_attached();
+    store.debug_check_shared_accounting();
+    Ok((store, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataRef, MailStore, MemFs, StoreError};
+
+    fn backend_of(store: MfsStore<MemFs>) -> MemFs {
+        let mut store = store;
+        std::mem::replace(store.backend_mut(), MemFs::new())
+    }
+
+    #[test]
+    fn clean_store_reports_clean() -> Result<(), Box<dyn std::error::Error>> {
+        let mut s = MfsStore::new(MemFs::new());
+        s.deliver(MailId(1), &["a", "b"], DataRef::Bytes(b"shared"))?;
+        s.deliver(MailId(2), &["a"], DataRef::Bytes(b"own"))?;
+        let (mut repaired, report) = fsck(backend_of(s))?;
+        assert!(report.is_clean());
+        assert_eq!(report.to_string(), "mfsck: clean\n");
+        assert_eq!(repaired.read_mailbox("a")?.len(), 2);
+        Ok(())
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() -> Result<(), Box<dyn std::error::Error>> {
+        let mut s = MfsStore::new(MemFs::new());
+        s.deliver(MailId(1), &["a"], DataRef::Bytes(b"mail"))?;
+        let mut fs = backend_of(s);
+        fs.append("mfs/a.key", DataRef::Bytes(&[0x01, 0x20, 0xAB]))?;
+        let (mut repaired, report) = fsck(fs)?;
+        assert_eq!(report.torn_tails, vec![("mfs/a.key".to_owned(), 3)]);
+        assert_eq!(repaired.read_mailbox("a")?.len(), 1);
+        // Second run is clean.
+        let (_, again) = fsck(backend_of(repaired))?;
+        assert!(again.is_clean());
+        Ok(())
+    }
+
+    #[test]
+    fn corrupt_frame_truncates_at_corruption_point() -> Result<(), Box<dyn std::error::Error>> {
+        // Flip a byte inside the first frame: strict open refuses, fsck
+        // truncates both records away (the second follows the corruption).
+        let build = || -> Result<MemFs, StoreError> {
+            let mut s = MfsStore::new(MemFs::new());
+            s.deliver(MailId(1), &["a"], DataRef::Bytes(b"one"))?;
+            s.deliver(MailId(2), &["a"], DataRef::Bytes(b"two"))?;
+            let mut fs = backend_of(s);
+            let total = fs.len("mfs/a.key")?;
+            let mut bytes = fs.read_at("mfs/a.key", 0, total)?;
+            bytes[10] ^= 0xFF;
+            fs.replace("mfs/a.key", DataRef::Bytes(&bytes))?;
+            Ok(fs)
+        };
+        assert!(matches!(
+            MfsStore::open(build()?),
+            Err(StoreError::CorruptRecord(_))
+        ));
+        let (mut repaired, report) = fsck(build()?)?;
+        assert_eq!(report.corrupt_frames.len(), 1);
+        assert_eq!(report.corrupt_frames[0].1, 0, "corruption at offset 0");
+        assert!(repaired.read_mailbox("a")?.is_empty());
+        Ok(())
+    }
+
+    #[test]
+    fn over_counted_refcount_is_clamped_on_disk() -> Result<(), Box<dyn std::error::Error>> {
+        let mut s = MfsStore::new(MemFs::new());
+        s.deliver(MailId(5), &["a", "b"], DataRef::Bytes(b"body"))?;
+        let mut fs = backend_of(s);
+        // Simulate a crash after the shared-log append but before any
+        // attach: an extra +3 delta with no matching mailbox entries.
+        let extra = frame::encode(
+            &KeyRecord {
+                id: MailId(5),
+                offset: 0,
+                len: 4,
+                delta: 3,
+            }
+            .encode(),
+        );
+        fs.append("mfs/shmailbox.key", DataRef::Bytes(&extra))?;
+        let (repaired, report) = fsck(fs)?;
+        assert_eq!(report.clamped_refcounts, vec![(MailId(5), 5, 2)]);
+        assert_eq!(repaired.stats().shared_mails, 1);
+        // The clamp is durable: a strict reopen agrees without clamping.
+        let (reopened, again) = fsck(backend_of(repaired))?;
+        assert!(again.is_clean());
+        assert_eq!(reopened.stats().shared_mails, 1);
+        Ok(())
+    }
+
+    #[test]
+    fn orphan_shared_body_is_reclaimed() -> Result<(), Box<dyn std::error::Error>> {
+        let mut s = MfsStore::new(MemFs::new());
+        s.deliver(MailId(9), &["x", "y"], DataRef::Bytes(b"orphan"))?;
+        let mut fs = backend_of(s);
+        // Lose both mailbox key files: the shared body has no referents.
+        fs.remove("mfs/x.key")?;
+        fs.remove("mfs/y.key")?;
+        let (repaired, report) = fsck(fs)?;
+        assert_eq!(report.orphans_reclaimed, vec![(MailId(9), 6)]);
+        assert_eq!(repaired.stats().shared_mails, 0);
+        assert_eq!(repaired.stats().freed_shared_bytes, 6);
+        Ok(())
+    }
+
+    #[test]
+    fn dangling_ref_is_tombstoned() -> Result<(), Box<dyn std::error::Error>> {
+        let mut s = MfsStore::new(MemFs::new());
+        s.deliver(MailId(3), &["a", "b"], DataRef::Bytes(b"body"))?;
+        let mut fs = backend_of(s);
+        // Lose the shared key log: both mailbox refs now dangle.
+        fs.remove("mfs/shmailbox.key")?;
+        let (mut repaired, report) = fsck(fs)?;
+        assert_eq!(
+            report.dangling_refs,
+            vec![("a".to_owned(), MailId(3)), ("b".to_owned(), MailId(3))]
+        );
+        assert!(repaired.read_mailbox("a")?.is_empty());
+        assert!(repaired.read_mailbox("b")?.is_empty());
+        let (_, again) = fsck(backend_of(repaired))?;
+        assert!(again.is_clean());
+        Ok(())
+    }
+
+    #[test]
+    fn under_counted_refcount_is_raised() -> Result<(), Box<dyn std::error::Error>> {
+        let mut s = MfsStore::new(MemFs::new());
+        s.deliver(MailId(4), &["a", "b", "c"], DataRef::Bytes(b"body"))?;
+        let mut fs = backend_of(s);
+        // A hostile -2 delta: refcount drops to 1 with 3 live refs.
+        let rogue = frame::encode(
+            &KeyRecord {
+                id: MailId(4),
+                offset: 0,
+                len: 4,
+                delta: -2,
+            }
+            .encode(),
+        );
+        fs.append("mfs/shmailbox.key", DataRef::Bytes(&rogue))?;
+        let (mut repaired, report) = fsck(fs)?;
+        assert_eq!(report.raised_refcounts, vec![(MailId(4), 1, 3)]);
+        // All three mailboxes still read the body.
+        for mb in ["a", "b", "c"] {
+            assert_eq!(repaired.read_mailbox(mb)?[0].body, b"body");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn truncated_own_body_is_tombstoned() -> Result<(), Box<dyn std::error::Error>> {
+        let mut s = MfsStore::new(MemFs::new());
+        s.deliver(MailId(1), &["a"], DataRef::Bytes(b"short"))?;
+        s.deliver(MailId(2), &["a"], DataRef::Bytes(b"casualty"))?;
+        let mut fs = backend_of(s);
+        // Data file loses its tail (e.g. restored from a short backup).
+        fs.truncate("mfs/a.data", 5)?;
+        let (mut repaired, report) = fsck(fs)?;
+        assert_eq!(report.truncated_bodies, vec![("a".to_owned(), MailId(2))]);
+        let mails = repaired.read_mailbox("a")?;
+        assert_eq!(mails.len(), 1);
+        assert_eq!(mails[0].body, b"short");
+        Ok(())
+    }
+
+    #[test]
+    fn report_display_is_deterministic() -> Result<(), Box<dyn std::error::Error>> {
+        let build = || -> StoreResult<MemFs> {
+            let mut s = MfsStore::new(MemFs::new());
+            s.deliver(MailId(1), &["a", "b"], DataRef::Bytes(b"one"))?;
+            s.deliver(MailId(2), &["c", "d"], DataRef::Bytes(b"two"))?;
+            let mut fs = backend_of(s);
+            fs.remove("mfs/a.key")?;
+            fs.append("mfs/c.key", DataRef::Bytes(&[0x01]))?;
+            Ok(fs)
+        };
+        let (_, r1) = fsck(build()?)?;
+        let (_, r2) = fsck(build()?)?;
+        assert_eq!(r1, r2);
+        assert_eq!(r1.to_string(), r2.to_string());
+        assert!(r1.repairs() > 0);
+        Ok(())
+    }
+}

@@ -43,8 +43,11 @@
 //! ```
 
 mod backend;
+mod crash;
 mod error;
 mod faulty;
+mod frame;
+mod fsck;
 mod handle;
 mod id;
 mod maildir;
@@ -57,8 +60,10 @@ mod sharded;
 mod store;
 
 pub use backend::{Backend, DataRef};
+pub use crash::{CrashBackend, CrashPoint};
 pub use error::{StoreError, StoreResult};
 pub use faulty::{FaultPlan, FaultyBackend};
+pub use fsck::{fsck, FsckReport};
 pub use handle::{MailFile, Whence};
 pub use id::{MailId, MailIdAllocator};
 pub use maildir::{HardlinkStore, MaildirStore};

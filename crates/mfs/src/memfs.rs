@@ -3,7 +3,7 @@
 use crate::{Backend, DataRef, StoreError, StoreResult};
 use std::collections::HashMap;
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Inode {
     data: Vec<u8>,
     len: u64,
@@ -15,6 +15,10 @@ struct Inode {
 /// With `retain_content` off, only file lengths are tracked (reads return
 /// zeros) — the mode used by the simulation, where bodies are size-only.
 ///
+/// `Clone` snapshots the whole file system (hard links preserved) — the
+/// crash tests clone a post-crash image to repair it several independent
+/// ways.
+///
 /// # Example
 ///
 /// ```
@@ -25,7 +29,7 @@ struct Inode {
 /// assert_eq!(fs.read_at("box/a", 1, 3)?, b"ell");
 /// # Ok::<(), spamaware_mfs::StoreError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct MemFs {
     paths: HashMap<String, usize>,
     inodes: Vec<Inode>,
@@ -160,6 +164,22 @@ impl Backend for MemFs {
         if inode.nlink == 0 {
             inode.data = Vec::new();
             inode.len = 0;
+        }
+        Ok(())
+    }
+
+    fn truncate(&mut self, path: &str, len: u64) -> StoreResult<()> {
+        let ino = self.inode_of(path)?;
+        let inode = &mut self.inodes[ino];
+        if len > inode.len {
+            return Err(StoreError::OutOfRange(format!(
+                "{path}: truncate to {len} > {}",
+                inode.len
+            )));
+        }
+        inode.len = len;
+        if self.retain {
+            inode.data.truncate(len as usize);
         }
         Ok(())
     }

@@ -16,6 +16,7 @@
 //!   append-only, which is what a mail server wants from its I/O pattern.
 
 use crate::backend::DataRef;
+use crate::frame::{self, Tail};
 use crate::{Backend, MailId, MailStore, StoreError, StoreResult, StoredMail};
 use spamaware_metrics::{Counter, Registry, SpanHandle};
 use std::collections::HashMap;
@@ -36,20 +37,20 @@ struct StoreMetrics {
 }
 
 const RECORD_LEN: u64 = 32;
-const SHARED: &str = "shmailbox";
+pub(crate) const SHARED: &str = "shmailbox";
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct KeyRecord {
-    id: MailId,
-    offset: u64,
-    len: u64,
+pub(crate) struct KeyRecord {
+    pub(crate) id: MailId,
+    pub(crate) offset: u64,
+    pub(crate) len: u64,
     /// Mailbox key files: `1` own record, `-1` shared reference, `0`
     /// tombstone. Shared key file: signed refcount delta.
-    delta: i64,
+    pub(crate) delta: i64,
 }
 
 impl KeyRecord {
-    fn encode(self) -> [u8; RECORD_LEN as usize] {
+    pub(crate) fn encode(self) -> [u8; RECORD_LEN as usize] {
         let mut b = [0u8; RECORD_LEN as usize];
         b[..8].copy_from_slice(&self.id.0.to_be_bytes());
         b[8..16].copy_from_slice(&self.offset.to_be_bytes());
@@ -58,7 +59,7 @@ impl KeyRecord {
         b
     }
 
-    fn decode(b: &[u8], path: &str) -> StoreResult<KeyRecord> {
+    pub(crate) fn decode(b: &[u8], path: &str) -> StoreResult<KeyRecord> {
         if b.len() != RECORD_LEN as usize {
             return Err(StoreError::CorruptRecord(format!(
                 "{path}: key record of {} bytes",
@@ -75,18 +76,18 @@ impl KeyRecord {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct SharedEntry {
-    offset: u64,
-    len: u64,
-    refs: i64,
+pub(crate) struct SharedEntry {
+    pub(crate) offset: u64,
+    pub(crate) len: u64,
+    pub(crate) refs: i64,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct MailboxEntry {
-    id: MailId,
-    offset: u64,
-    len: u64,
-    shared: bool,
+pub(crate) struct MailboxEntry {
+    pub(crate) id: MailId,
+    pub(crate) offset: u64,
+    pub(crate) len: u64,
+    pub(crate) shared: bool,
 }
 
 /// Aggregate MFS statistics.
@@ -121,11 +122,13 @@ pub struct MfsStats {
 #[derive(Debug)]
 pub struct MfsStore<B> {
     backend: B,
-    shared: HashMap<MailId, SharedEntry>,
-    mailboxes: HashMap<String, Vec<MailboxEntry>>,
-    freed_shared_bytes: u64,
+    pub(crate) shared: HashMap<MailId, SharedEntry>,
+    pub(crate) mailboxes: HashMap<String, Vec<MailboxEntry>>,
+    pub(crate) freed_shared_bytes: u64,
     share_threshold: usize,
     metrics: Option<StoreMetrics>,
+    /// Torn trailing records truncated away while replaying key files.
+    recovered: u64,
     /// True when this store is one partition of a [`crate::ShardedStore`]:
     /// mailbox shards hold shared *references* without the shared index
     /// (and vice versa), so the cross-file accounting check must not run —
@@ -146,6 +149,7 @@ impl<B: Backend> MfsStore<B> {
             freed_shared_bytes: 0,
             share_threshold: 2,
             metrics: None,
+            recovered: 0,
             detached: false,
         }
     }
@@ -154,6 +158,12 @@ impl<B: Backend> MfsStore<B> {
     /// [`MfsStore::detached`] field docs).
     pub(crate) fn set_detached(&mut self) {
         self.detached = true;
+    }
+
+    /// Re-enables the cross-file accounting check after [`crate::fsck`]
+    /// has restored the invariants it asserts.
+    pub(crate) fn set_attached(&mut self) {
+        self.detached = false;
     }
 
     /// Reports storage latency and byte/refcount accounting into
@@ -192,14 +202,39 @@ impl<B: Backend> MfsStore<B> {
     /// Opens a store over an existing backend, rebuilding the in-memory
     /// index by replaying every key file (crash recovery).
     ///
+    /// A torn trailing record in any key file — an append interrupted by a
+    /// crash — is truncated away and counted in
+    /// [`MfsStore::recovered_records`]; shared refcounts left over-counted
+    /// by a torn refcount log are clamped to the live reference count.
+    ///
     /// # Errors
     ///
-    /// Returns [`StoreError::CorruptRecord`] if any key file fails to
-    /// decode.
+    /// Returns [`StoreError::CorruptRecord`] if a key file is corrupt
+    /// (an invalid frame *followed by* valid data — something no crash can
+    /// produce). Run [`crate::fsck`] to repair such a store.
     pub fn open(backend: B) -> StoreResult<MfsStore<B>> {
         let mut store = MfsStore::new(backend);
         store.replay()?;
         Ok(store)
+    }
+
+    /// Torn trailing key records truncated away by replay (see
+    /// [`MfsStore::open`]).
+    pub fn recovered_records(&self) -> u64 {
+        self.recovered
+    }
+
+    /// The highest [`MailId`] referenced anywhere in the store (live
+    /// mailbox entries and shared bodies), or `None` when empty. A
+    /// reopened server seeds its id allocator above this so recovery
+    /// never reuses an id already on disk.
+    pub fn max_mail_id(&self) -> Option<MailId> {
+        let in_boxes = self
+            .mailboxes
+            .values()
+            .flat_map(|entries| entries.iter().map(|e| e.id));
+        let in_shared = self.shared.keys().copied();
+        in_boxes.chain(in_shared).max()
     }
 
     /// The underlying backend.
@@ -232,17 +267,19 @@ impl<B: Backend> MfsStore<B> {
         stats
     }
 
-    fn key_path(mailbox: &str) -> String {
+    pub(crate) fn key_path(mailbox: &str) -> String {
         format!("mfs/{mailbox}.key")
     }
 
-    fn data_path(mailbox: &str) -> String {
+    pub(crate) fn data_path(mailbox: &str) -> String {
         format!("mfs/{mailbox}.data")
     }
 
-    fn append_key(&mut self, mailbox: &str, rec: KeyRecord) -> StoreResult<()> {
-        self.backend
-            .append(&Self::key_path(mailbox), DataRef::Bytes(&rec.encode()))?;
+    pub(crate) fn append_key(&mut self, mailbox: &str, rec: KeyRecord) -> StoreResult<()> {
+        self.backend.append(
+            &Self::key_path(mailbox),
+            DataRef::Bytes(&frame::encode(&rec.encode())),
+        )?;
         Ok(())
     }
 
@@ -255,17 +292,26 @@ impl<B: Backend> MfsStore<B> {
 
     /// Replays all key files into the in-memory index.
     fn replay(&mut self) -> StoreResult<()> {
-        self.replay_partition(true, &|_| true)
+        self.replay_partition(true, &|_| true, true)
     }
 
     /// Replays a partition of the key files: the shared key file when
     /// `include_shared`, and exactly the mailbox key files whose name
     /// passes `keep`. A [`crate::ShardedStore`] opens one detached store
     /// per partition so shards never hold each other's index.
+    ///
+    /// With `clamp_shared` (a full, non-partitioned replay only — it needs
+    /// every mailbox in view), each shared refcount is clamped down to the
+    /// number of live references: a crash between the shared-log append
+    /// and the per-recipient attaches leaves the count high, and without
+    /// the clamp those bodies would never be reclaimed. A partitioned
+    /// replay must not clamp — the shared partition sees no mailboxes, so
+    /// clamping there would reclaim every live body.
     pub(crate) fn replay_partition(
         &mut self,
         include_shared: bool,
         keep: &dyn Fn(&str) -> bool,
+        clamp_shared: bool,
     ) -> StoreResult<()> {
         self.shared.clear();
         self.mailboxes.clear();
@@ -311,7 +357,15 @@ impl<B: Backend> MfsStore<B> {
             let mut entries: Vec<MailboxEntry> = Vec::new();
             for rec in self.read_key_records(&path)? {
                 match rec.delta {
-                    0 => entries.retain(|e| e.id != rec.id),
+                    // One tombstone deletes one entry — the first match,
+                    // exactly like the live `delete_local` path, so a
+                    // mailbox holding duplicate ids replays to the same
+                    // contents the writer saw.
+                    0 => {
+                        if let Some(idx) = entries.iter().position(|e| e.id == rec.id) {
+                            entries.remove(idx);
+                        }
+                    }
                     d => entries.push(MailboxEntry {
                         id: rec.id,
                         offset: rec.offset,
@@ -322,23 +376,61 @@ impl<B: Backend> MfsStore<B> {
             }
             self.mailboxes.insert(mailbox, entries);
         }
+        if clamp_shared {
+            self.clamp_shared_refcounts();
+        }
         self.debug_check_shared_accounting();
         Ok(())
     }
 
+    /// Lowers every shared refcount to its live mailbox reference count
+    /// (in-memory only; [`crate::fsck`] makes the same repair durable).
+    fn clamp_shared_refcounts(&mut self) {
+        let mut held: HashMap<MailId, i64> = HashMap::new();
+        for entries in self.mailboxes.values() {
+            for e in entries.iter().filter(|e| e.shared) {
+                *held.entry(e.id).or_insert(0) += 1;
+            }
+        }
+        let ids: Vec<MailId> = self.shared.keys().copied().collect();
+        for id in ids {
+            let live = held.get(&id).copied().unwrap_or(0);
+            let Some(e) = self.shared.get_mut(&id) else {
+                continue;
+            };
+            if e.refs > live {
+                if live == 0 {
+                    self.freed_shared_bytes += e.len;
+                    self.shared.remove(&id);
+                } else {
+                    e.refs = live;
+                }
+            }
+        }
+    }
+
+    /// Reads and validates one key file's frames. A torn trailing frame is
+    /// truncated away (counted in `recovered`); a corrupt frame mid-file
+    /// is a hard error — [`crate::fsck`] repairs what strict replay won't.
     fn read_key_records(&mut self, path: &str) -> StoreResult<Vec<KeyRecord>> {
         let total = self.backend.len(path)?;
-        if total % RECORD_LEN != 0 {
-            return Err(StoreError::CorruptRecord(format!(
-                "{path}: length {total} not a record multiple"
-            )));
+        let bytes = self.backend.read_at(path, 0, total)?;
+        let (payloads, tail) = frame::scan(&bytes);
+        match tail {
+            Tail::Clean => {}
+            Tail::Torn { offset, .. } => {
+                self.backend.truncate(path, offset)?;
+                self.recovered += 1;
+            }
+            Tail::Corrupt { offset, fault } => {
+                return Err(StoreError::CorruptRecord(format!(
+                    "{path}: {fault} at offset {offset}"
+                )));
+            }
         }
-        let mut out = Vec::with_capacity((total / RECORD_LEN) as usize);
-        let mut pos = 0;
-        while pos < total {
-            let bytes = self.backend.read_at(path, pos, RECORD_LEN)?;
-            out.push(KeyRecord::decode(&bytes, path)?);
-            pos += RECORD_LEN;
+        let mut out = Vec::with_capacity(payloads.len());
+        for p in &payloads {
+            out.push(KeyRecord::decode(p, path)?);
         }
         Ok(out)
     }
@@ -608,9 +700,9 @@ impl<B: Backend> MfsStore<B> {
     /// mailbox entries referencing it, and no mailbox entry points at an
     /// already-reclaimed shared mail. Under-counting would reclaim the
     /// single stored copy while mailboxes still reference it (data loss);
-    /// over-counting can legitimately arise from replaying a torn log and
-    /// merely delays reclamation. Compiles to a no-op in release builds.
-    fn debug_check_shared_accounting(&self) {
+    /// over-counting is clamped at replay and repaired on disk by
+    /// [`crate::fsck`]. Compiles to a no-op in release builds.
+    pub(crate) fn debug_check_shared_accounting(&self) {
         if !cfg!(debug_assertions) || self.detached {
             return;
         }
@@ -690,7 +782,7 @@ mod tests {
     fn multi_recipient_body_stored_once() -> Result<(), Box<dyn std::error::Error>> {
         let mut s = store();
         s.deliver(MailId(1), &["a", "b", "c"], DataRef::Bytes(b"spam body"))?;
-        // Shared data file holds one copy; key files hold 32-byte tuples.
+        // Shared data file holds one copy; key files hold framed tuples.
         assert_eq!(
             s.backend_mut().len("mfs/shmailbox.data")?,
             9,
@@ -909,14 +1001,14 @@ impl<B: Backend> MfsStore<B> {
         let reclaimed = old_len.saturating_sub(new_data.len() as u64);
         self.backend.replace(&sh_data, DataRef::Bytes(&new_data))?;
         // 2. Collapse the shared key log.
-        let mut key_bytes = Vec::with_capacity(ids.len() * RECORD_LEN as usize);
+        let mut key_bytes = Vec::with_capacity(ids.len() * frame::FRAME_LEN);
         for id in &ids {
             let Some(e) = self.shared.get_mut(id) else {
                 debug_assert!(false, "id {id} was listed from the shared index");
                 continue;
             };
             e.offset = new_offsets[id];
-            key_bytes.extend_from_slice(
+            key_bytes.extend_from_slice(&frame::encode(
                 &KeyRecord {
                     id: *id,
                     offset: e.offset,
@@ -924,7 +1016,7 @@ impl<B: Backend> MfsStore<B> {
                     delta: e.refs,
                 }
                 .encode(),
-            );
+            ));
         }
         self.backend.replace(&sh_key, DataRef::Bytes(&key_bytes))?;
         self.freed_shared_bytes = 0;
@@ -936,12 +1028,12 @@ impl<B: Backend> MfsStore<B> {
                 debug_assert!(false, "mailbox {mb} was listed from the index");
                 continue;
             };
-            let mut bytes = Vec::with_capacity(entries.len() * RECORD_LEN as usize);
+            let mut bytes = Vec::with_capacity(entries.len() * frame::FRAME_LEN);
             for e in entries.iter_mut() {
                 if e.shared {
                     e.offset = new_offsets[&e.id];
                 }
-                bytes.extend_from_slice(
+                bytes.extend_from_slice(&frame::encode(
                     &KeyRecord {
                         id: e.id,
                         offset: e.offset,
@@ -949,7 +1041,7 @@ impl<B: Backend> MfsStore<B> {
                         delta: if e.shared { -1 } else { 1 },
                     }
                     .encode(),
-                );
+                ));
             }
             self.backend
                 .replace(&Self::key_path(&mb), DataRef::Bytes(&bytes))?;
@@ -1010,8 +1102,8 @@ mod compact_tests {
         s.compact()?;
         let key_after = s.backend_mut().len("mfs/shmailbox.key")?;
         assert!(key_after < key_before);
-        // One live shared mail -> exactly one record.
-        assert_eq!(key_after, 32);
+        // One live shared mail -> exactly one framed record.
+        assert_eq!(key_after, crate::frame::FRAME_LEN as u64);
         Ok(())
     }
 

@@ -223,6 +223,13 @@ impl<B: Backend> Backend for Metered<B> {
         Ok(())
     }
 
+    fn truncate(&mut self, path: &str, len: u64) -> StoreResult<()> {
+        // Recovery-only metadata operation; charged like a removal.
+        self.inner.truncate(path, len)?;
+        self.cost += self.profile.delete;
+        Ok(())
+    }
+
     fn exists(&mut self, path: &str) -> bool {
         self.inner.exists(path)
     }

@@ -134,6 +134,22 @@ impl Backend for RealDir {
         fs::remove_file(&full).map_err(|_| StoreError::NotFound(path.to_owned()))
     }
 
+    fn truncate(&mut self, path: &str, len: u64) -> StoreResult<()> {
+        let full = self.resolve(path)?;
+        let f = OpenOptions::new()
+            .write(true)
+            .open(&full)
+            .map_err(|_| StoreError::NotFound(path.to_owned()))?;
+        let size = f.metadata()?.len();
+        if len > size {
+            return Err(StoreError::OutOfRange(format!(
+                "{path}: truncate to {len} > {size}"
+            )));
+        }
+        f.set_len(len)?;
+        Ok(())
+    }
+
     fn exists(&mut self, path: &str) -> bool {
         self.resolve(path).map(|p| p.exists()).unwrap_or(false)
     }

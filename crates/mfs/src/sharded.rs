@@ -113,13 +113,17 @@ impl<B: Backend> ShardedStore<B> {
         mut make: impl FnMut() -> StoreResult<B>,
     ) -> StoreResult<ShardedStore<B>> {
         assert!(shards >= 1, "shard count must be at least 1");
+        // A partitioned replay must not clamp shared refcounts: the shared
+        // partition replays with no mailboxes in view, so clamping there
+        // would reclaim every live body. Cross-partition repair is
+        // `open_with_fsck`'s job.
         let mut shared = MfsStore::new(make()?);
-        shared.replay_partition(true, &|_| false)?;
+        shared.replay_partition(true, &|_| false, false)?;
         let mut parts = Vec::with_capacity(shards);
         for i in 0..shards {
             let mut shard = MfsStore::new(make()?);
             shard.set_detached();
-            shard.replay_partition(false, &|mb| shard_index(mb, shards) == i)?;
+            shard.replay_partition(false, &|mb| shard_index(mb, shards) == i, false)?;
             parts.push(Mutex::new(shard));
         }
         Ok(ShardedStore {
@@ -128,6 +132,53 @@ impl<B: Backend> ShardedStore<B> {
             share_threshold: 2,
             metrics: None,
         })
+    }
+
+    /// Opens a sharded store with a durable repair pass first: runs
+    /// [`crate::fsck`] over one backend handle (truncating torn tails,
+    /// dropping corrupt frames, rebuilding shmailbox refcounts on disk),
+    /// then opens the partitions over the repaired files. This is how the
+    /// live server restarts after a crash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction failures; unlike
+    /// [`ShardedStore::open_with`], corrupt key files are repaired rather
+    /// than reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn open_with_fsck(
+        shards: usize,
+        mut make: impl FnMut() -> StoreResult<B>,
+    ) -> StoreResult<(ShardedStore<B>, crate::FsckReport)> {
+        let (repaired, report) = crate::fsck(make()?)?;
+        drop(repaired);
+        let store = Self::open_with(shards, make)?;
+        Ok((store, report))
+    }
+
+    /// The highest [`MailId`] anywhere in the store (see
+    /// [`MfsStore::max_mail_id`]); the live server seeds its allocator
+    /// above this on restart so ids are never reused.
+    pub fn max_mail_id(&self) -> Option<MailId> {
+        let mut max = self.shared.lock().max_mail_id();
+        for shard in &self.shards {
+            max = max.max(shard.lock().max_mail_id());
+        }
+        max
+    }
+
+    /// Torn trailing key records truncated away while replaying the
+    /// partitions (summed across shards; see
+    /// [`MfsStore::recovered_records`]).
+    pub fn recovered_records(&self) -> u64 {
+        let mut total = self.shared.lock().recovered_records();
+        for shard in &self.shards {
+            total += shard.lock().recovered_records();
+        }
+        total
     }
 
     /// Reports the same per-operation metrics as
@@ -349,6 +400,10 @@ impl<B: Backend> Backend for SyncBackend<B> {
 
     fn remove(&mut self, path: &str) -> StoreResult<()> {
         self.inner.lock().remove(path)
+    }
+
+    fn truncate(&mut self, path: &str, len: u64) -> StoreResult<()> {
+        self.inner.lock().truncate(path, len)
     }
 
     fn exists(&mut self, path: &str) -> bool {

@@ -5,34 +5,11 @@
 //! aggregate statistics. Sharding may only change *which operations can
 //! run in parallel*, never what any observer reads back.
 
+mod common;
+
+use common::{body_for, op_strategy, recipients, Op, MAILBOXES};
 use proptest::prelude::*;
 use spamaware_mfs::{DataRef, MailId, MailStore, MemFs, MfsStore, ShardedStore, SyncBackend};
-
-const MAILBOXES: [&str; 5] = ["alice", "bob", "carol", "dave", "erin"];
-
-/// Decoded op: deliver to a recipient subset, read a mailbox, or delete.
-#[derive(Debug, Clone)]
-enum Op {
-    Deliver { id: u64, first: usize, count: usize },
-    Delete { mailbox: usize, id: u64 },
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..8, 0usize..MAILBOXES.len(), 1usize..=MAILBOXES.len())
-            .prop_map(|(id, first, count)| Op::Deliver { id, first, count }),
-        (0usize..MAILBOXES.len(), 0u64..8).prop_map(|(mailbox, id)| Op::Delete { mailbox, id }),
-    ]
-}
-
-/// Recipient slice for a deliver op: `count` mailboxes starting at
-/// `first`, wrapping around — exercises both single-recipient (own copy)
-/// and multi-recipient (shared copy) paths across shard boundaries.
-fn recipients(first: usize, count: usize) -> Vec<&'static str> {
-    (0..count)
-        .map(|i| MAILBOXES[(first + i) % MAILBOXES.len()])
-        .collect()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
@@ -51,7 +28,7 @@ proptest! {
                 Op::Deliver { id, first, count } => {
                     let mbs = recipients(first, count);
                     // Body varies with id so a collision check has teeth.
-                    let body = vec![b'x'; 4 + (id as usize % 3)];
+                    let body = body_for(id);
                     let a = single.deliver(MailId(id), &mbs, DataRef::Bytes(&body));
                     let b = sharded.deliver(MailId(id), &mbs, DataRef::Bytes(&body));
                     prop_assert_eq!(a.is_ok(), b.is_ok(), "deliver outcome diverged: {:?}", op);

@@ -6,10 +6,10 @@
 //!
 //! | pass            | scope                          | rule |
 //! |-----------------|--------------------------------|------|
-//! | `determinism`   | sim, server, dnsbl, metrics, bench | no wall clock, ambient RNG, env branching, or hash-order leaks |
+//! | `determinism`   | sim, server, dnsbl, metrics, bench, plus `mfs`'s frame/crash/fsck files | no wall clock, ambient RNG, env branching, or hash-order leaks |
 //! | `panic-safety`  | server, smtp, mfs, dnsbl, metrics, core | no `unwrap`/`expect`/`panic!` in non-test code; budgeted waivers |
 //! | `unsafe-audit`  | every crate                    | `unsafe` requires an adjacent `// SAFETY:` comment |
-//! | `invariants`    | every crate                    | replies built in `smtp/src/reply.rs`; MFS refcounts mutated only in `mfs_store.rs` |
+//! | `invariants`    | every crate                    | replies built in `smtp/src/reply.rs`; MFS refcounts mutated only in `mfs_store.rs`/`fsck.rs` |
 //!
 //! See `DESIGN.md` § "Invariants & static analysis" for the rationale and
 //! the waiver syntax. The self-test corpus under `crates/xtask/tests/`
@@ -31,6 +31,15 @@ use std::path::{Path, PathBuf};
 /// `bench` rides along so experiment binaries stay reproducible; its one
 /// legitimate wall-clock read (live throughput measurement) is waived.
 pub const DETERMINISM_SCOPE: &[&str] = &["sim", "server", "dnsbl", "metrics", "bench"];
+/// Individual files outside the determinism-scoped crates that must
+/// nonetheless be deterministic: the crash-recovery layer, whose `mfsck`
+/// reports are pinned byte-for-byte by golden fixtures. (The rest of the
+/// `mfs` crate is exempt — backends legitimately touch the real world.)
+pub const DETERMINISM_FILES: &[&str] = &[
+    "crates/mfs/src/frame.rs",
+    "crates/mfs/src/crash.rs",
+    "crates/mfs/src/fsck.rs",
+];
 /// Crates that must not panic on hostile input. `core` contains the live
 /// TCP servers, which face the most hostile input of all.
 pub const PANIC_SCOPE: &[&str] = &["server", "smtp", "mfs", "dnsbl", "metrics", "core"];
@@ -65,7 +74,10 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     for path in &files {
         let file = scan::scan_file(path)?;
         let krate = crate_of(root, path);
-        if DETERMINISM_SCOPE.iter().any(|c| *c == krate) {
+        let det_file = DETERMINISM_FILES
+            .iter()
+            .any(|f| path.ends_with(Path::new(f)));
+        if det_file || DETERMINISM_SCOPE.iter().any(|c| *c == krate) {
             findings.extend(determinism::check(&file));
         }
         if PANIC_SCOPE.iter().any(|c| *c == krate) {

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Pre-PR gate: run the full local verification pipeline.
 #
-#   scripts/check.sh
+#   scripts/check.sh [--crash]
 #
 # Every stage must pass before a change is proposed. The stages are
 # ordered cheapest-first so failures surface quickly:
@@ -18,8 +18,21 @@
 #                                tiny client load and asserts the run
 #                                completes with a non-empty JSON report and
 #                                metrics sidecar
+#
+# With --crash, a sixth stage runs the deep crash-point sweep: every
+# (write, byte) cut of an extended MFS workload is injected, the store is
+# rebooted from the surviving bytes, and recovery + mfsck must restore a
+# prefix of the acknowledged operations (DESIGN.md §12).
 
 set -eu
+
+crash=0
+for arg in "$@"; do
+    case "$arg" in
+        --crash) crash=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
 
 cd "$(dirname "$0")/.."
 
@@ -47,5 +60,10 @@ grep -q '"mails_per_sec"' "$smoke_dir/smoke.json" || {
     echo "smoke.json lacks mails_per_sec rows" >&2
     exit 1
 }
+
+if [ "$crash" = 1 ]; then
+    echo "==> crash-point deep sweep"
+    cargo test --quiet --release -p spamaware-mfs --test crash_sweep -- --include-ignored
+fi
 
 echo "all checks passed"
