@@ -59,11 +59,32 @@ struct Row {
     mails_per_sec: f64,
 }
 
+#[derive(Clone, Copy, serde::Serialize)]
+struct OverloadRow {
+    /// `max_connections` admission cap for the run.
+    connection_cap: usize,
+    /// Concurrent clients offered (2× the cap).
+    offered_clients: usize,
+    /// Mails each client must get acked (retrying its `421` sheds).
+    mails_per_client: usize,
+    /// `live.shed_connections` at the end — proof the cap engaged.
+    shed_connections: u64,
+    /// Largest `live.inflight` value sampled while flooding; must stay
+    /// at or under the cap.
+    max_inflight: i64,
+    elapsed_secs: f64,
+    /// Goodput: acked mails per second *while shedding* — the number the
+    /// admission layer exists to protect.
+    mails_per_sec: f64,
+}
+
 #[derive(serde::Serialize)]
 struct Report {
     rows: Vec<Row>,
     /// sharded ÷ global mails/sec at the widest worker count measured.
     speedup_at_max_workers: Option<f64>,
+    /// The past-the-cap flood (absent in `--smoke`/`--global-lock` runs).
+    overload: Option<OverloadRow>,
 }
 
 struct Args {
@@ -140,6 +161,23 @@ fn main() {
         }
     }
 
+    // Overload sweep: offer 2x the connection cap and measure goodput
+    // while the admission layer sheds. Skipped in smoke (boot test) and
+    // global-lock-baseline runs.
+    let overload = (!args.smoke && !args.global_only).then(|| {
+        let row = run_overload(args.body_bytes.min(4096));
+        println!();
+        println!(
+            "  overload: cap {} / offered {}  {:>8.1} mails/s goodput   ({} shed, max inflight {})",
+            row.connection_cap,
+            row.offered_clients,
+            row.mails_per_sec,
+            row.shed_connections,
+            row.max_inflight
+        );
+        row
+    });
+
     let max_workers = worker_counts.iter().copied().max().unwrap_or(1);
     let at = |global: bool| {
         rows.iter()
@@ -161,6 +199,7 @@ fn main() {
             &Report {
                 rows,
                 speedup_at_max_workers: speedup,
+                overload,
             },
         );
         if let Some(report) = &final_metrics {
@@ -253,6 +292,126 @@ fn run_config(args: &Args, workers: usize, global_lock: bool) -> (Row, String) {
         },
         metrics,
     )
+}
+
+/// Floods a capped server with 2x its admitted connections. Every client
+/// retries `421` sheds (at the greeting or post-RCPT) until its mails are
+/// acked, so the row measures what overload control is for: bounded
+/// concurrency, no stall, and all offered mail eventually delivered.
+fn run_overload(body_bytes: usize) -> OverloadRow {
+    const CAP: usize = 32;
+    const OFFERED: usize = 2 * CAP;
+    const MAILS_EACH: usize = 10;
+    let root = std::env::temp_dir().join(format!(
+        "spamaware-livebench-{}-overload",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cfg = LiveConfig::localhost(&root, vec!["inbox".to_owned()]);
+    cfg.max_connections = CAP;
+    cfg.max_pretrust_per_ip = OFFERED * 2; // everyone is 127.0.0.1
+    let server = LiveServer::start(cfg).expect("start capped server");
+    let addr = server.local_addr();
+
+    // lint:allow(time): wall-clock elapsed time IS the measurement here
+    let started = std::time::Instant::now();
+    let handles: Vec<_> = (0..OFFERED)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut delivered = 0;
+                let mut attempt = 0u64;
+                while delivered < MAILS_EACH {
+                    attempt += 1;
+                    assert!(attempt < 10_000, "client {i} starved out");
+                    if overload_attempt(addr, body_bytes) {
+                        delivered += 1;
+                    } else {
+                        std::thread::sleep(Duration::from_millis(1 + (i as u64 % 5)));
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut max_inflight = 0i64;
+    let mut pending: Vec<_> = handles.into_iter().collect();
+    while !pending.is_empty() {
+        max_inflight = max_inflight.max(server.inflight());
+        pending.retain(|h| !h.is_finished());
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let expected = (OFFERED * MAILS_EACH) as u64;
+    wait_for_stored(&server, expected);
+    let elapsed = started.elapsed().as_secs_f64();
+    let snap = server.stats().snapshot();
+    assert_eq!(snap.mails_stored, expected, "acked mail lost under flood");
+    assert!(max_inflight <= CAP as i64, "cap violated: {max_inflight}");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    OverloadRow {
+        connection_cap: CAP,
+        offered_clients: OFFERED,
+        mails_per_client: MAILS_EACH,
+        shed_connections: snap.shed_connections,
+        max_inflight,
+        elapsed_secs: elapsed,
+        mails_per_sec: expected as f64 / elapsed,
+    }
+}
+
+/// One delivery attempt against the capped server: `true` once acked,
+/// `false` on any `421`/close so the caller backs off and retries.
+fn overload_attempt(addr: SocketAddr, body_bytes: usize) -> bool {
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    if stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .is_err()
+    {
+        return false;
+    }
+    let Ok(clone) = stream.try_clone() else {
+        return false;
+    };
+    let mut reader = BufReader::new(clone);
+    let mut out = stream;
+    let body_line = "x".repeat(72);
+    let body_lines = body_bytes / (body_line.len() + 2);
+    let mut body = String::new();
+    for _ in 0..body_lines {
+        body.push_str(&body_line);
+        body.push_str("\r\n");
+    }
+    body.push('.');
+    let script: &[(Option<&str>, &str)] = &[
+        (None, "220"),
+        (Some("HELO flood.example"), "250"),
+        (Some("MAIL FROM:<load@flood.example>"), "250"),
+        (Some("RCPT TO:<inbox@dept.example>"), "250"),
+        (Some("DATA"), "354"),
+        (Some(body.as_str()), "250"),
+    ];
+    let mut line = String::new();
+    for (send, want) in script {
+        if let Some(cmd) = send {
+            if out.write_all(format!("{cmd}\r\n").as_bytes()).is_err() {
+                return false;
+            }
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {
+                if line.starts_with(want) {
+                    continue;
+                }
+                assert!(line.starts_with("421"), "unexpected reply: {line:?}");
+                return false; // shed: back off and retry
+            }
+            _ => return false,
+        }
+    }
+    let _ = out.write_all(b"QUIT\r\n");
+    true
 }
 
 fn wait_for_stored(server: &LiveServer, n: u64) {

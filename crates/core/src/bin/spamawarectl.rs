@@ -132,13 +132,25 @@ fn run(args: &[String]) -> Result<(), String> {
             let server = LiveServer::start(LiveConfig::localhost(root, boxes))
                 .map_err(|e| format!("cannot start server: {e}"))?;
             println!("LISTENING {}", server.local_addr());
+            println!("ADMIN {}", server.admin_addr());
             std::io::stdout()
                 .flush()
                 .map_err(|e| format!("stdout: {e}"))?;
-            // Runs until the process is killed; the store's crash
-            // consistency is exactly what the SIGKILL tests exercise.
+            // Runs until the process is killed (the store's crash
+            // consistency is exactly what the SIGKILL tests exercise) or
+            // until an admin `DRAIN` command lands, at which point the
+            // in-flight work is allowed to finish and the process exits
+            // cleanly, printing `DRAINED`.
             loop {
-                std::thread::sleep(std::time::Duration::from_secs(3600));
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                if server.is_draining() {
+                    // The flag is already set, so the grace period here
+                    // only waits out in-flight transactions.
+                    let _ = server.drain(std::time::Duration::from_secs(30));
+                    server.shutdown();
+                    println!("DRAINED");
+                    return Ok(());
+                }
             }
         }
         "trace-stats" => {

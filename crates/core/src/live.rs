@@ -44,15 +44,18 @@ use crate::linebuf::{LineBuffer, LineOverflow};
 use crate::pool::BufferPool;
 use crate::ServeError;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use spamaware_dnsbl::{CacheScheme, CachingResolver, DnsblServer};
+use spamaware_dnsbl::{
+    BreakerConfig, BreakerDecision, CacheScheme, CachingResolver, CircuitBreaker, DnsblServer,
+    UdpDnsbl,
+};
 use spamaware_metrics::{Counter, Gauge, Registry, SpanHandle};
 use spamaware_mfs::{DataRef, MailId, RealDir, ShardedStore};
 use spamaware_netaddr::Ipv4;
 use spamaware_sim::Nanos;
 use spamaware_smtp::{
-    Command, DataVerdict, MailAddr, ServerSession, SessionConfig, SessionOutcome,
+    Command, DataVerdict, MailAddr, Reply, ServerSession, SessionConfig, SessionOutcome,
 };
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -89,10 +92,42 @@ pub struct LiveConfig {
     /// with the DNSBLv6 bitmap scheme and cached per /25 like `dnsbl`;
     /// takes precedence over the in-process `dnsbl` when both are set.
     pub dnsbl_udp: Option<(std::net::SocketAddr, String)>,
+    /// Per-query budget for `dnsbl_udp` lookups. The master thread blocks
+    /// for at most this long per uncached query, so it must stay small: a
+    /// blackholed resolver at the old 3 s default stalls *every* pre-trust
+    /// connection behind one accept-loop iteration.
+    pub dnsbl_udp_timeout: Duration,
+    /// Circuit breaker over `dnsbl_udp`: after `failure_threshold`
+    /// consecutive failures the master stops querying entirely (fail-open
+    /// to "not listed", §9) and retries with one probe per deterministic
+    /// backoff window.
+    pub dnsbl_breaker: BreakerConfig,
     /// How long a pre-trust connection may sit idle in the master's event
     /// loop before it is dropped (slow clients must not pin master state;
     /// the paper's smtpd has the analogous idle self-termination, §2).
     pub pretrust_idle_timeout: Duration,
+    /// Total in-flight connections (pre-trust + queued + in a worker)
+    /// admitted before new arrivals are shed with `421`.
+    pub max_connections: usize,
+    /// Pre-trust connections one client IP may hold open concurrently;
+    /// the excess is shed with `421` (a single spammer must not monopolize
+    /// the master's event loop).
+    pub max_pretrust_per_ip: usize,
+    /// Per-read socket timeout in the worker (was a hardcoded 30 s).
+    pub worker_read_timeout: Duration,
+    /// Per-read socket timeout on the admin socket (was a hardcoded 5 s).
+    pub admin_read_timeout: Duration,
+    /// Wall-clock budget for a whole session, measured from accept; a
+    /// connection that overstays is evicted with `421` wherever it is in
+    /// the dialog.
+    pub session_deadline: Duration,
+    /// Wall-clock budget for one `DATA` body transfer; a trickling client
+    /// is evicted with `421` rather than pinning a worker thread.
+    pub data_deadline: Duration,
+    /// Test-only fault injection: while the flag is `true`, workers stall
+    /// after dequeuing a task, letting a chaos test fill every queue and
+    /// observe the master's non-blocking `421` shed path deterministically.
+    pub worker_hold: Option<Arc<AtomicBool>>,
 }
 
 impl LiveConfig {
@@ -108,7 +143,16 @@ impl LiveConfig {
             mailboxes,
             dnsbl: None,
             dnsbl_udp: None,
+            dnsbl_udp_timeout: Duration::from_millis(100),
+            dnsbl_breaker: BreakerConfig::default(),
             pretrust_idle_timeout: Duration::from_secs(30),
+            max_connections: 512,
+            max_pretrust_per_ip: 32,
+            worker_read_timeout: Duration::from_secs(30),
+            admin_read_timeout: Duration::from_secs(5),
+            session_deadline: Duration::from_secs(300),
+            data_deadline: Duration::from_secs(120),
+            worker_hold: None,
         }
     }
 }
@@ -146,6 +190,24 @@ pub struct LiveStats {
     /// Repairs the startup `fsck` pass made durable (torn tails, refcount
     /// rebuilds, orphan reclamation — see `spamaware_mfs::FsckReport`).
     pub fsck_repairs: Arc<Counter>,
+    /// Connections shed with `421` at the total in-flight cap.
+    pub shed_connections: Arc<Counter>,
+    /// Connections shed with `421` at the per-IP pre-trust cap.
+    pub shed_per_ip: Arc<Counter>,
+    /// Trusted connections shed with `421` because every worker queue was
+    /// full (the master never blocks on a send).
+    pub shed_worker_busy: Arc<Counter>,
+    /// Connections shed with `421` because the server is draining.
+    pub shed_draining: Arc<Counter>,
+    /// Connections evicted with `421` for exhausting the whole-session
+    /// wall-clock budget.
+    pub session_deadline_evictions: Arc<Counter>,
+    /// Connections evicted with `421` for exhausting the `DATA` transfer
+    /// budget.
+    pub data_deadline_evictions: Arc<Counter>,
+    /// `set_read_timeout` failures — a connection that cannot be given a
+    /// read deadline is closed rather than allowed to pin a worker.
+    pub sockopt_errors: Arc<Counter>,
 }
 
 /// Point-in-time values of every [`LiveStats`] counter.
@@ -175,6 +237,20 @@ pub struct LiveSnapshot {
     pub recovered_records: u64,
     /// Repairs made durable by the startup `fsck` pass.
     pub fsck_repairs: u64,
+    /// Connections shed with `421` at the total in-flight cap.
+    pub shed_connections: u64,
+    /// Connections shed with `421` at the per-IP pre-trust cap.
+    pub shed_per_ip: u64,
+    /// Trusted connections shed with `421` (every worker queue full).
+    pub shed_worker_busy: u64,
+    /// Connections shed with `421` while draining.
+    pub shed_draining: u64,
+    /// Connections evicted for exhausting the session budget.
+    pub session_deadline_evictions: u64,
+    /// Connections evicted for exhausting the `DATA` budget.
+    pub data_deadline_evictions: u64,
+    /// `set_read_timeout` failures.
+    pub sockopt_errors: u64,
 }
 
 impl LiveStats {
@@ -192,6 +268,13 @@ impl LiveStats {
             idle_evictions: registry.counter("live.idle_evictions"),
             recovered_records: registry.counter("live.recovered_records"),
             fsck_repairs: registry.counter("live.fsck_repairs"),
+            shed_connections: registry.counter("live.shed_connections"),
+            shed_per_ip: registry.counter("live.shed_per_ip"),
+            shed_worker_busy: registry.counter("live.shed_worker_busy"),
+            shed_draining: registry.counter("live.shed_draining"),
+            session_deadline_evictions: registry.counter("live.session_deadline_evictions"),
+            data_deadline_evictions: registry.counter("live.data_deadline_evictions"),
+            sockopt_errors: registry.counter("live.sockopt_errors"),
         }
     }
 
@@ -210,6 +293,13 @@ impl LiveStats {
             idle_evictions: self.idle_evictions.get(),
             recovered_records: self.recovered_records.get(),
             fsck_repairs: self.fsck_repairs.get(),
+            shed_connections: self.shed_connections.get(),
+            shed_per_ip: self.shed_per_ip.get(),
+            shed_worker_busy: self.shed_worker_busy.get(),
+            shed_draining: self.shed_draining.get(),
+            session_deadline_evictions: self.session_deadline_evictions.get(),
+            data_deadline_evictions: self.data_deadline_evictions.get(),
+            sockopt_errors: self.sockopt_errors.get(),
         }
     }
 }
@@ -280,6 +370,8 @@ pub struct LiveServer {
     addr: SocketAddr,
     admin_addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    inflight: Arc<Gauge>,
     acceptor: Option<JoinHandle<()>>,
     admin: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -296,6 +388,9 @@ struct Delegated {
     /// Registry-clock instant the master enqueued this task, for the
     /// `worker.queue_wait_ns` span.
     enqueued_ns: u64,
+    /// Registry-clock instant the connection was accepted; the worker
+    /// charges the whole-session deadline against it.
+    accepted_ns: u64,
 }
 
 impl LiveServer {
@@ -309,6 +404,20 @@ impl LiveServer {
         if cfg.workers == 0 || cfg.worker_queue == 0 || cfg.store_shards == 0 {
             return Err(ServeError::Config(
                 "need at least one worker, queue slot, and store shard".to_owned(),
+            ));
+        }
+        if cfg.max_connections == 0 || cfg.max_pretrust_per_ip == 0 {
+            return Err(ServeError::Config(
+                "connection caps must admit at least one connection".to_owned(),
+            ));
+        }
+        if cfg.worker_read_timeout.is_zero()
+            || cfg.admin_read_timeout.is_zero()
+            || cfg.session_deadline.is_zero()
+            || cfg.data_deadline.is_zero()
+        {
+            return Err(ServeError::Config(
+                "read timeouts and phase deadlines must be nonzero".to_owned(),
             ));
         }
         let listener = TcpListener::bind(cfg.bind).map_err(|e| ServeError::Io(e.to_string()))?;
@@ -339,47 +448,60 @@ impl LiveServer {
         let line_pool = Arc::new(BufferPool::new(&registry, 64, 4096));
         let body_pool = Arc::new(BufferPool::new(&registry, 32, 16 * 1024));
 
+        let draining = Arc::new(AtomicBool::new(false));
+        let inflight = registry.gauge("live.inflight");
+
         let mut worker_handles = Vec::new();
         let mut senders: Vec<Sender<Delegated>> = Vec::new();
         for w in 0..cfg.workers {
             let (tx, rx): (Sender<Delegated>, Receiver<Delegated>) = bounded(cfg.worker_queue);
             senders.push(tx);
-            let store = Arc::clone(&store);
-            let stats = Arc::clone(&stats);
-            let next_id = Arc::clone(&next_id);
-            let mailboxes = Arc::clone(&mailboxes);
-            let registry = Arc::clone(&registry);
-            let line_pool = Arc::clone(&line_pool);
-            let body_pool = Arc::clone(&body_pool);
+            let ctx = WorkerCtx {
+                rx,
+                store: Arc::clone(&store),
+                stats: Arc::clone(&stats),
+                next_id: Arc::clone(&next_id),
+                mailboxes: Arc::clone(&mailboxes),
+                registry: Arc::clone(&registry),
+                line_pool: Arc::clone(&line_pool),
+                body_pool: Arc::clone(&body_pool),
+                stop: Arc::clone(&stop),
+                draining: Arc::clone(&draining),
+                inflight: Arc::clone(&inflight),
+                read_timeout: cfg.worker_read_timeout,
+                session_deadline: cfg.session_deadline,
+                data_deadline: cfg.data_deadline,
+                hold: cfg.worker_hold.clone(),
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("smtpd-{w}"))
-                .spawn(move || {
-                    worker_loop(
-                        rx, store, stats, next_id, mailboxes, registry, line_pool, body_pool,
-                    )
-                })
+                .spawn(move || worker_loop(ctx))
                 .map_err(|e| ServeError::Io(format!("spawn worker: {e}")))?;
             worker_handles.push(handle);
         }
 
         let acceptor = {
-            let stop = Arc::clone(&stop);
-            let stats = Arc::clone(&stats);
-            let mailboxes = Arc::clone(&mailboxes);
-            let registry = Arc::clone(&registry);
-            let line_pool = Arc::clone(&line_pool);
-            let hostname = Arc::clone(&cfg.hostname);
-            let dnsbl = cfg.dnsbl;
-            let dnsbl_udp = cfg.dnsbl_udp;
-            let idle = cfg.pretrust_idle_timeout;
+            let ctx = MasterCtx {
+                senders,
+                stop: Arc::clone(&stop),
+                draining: Arc::clone(&draining),
+                stats: Arc::clone(&stats),
+                mailboxes: Arc::clone(&mailboxes),
+                hostname: Arc::clone(&cfg.hostname),
+                dnsbl: cfg.dnsbl,
+                dnsbl_udp: cfg.dnsbl_udp,
+                dnsbl_udp_timeout: cfg.dnsbl_udp_timeout,
+                dnsbl_breaker: cfg.dnsbl_breaker,
+                pretrust_idle_timeout: cfg.pretrust_idle_timeout,
+                max_connections: cfg.max_connections,
+                max_pretrust_per_ip: cfg.max_pretrust_per_ip,
+                registry: Arc::clone(&registry),
+                line_pool: Arc::clone(&line_pool),
+                inflight: Arc::clone(&inflight),
+            };
             std::thread::Builder::new()
                 .name("master".to_owned())
-                .spawn(move || {
-                    master_loop(
-                        listener, senders, stop, stats, mailboxes, hostname, dnsbl, dnsbl_udp,
-                        idle, registry, line_pool,
-                    )
-                })
+                .spawn(move || master_loop(listener, ctx))
                 .map_err(|e| ServeError::Io(format!("spawn master: {e}")))?
         };
 
@@ -396,10 +518,22 @@ impl LiveServer {
         })();
         let admin_spawn = admin_result.and_then(|(admin_listener, admin_addr)| {
             let stop = Arc::clone(&stop);
+            let draining = Arc::clone(&draining);
             let registry = Arc::clone(&registry);
+            let sockopt_errors = Arc::clone(&stats.sockopt_errors);
+            let read_timeout = cfg.admin_read_timeout;
             std::thread::Builder::new()
                 .name("admin".to_owned())
-                .spawn(move || admin_loop(admin_listener, registry, stop))
+                .spawn(move || {
+                    admin_loop(
+                        admin_listener,
+                        registry,
+                        stop,
+                        draining,
+                        read_timeout,
+                        sockopt_errors,
+                    )
+                })
                 .map(|h| (h, admin_addr))
                 .map_err(|e| ServeError::Io(format!("spawn admin: {e}")))
         });
@@ -418,6 +552,8 @@ impl LiveServer {
             addr,
             admin_addr,
             stop,
+            draining,
+            inflight,
             acceptor: Some(acceptor),
             admin: Some(admin),
             workers: worker_handles,
@@ -456,6 +592,40 @@ impl LiveServer {
     /// POP3 server; all access methods take `&self`).
     pub fn store(&self) -> Arc<ShardedStore<RealDir>> {
         Arc::clone(&self.store)
+    }
+
+    /// Whether a drain has been requested (via [`LiveServer::drain`] or
+    /// the admin `DRAIN` command).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Connections currently in flight (pre-trust, queued, or being
+    /// served by a worker).
+    pub fn inflight(&self) -> i64 {
+        self.inflight.get()
+    }
+
+    /// Begins a graceful drain and waits up to `grace` for in-flight work
+    /// to finish: the master `421`s new arrivals and evicts its pre-trust
+    /// connections (they carry no acked mail), workers finish any `DATA`
+    /// transfer already in progress — every acked mail reaches the store —
+    /// and then `421`-close instead of starting new transactions.
+    ///
+    /// Returns `true` once the in-flight gauge reaches zero, `false` if
+    /// the grace period expires first (stragglers are cut off by the
+    /// subsequent [`LiveServer::shutdown`]).
+    #[must_use]
+    pub fn drain(&self, grace: Duration) -> bool {
+        self.draining.store(true, Ordering::SeqCst);
+        let deadline = std::time::Instant::now() + grace;
+        while self.inflight.get() > 0 {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
     }
 
     /// Stops the acceptor and workers, waiting for them to exit.
@@ -499,55 +669,84 @@ struct MasterMetrics {
     pretrust_ns: SpanHandle,
     dnsbl_ns: SpanHandle,
     queue_depth: Arc<Gauge>,
+    udp_timeouts: Arc<Counter>,
+    udp_errors: Arc<Counter>,
     verbs: VerbCounters,
 }
 
-/// One blocking DNSBLv6 UDP lookup; failures degrade to an all-clear
-/// bitmap (fail-open, like production mail servers when a DNSBL times
-/// out).
-fn udp_bitmap_lookup(server: SocketAddr, zone: &str, ip: Ipv4) -> spamaware_netaddr::PrefixBitmap {
-    spamaware_dnsbl::UdpDnsbl::lookup_v6(server, zone, ip)
-        .unwrap_or_else(|_| spamaware_netaddr::PrefixBitmap::empty(ip.prefix25()))
+/// Everything the master thread owns, bundled so the spawn site stays
+/// readable as the overload knobs multiply.
+struct MasterCtx {
+    senders: Vec<Sender<Delegated>>,
+    stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    stats: Arc<LiveStats>,
+    mailboxes: Arc<HashSet<String>>,
+    hostname: Arc<str>,
+    dnsbl: Option<DnsblServer>,
+    dnsbl_udp: Option<(SocketAddr, String)>,
+    dnsbl_udp_timeout: Duration,
+    dnsbl_breaker: BreakerConfig,
+    pretrust_idle_timeout: Duration,
+    max_connections: usize,
+    max_pretrust_per_ip: usize,
+    registry: Arc<Registry>,
+    line_pool: Arc<BufferPool>,
+    inflight: Arc<Gauge>,
 }
 
 fn write_reply(stream: &mut TcpStream, reply: &spamaware_smtp::Reply) -> std::io::Result<()> {
     stream.write_all(reply.to_wire().as_bytes())
 }
 
-#[allow(clippy::too_many_arguments)]
-fn master_loop(
-    listener: TcpListener,
-    senders: Vec<Sender<Delegated>>,
-    stop: Arc<AtomicBool>,
-    stats: Arc<LiveStats>,
-    mailboxes: Arc<HashSet<String>>,
-    hostname: Arc<str>,
-    dnsbl: Option<DnsblServer>,
-    dnsbl_udp: Option<(SocketAddr, String)>,
-    pretrust_idle_timeout: Duration,
-    registry: Arc<Registry>,
-    line_pool: Arc<BufferPool>,
-) {
+/// `421`s and drops a connection the admission policy refused. Cheap by
+/// design: one small write, no session, no DNSBL — shedding under
+/// overload must cost microseconds, not the work it is shedding.
+fn shed(mut stream: TcpStream, counter: &Counter) {
+    counter.inc();
+    let _ = write_reply(&mut stream, &Reply::service_not_available());
+}
+
+/// Drops one pre-trust connection's per-IP admission slot.
+fn release_ip(per_ip: &mut HashMap<Ipv4, usize>, peer: Ipv4) {
+    if let Some(n) = per_ip.get_mut(&peer) {
+        *n = n.saturating_sub(1);
+        if *n == 0 {
+            per_ip.remove(&peer);
+        }
+    }
+}
+
+fn master_loop(listener: TcpListener, ctx: MasterCtx) {
     let mm = MasterMetrics {
-        pretrust_ns: registry.span("master.pretrust_ns"),
-        dnsbl_ns: registry.span("master.dnsbl_ns"),
-        queue_depth: registry.gauge("worker.queue_depth"),
-        verbs: VerbCounters::register(&registry),
+        pretrust_ns: ctx.registry.span("master.pretrust_ns"),
+        dnsbl_ns: ctx.registry.span("master.dnsbl_ns"),
+        queue_depth: ctx.registry.gauge("worker.queue_depth"),
+        udp_timeouts: ctx.registry.counter("dnsbl.udp_timeouts"),
+        udp_errors: ctx.registry.counter("dnsbl.udp_errors"),
+        verbs: VerbCounters::register(&ctx.registry),
     };
+    let stats = &ctx.stats;
     let mut conns: Vec<PreTrust> = Vec::new();
+    // Pre-trust connections per client IP, for the per-IP admission cap.
+    let mut per_ip: HashMap<Ipv4, usize> = HashMap::new();
     let mut rr = 0usize;
     let mut resolver = CachingResolver::new(CacheScheme::PerPrefix, Nanos::from_secs(86_400))
-        .with_metrics(&registry, "dnsbl");
-    let mut udp_cache: std::collections::HashMap<
-        spamaware_netaddr::Prefix25,
-        spamaware_netaddr::PrefixBitmap,
-    > = std::collections::HashMap::new();
+        .with_metrics(&ctx.registry, "dnsbl");
+    let mut udp_cache: HashMap<spamaware_netaddr::Prefix25, spamaware_netaddr::PrefixBitmap> =
+        HashMap::new();
+    // The breaker shares the registry clock, so a ManualClock-driven test
+    // registry steps the backoff windows deterministically.
+    let mut breaker = CircuitBreaker::new(ctx.dnsbl_breaker.clone(), ctx.registry.clock())
+        .with_metrics(&ctx.registry, "dnsbl");
     let mut rng = spamaware_sim::det_rng(0x11FE);
-    let exists = |a: &MailAddr| mailboxes.contains(a.local_part());
+    let exists = |a: &MailAddr| ctx.mailboxes.contains(a.local_part());
+    let inflight_cap = i64::try_from(ctx.max_connections).unwrap_or(i64::MAX);
     // Reply bytes for one pumped burst, written to the socket in one call.
     let mut out: Vec<u8> = Vec::new();
-    while !stop.load(Ordering::SeqCst) {
+    while !ctx.stop.load(Ordering::SeqCst) {
         let mut progress = false;
+        let draining = ctx.draining.load(Ordering::SeqCst);
         // Accept everything pending.
         loop {
             match listener.accept() {
@@ -569,18 +768,70 @@ fn master_loop(
                             continue;
                         }
                     };
-                    if let Some((server_addr, zone)) = &dnsbl_udp {
+                    // Admission control, cheapest checks first and all of
+                    // them *before* the DNSBL query: a shed connection
+                    // must not be able to spend our lookup budget.
+                    if draining {
+                        shed(stream, &stats.shed_draining);
+                        continue;
+                    }
+                    if ctx.inflight.get() >= inflight_cap {
+                        shed(stream, &stats.shed_connections);
+                        continue;
+                    }
+                    let held = per_ip.get(&peer_ip).copied().unwrap_or(0);
+                    if held >= ctx.max_pretrust_per_ip {
+                        shed(stream, &stats.shed_per_ip);
+                        continue;
+                    }
+                    if let Some((server_addr, zone)) = &ctx.dnsbl_udp {
                         // Real DNSBLv6 query over UDP, cached per /25.
+                        // Only *successful* answers enter the cache: a
+                        // fail-open verdict is a degraded guess, and
+                        // caching it would poison the whole /25 until
+                        // restart.
                         let start = mm.dnsbl_ns.now();
-                        let bitmap = udp_cache
-                            .entry(peer_ip.prefix25())
-                            .or_insert_with(|| udp_bitmap_lookup(*server_addr, zone, peer_ip));
-                        let listed = bitmap.contains(peer_ip);
+                        let listed = match udp_cache.get(&peer_ip.prefix25()) {
+                            Some(bitmap) => bitmap.contains(peer_ip),
+                            None => match breaker.admit() {
+                                // Open circuit: fail open to "not listed"
+                                // without touching the network (§9 — never
+                                // delay mail for a dead dependency).
+                                BreakerDecision::ShortCircuit => false,
+                                BreakerDecision::Allow | BreakerDecision::Probe => {
+                                    match UdpDnsbl::lookup_v6_timeout(
+                                        *server_addr,
+                                        zone,
+                                        peer_ip,
+                                        ctx.dnsbl_udp_timeout,
+                                    ) {
+                                        Ok(bitmap) => {
+                                            breaker.record_success();
+                                            let listed = bitmap.contains(peer_ip);
+                                            udp_cache.insert(peer_ip.prefix25(), bitmap);
+                                            listed
+                                        }
+                                        Err(e) => {
+                                            breaker.record_failure();
+                                            if matches!(
+                                                e.kind(),
+                                                ErrorKind::WouldBlock | ErrorKind::TimedOut
+                                            ) {
+                                                mm.udp_timeouts.inc();
+                                            } else {
+                                                mm.udp_errors.inc();
+                                            }
+                                            false
+                                        }
+                                    }
+                                }
+                            },
+                        };
                         mm.dnsbl_ns.record_since(start);
                         if listed {
                             stats.blacklisted.inc();
                         }
-                    } else if let Some(server) = &dnsbl {
+                    } else if let Some(server) = &ctx.dnsbl {
                         let start = mm.dnsbl_ns.now();
                         let now = Nanos::from_nanos(0);
                         let listed = resolver.lookup(peer_ip, now, server, &mut rng).listed;
@@ -595,15 +846,17 @@ fn master_loop(
                     // our small writes and the client's next burst.
                     let _ = stream.set_nodelay(true);
                     let session = ServerSession::new(SessionConfig {
-                        hostname: Arc::clone(&hostname),
+                        hostname: Arc::clone(&ctx.hostname),
                         ..SessionConfig::default()
                     });
                     let mut stream = stream;
                     let _ = write_reply(&mut stream, &session.greeting());
+                    ctx.inflight.inc();
+                    *per_ip.entry(peer_ip).or_insert(0) += 1;
                     conns.push(PreTrust {
                         stream,
                         session,
-                        lines: LineBuffer::from_remaining(line_pool.take_vec()),
+                        lines: LineBuffer::from_remaining(ctx.line_pool.take_vec()),
                         peer: peer_ip,
                         last_activity: std::time::Instant::now(),
                         accepted_ns: mm.pretrust_ns.now(),
@@ -613,17 +866,33 @@ fn master_loop(
                 Err(_) => break,
             }
         }
+        if draining && !conns.is_empty() {
+            // Pre-trust connections hold no acked mail; evict them all so
+            // the drain converges regardless of client behavior.
+            for mut c in conns.drain(..) {
+                let _ = write_reply(&mut c.stream, &Reply::service_not_available());
+                mm.pretrust_ns.record_since(c.accepted_ns);
+                ctx.line_pool.put(c.lines.into_remaining());
+                release_ip(&mut per_ip, c.peer);
+                ctx.inflight.dec();
+                stats.shed_draining.inc();
+                stats.unfinished.inc();
+            }
+            progress = true;
+        }
         // Event loop over pre-trust connections.
         let mut i = 0;
         while i < conns.len() {
             match pump_pretrust(&mut conns[i], &exists, &mm.verbs, &mut out) {
                 PumpResult::Idle => {
-                    if conns[i].last_activity.elapsed() > pretrust_idle_timeout {
+                    if conns[i].last_activity.elapsed() > ctx.pretrust_idle_timeout {
                         // Idle slow client: drop it without touching a
                         // worker (counts as an unfinished transaction).
                         let c = conns.swap_remove(i);
                         mm.pretrust_ns.record_since(c.accepted_ns);
-                        line_pool.put(c.lines.into_remaining());
+                        ctx.line_pool.put(c.lines.into_remaining());
+                        release_ip(&mut per_ip, c.peer);
+                        ctx.inflight.dec();
                         stats.idle_evictions.inc();
                         stats.unfinished.inc();
                         progress = true;
@@ -640,7 +909,9 @@ fn master_loop(
                     progress = true;
                     let c = conns.swap_remove(i);
                     mm.pretrust_ns.record_since(c.accepted_ns);
-                    line_pool.put(c.lines.into_remaining());
+                    ctx.line_pool.put(c.lines.into_remaining());
+                    release_ip(&mut per_ip, c.peer);
+                    ctx.inflight.dec();
                     stats.overflows.inc();
                     stats.unfinished.inc();
                 }
@@ -648,7 +919,9 @@ fn master_loop(
                     progress = true;
                     let c = conns.swap_remove(i);
                     mm.pretrust_ns.record_since(c.accepted_ns);
-                    line_pool.put(c.lines.into_remaining());
+                    ctx.line_pool.put(c.lines.into_remaining());
+                    release_ip(&mut per_ip, c.peer);
+                    ctx.inflight.dec();
                     match c.session.outcome() {
                         SessionOutcome::Bounce => {
                             stats.bounces.inc();
@@ -662,23 +935,25 @@ fn master_loop(
                     progress = true;
                     let c = conns.swap_remove(i);
                     mm.pretrust_ns.record_since(c.accepted_ns);
+                    release_ip(&mut per_ip, c.peer);
                     let task = Delegated {
                         stream: c.stream,
                         session: c.session,
                         leftover: c.lines.into_remaining(),
                         peer: c.peer,
-                        enqueued_ns: registry.now_nanos(),
+                        enqueued_ns: ctx.registry.now_nanos(),
+                        accepted_ns: c.accepted_ns,
                     };
                     // Round-robin non-blocking dispatch; full queues push
                     // the task to the next worker (natural throttle).
                     let mut task = Some(task);
-                    for probe in 0..senders.len() {
-                        let w = (rr + probe) % senders.len();
+                    for probe in 0..ctx.senders.len() {
+                        let w = (rr + probe) % ctx.senders.len();
                         // Empty only once a try_send succeeded.
                         let Some(t) = task.take() else { break };
-                        match senders[w].try_send(t) {
+                        match ctx.senders[w].try_send(t) {
                             Ok(()) => {
-                                rr = (w + 1) % senders.len();
+                                rr = (w + 1) % ctx.senders.len();
                                 stats.delegated.inc();
                                 mm.queue_depth.inc();
                             }
@@ -688,13 +963,15 @@ fn master_loop(
                         }
                     }
                     if let Some(t) = task {
-                        // Every queue full: block briefly on the next one.
-                        let w = rr % senders.len();
-                        if senders[w].send(t).is_ok() {
-                            stats.delegated.inc();
-                            mm.queue_depth.inc();
-                        }
-                        rr = (w + 1) % senders.len();
+                        // Every queue full: tempfail instead of blocking.
+                        // A blocking send here stalls the master — and with
+                        // it every pre-trust dialog and the accept loop —
+                        // behind the slowest worker; `421` sheds exactly
+                        // one client instead.
+                        ctx.line_pool.put(t.leftover);
+                        ctx.inflight.dec();
+                        shed(t.stream, &stats.shed_worker_busy);
+                        stats.unfinished.inc();
                     }
                 }
             }
@@ -785,8 +1062,8 @@ fn pump_pretrust(
     result
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
+/// Everything one worker thread owns.
+struct WorkerCtx {
     rx: Receiver<Delegated>,
     store: Arc<ShardedStore<RealDir>>,
     stats: Arc<LiveStats>,
@@ -795,32 +1072,62 @@ fn worker_loop(
     registry: Arc<Registry>,
     line_pool: Arc<BufferPool>,
     body_pool: Arc<BufferPool>,
-) {
-    let queue_wait_ns = registry.span("worker.queue_wait_ns");
-    let data_ns = registry.span("worker.data_ns");
-    let storage_ns = registry.span("worker.storage_ns");
-    let queue_depth = registry.gauge("worker.queue_depth");
-    let internal_errors = registry.counter("live.internal_error");
-    let verbs = VerbCounters::register(&registry);
-    let exists = |a: &MailAddr| mailboxes.contains(a.local_part());
+    stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    inflight: Arc<Gauge>,
+    read_timeout: Duration,
+    session_deadline: Duration,
+    data_deadline: Duration,
+    hold: Option<Arc<AtomicBool>>,
+}
+
+/// Longest a worker blocks in one `read` before re-checking the drain
+/// flag and the phase budgets. Bounds how stale a worker's view of a
+/// drain request can get without busy-polling.
+const WORKER_POLL: Duration = Duration::from_millis(100);
+
+fn worker_loop(ctx: WorkerCtx) {
+    let queue_wait_ns = ctx.registry.span("worker.queue_wait_ns");
+    let data_ns = ctx.registry.span("worker.data_ns");
+    let storage_ns = ctx.registry.span("worker.storage_ns");
+    let queue_depth = ctx.registry.gauge("worker.queue_depth");
+    let internal_errors = ctx.registry.counter("live.internal_error");
+    let verbs = VerbCounters::register(&ctx.registry);
+    let stats = &ctx.stats;
+    let (store, line_pool, body_pool) = (&ctx.store, &ctx.line_pool, &ctx.body_pool);
+    let exists = |a: &MailAddr| ctx.mailboxes.contains(a.local_part());
+    let session_deadline_ns = duration_ns(ctx.session_deadline);
+    let data_deadline_ns = duration_ns(ctx.data_deadline);
+    let read_timeout_ns = duration_ns(ctx.read_timeout);
     // Worker-lifetime reply buffer: one coalesced write per drained burst.
     // Pooled with a return-on-drop guard so it recycles on worker exit.
     let mut out = line_pool.take();
-    while let Ok(task) = rx.recv() {
+    while let Ok(task) = ctx.rx.recv() {
+        if let Some(hold) = &ctx.hold {
+            // Chaos hook: pretend to be wedged (a slow disk, a stuck
+            // filter) until released, so tests can fill every queue.
+            while hold.load(Ordering::SeqCst)
+                && !ctx.stop.load(Ordering::SeqCst)
+                && !ctx.draining.load(Ordering::SeqCst)
+            {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
         queue_depth.dec();
         queue_wait_ns.record_since(task.enqueued_ns);
         let _ = task.peer;
+        let accepted_ns = task.accepted_ns;
         let mut session = task.session;
         session.capture_bodies(true);
         let mut stream = task.stream;
         let _ = stream.set_nonblocking(false);
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
         // Adopt the master's leftover bytes *and* their allocation; it
         // returns to the line pool when the connection ends.
         let mut lines = LineBuffer::from_remaining(task.leftover);
         let mut tmp = [0u8; 4096];
         let mut in_data = false;
         let mut data_start: Option<u64> = None;
+        let mut last_activity_ns = ctx.registry.now_nanos();
         'conn: loop {
             // Drain complete lines first, then read more.
             out.clear();
@@ -833,7 +1140,7 @@ fn worker_loop(
                                 if let Some(start) = data_start.take() {
                                     data_ns.record_since(start);
                                 }
-                                let id = MailId(next_id.fetch_add(1, Ordering::Relaxed));
+                                let id = MailId(ctx.next_id.fetch_add(1, Ordering::Relaxed));
                                 let reply = session.finish_data(&id.to_string());
                                 let reply = if reply.code() == 250 {
                                     match session.take_last_delivered() {
@@ -912,9 +1219,65 @@ fn worker_loop(
             if flush_replies(&mut stream, &out).is_err() {
                 break;
             }
+            if ctx.stop.load(Ordering::SeqCst) {
+                // Hard shutdown: cut the connection without ceremony (a
+                // graceful exit drains first, so nothing acked is at
+                // risk). Noticed within one read slice.
+                break;
+            }
+            if ctx.draining.load(Ordering::SeqCst) && !in_data {
+                // Draining: any DATA transfer already in flight ran to
+                // completion above (its ack is on the wire); between
+                // transactions the connection is told to come back later.
+                let _ = write_reply(&mut stream, &Reply::service_not_available());
+                break;
+            }
+            // Phase budgets, re-checked every iteration. An exhausted
+            // session or DATA budget evicts with `421` even if the client
+            // is still actively sending; an exhausted idle budget drops a
+            // silent client quietly (pre-existing behavior). Reads block
+            // for at most the smallest remaining budget, capped at
+            // [`WORKER_POLL`] so a drain request or a budget that expires
+            // mid-read is noticed promptly.
+            let now = ctx.registry.now_nanos();
+            let session_left = session_deadline_ns.saturating_sub(now.saturating_sub(accepted_ns));
+            if session_left == 0 {
+                stats.session_deadline_evictions.inc();
+                let _ = write_reply(&mut stream, &Reply::service_not_available());
+                break;
+            }
+            let idle_left = read_timeout_ns.saturating_sub(now.saturating_sub(last_activity_ns));
+            if idle_left == 0 {
+                break;
+            }
+            let mut budget_ns = session_left.min(idle_left).min(duration_ns(WORKER_POLL));
+            if in_data {
+                let since_data = now.saturating_sub(data_start.unwrap_or(now));
+                let data_left = data_deadline_ns.saturating_sub(since_data);
+                if data_left == 0 {
+                    stats.data_deadline_evictions.inc();
+                    let _ = write_reply(&mut stream, &Reply::service_not_available());
+                    break;
+                }
+                budget_ns = budget_ns.min(data_left);
+            }
+            // Clamp to ≥1 ms: a zero timeout means "no timeout" to the OS.
+            let budget = Duration::from_nanos(budget_ns.max(1_000_000));
+            if stream.set_read_timeout(Some(budget)).is_err() {
+                // A connection we cannot bound must not pin this worker.
+                stats.sockopt_errors.inc();
+                let _ = write_reply(&mut stream, &Reply::service_not_available());
+                break;
+            }
             match stream.read(&mut tmp) {
                 Ok(0) => break,
-                Ok(n) => lines.push(&tmp[..n]),
+                Ok(n) => {
+                    lines.push(&tmp[..n]);
+                    last_activity_ns = ctx.registry.now_nanos();
+                }
+                // Timed out inside the budget slice: loop back and let the
+                // checks above classify (evict, drop idle, or read again).
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
                 Err(_) => break,
             }
         }
@@ -927,17 +1290,35 @@ fn worker_loop(
         if session.outcome() == SessionOutcome::Delivered {
             stats.delivered.inc();
         }
+        ctx.inflight.dec();
     }
 }
 
-/// Serves the metrics report over a localhost admin socket: one command
-/// line per connection (`METRICS` or its alias `STAT`), answered with
-/// [`Registry::render`] output, then the connection closes.
-fn admin_loop(listener: TcpListener, registry: Arc<Registry>, stop: Arc<AtomicBool>) {
+/// Saturating [`Duration`] → nanoseconds.
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Serves operator commands over a localhost admin socket, one command
+/// line per connection: `METRICS` (alias `STAT`) answers with
+/// [`Registry::render`] output; `DRAIN` flips the graceful-drain flag and
+/// answers `OK draining` — the caller then watches the `live.inflight`
+/// gauge fall to zero before stopping the process.
+fn admin_loop(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    read_timeout: Duration,
+    sockopt_errors: Arc<Counter>,
+) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((mut stream, _)) => {
-                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                if stream.set_read_timeout(Some(read_timeout)).is_err() {
+                    sockopt_errors.inc();
+                    continue;
+                }
                 let mut buf = Vec::new();
                 let mut tmp = [0u8; 128];
                 while !buf.contains(&b'\n') && buf.len() <= 128 {
@@ -952,6 +1333,9 @@ fn admin_loop(listener: TcpListener, registry: Arc<Registry>, stop: Arc<AtomicBo
                 let response =
                     if cmd.eq_ignore_ascii_case("METRICS") || cmd.eq_ignore_ascii_case("STAT") {
                         registry.render()
+                    } else if cmd.eq_ignore_ascii_case("DRAIN") {
+                        draining.store(true, Ordering::SeqCst);
+                        "OK draining\n".to_owned()
                     } else {
                         "ERR unknown admin command; try METRICS\n".to_owned()
                     };

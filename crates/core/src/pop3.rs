@@ -29,6 +29,10 @@ pub struct Pop3Stats {
     pub retrieved: AtomicU64,
     /// Mails expunged.
     pub deleted: AtomicU64,
+    /// `set_read_timeout` failures — a session that cannot be given a
+    /// read deadline is refused rather than allowed to pin a thread
+    /// forever.
+    pub sockopt_errors: AtomicU64,
 }
 
 /// A POP3 server sharing a mail store with the SMTP side.
@@ -44,7 +48,8 @@ pub struct Pop3Server {
 }
 
 impl Pop3Server {
-    /// Binds and starts serving.
+    /// Binds and starts serving with the default 30 s per-read client
+    /// timeout.
     ///
     /// # Errors
     ///
@@ -54,6 +59,28 @@ impl Pop3Server {
         store: Arc<ShardedStore<RealDir>>,
         mailboxes: Vec<String>,
     ) -> Result<Pop3Server, ServeError> {
+        Pop3Server::start_with_timeout(bind, store, mailboxes, Duration::from_secs(30))
+    }
+
+    /// Binds and starts serving; an idle client is dropped after
+    /// `read_timeout` without a command (each session holds a thread, so
+    /// the timeout is what bounds how long a silent peer can pin one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] if the socket cannot be bound or
+    /// `read_timeout` is zero.
+    pub fn start_with_timeout(
+        bind: SocketAddr,
+        store: Arc<ShardedStore<RealDir>>,
+        mailboxes: Vec<String>,
+        read_timeout: Duration,
+    ) -> Result<Pop3Server, ServeError> {
+        if read_timeout.is_zero() {
+            return Err(ServeError::Config(
+                "pop3 read timeout must be nonzero".to_owned(),
+            ));
+        }
         let listener = TcpListener::bind(bind).map_err(|e| ServeError::Io(e.to_string()))?;
         listener
             .set_nonblocking(true)
@@ -69,7 +96,7 @@ impl Pop3Server {
             let stats = Arc::clone(&stats);
             std::thread::Builder::new()
                 .name("pop3".to_owned())
-                .spawn(move || accept_loop(listener, store, mailboxes, stop, stats))
+                .spawn(move || accept_loop(listener, store, mailboxes, stop, stats, read_timeout))
                 .map_err(|e| ServeError::Io(format!("spawn pop3 acceptor: {e}")))?
         };
         Ok(Pop3Server {
@@ -115,6 +142,7 @@ fn accept_loop(
     mailboxes: Arc<HashSet<String>>,
     stop: Arc<AtomicBool>,
     stats: Arc<Pop3Stats>,
+    read_timeout: Duration,
 ) {
     let mut sessions: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
@@ -127,7 +155,7 @@ fn accept_loop(
                 let handle = std::thread::Builder::new()
                     .name("pop3-session".to_owned())
                     .spawn(move || {
-                        let _ = session(stream, &store, &mailboxes, &stats);
+                        let _ = session(stream, &store, &mailboxes, &stats, read_timeout);
                     });
                 match handle {
                     Ok(h) => sessions.push(h),
@@ -164,8 +192,15 @@ fn session(
     store: &ShardedStore<RealDir>,
     mailboxes: &HashSet<String>,
     stats: &Pop3Stats,
+    read_timeout: Duration,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    // Refuse (don't serve) a connection we cannot bound: a session thread
+    // with no read deadline is exactly the resource leak POP3's
+    // thread-per-connection model cannot afford.
+    if let Err(e) = stream.set_read_timeout(Some(read_timeout)) {
+        stats.sockopt_errors.fetch_add(1, Ordering::Relaxed);
+        return Err(e);
+    }
     // Replies are coalesced into single writes; Nagle would only delay
     // them behind the client's delayed ACKs.
     let _ = stream.set_nodelay(true);

@@ -15,7 +15,12 @@
 //!   numbers.
 //! * [`fanout_latency`] — simultaneous multi-list querying (the paper's
 //!   footnote 2 notes production setups query several lists at once).
+//! * [`CircuitBreaker`] — consecutive-failure circuit breaker over an
+//!   injectable clock, so a dead DNSBL costs the mail server one probe
+//!   per backoff window instead of one timeout per connection (§9's
+//!   "never delay mail service" stance applied to resolver outages).
 
+mod breaker;
 mod database;
 mod latency;
 mod resolver;
@@ -23,11 +28,12 @@ mod server;
 mod udp;
 pub mod wire;
 
+pub use breaker::{BreakerConfig, BreakerDecision, CircuitBreaker};
 pub use database::{BlacklistDb, ListingCode};
 pub use latency::{paper_servers, LatencyModel};
 pub use resolver::{CacheScheme, CachingResolver, LookupOutcome, ResolverStats};
 pub use server::{DnsblServer, WireAnswer};
-pub use udp::{UdpDnsbl, UdpStats};
+pub use udp::{UdpDnsbl, UdpStats, DEFAULT_LOOKUP_TIMEOUT};
 
 use rand::Rng;
 use spamaware_sim::Nanos;

@@ -99,8 +99,9 @@ impl UdpDnsbl {
         }
     }
 
-    /// Blocking stub client: classic per-IP A lookup against `server`.
-    /// Returns the listing address (`127.0.0.x`) if listed.
+    /// Blocking stub client: classic per-IP A lookup against `server`,
+    /// waiting up to [`DEFAULT_LOOKUP_TIMEOUT`]. Returns the listing
+    /// address (`127.0.0.x`) if listed.
     ///
     /// # Errors
     ///
@@ -111,10 +112,30 @@ impl UdpDnsbl {
         zone: &str,
         ip: spamaware_netaddr::Ipv4,
     ) -> std::io::Result<Option<spamaware_netaddr::Ipv4>> {
+        Self::lookup_v4_timeout(server, zone, ip, DEFAULT_LOOKUP_TIMEOUT)
+    }
+
+    /// [`lookup_v4`](Self::lookup_v4) with an explicit response budget —
+    /// servers checking DNSBLs inline must bound the wait themselves. A
+    /// lookup that exceeds `timeout` fails with `WouldBlock`/`TimedOut`
+    /// (platform-dependent), distinguishable from network or decode
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a malformed response surfaces as
+    /// `InvalidData`.
+    pub fn lookup_v4_timeout(
+        server: SocketAddr,
+        zone: &str,
+        ip: spamaware_netaddr::Ipv4,
+        timeout: Duration,
+    ) -> std::io::Result<Option<spamaware_netaddr::Ipv4>> {
         let name = spamaware_netaddr::QueryName::encode(ip, QueryScheme::Ipv4, zone);
         let resp = Self::exchange(
             server,
             Message::query(next_query_id(), name.as_str(), RecordType::A),
+            timeout,
         )?;
         Ok(resp
             .answers
@@ -123,7 +144,8 @@ impl UdpDnsbl {
             .map(|a| spamaware_netaddr::Ipv4::new(a.rdata[0], a.rdata[1], a.rdata[2], a.rdata[3])))
     }
 
-    /// Blocking stub client: DNSBLv6 AAAA lookup; returns the /25 bitmap.
+    /// Blocking stub client: DNSBLv6 AAAA lookup waiting up to
+    /// [`DEFAULT_LOOKUP_TIMEOUT`]; returns the /25 bitmap.
     ///
     /// # Errors
     ///
@@ -134,10 +156,28 @@ impl UdpDnsbl {
         zone: &str,
         ip: spamaware_netaddr::Ipv4,
     ) -> std::io::Result<spamaware_netaddr::PrefixBitmap> {
+        Self::lookup_v6_timeout(server, zone, ip, DEFAULT_LOOKUP_TIMEOUT)
+    }
+
+    /// [`lookup_v6`](Self::lookup_v6) with an explicit response budget
+    /// (see [`lookup_v4_timeout`](Self::lookup_v4_timeout) for the error
+    /// classification).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a malformed response surfaces as
+    /// `InvalidData`.
+    pub fn lookup_v6_timeout(
+        server: SocketAddr,
+        zone: &str,
+        ip: spamaware_netaddr::Ipv4,
+        timeout: Duration,
+    ) -> std::io::Result<spamaware_netaddr::PrefixBitmap> {
         let name = spamaware_netaddr::QueryName::encode(ip, QueryScheme::PrefixV6, zone);
         let resp = Self::exchange(
             server,
             Message::query(next_query_id(), name.as_str(), RecordType::Aaaa),
+            timeout,
         )?;
         let bytes: [u8; 16] = resp
             .answers
@@ -151,9 +191,11 @@ impl UdpDnsbl {
         ))
     }
 
-    fn exchange(server: SocketAddr, query: Message) -> std::io::Result<Message> {
+    fn exchange(server: SocketAddr, query: Message, timeout: Duration) -> std::io::Result<Message> {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
-        socket.set_read_timeout(Some(Duration::from_secs(3)))?;
+        // A zero timeout would mean "block forever" to the socket layer —
+        // clamp to the smallest bounded wait instead.
+        socket.set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
         socket.send_to(&query.encode(), server)?;
         let mut buf = [0u8; 1024];
         let (n, _) = socket.recv_from(&mut buf)?;
@@ -161,6 +203,12 @@ impl UdpDnsbl {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
     }
 }
+
+/// Response budget of the convenience [`UdpDnsbl::lookup_v4`] /
+/// [`UdpDnsbl::lookup_v6`] wrappers. Inline callers on a hot path (the
+/// live server's master loop) should pass their own much shorter budget
+/// via the `_timeout` variants.
+pub const DEFAULT_LOOKUP_TIMEOUT: Duration = Duration::from_secs(3);
 
 impl Drop for UdpDnsbl {
     fn drop(&mut self) {
@@ -271,6 +319,28 @@ mod tests {
         assert_eq!(bm.count(), 2, "only the lower /25");
         s.shutdown();
         Ok(())
+    }
+
+    #[test]
+    fn blackholed_server_times_out_with_timeout_kind() {
+        // A bound socket that never answers: the lookup must fail within
+        // the budget and with a kind the caller can classify as a timeout.
+        let sink = UdpSocket::bind(("127.0.0.1", 0)).expect("bind sink");
+        let addr = sink.local_addr().expect("addr");
+        let err = UdpDnsbl::lookup_v6_timeout(
+            addr,
+            "bl.example",
+            Ipv4::new(203, 0, 113, 7),
+            Duration::from_millis(30),
+        )
+        .expect_err("blackholed lookup must fail");
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "unexpected error kind: {err:?}"
+        );
     }
 
     #[test]

@@ -174,6 +174,16 @@ impl Registry {
         }
     }
 
+    /// Reads a histogram's maximum recorded value, if registered — the
+    /// handle overload tests use to assert a latency stayed bounded
+    /// (e.g. "no DNSBL check took longer than its budget").
+    pub fn histogram_max(&self, name: &str) -> Option<u64> {
+        match self.lock().get(name) {
+            Some(Metric::Histogram(h)) => Some(h.max()),
+            _ => None,
+        }
+    }
+
     /// Renders every instrument as one line of plain text, sorted by name:
     ///
     /// ```text
@@ -221,6 +231,17 @@ mod tests {
         r.counter("a").inc();
         r.counter("a").inc();
         assert_eq!(r.counter_value("a"), Some(2));
+    }
+
+    #[test]
+    fn histogram_max_reads_back() {
+        let r = Registry::new(Arc::new(ManualClock::new()));
+        let h = r.histogram("lat_ns");
+        h.record(5);
+        h.record(900);
+        h.record(40);
+        assert_eq!(r.histogram_max("lat_ns"), Some(900));
+        assert_eq!(r.histogram_max("absent"), None);
     }
 
     #[test]

@@ -53,6 +53,19 @@ impl From<std::io::Error> for StoreError {
 /// Result alias for storage operations.
 pub type StoreResult<T> = Result<T, StoreError>;
 
+/// Reads an `N`-byte big-endian field out of a record buffer, turning a
+/// short buffer into a typed [`StoreError::TruncatedField`] instead of a
+/// panic — decode paths may face hostile or corrupt bytes.
+pub(crate) fn be_array<const N: usize>(
+    b: &[u8],
+    at: usize,
+    path: &str,
+) -> Result<[u8; N], StoreError> {
+    b.get(at..at + N)
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or_else(|| StoreError::TruncatedField(format!("{path}: {N}-byte field at offset {at}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,17 +92,4 @@ mod tests {
         let other = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied");
         assert!(matches!(StoreError::from(other), StoreError::Io(_)));
     }
-}
-
-/// Reads an `N`-byte big-endian field out of a record buffer, turning a
-/// short buffer into a typed [`StoreError::TruncatedField`] instead of a
-/// panic — decode paths may face hostile or corrupt bytes.
-pub(crate) fn be_array<const N: usize>(
-    b: &[u8],
-    at: usize,
-    path: &str,
-) -> Result<[u8; N], StoreError> {
-    b.get(at..at + N)
-        .and_then(|s| <[u8; N]>::try_from(s).ok())
-        .ok_or_else(|| StoreError::TruncatedField(format!("{path}: {N}-byte field at offset {at}")))
 }

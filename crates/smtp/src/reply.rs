@@ -149,6 +149,18 @@ impl Reply {
         Reply::new(451, "4.3.0 Local error in processing")
     }
 
+    /// `421` service not available — the overload/shutdown tempfail
+    /// (RFC 5321 §3.8): sent when admission control sheds a connection,
+    /// when every worker queue is full, when a phase deadline expires, or
+    /// while draining. Clients retry later against a healthy server; no
+    /// mail is bounced.
+    pub fn service_not_available() -> Reply {
+        Reply::new(
+            421,
+            "4.3.2 Service not available, closing transmission channel",
+        )
+    }
+
     /// `252` noncommittal VRFY answer (standard anti-harvesting practice).
     pub fn vrfy_noncommittal() -> Reply {
         Reply::new(252, "2.0.0 Cannot VRFY user")
@@ -248,6 +260,14 @@ mod tests {
         assert!(Reply::too_many_recipients().is_transient_failure());
         assert!(Reply::user_unknown().is_permanent_failure());
         assert!(!Reply::user_unknown().is_positive());
+    }
+
+    #[test]
+    fn service_not_available_is_transient() {
+        let r = Reply::service_not_available();
+        assert_eq!(r.code(), 421);
+        assert!(r.is_transient_failure(), "421 must invite a retry");
+        assert!(!r.is_permanent_failure());
     }
 
     #[test]

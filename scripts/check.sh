@@ -1,7 +1,7 @@
 #!/bin/sh
 # Pre-PR gate: run the full local verification pipeline.
 #
-#   scripts/check.sh [--crash]
+#   scripts/check.sh [--crash] [--chaos]
 #
 # Every stage must pass before a change is proposed. The stages are
 # ordered cheapest-first so failures surface quickly:
@@ -23,13 +23,21 @@
 # (write, byte) cut of an extended MFS workload is injected, the store is
 # rebooted from the surviving bytes, and recovery + mfsck must restore a
 # prefix of the acknowledged operations (DESIGN.md §12).
+#
+# With --chaos, the overload chaos suite runs with its deep sweep
+# included: a 2x-capacity concurrent flood against a blackholed DNSBL,
+# where every shed client retries until its mail is acked and the
+# admission cap, breaker fail-open, and zero-acked-loss invariants are
+# asserted end to end (DESIGN.md §13).
 
 set -eu
 
 crash=0
+chaos=0
 for arg in "$@"; do
     case "$arg" in
         --crash) crash=1 ;;
+        --chaos) chaos=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -64,6 +72,11 @@ grep -q '"mails_per_sec"' "$smoke_dir/smoke.json" || {
 if [ "$crash" = 1 ]; then
     echo "==> crash-point deep sweep"
     cargo test --quiet --release -p spamaware-mfs --test crash_sweep -- --include-ignored
+fi
+
+if [ "$chaos" = 1 ]; then
+    echo "==> overload chaos deep sweep"
+    cargo test --quiet --release -p integration-tests --test overload_chaos -- --include-ignored
 fi
 
 echo "all checks passed"

@@ -2,9 +2,7 @@
 //! determinism, resource limits, and client models.
 
 use spamaware_core::experiment::default_dnsbl;
-use spamaware_core::{
-    run, Architecture, CacheScheme, ClientModel, DnsConfig, ServerConfig, TrustPoint,
-};
+use spamaware_core::{run, CacheScheme, ClientModel, DnsConfig, ServerConfig, TrustPoint};
 use spamaware_mfs::Layout;
 use spamaware_sim::Nanos;
 use spamaware_trace::{bounce_sweep_trace, SessionMix, SinkholeConfig, TraceStats};

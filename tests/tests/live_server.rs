@@ -263,3 +263,43 @@ fn idle_pretrust_connection_is_dropped() {
     srv.shutdown();
     let _ = std::fs::remove_dir_all(root);
 }
+
+#[test]
+fn idle_eviction_boundary_activity_resets_the_clock() {
+    let root = std::env::temp_dir().join(format!(
+        "spamaware-idleb-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let mut cfg = LiveConfig::localhost(&root, vec!["alice".into()]);
+    cfg.pretrust_idle_timeout = Duration::from_millis(600);
+    let srv = LiveServer::start(cfg).expect("start");
+
+    // Stay just under the timeout twice: each NOOP answers 250 and resets
+    // the idle clock, so by the second one the connection has been open
+    // longer than one whole timeout — proof the deadline is idle time,
+    // not connection age.
+    let mut c = Client::connect(&srv);
+    for _ in 0..2 {
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(c.cmd("NOOP").starts_with("250"), "just-under must survive");
+    }
+    assert_eq!(srv.stats().snapshot().idle_evictions, 0);
+
+    // Now go just over: silent past the timeout, evicted exactly once.
+    std::thread::sleep(Duration::from_millis(900));
+    let mut line = String::new();
+    let n = c.reader.read_line(&mut line).unwrap_or(0);
+    assert_eq!(n, 0, "just-over should see EOF, got {line:?}");
+    let snap = srv.stats().snapshot();
+    assert_eq!(snap.idle_evictions, 1, "evicted exactly once");
+    assert_eq!(snap.unfinished, 1);
+    // The counter does not keep ticking for a connection already gone.
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(srv.stats().snapshot().idle_evictions, 1);
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(root);
+}

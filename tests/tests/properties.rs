@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use spamaware_mfs::{
-    Backend, DataRef, HardlinkStore, Layout, MailId, MailStore, MboxStore, MemFs, MfsStore,
+    DataRef, HardlinkStore, Layout, MailId, MailStore, MboxStore, MemFs, MfsStore,
 };
 use spamaware_netaddr::{Ipv4, PrefixBitmap, QueryName, QueryScheme};
 use spamaware_sim::metrics::Histogram;
