@@ -29,6 +29,7 @@
 //! assert!(result.throughput_gain() > 0.0);
 //! ```
 
+mod dnsbl_agent;
 pub mod experiment;
 mod linebuf;
 mod live;

@@ -32,26 +32,24 @@
 //!
 //! Every layer feeds a shared [`spamaware_metrics::Registry`]: lifecycle
 //! counters (`live.*`), per-verb counts (`smtp.verb.*`), span timings for
-//! the master's pre-trust dialog and DNSBL checks (`master.*`), worker
-//! queue wait / `DATA` / storage latencies plus queue depth (`worker.*`),
-//! and the instrumented DNSBL cache (`dnsbl.*`) and mail store (`mfs.*`).
+//! the master's pre-trust dialog (`master.*`), worker queue wait / `DATA`
+//! / storage latencies plus queue depth (`worker.*`), and the DNSBL agent
+//! thread's lookups, cache, and breaker (`dnsbl.*`) and the instrumented
+//! mail store (`mfs.*`).
 //! [`LiveServer::metrics_report`] renders the registry deterministically;
 //! the same text is served over a localhost admin socket
 //! ([`LiveServer::admin_addr`]) in answer to a `METRICS` (or `STAT`)
 //! command line.
 
+use crate::dnsbl_agent::{agent_loop, DnsblAgentCtx};
 use crate::linebuf::{LineBuffer, LineOverflow};
 use crate::pool::BufferPool;
 use crate::ServeError;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use spamaware_dnsbl::{
-    BreakerConfig, BreakerDecision, CacheScheme, CachingResolver, CircuitBreaker, DnsblServer,
-    UdpDnsbl,
-};
+use spamaware_dnsbl::{BreakerConfig, DnsblServer};
 use spamaware_metrics::{Counter, Gauge, Registry, SpanHandle};
 use spamaware_mfs::{DataRef, MailId, RealDir, ShardedStore};
 use spamaware_netaddr::Ipv4;
-use spamaware_sim::Nanos;
 use spamaware_smtp::{
     Command, DataVerdict, MailAddr, Reply, ServerSession, SessionConfig, SessionOutcome,
 };
@@ -63,6 +61,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Lookup requests the DNSBL agent's queue holds before the master starts
+/// dropping them (counted in `dnsbl.agent_dropped`). Sized for an accept
+/// burst: the agent drains cached and short-circuited lookups in
+/// microseconds, so the queue only fills while the breaker is still
+/// counting failures against a dead resolver.
+const DNSBL_AGENT_QUEUE: usize = 256;
 
 /// Configuration for [`LiveServer::start`].
 #[derive(Debug, Clone)]
@@ -92,13 +97,13 @@ pub struct LiveConfig {
     /// with the DNSBLv6 bitmap scheme and cached per /25 like `dnsbl`;
     /// takes precedence over the in-process `dnsbl` when both are set.
     pub dnsbl_udp: Option<(std::net::SocketAddr, String)>,
-    /// Per-query budget for `dnsbl_udp` lookups. The master thread blocks
-    /// for at most this long per uncached query, so it must stay small: a
-    /// blackholed resolver at the old 3 s default stalls *every* pre-trust
-    /// connection behind one accept-loop iteration.
+    /// Per-query budget for `dnsbl_udp` lookups. The DNSBL agent thread
+    /// blocks for at most this long per uncached query; the master hands
+    /// lookups to the agent over a bounded queue and never waits, so a
+    /// slow resolver delays verdict *statistics*, not connections.
     pub dnsbl_udp_timeout: Duration,
     /// Circuit breaker over `dnsbl_udp`: after `failure_threshold`
-    /// consecutive failures the master stops querying entirely (fail-open
+    /// consecutive failures the agent stops querying entirely (fail-open
     /// to "not listed", §9) and retries with one probe per deterministic
     /// backoff window.
     pub dnsbl_breaker: BreakerConfig,
@@ -374,6 +379,7 @@ pub struct LiveServer {
     inflight: Arc<Gauge>,
     acceptor: Option<JoinHandle<()>>,
     admin: Option<JoinHandle<()>>,
+    dnsbl_agent: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<LiveStats>,
     registry: Arc<Registry>,
@@ -480,6 +486,30 @@ impl LiveServer {
             worker_handles.push(handle);
         }
 
+        // The DNSBL agent thread owns every lookup (cache, breaker, UDP
+        // socket); the master only ever does a non-blocking `try_send`
+        // into this bounded queue (§5: the master must never block).
+        let (dnsbl_tx, dnsbl_agent) = if cfg.dnsbl.is_some() || cfg.dnsbl_udp.is_some() {
+            let (tx, rx): (Sender<Ipv4>, Receiver<Ipv4>) = bounded(DNSBL_AGENT_QUEUE);
+            let actx = DnsblAgentCtx {
+                rx,
+                stop: Arc::clone(&stop),
+                blacklisted: Arc::clone(&stats.blacklisted),
+                registry: Arc::clone(&registry),
+                dnsbl: cfg.dnsbl,
+                dnsbl_udp: cfg.dnsbl_udp,
+                dnsbl_udp_timeout: cfg.dnsbl_udp_timeout,
+                dnsbl_breaker: cfg.dnsbl_breaker,
+            };
+            let handle = std::thread::Builder::new()
+                .name("dnsbl-agent".to_owned())
+                .spawn(move || agent_loop(actx))
+                .map_err(|e| ServeError::Io(format!("spawn dnsbl agent: {e}")))?;
+            (Some(tx), Some(handle))
+        } else {
+            (None, None)
+        };
+
         let acceptor = {
             let ctx = MasterCtx {
                 senders,
@@ -488,10 +518,7 @@ impl LiveServer {
                 stats: Arc::clone(&stats),
                 mailboxes: Arc::clone(&mailboxes),
                 hostname: Arc::clone(&cfg.hostname),
-                dnsbl: cfg.dnsbl,
-                dnsbl_udp: cfg.dnsbl_udp,
-                dnsbl_udp_timeout: cfg.dnsbl_udp_timeout,
-                dnsbl_breaker: cfg.dnsbl_breaker,
+                dnsbl_tx,
                 pretrust_idle_timeout: cfg.pretrust_idle_timeout,
                 max_connections: cfg.max_connections,
                 max_pretrust_per_ip: cfg.max_pretrust_per_ip,
@@ -540,10 +567,14 @@ impl LiveServer {
         let (admin, admin_addr) = match admin_spawn {
             Ok(pair) => pair,
             Err(e) => {
-                // The acceptor is already live: stop it before bailing so
-                // a failed start leaves no thread behind.
+                // The acceptor and agent are already live: stop them
+                // before bailing so a failed start leaves no thread
+                // behind.
                 stop.store(true, Ordering::SeqCst);
                 let _ = acceptor.join();
+                if let Some(h) = dnsbl_agent {
+                    let _ = h.join();
+                }
                 return Err(e);
             }
         };
@@ -556,6 +587,7 @@ impl LiveServer {
             inflight,
             acceptor: Some(acceptor),
             admin: Some(admin),
+            dnsbl_agent,
             workers: worker_handles,
             stats,
             registry,
@@ -641,6 +673,9 @@ impl LiveServer {
         if let Some(h) = self.admin.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.dnsbl_agent.take() {
+            let _ = h.join();
+        }
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -667,10 +702,8 @@ struct PreTrust {
 /// Pre-resolved instrument handles for the master thread.
 struct MasterMetrics {
     pretrust_ns: SpanHandle,
-    dnsbl_ns: SpanHandle,
     queue_depth: Arc<Gauge>,
-    udp_timeouts: Arc<Counter>,
-    udp_errors: Arc<Counter>,
+    agent_dropped: Arc<Counter>,
     verbs: VerbCounters,
 }
 
@@ -683,10 +716,9 @@ struct MasterCtx {
     stats: Arc<LiveStats>,
     mailboxes: Arc<HashSet<String>>,
     hostname: Arc<str>,
-    dnsbl: Option<DnsblServer>,
-    dnsbl_udp: Option<(SocketAddr, String)>,
-    dnsbl_udp_timeout: Duration,
-    dnsbl_breaker: BreakerConfig,
+    /// Hand-off to the DNSBL agent thread, present iff a DNSBL is
+    /// configured. The master never performs a lookup itself.
+    dnsbl_tx: Option<Sender<Ipv4>>,
     pretrust_idle_timeout: Duration,
     max_connections: usize,
     max_pretrust_per_ip: usize,
@@ -720,10 +752,8 @@ fn release_ip(per_ip: &mut HashMap<Ipv4, usize>, peer: Ipv4) {
 fn master_loop(listener: TcpListener, ctx: MasterCtx) {
     let mm = MasterMetrics {
         pretrust_ns: ctx.registry.span("master.pretrust_ns"),
-        dnsbl_ns: ctx.registry.span("master.dnsbl_ns"),
         queue_depth: ctx.registry.gauge("worker.queue_depth"),
-        udp_timeouts: ctx.registry.counter("dnsbl.udp_timeouts"),
-        udp_errors: ctx.registry.counter("dnsbl.udp_errors"),
+        agent_dropped: ctx.registry.counter("dnsbl.agent_dropped"),
         verbs: VerbCounters::register(&ctx.registry),
     };
     let stats = &ctx.stats;
@@ -731,15 +761,6 @@ fn master_loop(listener: TcpListener, ctx: MasterCtx) {
     // Pre-trust connections per client IP, for the per-IP admission cap.
     let mut per_ip: HashMap<Ipv4, usize> = HashMap::new();
     let mut rr = 0usize;
-    let mut resolver = CachingResolver::new(CacheScheme::PerPrefix, Nanos::from_secs(86_400))
-        .with_metrics(&ctx.registry, "dnsbl");
-    let mut udp_cache: HashMap<spamaware_netaddr::Prefix25, spamaware_netaddr::PrefixBitmap> =
-        HashMap::new();
-    // The breaker shares the registry clock, so a ManualClock-driven test
-    // registry steps the backoff windows deterministically.
-    let mut breaker = CircuitBreaker::new(ctx.dnsbl_breaker.clone(), ctx.registry.clock())
-        .with_metrics(&ctx.registry, "dnsbl");
-    let mut rng = spamaware_sim::det_rng(0x11FE);
     let exists = |a: &MailAddr| ctx.mailboxes.contains(a.local_part());
     let inflight_cap = i64::try_from(ctx.max_connections).unwrap_or(i64::MAX);
     // Reply bytes for one pumped burst, written to the socket in one call.
@@ -784,60 +805,14 @@ fn master_loop(listener: TcpListener, ctx: MasterCtx) {
                         shed(stream, &stats.shed_per_ip);
                         continue;
                     }
-                    if let Some((server_addr, zone)) = &ctx.dnsbl_udp {
-                        // Real DNSBLv6 query over UDP, cached per /25.
-                        // Only *successful* answers enter the cache: a
-                        // fail-open verdict is a degraded guess, and
-                        // caching it would poison the whole /25 until
-                        // restart.
-                        let start = mm.dnsbl_ns.now();
-                        let listed = match udp_cache.get(&peer_ip.prefix25()) {
-                            Some(bitmap) => bitmap.contains(peer_ip),
-                            None => match breaker.admit() {
-                                // Open circuit: fail open to "not listed"
-                                // without touching the network (§9 — never
-                                // delay mail for a dead dependency).
-                                BreakerDecision::ShortCircuit => false,
-                                BreakerDecision::Allow | BreakerDecision::Probe => {
-                                    match UdpDnsbl::lookup_v6_timeout(
-                                        *server_addr,
-                                        zone,
-                                        peer_ip,
-                                        ctx.dnsbl_udp_timeout,
-                                    ) {
-                                        Ok(bitmap) => {
-                                            breaker.record_success();
-                                            let listed = bitmap.contains(peer_ip);
-                                            udp_cache.insert(peer_ip.prefix25(), bitmap);
-                                            listed
-                                        }
-                                        Err(e) => {
-                                            breaker.record_failure();
-                                            if matches!(
-                                                e.kind(),
-                                                ErrorKind::WouldBlock | ErrorKind::TimedOut
-                                            ) {
-                                                mm.udp_timeouts.inc();
-                                            } else {
-                                                mm.udp_errors.inc();
-                                            }
-                                            false
-                                        }
-                                    }
-                                }
-                            },
-                        };
-                        mm.dnsbl_ns.record_since(start);
-                        if listed {
-                            stats.blacklisted.inc();
-                        }
-                    } else if let Some(server) = &ctx.dnsbl {
-                        let start = mm.dnsbl_ns.now();
-                        let now = Nanos::from_nanos(0);
-                        let listed = resolver.lookup(peer_ip, now, server, &mut rng).listed;
-                        mm.dnsbl_ns.record_since(start);
-                        if listed {
-                            stats.blacklisted.inc();
+                    if let Some(tx) = &ctx.dnsbl_tx {
+                        // Fire-and-forget hand-off to the DNSBL agent
+                        // thread: the verdict is record-only (§9), so the
+                        // master never waits for it. A full queue drops
+                        // the *lookup*, not the client — under overload
+                        // we lose a statistic, never mail service.
+                        if tx.try_send(peer_ip).is_err() {
+                            mm.agent_dropped.inc();
                         }
                     }
                     let _ = stream.set_nonblocking(true);
@@ -977,6 +952,10 @@ fn master_loop(listener: TcpListener, ctx: MasterCtx) {
             }
         }
         if !progress {
+            // 1 ms idle poll backoff: the master has no connections and
+            // nothing pending. Replacing the poll with readiness
+            // notification is the epoll item on the ROADMAP.
+            // lint:allow(blocking)
             std::thread::sleep(Duration::from_millis(1));
         }
     }

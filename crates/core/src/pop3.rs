@@ -235,8 +235,13 @@ fn session(
             }
             "PASS" => match &st.user {
                 Some(user) => {
-                    let mails = store.read_mailbox(user).unwrap_or_default();
-                    st.listing = mails.iter().map(|m| (m.id, m.body.len())).collect();
+                    // Index-only scan: sizes come from the key index, so no
+                    // shard lock is held across disk reads (§10 scan phase).
+                    st.listing = store
+                        .list_mailbox(user)
+                        .into_iter()
+                        .map(|(id, len)| (id, usize::try_from(len).unwrap_or(usize::MAX)))
+                        .collect();
                     st.authed = Some(user.clone());
                     writeln!(out, "+OK {} messages\r", st.listing.len())?;
                 }
@@ -256,10 +261,11 @@ fn session(
             }
             "RETR" if st.authed.is_some() => match (st.authed.as_deref(), parse_index(arg, &st)) {
                 (Some(user), Some(idx)) => {
+                    // One positioned read under one short shard hold — not a
+                    // whole-mailbox scan per retrieval.
                     let body = store
-                        .read_mailbox(user)
+                        .read_mail(user, st.listing[idx].0)
                         .ok()
-                        .and_then(|mails| mails.into_iter().find(|m| m.id == st.listing[idx].0))
                         .map(|m| m.body);
                     match body {
                         Some(body) => {

@@ -695,6 +695,43 @@ impl<B: Backend> MfsStore<B> {
             .unwrap_or(&[])
     }
 
+    /// Index-only mailbox listing: `(id, body length)` per live mail, in
+    /// delivery order, straight from the in-memory key index. No disk
+    /// reads, so a caller holding a partition lock releases it in O(1) —
+    /// this is how the POP3 scan phase avoids pinning a shard for the
+    /// duration of an O(mailbox) body scan.
+    pub fn list_mailbox(&self, mailbox: &str) -> Vec<(MailId, u64)> {
+        self.live_entries(mailbox)
+            .iter()
+            .map(|e| (e.id, e.len))
+            .collect()
+    }
+
+    /// Reads one mail's body: a single positioned `read_at` against the
+    /// private or shared data file.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::StoreError::NotFound`] when the mailbox has no live mail
+    /// with this id (for example, deleted since a
+    /// [`MfsStore::list_mailbox`] snapshot); backend read failures.
+    pub fn read_mail(&mut self, mailbox: &str, id: MailId) -> StoreResult<StoredMail> {
+        let _span = self.metrics.as_ref().map(|m| m.read_ns.start());
+        let e = self
+            .live_entries(mailbox)
+            .iter()
+            .find(|e| e.id == id)
+            .copied()
+            .ok_or_else(|| StoreError::NotFound(format!("{mailbox}/{id}")))?;
+        let data_file = if e.shared {
+            Self::data_path(SHARED)
+        } else {
+            Self::data_path(mailbox)
+        };
+        let body = self.backend.read_at(&data_file, e.offset, e.len)?;
+        Ok(StoredMail { id: e.id, body })
+    }
+
     /// Debug-build invariant check for §6.1's refcounting: every shared
     /// entry's refcount is positive and at least the number of live
     /// mailbox entries referencing it, and no mailbox entry points at an

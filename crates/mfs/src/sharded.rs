@@ -282,17 +282,48 @@ impl<B: Backend> ShardedStore<B> {
         }
     }
 
-    /// Reads every live mail in a mailbox, in delivery order, holding only
-    /// that mailbox's shard lock. Shared bodies are read through the
-    /// shard's own backend handle: the shared data file is append-only and
-    /// coordinates are published only after the append completed, so no
-    /// shared lock is needed.
+    /// Index-only mailbox listing (see [`MfsStore::list_mailbox`]): one
+    /// O(1)-hold acquisition of the mailbox's shard, no disk reads.
+    pub fn list_mailbox(&self, mailbox: &str) -> Vec<(MailId, u64)> {
+        self.locked(self.shard_for(mailbox)).list_mailbox(mailbox)
+    }
+
+    /// Reads one mail under one short shard hold (see
+    /// [`MfsStore::read_mail`]).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::StoreError::NotFound`] when the mailbox has no live mail
+    /// with this id; backend read failures.
+    pub fn read_mail(&self, mailbox: &str, id: MailId) -> StoreResult<StoredMail> {
+        self.locked(self.shard_for(mailbox)).read_mail(mailbox, id)
+    }
+
+    /// Reads every live mail in a mailbox, in delivery order. The shard
+    /// lock is *not* held across the scan: one short hold snapshots the
+    /// key index, then each body is read under its own hold, so concurrent
+    /// deliveries to other mailboxes on the same stripe interleave instead
+    /// of waiting out O(mailbox) disk reads. A mail deleted between the
+    /// snapshot and its read is skipped, which is the same answer a
+    /// slightly earlier scan would have given. Shared bodies are read
+    /// through the shard's own backend handle: the shared data file is
+    /// append-only and coordinates are published only after the append
+    /// completed, so no shared lock is needed.
     ///
     /// # Errors
     ///
     /// Propagates backend read failures.
     pub fn read_mailbox(&self, mailbox: &str) -> StoreResult<Vec<StoredMail>> {
-        self.locked(self.shard_for(mailbox)).read_mailbox(mailbox)
+        let index = self.list_mailbox(mailbox);
+        let mut out = Vec::with_capacity(index.len());
+        for (id, _len) in index {
+            match self.read_mail(mailbox, id) {
+                Ok(mail) => out.push(mail),
+                Err(crate::StoreError::NotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
     }
 
     /// Deletes one mail from one mailbox: tombstone under the shard lock,

@@ -1,0 +1,630 @@
+//! Blocking-reachability lint.
+//!
+//! The paper's §5 fork-after-trust architecture lives on two promises:
+//! the master accept thread never blocks, and no thread blocks while it
+//! holds a store partition lock. This pass makes both checkable:
+//!
+//! 1. **Blocking leaves** are classified by token: `thread::sleep`, UDP
+//!    `send_to`/`recv_from`, blocking-read socket configuration
+//!    (`set_read_timeout`), channel `recv`/`recv_timeout`, no-argument
+//!    `.join()`, and file I/O (`File::open`, `fs::*`, `sync_all`, …).
+//! 2. **`blocking` (master)**: no blocking leaf of any kind may be
+//!    reachable from `master_loop` along call edges. Edges through a
+//!    `spawn(…)` call site are cut — a spawned closure blocks its own
+//!    thread, not the master.
+//! 3. **`blocking` (under lock)**: sleep / network / channel / join
+//!    leaves may not execute while any discovered lock class is held
+//!    (from [`crate::locks`]'s held-line map). File I/O under a store
+//!    lock is allowed — the append *is* the critical section.
+//! 4. **`lock-io-loop`**: file-*read* I/O (direct or through callees)
+//!    inside a loop, where a partition lock was already held when the
+//!    loop began — the "POP3 scan holds the stripe for O(mailbox) disk
+//!    reads" latency bug. Per-iteration acquire/release is fine; holding
+//!    one lock across the whole scan is not.
+//!
+//! Waivers: `lint:allow(blocking)` / `lint:allow(lock-io-loop)`, budgeted
+//! per crate in `crates/xtask/concurrency-waivers.budget`.
+
+use crate::callgraph::{CallSite, FnId, Workspace};
+use crate::findings::Finding;
+use crate::locks::LockAnalysis;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates in blocking-lint scope. `sim` and `bench` drive simulated or
+/// measurement workloads where sleeping is the point; `xtask` is the
+/// analyzer itself.
+pub const BLOCKING_SCOPE: &[&str] = &["core", "server", "smtp", "mfs", "dnsbl", "metrics"];
+
+/// Files pinned into scope explicitly, so the guarantee survives even if
+/// the crate-level scope above is ever narrowed (same pattern as
+/// `DETERMINISM_FILES`): the DNSBL circuit breaker and the sharded store
+/// are the two places a blocking call under a hold becomes a §5 collapse.
+pub const BLOCKING_FILES: &[&str] = &["crates/dnsbl/src/breaker.rs", "crates/mfs/src/sharded.rs"];
+
+/// What a blocking leaf does, which decides where it is forbidden.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// `thread::sleep` — unconditionally blocking.
+    Sleep,
+    /// Network syscalls and blocking-read socket configuration.
+    Net,
+    /// Channel `recv`/`recv_timeout` — blocks on another thread.
+    Channel,
+    /// `.join()` — blocks on a whole thread's lifetime.
+    Join,
+    /// File reads (allowed under a store lock, but not in a held loop).
+    FileRead,
+    /// File writes / metadata (the store's critical sections).
+    FileWrite,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Sleep => "thread::sleep",
+            Kind::Net => "network I/O",
+            Kind::Channel => "channel recv",
+            Kind::Join => "thread join",
+            Kind::FileRead => "file read",
+            Kind::FileWrite => "file write",
+        }
+    }
+
+    /// Kinds that must not run while a lock is held. File I/O is exempt:
+    /// appending under the partition lock is the store's design.
+    fn forbidden_under_lock(self) -> bool {
+        matches!(self, Kind::Sleep | Kind::Net | Kind::Channel | Kind::Join)
+    }
+}
+
+const NET_TOKENS: &[&str] = &[
+    ".send_to(",
+    ".recv_from(",
+    ".set_read_timeout(",
+    ".set_write_timeout(",
+];
+const CHANNEL_TOKENS: &[&str] = &[".recv()", ".recv_timeout("];
+const FILE_READ_TOKENS: &[&str] = &[
+    "File::open(",
+    "fs::read",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read_dir(",
+];
+const FILE_WRITE_TOKENS: &[&str] = &[
+    "File::create(",
+    "OpenOptions::new(",
+    "fs::write",
+    "fs::rename",
+    "fs::remove",
+    "fs::create_dir",
+    ".sync_all(",
+    ".sync_data(",
+];
+
+/// Blocking tokens on one line of code text, with byte offsets.
+fn classify_line(code: &str) -> Vec<(usize, Kind, &'static str)> {
+    let mut out = Vec::new();
+    let mut push_all = |tokens: &[&'static str], kind: Kind| {
+        for &tok in tokens {
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(tok) {
+                let at = from + rel;
+                from = at + tok.len();
+                out.push((at, kind, tok));
+            }
+        }
+    };
+    push_all(NET_TOKENS, Kind::Net);
+    push_all(CHANNEL_TOKENS, Kind::Channel);
+    push_all(FILE_READ_TOKENS, Kind::FileRead);
+    push_all(FILE_WRITE_TOKENS, Kind::FileWrite);
+    // `sleep(` with a non-ident char before it (`thread::sleep(`, bare
+    // `sleep(`, `.sleep(`).
+    let mut from = 0;
+    while let Some(rel) = code[from..].find("sleep(") {
+        let at = from + rel;
+        from = at + 6;
+        let ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if ok {
+            out.push((at, Kind::Sleep, "sleep("));
+        }
+    }
+    // No-argument `.join()` — a thread join. (`slice.join(sep)` takes an
+    // argument and never matches.)
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(".join()") {
+        let at = from + rel;
+        from = at + 7;
+        out.push((at, Kind::Join, ".join()"));
+    }
+    out.sort_by_key(|&(at, _, _)| at);
+    out
+}
+
+/// Result of the pass.
+pub struct BlockingAnalysis {
+    /// `blocking` and `lock-io-loop` violations.
+    pub findings: Vec<Finding>,
+    /// Waivers consumed, keyed `<rule>/<crate>`.
+    pub waivers_used: BTreeMap<String, usize>,
+}
+
+/// Runs the pass. Needs the lock analysis for held-line information.
+pub fn check(ws: &Workspace, locks: &LockAnalysis) -> BlockingAnalysis {
+    let mut findings = Vec::new();
+    let mut waivers_used: BTreeMap<String, usize> = BTreeMap::new();
+
+    let in_scope = |file_idx: usize| -> bool {
+        BLOCKING_SCOPE.iter().any(|c| *c == ws.crates[file_idx])
+            || BLOCKING_FILES
+                .iter()
+                .any(|f| ws.files[file_idx].path.ends_with(f))
+    };
+
+    let mut waive = |file_idx: usize, line: usize, rule: &'static str| -> bool {
+        if ws.files[file_idx].waived(line, rule) {
+            let key = format!("{rule}/{}", ws.crates[file_idx]);
+            *waivers_used.entry(key).or_insert(0) += 1;
+            true
+        } else {
+            false
+        }
+    };
+
+    // --- Rule 1: nothing blocking reachable from the master loop. ---
+    let roots: Vec<FnId> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.is_test && f.name == "master_loop")
+        .map(|(id, _)| id)
+        .collect();
+    let came_from = reachable_no_spawn(ws, &roots);
+    let mut master_set: BTreeSet<FnId> = roots.iter().copied().collect();
+    master_set.extend(came_from.keys().copied());
+    for &f in &master_set {
+        let info = &ws.fns[f];
+        if !in_scope(info.file) {
+            continue;
+        }
+        let file = &ws.files[info.file];
+        for li in info.body_start..=info.end.min(file.lines.len().saturating_sub(1)) {
+            if file.in_test[li] {
+                continue;
+            }
+            for (_, kind, tok) in classify_line(&file.lines[li].code) {
+                if waive(info.file, li, "blocking") {
+                    continue;
+                }
+                findings.push(Finding::new(
+                    &file.path,
+                    li + 1,
+                    "blocking",
+                    format!(
+                        "`{tok}` ({}) reachable from the master accept loop \
+                         via {} — §5 requires a non-blocking master",
+                        kind.label(),
+                        ws.chain_to(&came_from, f),
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- Rule 2: no sleep/net/channel/join while a lock is held. ---
+    for (&f, lines) in &locks.held_lines {
+        let info = &ws.fns[f];
+        if info.is_test || !in_scope(info.file) {
+            continue;
+        }
+        let file = &ws.files[info.file];
+        for (&li, held) in lines {
+            let Some(line) = file.lines.get(li) else {
+                continue;
+            };
+            for (_, kind, tok) in classify_line(&line.code) {
+                if !kind.forbidden_under_lock() {
+                    continue;
+                }
+                if waive(info.file, li, "blocking") {
+                    continue;
+                }
+                let held_names: Vec<&str> = held
+                    .iter()
+                    .map(|&c| locks.classes[c].name.as_str())
+                    .collect();
+                findings.push(Finding::new(
+                    &file.path,
+                    li + 1,
+                    "blocking",
+                    format!(
+                        "`{tok}` ({}) while holding lock `{}` in `{}` — \
+                         blocking under a hold stalls every waiter",
+                        kind.label(),
+                        held_names.join("`, `"),
+                        info.name,
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- Rule 3: file-read I/O in a loop entered with a partition held. ---
+    let does_read = transitive_read_io(ws);
+    for f in 0..ws.fns.len() {
+        let info = &ws.fns[f];
+        if info.is_test || !in_scope(info.file) {
+            continue;
+        }
+        let file = &ws.files[info.file];
+        let Some(held_lines) = locks.held_lines.get(&f) else {
+            continue;
+        };
+        let loops = loop_spans(ws, f);
+        for li in info.body_start..=info.end.min(file.lines.len().saturating_sub(1)) {
+            // Innermost loop containing this line, if any.
+            let Some(&(header, _)) = loops
+                .iter()
+                .filter(|&&(h, e)| h < li && li <= e)
+                .max_by_key(|&&(h, _)| h)
+            else {
+                continue;
+            };
+            // Partition classes already held when the loop began: held at
+            // the loop header (covers entry-held and outer-scope guards,
+            // but not per-iteration acquire/release inside the body).
+            let held_at_header: BTreeSet<usize> = held_lines
+                .get(&header)
+                .into_iter()
+                .flatten()
+                .copied()
+                .filter(|&c| locks.classes[c].partition)
+                .collect();
+            if held_at_header.is_empty() {
+                continue;
+            }
+            let line = &file.lines[li];
+            let direct = classify_line(&line.code)
+                .iter()
+                .any(|&(_, k, _)| k == Kind::FileRead);
+            let via_call = ws.calls[f]
+                .iter()
+                .filter(|s| s.line == li)
+                .any(|s| ws.callees(s).iter().any(|&c| does_read[c]));
+            if !(direct || via_call) {
+                continue;
+            }
+            if waive(info.file, li, "lock-io-loop") {
+                continue;
+            }
+            let names: Vec<&str> = held_at_header
+                .iter()
+                .map(|&c| locks.classes[c].name.as_str())
+                .collect();
+            findings.push(Finding::new(
+                &file.path,
+                li + 1,
+                "lock-io-loop",
+                format!(
+                    "file read inside a loop entered while holding `{}` in \
+                     `{}` — the scan holds the partition for O(n) disk reads",
+                    names.join("`, `"),
+                    info.name,
+                ),
+            ));
+        }
+    }
+
+    BlockingAnalysis {
+        findings,
+        waivers_used,
+    }
+}
+
+/// BFS over call edges from `roots`, cutting edges whose call site sits on
+/// a `spawn(…)` line: the spawned closure runs on another thread.
+fn reachable_no_spawn(ws: &Workspace, roots: &[FnId]) -> BTreeMap<FnId, CallSite> {
+    let mut came_from = BTreeMap::new();
+    let mut seen: BTreeSet<FnId> = roots.iter().copied().collect();
+    let mut queue: Vec<FnId> = roots.to_vec();
+    while let Some(f) = queue.pop() {
+        let file = &ws.files[ws.fns[f].file];
+        for site in &ws.calls[f] {
+            let on_spawn_line = file
+                .lines
+                .get(site.line)
+                .is_some_and(|l| l.code.contains("spawn("));
+            if on_spawn_line {
+                continue;
+            }
+            for callee in ws.callees(site) {
+                if seen.insert(callee) {
+                    came_from.insert(callee, site.clone());
+                    queue.push(callee);
+                }
+            }
+        }
+    }
+    came_from
+}
+
+/// Per function: does it (transitively) perform file-read I/O? Fixpoint
+/// over call edges, seeded by [`FILE_READ_TOKENS`]. Spawn-site edges are
+/// cut here too — a read in a spawned thread is not a read in the caller.
+fn transitive_read_io(ws: &Workspace) -> Vec<bool> {
+    let mut does = vec![false; ws.fns.len()];
+    for (f, info) in ws.fns.iter().enumerate() {
+        let file = &ws.files[info.file];
+        for li in info.body_start..=info.end.min(file.lines.len().saturating_sub(1)) {
+            if classify_line(&file.lines[li].code)
+                .iter()
+                .any(|&(_, k, _)| k == Kind::FileRead)
+            {
+                does[f] = true;
+                break;
+            }
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for f in 0..ws.fns.len() {
+            if does[f] {
+                continue;
+            }
+            let file = &ws.files[ws.fns[f].file];
+            let hit = ws.calls[f].iter().any(|site| {
+                let on_spawn_line = file
+                    .lines
+                    .get(site.line)
+                    .is_some_and(|l| l.code.contains("spawn("));
+                !on_spawn_line && ws.callees(site).iter().any(|&c| does[c])
+            });
+            if hit {
+                does[f] = true;
+                changed = true;
+            }
+        }
+    }
+    does
+}
+
+/// Loop spans `(header-line, end-line)` inside one function, by brace
+/// tracking from `for`/`while`/`loop` tokens.
+fn loop_spans(ws: &Workspace, f: FnId) -> Vec<(usize, usize)> {
+    let info = &ws.fns[f];
+    let file = &ws.files[info.file];
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    // Open loops: (header line, out index, depth before the loop `{`).
+    let mut stack: Vec<(usize, i64)> = Vec::new();
+    let mut pending: Option<usize> = None;
+    for li in info.body_start..=info.end.min(file.lines.len().saturating_sub(1)) {
+        let code = &file.lines[li].code;
+        if ["for", "while", "loop"]
+            .iter()
+            .any(|kw| crate::scan::find_token(code, kw).is_some())
+        {
+            pending = Some(li);
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if let Some(header) = pending.take() {
+                        out.push((header, li));
+                        stack.push((out.len() - 1, depth));
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    while stack.last().is_some_and(|&(_, d)| d == depth) {
+                        let (idx, _) = stack.pop().unwrap_or_default();
+                        out[idx].1 = li;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let last = info.end.min(file.lines.len().saturating_sub(1));
+    while let Some((idx, _)) = stack.pop() {
+        out[idx].1 = last;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locks;
+
+    fn analyze(src: &str) -> (Workspace, BlockingAnalysis) {
+        let ws = Workspace::from_sources(&[("crates/core/src/lib.rs", src)]);
+        let lock = locks::check(&ws);
+        let blocking = check(&ws, &lock);
+        (ws, blocking)
+    }
+
+    #[test]
+    fn classification_covers_all_kinds() {
+        let kinds: Vec<Kind> = classify_line(
+            "sock.send_to(b, a); rx.recv(); h.join(); thread::sleep(d); File::open(p);",
+        )
+        .iter()
+        .map(|&(_, k, _)| k)
+        .collect();
+        assert_eq!(
+            kinds,
+            [
+                Kind::Net,
+                Kind::Channel,
+                Kind::Join,
+                Kind::Sleep,
+                Kind::FileRead
+            ]
+        );
+        // `slice.join(", ")` takes an argument: not a thread join.
+        assert!(classify_line("v.join(\", \")").is_empty());
+    }
+
+    #[test]
+    fn planted_blocking_reachable_from_master_is_found() {
+        let src = "\
+fn master_loop() {
+    handle();
+}
+fn handle() {
+    lookup();
+}
+fn lookup() {
+    sock.recv_from(&mut buf);
+}
+";
+        let (_, a) = analyze(src);
+        assert!(
+            a.findings.iter().any(|f| f.rule == "blocking"
+                && f.message.contains("recv_from")
+                && f.message.contains("master_loop → handle → lookup")),
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn spawned_thread_does_not_taint_the_master() {
+        let src = "\
+fn master_loop() {
+    thread::spawn(move || worker());
+}
+fn worker() {
+    rx.recv();
+}
+";
+        let (_, a) = analyze(src);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn sleep_under_a_lock_is_found() {
+        let src = "\
+struct S {
+    shared: Mutex<MfsStore<B>>,
+}
+impl S {
+    fn bad(&self) {
+        let g = self.shared.lock();
+        std::thread::sleep(d);
+        g.done();
+    }
+}
+";
+        let (_, a) = analyze(src);
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| f.rule == "blocking" && f.message.contains("sleep")),
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn file_append_under_a_lock_is_allowed() {
+        let src = "\
+struct S {
+    shared: Mutex<MfsStore<B>>,
+}
+impl S {
+    fn good(&self) {
+        let g = self.shared.lock();
+        fs::write(path, data);
+        g.done();
+    }
+}
+";
+        let (_, a) = analyze(src);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn read_loop_under_partition_hold_is_found() {
+        let src = "\
+struct S {
+    shards: Vec<Mutex<MfsStore<B>>>,
+}
+impl S {
+    fn scan(&self) {
+        for shard in &self.shards {
+            let g = shard.lock();
+            for e in g.entries() {
+                let body = fs::read_at(path, e.offset);
+                use_it(body);
+            }
+            drop(g);
+        }
+    }
+}
+fn use_it(b: u8) {}
+";
+        let (_, a) = analyze(src);
+        assert!(
+            a.findings.iter().any(|f| f.rule == "lock-io-loop"),
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn per_iteration_acquisition_is_not_a_held_loop() {
+        let src = "\
+struct S {
+    shards: Vec<Mutex<MfsStore<B>>>,
+}
+impl S {
+    fn scan(&self) {
+        for shard in &self.shards {
+            let n = shard.lock().quick_len();
+            use_it(n);
+        }
+    }
+}
+fn use_it(b: u8) {}
+";
+        let (_, a) = analyze(src);
+        assert!(
+            a.findings.iter().all(|f| f.rule != "lock-io-loop"),
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn waived_line_counts_against_the_budget() {
+        let src = "\
+fn master_loop() {
+    // lint:allow(blocking) — poll backoff, see ROADMAP item 1 (epoll).
+    thread::sleep(d);
+}
+";
+        let (_, a) = analyze(src);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!(a.waivers_used.get("blocking/core"), Some(&1));
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let ws = Workspace::from_sources(&[(
+            "crates/bench/src/lib.rs",
+            "fn master_loop() {\n    thread::sleep(d);\n}\n",
+        )]);
+        let lock = locks::check(&ws);
+        let a = check(&ws, &lock);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+}

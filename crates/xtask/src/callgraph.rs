@@ -1,0 +1,902 @@
+//! Intra-workspace call-graph builder.
+//!
+//! Grows the line-level source model in [`crate::scan`] into a whole-
+//! workspace flow model: per-function spans (by brace tracking), call
+//! edges (by bare-name resolution within the workspace), and a crate
+//! dependency map parsed from each crate's `Cargo.toml` so edges never
+//! point into crates the caller cannot link against.
+//!
+//! Resolution is a deliberate over-approximation, in the same spirit as
+//! the token-level lints: a method call `.name(…)` resolves to *every*
+//! workspace function called `name` that takes `self` (trait methods
+//! included), and a qualified call `Type::name(…)` to every function
+//! called `name` implemented on a workspace type named `Type` (so
+//! `File::open(…)` never resolves to `MfsStore::open`). That direction
+//! of error is safe for the passes built on top (lock order, blocking
+//! reachability): they may report a path that the types would rule out,
+//! but they cannot miss a real one through the names they model. Calls
+//! into non-workspace code (std, vendored crates) produce no edges; the
+//! passes classify those leaves by token patterns instead.
+
+use crate::scan::{find_token, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::Path;
+
+/// Index into [`Workspace::fns`].
+pub type FnId = usize;
+
+/// One function (or default trait method) with a body.
+#[derive(Debug)]
+pub struct FnInfo {
+    /// Bare name, e.g. `deliver`.
+    pub name: String,
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// 0-based line of the `fn` keyword.
+    pub start: usize,
+    /// 0-based line where the body `{` opens (≥ `start`).
+    pub body_start: usize,
+    /// 0-based line of the closing `}` (inclusive).
+    pub end: usize,
+    /// Declared inside a `#[cfg(test)]` region or `#[test]` fn.
+    pub is_test: bool,
+    /// Signature mentions `self` (method / associated method with receiver).
+    pub has_self: bool,
+    /// Joined signature text from the `fn` keyword to the body `{`.
+    pub sig: String,
+    /// Self type of the enclosing `impl` block (or name of the enclosing
+    /// `trait` for default methods); `None` for free functions.
+    pub owner: Option<String>,
+}
+
+/// One syntactic call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Calling function.
+    pub caller: FnId,
+    /// 0-based line in the caller's file.
+    pub line: usize,
+    /// Byte offset of the callee name within the line's code text.
+    pub byte: usize,
+    /// Bare callee name.
+    pub name: String,
+    /// `.name(…)` method-call form.
+    pub method: bool,
+    /// `Qual::name(…)` — the last path segment before the name, if any.
+    pub qualifier: Option<String>,
+}
+
+/// The scanned workspace plus its call graph.
+pub struct Workspace {
+    /// Scanned source files, in path order.
+    pub files: Vec<SourceFile>,
+    /// Crate (directory under `crates/`) of each file, parallel to `files`.
+    pub crates: Vec<String>,
+    /// Transitive workspace dependencies per crate, including the crate
+    /// itself. Missing entries mean "depends on everything" (fixtures).
+    pub deps: BTreeMap<String, BTreeSet<String>>,
+    /// All functions, in (file, body-open) order.
+    pub fns: Vec<FnInfo>,
+    /// Call sites grouped by caller, each sorted by (line, byte).
+    pub calls: Vec<Vec<CallSite>>,
+    /// Bare name → functions with that name.
+    pub by_name: BTreeMap<String, Vec<FnId>>,
+}
+
+impl Workspace {
+    /// Loads `crates/*/src/**/*.rs` under `root` and builds the graph,
+    /// with crate dependencies parsed from each crate's `Cargo.toml`.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut paths = Vec::new();
+        let crates_dir = root.join("crates");
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                crate::collect_rs_files(&src, &mut paths)?;
+            }
+        }
+        paths.sort();
+        let mut files = Vec::new();
+        let mut crate_names = Vec::new();
+        for p in &paths {
+            files.push(crate::scan::scan_file(p)?);
+            crate_names.push(crate::crate_of(root, p));
+        }
+        let deps = crate_deps(root)?;
+        Ok(Workspace::build(files, crate_names, deps))
+    }
+
+    /// Builds a workspace from in-memory sources (fixture self-tests and
+    /// property tests). Crates are inferred from `crates/<name>/src` path
+    /// segments; every crate is assumed to depend on every other.
+    pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, t)| crate::scan::scan_source(p, t))
+            .collect();
+        let crates = files.iter().map(|f| path_crate(&f.path)).collect();
+        Workspace::build(files, crates, BTreeMap::new())
+    }
+
+    fn build(
+        files: Vec<SourceFile>,
+        crates: Vec<String>,
+        deps: BTreeMap<String, BTreeSet<String>>,
+    ) -> Workspace {
+        let mut fns = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            extract_fns(fi, file, &mut fns);
+        }
+        let mut by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(id);
+        }
+        // Innermost owning function per (file, line).
+        let mut owner: Vec<Vec<Option<FnId>>> =
+            files.iter().map(|f| vec![None; f.lines.len()]).collect();
+        for (id, f) in fns.iter().enumerate() {
+            for line in f.body_start..=f.end.min(owner[f.file].len().saturating_sub(1)) {
+                owner[f.file][line] = Some(id);
+            }
+        }
+        let mut calls: Vec<Vec<CallSite>> = vec![Vec::new(); fns.len()];
+        for (fi, file) in files.iter().enumerate() {
+            for (li, line) in file.lines.iter().enumerate() {
+                let Some(caller) = owner[fi][li] else {
+                    continue;
+                };
+                // The decl line of the owner must not read its own name
+                // as a call; extract_calls skips `fn `-preceded idents.
+                for mut site in extract_calls(&line.code) {
+                    site.caller = caller;
+                    site.line = li;
+                    calls[caller].push(site);
+                }
+            }
+        }
+        Workspace {
+            files,
+            crates,
+            deps,
+            fns,
+            calls,
+            by_name,
+        }
+    }
+
+    /// Resolves a call site to workspace functions: same bare name,
+    /// non-test, reachable through the caller's crate dependencies, and
+    /// (for method calls) taking `self`. Method calls with ubiquitous
+    /// std-container names ([`COMMON_METHODS`]) resolve to nothing — a
+    /// `.len()` on a `Vec` must not grow an edge to every workspace type
+    /// with a `len` method; the flow passes model those receivers (lock
+    /// guards, store backends) through their own token patterns instead.
+    ///
+    /// A *method* call never resolves back to its own caller: wrappers
+    /// delegating to a same-named inner method (`self.inner.lock().f()`
+    /// inside `fn f`) are everywhere in this workspace, and the self-edge
+    /// would report every such delegation as recursion under lock. The
+    /// cost is missing genuinely recursive methods that re-lock — direct
+    /// recursion via a plain `f()` call still keeps its edge.
+    pub fn callees(&self, site: &CallSite) -> Vec<FnId> {
+        if site.method && COMMON_METHODS.contains(&site.name.as_str()) {
+            return Vec::new();
+        }
+        let caller = &self.fns[site.caller];
+        let caller_crate = &self.crates[caller.file];
+        let allowed = self.deps.get(caller_crate);
+        self.by_name
+            .get(&site.name)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| {
+                        let f = &self.fns[id];
+                        if f.is_test {
+                            return false;
+                        }
+                        if site.method && (!f.has_self || id == site.caller) {
+                            return false;
+                        }
+                        // A qualified call resolves by owner: `Type::f(…)`
+                        // only to fns implemented on a `Type`, `Self::f(…)`
+                        // to the caller's own impl block, and module paths
+                        // (`frame::encode(…)`) only to free functions.
+                        if let Some(q) = &site.qualifier {
+                            let ok = if q == "Self" {
+                                caller.owner.is_none() || f.owner == caller.owner
+                            } else if q.starts_with(char::is_uppercase) {
+                                f.owner.as_deref() == Some(q.as_str())
+                            } else {
+                                f.owner.is_none()
+                            };
+                            if !ok {
+                                return false;
+                            }
+                        }
+                        match allowed {
+                            Some(set) => set.contains(&self.crates[f.file]),
+                            None => true,
+                        }
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// All non-test functions with the given bare name.
+    pub fn fns_named(&self, name: &str) -> Vec<FnId> {
+        self.by_name
+            .get(name)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| !self.fns[id].is_test)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Breadth-first reachability from `roots` along call edges. Returns
+    /// predecessor call sites for path reconstruction: `came_from[f]` is
+    /// the call site through which `f` was first reached (roots absent).
+    pub fn reachable(&self, roots: &[FnId]) -> BTreeMap<FnId, CallSite> {
+        let mut came_from = BTreeMap::new();
+        let mut seen: BTreeSet<FnId> = roots.iter().copied().collect();
+        let mut queue: Vec<FnId> = roots.to_vec();
+        while let Some(f) = queue.pop() {
+            for site in &self.calls[f] {
+                for callee in self.callees(site) {
+                    if seen.insert(callee) {
+                        came_from.insert(callee, site.clone());
+                        queue.push(callee);
+                    }
+                }
+            }
+        }
+        came_from
+    }
+
+    /// Human-readable call chain ending at `target`, e.g.
+    /// `master_loop → handle → lookup`, reconstructed from [`Workspace::reachable`].
+    pub fn chain_to(&self, came_from: &BTreeMap<FnId, CallSite>, target: FnId) -> String {
+        let mut names = vec![self.fns[target].name.clone()];
+        let mut cur = target;
+        while let Some(site) = came_from.get(&cur) {
+            cur = site.caller;
+            names.push(self.fns[cur].name.clone());
+            if names.len() > self.fns.len() {
+                break;
+            }
+        }
+        names.reverse();
+        names.join(" → ")
+    }
+
+    /// Deterministic dump of every resolved edge, one per line:
+    /// `file:caller -> file:callee`, sorted and deduplicated. Byte-identical
+    /// across runs and stable under formatting-only rewrites of the input.
+    pub fn dump_edges(&self) -> String {
+        let mut rows = BTreeSet::new();
+        for sites in &self.calls {
+            for site in sites {
+                let from = &self.fns[site.caller];
+                for callee in self.callees(site) {
+                    let to = &self.fns[callee];
+                    rows.insert(format!(
+                        "{}:{} -> {}:{}",
+                        self.files[from.file].path, from.name, self.files[to.file].path, to.name
+                    ));
+                }
+            }
+        }
+        let mut out = String::new();
+        for r in rows {
+            out.push_str(&r);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Crate name from a `crates/<name>/src/…` path (fixtures).
+fn path_crate(path: &str) -> String {
+    let norm = path.replace('\\', "/");
+    norm.split("crates/")
+        .nth(1)
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("")
+        .to_owned()
+}
+
+/// Parses `crates/*/Cargo.toml` `[dependencies]` sections for
+/// `path = "../<crate>"` entries and closes them transitively. Only
+/// workspace-internal paths count; vendored deps are outside the model.
+fn crate_deps(root: &Path) -> io::Result<BTreeMap<String, BTreeSet<String>>> {
+    // Workspace-inherited deps (`spamaware-dnsbl.workspace = true`) name
+    // the *package*; map package names to crate directories via the root
+    // manifest's `[workspace.dependencies]` path entries.
+    let mut pkg_to_dir: BTreeMap<String, String> = BTreeMap::new();
+    if let Ok(text) = std::fs::read_to_string(root.join("Cargo.toml")) {
+        let mut in_ws_deps = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_ws_deps = line == "[workspace.dependencies]";
+                continue;
+            }
+            if !in_ws_deps {
+                continue;
+            }
+            if let (Some(pkg), Some(rest)) = (
+                line.split('=').next(),
+                line.split("path = \"crates/").nth(1),
+            ) {
+                if let Some(dir) = rest.split('"').next() {
+                    if !dir.is_empty() && !dir.contains('/') {
+                        pkg_to_dir.insert(pkg.trim().to_owned(), dir.to_owned());
+                    }
+                }
+            }
+        }
+    }
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let crates_dir = root.join("crates");
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let dir = entry?.path();
+        let manifest = dir.join("Cargo.toml");
+        if !manifest.is_file() {
+            continue;
+        }
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text = std::fs::read_to_string(&manifest)?;
+        let mut in_deps = false;
+        let mut deps = BTreeSet::new();
+        deps.insert(name.clone());
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_deps = line == "[dependencies]";
+                continue;
+            }
+            if !in_deps {
+                continue;
+            }
+            if let Some(rest) = line.split("path = \"../").nth(1) {
+                if let Some(dep) = rest.split('"').next() {
+                    // "../../vendor/x" re-splits to a leading slash — only
+                    // sibling crates ("../<dir>") are workspace deps.
+                    if !dep.is_empty() && !dep.starts_with('/') && !dep.contains("..") {
+                        deps.insert(dep.trim_end_matches('/').to_owned());
+                    }
+                }
+            }
+            // `spamaware-dnsbl.workspace = true` /
+            // `spamaware-dnsbl = { workspace = true }` forms.
+            let pkg = line
+                .split(['.', '=', ' '])
+                .next()
+                .unwrap_or_default()
+                .trim();
+            if let Some(dir) = pkg_to_dir.get(pkg) {
+                deps.insert(dir.clone());
+            }
+        }
+        direct.insert(name, deps);
+    }
+    // Transitive closure (the workspace is small; iterate to fixpoint).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let snapshot = direct.clone();
+        for deps in direct.values_mut() {
+            let mut add = BTreeSet::new();
+            for d in deps.iter() {
+                if let Some(dd) = snapshot.get(d) {
+                    add.extend(dd.iter().cloned());
+                }
+            }
+            let before = deps.len();
+            deps.extend(add);
+            changed |= deps.len() != before;
+        }
+    }
+    Ok(direct)
+}
+
+/// A function declaration seen but whose body `{` has not opened yet.
+struct Pending {
+    name: String,
+    start: usize,
+    /// `(`/`[` nesting inside the signature, so `;` inside `[u8; 4]` does
+    /// not end the declaration.
+    nest: i64,
+}
+
+fn extract_fns(file_idx: usize, file: &SourceFile, out: &mut Vec<FnInfo>) {
+    let mut depth: i64 = 0;
+    let mut pending: Option<Pending> = None;
+    // Open functions: (index into `out`, brace depth before the body `{`).
+    let mut stack: Vec<(usize, i64)> = Vec::new();
+    // Open `impl`/`trait` blocks: (self-type name, depth before the `{`).
+    let mut impl_stack: Vec<(Option<String>, i64)> = Vec::new();
+    // `impl`/`trait` header seen, `{` not yet: accumulated header text.
+    let mut pending_impl: Option<String> = None;
+    for (li, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        if pending.is_none() {
+            let header_slice = code.find('{').map_or(code.as_str(), |i| &code[..i]);
+            if let Some(header) = pending_impl.as_mut() {
+                header.push(' ');
+                header.push_str(header_slice);
+            } else if let Some(at) = find_token(code, "impl").or_else(|| find_token(code, "trait"))
+            {
+                // Not `impl Trait` inside a fn signature on this line.
+                let first_decl = fn_decl_positions(code).keys().min().copied();
+                if at < code.find('{').unwrap_or(usize::MAX) && first_decl.is_none_or(|d| at < d) {
+                    pending_impl = Some(code[at..code.find('{').unwrap_or(code.len())].to_owned());
+                }
+            }
+        }
+        let decls = fn_decl_positions(code);
+        for (pos, c) in code.char_indices() {
+            if let Some(p) = pending.as_mut() {
+                match c {
+                    '(' | '[' => p.nest += 1,
+                    ')' | ']' => p.nest -= 1,
+                    ';' if p.nest == 0 => pending = None,
+                    '{' => {
+                        let p = pending.take().unwrap_or(Pending {
+                            name: String::new(),
+                            start: li,
+                            nest: 0,
+                        });
+                        let sig = join_sig(file, p.start, li);
+                        let has_self = find_token(&sig, "self").is_some();
+                        out.push(FnInfo {
+                            name: p.name,
+                            file: file_idx,
+                            start: p.start,
+                            body_start: li,
+                            end: li,
+                            is_test: file.in_test[p.start],
+                            has_self,
+                            sig,
+                            owner: impl_stack.last().and_then(|(o, _)| o.clone()),
+                        });
+                        stack.push((out.len() - 1, depth));
+                        depth += 1;
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            if let Some(name) = decls.get(&pos) {
+                pending = Some(Pending {
+                    name: name.clone(),
+                    start: li,
+                    nest: 0,
+                });
+                continue;
+            }
+            match c {
+                '{' => {
+                    if let Some(header) = pending_impl.take() {
+                        impl_stack.push((impl_self_type(&header), depth));
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    while stack.last().is_some_and(|&(_, d)| d == depth) {
+                        let (id, _) = stack.pop().unwrap_or_default();
+                        out[id].end = li;
+                    }
+                    while impl_stack.last().is_some_and(|&(_, d)| d == depth) {
+                        impl_stack.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Unbalanced input (truncated fixture): close remaining spans at EOF.
+    let last = file.lines.len().saturating_sub(1);
+    while let Some((id, _)) = stack.pop() {
+        out[id].end = last;
+    }
+}
+
+/// Extracts the self-type name from an `impl`/`trait` header: the first
+/// type identifier after the generics, taking the segment after ` for `
+/// when present. `impl<B: Backend> Backend for SyncBackend<B>` →
+/// `SyncBackend`; `trait Backend: Send` → `Backend`.
+fn impl_self_type(header: &str) -> Option<String> {
+    let rest = header.trim_start();
+    let rest = rest
+        .strip_prefix("impl")
+        .or_else(|| rest.strip_prefix("trait"))?;
+    let mut rest = rest.trim_start();
+    if rest.starts_with('<') {
+        let mut depth = 0i64;
+        let mut after = rest.len();
+        for (i, c) in rest.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        after = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &rest[after..];
+    }
+    let target = match rest.rfind(" for ") {
+        Some(i) => &rest[i + 5..],
+        None => rest,
+    };
+    // First type identifier, skipping `&`/`dyn`/`mut` and leading path
+    // segments (`crate::Type`, `module::Type` → `Type`).
+    let mut t = target.trim_start();
+    loop {
+        if let Some(stripped) = t.strip_prefix('&') {
+            t = stripped.trim_start();
+            continue;
+        }
+        if let Some(stripped) = t.strip_prefix("dyn ").or_else(|| t.strip_prefix("mut ")) {
+            t = stripped.trim_start();
+            continue;
+        }
+        let end = t
+            .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .unwrap_or(t.len());
+        if end == 0 {
+            return None;
+        }
+        if t[end..].starts_with("::") {
+            t = &t[end + 2..];
+            continue;
+        }
+        return Some(t[..end].to_owned());
+    }
+}
+
+fn join_sig(file: &SourceFile, start: usize, body_line: usize) -> String {
+    let mut sig = String::new();
+    for li in start..=body_line.min(file.lines.len() - 1) {
+        let code = &file.lines[li].code;
+        let slice = if li == body_line {
+            code.split('{').next().unwrap_or(code)
+        } else {
+            code
+        };
+        sig.push_str(slice.trim());
+        sig.push(' ');
+    }
+    sig
+}
+
+/// Byte offset of each `fn` declaration's *name* on this line → the name.
+fn fn_decl_positions(code: &str) -> BTreeMap<usize, String> {
+    let mut out = BTreeMap::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find("fn") {
+        let at = from + rel;
+        from = at + 2;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &code[at + 2..];
+        if !before_ok || !after.starts_with([' ', '\t']) {
+            continue;
+        }
+        let rest = after.trim_start();
+        let name: String = rest
+            .chars()
+            .take_while(|&c| c.is_alphanumeric() || c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let name_at = at + 2 + (after.len() - rest.len());
+        out.insert(name_at, name);
+    }
+    out
+}
+
+/// Method names that are overwhelmingly std-container / std-trait calls;
+/// resolving them by bare name would connect nearly every function to
+/// every collection-like workspace type. Excluded from *method-call*
+/// resolution only — free and `Type::name` calls still resolve.
+pub const COMMON_METHODS: &[&str] = &[
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "clone",
+    "clear",
+    "entry",
+    "extend",
+    "drain",
+    "retain",
+    "split",
+    "join",
+    "lock",
+    "read",
+    "write",
+    "flush",
+    "send",
+    "recv",
+    "new",
+    "default",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "drop",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_bytes",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "into",
+    "from",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok",
+    "err",
+    "take",
+    "replace",
+    "start",
+    "stop",
+    "record",
+    "add",
+    "inc",
+    "set",
+    "max",
+    "min",
+    "sum",
+    "count",
+    "keys",
+    "values",
+    "sort",
+    "last",
+    "first",
+    "find",
+    "filter",
+    "any",
+    "all",
+    "position",
+    "starts_with",
+    "ends_with",
+    "trim",
+    "parse",
+    "resize",
+    "truncate",
+    // Dispatcher names implemented by unrelated types in several crates
+    // (the SMTP command parser, the sim engine's actor trait, span
+    // handles); bare-name resolution would route the live master into
+    // the discrete-event simulation's delivery path.
+    "handle",
+];
+
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "in", "as", "loop", "move", "fn", "let", "else",
+    "impl", "where", "pub", "dyn", "use", "mod", "ref", "mut", "box", "await", "async", "unsafe",
+];
+
+/// Extracts `name(`, `.name(`, and `Qual::name(` call shapes from one
+/// line of code text. `caller`/`line` are left for the builder to fill.
+pub(crate) fn extract_calls(code: &str) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    if code.trim_start().starts_with("#[") || code.trim_start().starts_with("#![") {
+        return out;
+    }
+    for (pos, c) in code.char_indices() {
+        if c != '(' {
+            continue;
+        }
+        let head = &code[..pos];
+        let name: String = head
+            .chars()
+            .rev()
+            .take_while(|&c| c.is_alphanumeric() || c == '_')
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        if name.is_empty()
+            || name.chars().next().is_some_and(char::is_numeric)
+            || KEYWORDS.contains(&name.as_str())
+        {
+            continue;
+        }
+        let name_at = pos - name.len();
+        let before = &code[..name_at];
+        // `fn name(` is the declaration, not a call.
+        let head_trim = before.trim_end();
+        if head_trim.ends_with("fn")
+            && !head_trim[..head_trim.len() - 2]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            continue;
+        }
+        let (method, qualifier) = if before.ends_with('.') {
+            (true, None)
+        } else if let Some(head) = before.strip_suffix("::") {
+            let q: String = head
+                .chars()
+                .rev()
+                .take_while(|&c| c.is_alphanumeric() || c == '_')
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            (false, (!q.is_empty()).then_some(q))
+        } else {
+            (false, None)
+        };
+        out.push(CallSite {
+            caller: 0,
+            line: 0,
+            byte: name_at,
+            name,
+            method,
+            qualifier,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "\
+pub struct S;
+impl S {
+    pub fn alpha(&self) -> u8 {
+        self.beta()
+    }
+    fn beta(&self) -> u8 {
+        helper(1)
+    }
+}
+fn helper(x: u8) -> u8 {
+    x
+}
+#[cfg(test)]
+mod tests {
+    fn t() {
+        helper(2);
+    }
+}
+";
+
+    fn ws() -> Workspace {
+        Workspace::from_sources(&[("crates/demo/src/lib.rs", SRC)])
+    }
+
+    #[test]
+    fn spans_and_names() {
+        let ws = ws();
+        let names: Vec<&str> = ws.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta", "helper", "t"]);
+        assert!(ws.fns[0].has_self && !ws.fns[2].has_self);
+        assert!(ws.fns[3].is_test && !ws.fns[2].is_test);
+        assert_eq!(ws.fns[2].start, 9);
+        assert_eq!(ws.fns[2].end, 11);
+    }
+
+    #[test]
+    fn edges_resolve_methods_to_self_fns_only() {
+        let ws = ws();
+        let alpha_calls = &ws.calls[0];
+        assert_eq!(alpha_calls.len(), 1);
+        assert!(alpha_calls[0].method);
+        assert_eq!(ws.callees(&alpha_calls[0]), vec![1]);
+        let beta_calls = &ws.calls[1];
+        assert_eq!(ws.callees(&beta_calls[0]), vec![2]);
+    }
+
+    #[test]
+    fn test_fns_produce_no_resolvable_targets() {
+        let ws = ws();
+        // `t` calls helper, but helper is reachable; what must not happen
+        // is resolution *into* test fns from non-test code.
+        let site = CallSite {
+            caller: 2,
+            line: 0,
+            byte: 0,
+            name: "t".to_owned(),
+            method: false,
+            qualifier: None,
+        };
+        assert!(ws.callees(&site).is_empty());
+    }
+
+    #[test]
+    fn reachability_and_chain() {
+        let ws = ws();
+        let came = ws.reachable(&[0]);
+        assert!(came.contains_key(&2), "alpha → beta → helper");
+        assert_eq!(ws.chain_to(&came, 2), "alpha → beta → helper");
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_are_skipped() {
+        let ws = Workspace::from_sources(&[(
+            "crates/demo/src/lib.rs",
+            "trait T {\n    fn decl(&self, x: [u8; 4]) -> u8;\n    fn with_default(&self) -> u8 {\n        1\n    }\n}\n",
+        )]);
+        let names: Vec<&str> = ws.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["with_default"]);
+    }
+
+    #[test]
+    fn multiline_signatures_open_where_the_brace_is() {
+        let ws = Workspace::from_sources(&[(
+            "crates/demo/src/lib.rs",
+            "fn long(\n    a: u8,\n    b: u8,\n) -> u8\nwhere\n    u8: Copy,\n{\n    a + b\n}\n",
+        )]);
+        assert_eq!(ws.fns.len(), 1);
+        assert_eq!(ws.fns[0].start, 0);
+        assert_eq!(ws.fns[0].body_start, 6);
+        assert_eq!(ws.fns[0].end, 8);
+    }
+
+    #[test]
+    fn call_shapes() {
+        let sites = extract_calls("let x = Reply::new(a.len(), helper(1));");
+        let names: Vec<(&str, bool, Option<&str>)> = sites
+            .iter()
+            .map(|s| (s.name.as_str(), s.method, s.qualifier.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("new", false, Some("Reply")),
+                ("len", true, None),
+                ("helper", false, None)
+            ]
+        );
+        assert!(extract_calls("foo!(bar)").is_empty());
+        assert!(extract_calls("if (a) {}").is_empty());
+        assert!(extract_calls("#[derive(Debug)]").is_empty());
+    }
+
+    #[test]
+    fn dump_is_sorted_and_stable() {
+        let a = ws().dump_edges();
+        let b = ws().dump_edges();
+        assert_eq!(a, b);
+        assert!(a.contains("alpha -> crates/demo/src/lib.rs:beta"));
+    }
+}

@@ -1,0 +1,1328 @@
+//! Lock-order analysis.
+//!
+//! Turns DESIGN.md §11's "singular lock holds only, deadlock-free" claim
+//! into a checked invariant. The pass:
+//!
+//! 1. discovers every named lock field (`name: Mutex<…>` / `RwLock<…>`,
+//!    including striped `Vec<Mutex<…>>` arrays) as a **lock class**;
+//! 2. finds every acquisition site (`.lock()` / `.read()` / `.write()`
+//!    on a resolved receiver, plus guard-returning helper calls such as
+//!    `ShardedStore::locked(part)` and `Registry::lock()`), tracking the
+//!    guard's extent (statement for temporaries, scope or `drop()` for
+//!    `let` bindings);
+//! 3. propagates held-lock sets along call edges to a fixpoint;
+//! 4. records every *acquisition under a hold* as a directed edge in the
+//!    global lock-order graph, and fails on cycles or on edges that
+//!    violate the canonical hierarchy (DESIGN.md §14) — in particular,
+//!    any second partition acquisition inside a stripe hold (the two
+//!    partition classes share a rank, so nesting them can never be
+//!    ordered).
+//!
+//! The graph dump ([`LockAnalysis::dump`]) is fully sorted and therefore
+//! byte-identical across runs on identical input.
+
+use crate::callgraph::{FnId, Workspace};
+use crate::findings::Finding;
+use crate::scan::find_token;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Canonical lock hierarchy (documented in DESIGN.md §14). Lower ranks
+/// are acquired first; an observed edge to an equal or lower rank is a
+/// violation. Classes not listed here (fixtures, future locks) are
+/// checked for cycles and self-acquisition only.
+pub const HIERARCHY: &[(&str, u8)] = &[
+    // Store partition locks: the shmailbox partition and the per-mailbox
+    // stripes. Equal rank — holding one while taking another is exactly
+    // the deadlock §11 rules out.
+    ("shared", 1),
+    ("shards", 1),
+    // The process-wide shared backend (SyncBackend): a leaf taken under
+    // one partition hold for the duration of a single file operation.
+    ("inner", 2),
+    // The connection buffer pool freelist.
+    ("free", 3),
+    // The metrics registry name table — registration-time only, but
+    // modelled as the deepest leaf so instrumentation can never invert
+    // an order.
+    ("metrics", 4),
+];
+
+/// One discovered lock class (a named `Mutex`/`RwLock` field).
+#[derive(Debug)]
+pub struct LockClass {
+    /// Field name — the class identity. Same-named fields across types
+    /// merge into one class (conservative).
+    pub name: String,
+    /// Declaration site (first seen): file index and 0-based line.
+    pub file: usize,
+    /// 0-based declaration line.
+    pub line: usize,
+    /// `Vec<Mutex<…>>` / array — a stripe of locks behind one name.
+    pub striped: bool,
+    /// `RwLock` rather than `Mutex` (acquired via `.read()`/`.write()`).
+    pub rwlock: bool,
+    /// Guards an `MfsStore` partition (type mentions `MfsStore`).
+    pub partition: bool,
+    /// Canonical rank, if the class is in [`HIERARCHY`].
+    pub rank: Option<u8>,
+}
+
+/// One edge in the lock-order graph: `from` was held while `to` was
+/// acquired at `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OrderEdge {
+    /// Held class index.
+    pub from: usize,
+    /// Acquired class index.
+    pub to: usize,
+    /// File index of the acquisition.
+    pub file: usize,
+    /// 0-based acquisition line.
+    pub line: usize,
+}
+
+/// Result of the pass over a workspace.
+pub struct LockAnalysis {
+    /// Discovered classes, sorted by name.
+    pub classes: Vec<LockClass>,
+    /// Observed order edges (held → acquired), deduplicated and sorted.
+    pub edges: BTreeSet<OrderEdge>,
+    /// Per function: the set of class indices held on entry on some path.
+    pub entry_held: Vec<BTreeSet<usize>>,
+    /// Per function: lines (0-based) with at least one lock held, and the
+    /// classes held there. Includes entry-held classes on every body line.
+    pub held_lines: BTreeMap<FnId, BTreeMap<usize, BTreeSet<usize>>>,
+    /// Cycle / hierarchy violations.
+    pub findings: Vec<Finding>,
+    /// `lint:allow(lock-order)` waivers consumed, keyed `lock-order/<crate>`.
+    pub waivers_used: BTreeMap<String, usize>,
+}
+
+impl LockAnalysis {
+    /// Deterministic text dump of the lock-order graph: classes with
+    /// attributes, then edges with one provenance site each.
+    pub fn dump(&self, ws: &Workspace) -> String {
+        let mut out = String::from("lock-order graph\nclasses:\n");
+        for c in &self.classes {
+            let mut attrs = Vec::new();
+            if c.striped {
+                attrs.push("striped".to_owned());
+            }
+            if c.partition {
+                attrs.push("partition".to_owned());
+            }
+            if c.rwlock {
+                attrs.push("rwlock".to_owned());
+            }
+            match c.rank {
+                Some(r) => attrs.push(format!("rank {r}")),
+                None => attrs.push("unranked".to_owned()),
+            }
+            out.push_str(&format!(
+                "  {} ({}) — {}:{}\n",
+                c.name,
+                attrs.join(", "),
+                ws.files[c.file].path,
+                c.line + 1
+            ));
+        }
+        out.push_str("edges:\n");
+        let mut seen = BTreeSet::new();
+        for e in &self.edges {
+            if seen.insert((e.from, e.to)) {
+                out.push_str(&format!(
+                    "  {} -> {} — {}:{}\n",
+                    self.classes[e.from].name,
+                    self.classes[e.to].name,
+                    ws.files[e.file].path,
+                    e.line + 1
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Kinds of receiver an acquisition token can have.
+enum Receiver {
+    /// Resolved to one or more lock classes (an alias of a lock-returning
+    /// helper can cover several).
+    Classes(BTreeSet<usize>),
+    /// A lock-typed parameter of the enclosing fn.
+    Param,
+    Unknown(String),
+}
+
+/// Per-function facts the walker needs.
+#[derive(Default, Clone)]
+struct FnFacts {
+    /// Classes this fn's body acquires directly on `self` fields.
+    direct_classes: BTreeSet<usize>,
+    /// Fn has at least one lock-typed parameter that it acquires.
+    acquires_param: bool,
+    /// Sig returns a guard (`MutexGuard`/`RwLock…Guard`).
+    returns_guard: bool,
+    /// Sig returns a lock reference (`-> … &Mutex<…>`); `classes` are the
+    /// lock fields its body mentions.
+    returns_lock: bool,
+    /// Lock classes mentioned as `self.<field>` anywhere in the body.
+    mentioned_classes: BTreeSet<usize>,
+    /// Names of lock-typed parameters.
+    lock_params: BTreeSet<String>,
+    /// Local aliases: variable → classes (for-loop bindings over stripe
+    /// fields, `let v = &self.field`, `let v = self.shard_for(…)`).
+    aliases: BTreeMap<String, BTreeSet<usize>>,
+}
+
+/// Runs the pass.
+pub fn check(ws: &Workspace) -> LockAnalysis {
+    let classes = discover_classes(ws);
+    let class_by_name: BTreeMap<&str, usize> = classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.as_str(), i))
+        .collect();
+
+    let mut facts: Vec<FnFacts> = (0..ws.fns.len())
+        .map(|f| fn_facts(ws, f, &classes, &class_by_name))
+        .collect();
+
+    // Second phase: `let v = self.<helper>(…)` where the helper returns a
+    // lock reference aliases `v` to the helper's lock fields.
+    let mut lock_returning: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        if !f.is_test && facts[id].returns_lock {
+            lock_returning
+                .entry(f.name.clone())
+                .or_default()
+                .extend(facts[id].mentioned_classes.iter().copied());
+        }
+    }
+    for (f, fact) in facts.iter_mut().enumerate() {
+        let info = &ws.fns[f];
+        let file = &ws.files[info.file];
+        let mut extra: Vec<(String, BTreeSet<usize>)> = Vec::new();
+        for li in info.body_start..=info.end.min(file.lines.len().saturating_sub(1)) {
+            let code = &file.lines[li].code;
+            let Some(pos) = find_token(code, "let") else {
+                continue;
+            };
+            let rest = &code[pos + 3..];
+            let Some((lhs, rhs)) = rest.split_once('=') else {
+                continue;
+            };
+            let var = lhs.trim().trim_start_matches("mut ").trim().to_owned();
+            if var.is_empty() || !var.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                continue;
+            }
+            for (helper, cls) in &lock_returning {
+                if rhs.contains(&format!("self.{helper}(")) || rhs.contains(&format!("{helper}(")) {
+                    extra.push((var.clone(), cls.clone()));
+                }
+            }
+        }
+        for (var, cls) in extra {
+            fact.aliases.entry(var).or_default().extend(cls);
+        }
+    }
+
+    // Guard-returning helpers, by bare name: a call to one is an
+    // acquisition at the call site of (its direct classes) ∪ (the classes
+    // its lock-typed arguments resolve to).
+    let mut guard_helpers: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        if !f.is_test && facts[id].returns_guard {
+            guard_helpers.entry(f.name.as_str()).or_default().push(id);
+        }
+    }
+
+    // Fixpoint over entry-held sets.
+    let mut entry_held: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); ws.fns.len()];
+    let mut work: Vec<FnId> = (0..ws.fns.len()).filter(|&f| !ws.fns[f].is_test).collect();
+    while let Some(f) = work.pop() {
+        let mut sink = NullSink;
+        let updates = walk_fn(
+            ws,
+            f,
+            &classes,
+            &class_by_name,
+            &facts,
+            &guard_helpers,
+            &entry_held[f].clone(),
+            &mut sink,
+        );
+        for (callee, held) in updates {
+            if ws.fns[callee].is_test {
+                continue;
+            }
+            let before = entry_held[callee].len();
+            entry_held[callee].extend(held.iter().copied());
+            if entry_held[callee].len() != before {
+                work.push(callee);
+            }
+        }
+    }
+
+    // Final pass: collect edges, held lines, and violations.
+    let mut sink = CollectSink {
+        classes: &classes,
+        ws,
+        edges: BTreeSet::new(),
+        held_lines: BTreeMap::new(),
+        findings: Vec::new(),
+        waivers_used: BTreeMap::new(),
+    };
+    for (f, entry) in entry_held.iter().enumerate() {
+        if ws.fns[f].is_test {
+            continue;
+        }
+        let entry = entry.clone();
+        walk_fn(
+            ws,
+            f,
+            &classes,
+            &class_by_name,
+            &facts,
+            &guard_helpers,
+            &entry,
+            &mut sink,
+        );
+    }
+
+    let mut findings = sink.findings;
+    let edges = sink.edges;
+    let held_lines = sink.held_lines;
+    let waivers_used = sink.waivers_used;
+    detect_cycles(&classes, &edges, ws, &mut findings);
+
+    LockAnalysis {
+        classes,
+        edges,
+        entry_held,
+        held_lines,
+        findings,
+        waivers_used,
+    }
+}
+
+/// Observer for the walk: the fixpoint loop uses a null sink; the final
+/// pass collects edges and findings.
+trait Sink {
+    fn acquisition(&mut self, _f: FnId, _line: usize, _class: usize, _held: &BTreeSet<usize>) {}
+    fn held_line(&mut self, _f: FnId, _line: usize, _held: &BTreeSet<usize>) {}
+}
+
+struct NullSink;
+impl Sink for NullSink {}
+
+struct CollectSink<'a> {
+    classes: &'a [LockClass],
+    ws: &'a Workspace,
+    edges: BTreeSet<OrderEdge>,
+    held_lines: BTreeMap<FnId, BTreeMap<usize, BTreeSet<usize>>>,
+    findings: Vec<Finding>,
+    waivers_used: BTreeMap<String, usize>,
+}
+
+impl Sink for CollectSink<'_> {
+    fn acquisition(&mut self, f: FnId, line: usize, class: usize, held: &BTreeSet<usize>) {
+        let file_idx = self.ws.fns[f].file;
+        let file = &self.ws.files[file_idx];
+        for &h in held {
+            self.edges.insert(OrderEdge {
+                from: h,
+                to: class,
+                file: file_idx,
+                line,
+            });
+            let violation = if h == class {
+                Some(if self.classes[class].striped {
+                    format!(
+                        "`{}` re-acquired while already held — two stripes of one \
+                         array cannot be ordered",
+                        self.classes[class].name
+                    )
+                } else {
+                    format!(
+                        "`{}` re-acquired while already held (self-deadlock)",
+                        self.classes[class].name
+                    )
+                })
+            } else if self.classes[h].partition && self.classes[class].partition {
+                Some(format!(
+                    "partition lock `{}` acquired inside a `{}` hold — §11 allows \
+                     singular partition holds only",
+                    self.classes[class].name, self.classes[h].name
+                ))
+            } else {
+                match (self.classes[h].rank, self.classes[class].rank) {
+                    (Some(rh), Some(rc)) if rc <= rh => Some(format!(
+                        "`{}` (rank {rc}) acquired while holding `{}` (rank {rh}) — \
+                         violates the canonical order in DESIGN.md §14",
+                        self.classes[class].name, self.classes[h].name
+                    )),
+                    _ => None,
+                }
+            };
+            if let Some(msg) = violation {
+                if file.waived(line, "lock-order") {
+                    let krate = &self.ws.crates[file_idx];
+                    *self
+                        .waivers_used
+                        .entry(format!("lock-order/{krate}"))
+                        .or_insert(0) += 1;
+                } else {
+                    self.findings
+                        .push(Finding::new(&file.path, line + 1, "lock-order", msg));
+                }
+            }
+        }
+    }
+
+    fn held_line(&mut self, f: FnId, line: usize, held: &BTreeSet<usize>) {
+        if !held.is_empty() {
+            self.held_lines
+                .entry(f)
+                .or_default()
+                .entry(line)
+                .or_default()
+                .extend(held.iter().copied());
+        }
+    }
+}
+
+fn discover_classes(ws: &Workspace) -> Vec<LockClass> {
+    let mut found: BTreeMap<String, LockClass> = BTreeMap::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        // Lines inside fn signatures are parameter/return types, not fields.
+        let mut sig_lines = vec![false; file.lines.len()];
+        for f in &ws.fns {
+            if f.file == fi {
+                let hi = f.body_start.min(file.lines.len() - 1);
+                for flag in &mut sig_lines[f.start..=hi] {
+                    *flag = true;
+                }
+            }
+        }
+        for (li, line) in file.lines.iter().enumerate() {
+            if file.in_test[li] || sig_lines[li] {
+                continue;
+            }
+            let code = &line.code;
+            for (tok, rwlock) in [("Mutex<", false), ("RwLock<", true)] {
+                let Some(at) = code.find(tok) else { continue };
+                let before = &code[..at];
+                if before.contains("->") || find_token(code, "fn").is_some() {
+                    continue;
+                }
+                // Walk back over wrapper types (`Vec<`, `Arc<`, paths) to
+                // the field's `name:`.
+                // The field colon is the last single `:` (a `::` path
+                // separator has a neighbouring colon on one side).
+                let bytes = before.as_bytes();
+                let Some(colon) = (0..bytes.len()).rev().find(|&i| {
+                    bytes[i] == b':'
+                        && (i == 0 || bytes[i - 1] != b':')
+                        && bytes.get(i + 1) != Some(&b':')
+                }) else {
+                    continue;
+                };
+                let head = &before[..colon];
+                let name: String = head
+                    .chars()
+                    .rev()
+                    .take_while(|&c| c.is_alphanumeric() || c == '_')
+                    .collect::<String>()
+                    .chars()
+                    .rev()
+                    .collect();
+                if name.is_empty() || name == "let" {
+                    continue;
+                }
+                let between = &before[colon..];
+                let striped = between.contains("Vec<") || between.contains('[');
+                let after = &code[at..];
+                // A lock over a bare generic parameter (`Mutex<B>`) is not a
+                // class: every instantiation is its own lock, the guard never
+                // outlives one wrapper statement, and class-level reasoning
+                // would report each delegating wrapper as self-deadlocking.
+                let payload: String = after[tok.len()..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if payload.len() <= 2 && payload.chars().next().is_some_and(char::is_uppercase) {
+                    continue;
+                }
+                let partition = after.contains("MfsStore");
+                let rank = HIERARCHY.iter().find(|(n, _)| *n == name).map(|&(_, r)| r);
+                found.entry(name.clone()).or_insert(LockClass {
+                    name,
+                    file: fi,
+                    line: li,
+                    striped,
+                    rwlock,
+                    partition,
+                    rank,
+                });
+            }
+        }
+    }
+    found.into_values().collect()
+}
+
+/// Builds the per-fn facts: lock params, returned locks/guards, aliases,
+/// and directly acquired classes.
+fn fn_facts(
+    ws: &Workspace,
+    f: FnId,
+    classes: &[LockClass],
+    by_name: &BTreeMap<&str, usize>,
+) -> FnFacts {
+    let info = &ws.fns[f];
+    let file = &ws.files[info.file];
+    let mut facts = FnFacts::default();
+
+    let sig = &info.sig;
+    let ret = sig.split("->").nth(1).unwrap_or("");
+    facts.returns_guard = ret.contains("Guard");
+    facts.returns_lock = ret.contains("Mutex<") || ret.contains("RwLock<");
+    let params = sig.split("->").next().unwrap_or(sig);
+    for tok in ["Mutex<", "RwLock<"] {
+        let mut from = 0;
+        while let Some(rel) = params[from..].find(tok) {
+            let at = from + rel;
+            from = at + tok.len();
+            let before = &params[..at];
+            let Some(colon) = before.rfind(": ") else {
+                continue;
+            };
+            let name: String = before[..colon]
+                .chars()
+                .rev()
+                .take_while(|&c| c.is_alphanumeric() || c == '_')
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            if !name.is_empty() {
+                facts.lock_params.insert(name);
+            }
+        }
+    }
+
+    for li in info.body_start..=info.end.min(file.lines.len() - 1) {
+        let code = &file.lines[li].code;
+        // `self.<field>` mentions of lock classes.
+        let mut from = 0;
+        while let Some(rel) = code[from..].find("self.") {
+            let at = from + rel + "self.".len();
+            from = at;
+            let ident: String = code[at..]
+                .chars()
+                .take_while(|&c| c.is_alphanumeric() || c == '_')
+                .collect();
+            if let Some(&ci) = by_name.get(ident.as_str()) {
+                facts.mentioned_classes.insert(ci);
+            }
+        }
+        // `for v in &self.<field>` / `for v in self.<field>.iter…()`.
+        if let Some(pos) = find_token(code, "for") {
+            let rest = &code[pos + 3..];
+            let mut it = rest.split_whitespace();
+            if let (Some(var), Some("in")) = (it.next(), it.next()) {
+                let tail: String = it.collect::<Vec<_>>().join(" ");
+                for (ci, c) in classes.iter().enumerate() {
+                    if c.striped && tail.contains(&format!("self.{}", c.name)) {
+                        facts
+                            .aliases
+                            .entry(var.trim_start_matches('&').to_owned())
+                            .or_default()
+                            .insert(ci);
+                    }
+                }
+            }
+        }
+        // `let v = &self.<field>` / `let v = self.<lock-returning>(…)`.
+        if let Some(pos) = find_token(code, "let") {
+            let rest = &code[pos + 3..];
+            if let Some((lhs, rhs)) = rest.split_once('=') {
+                let var = lhs.trim().trim_start_matches("mut ").trim().to_owned();
+                if var.chars().all(|c| c.is_alphanumeric() || c == '_') && !var.is_empty() {
+                    for (ci, c) in classes.iter().enumerate() {
+                        let field = format!("self.{}", c.name);
+                        if rhs.contains(&field) && !rhs.contains(".lock()") {
+                            facts.aliases.entry(var.clone()).or_default().insert(ci);
+                        }
+                    }
+                }
+            }
+        }
+        // Direct acquisitions on self fields.
+        for tok in [".lock()", ".read()", ".write()"] {
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(tok) {
+                let at = from + rel;
+                from = at + tok.len();
+                match resolve_receiver(code, at, &facts, classes, by_name) {
+                    Receiver::Classes(cs) => {
+                        for ci in cs {
+                            if acquisition_matches(tok, &classes[ci]) {
+                                facts.direct_classes.insert(ci);
+                            }
+                        }
+                    }
+                    Receiver::Param => facts.acquires_param = true,
+                    Receiver::Unknown(_) => {}
+                }
+            }
+        }
+    }
+    facts
+}
+
+fn acquisition_matches(tok: &str, class: &LockClass) -> bool {
+    if class.rwlock {
+        tok == ".read()" || tok == ".write()"
+    } else {
+        tok == ".lock()"
+    }
+}
+
+/// Resolves the receiver expression ending at byte `at` (the `.` of the
+/// acquisition token).
+fn resolve_receiver(
+    code: &str,
+    at: usize,
+    facts: &FnFacts,
+    classes: &[LockClass],
+    by_name: &BTreeMap<&str, usize>,
+) -> Receiver {
+    let mut end = at;
+    let bytes = code.as_bytes();
+    // Skip a trailing index `[…]`.
+    if end > 0 && bytes[end - 1] == b']' {
+        let mut depth = 0i64;
+        while end > 0 {
+            end -= 1;
+            match bytes[end] {
+                b']' => depth += 1,
+                b'[' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let head = &code[..end];
+    let ident: String = head
+        .chars()
+        .rev()
+        .take_while(|&c| c.is_alphanumeric() || c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    if ident.is_empty() {
+        return Receiver::Unknown(String::new());
+    }
+    let before = &head[..head.len() - ident.len()];
+    if before.ends_with("self.") {
+        if let Some(&ci) = by_name.get(ident.as_str()) {
+            return Receiver::Classes(BTreeSet::from([ci]));
+        }
+        return Receiver::Unknown(ident);
+    }
+    if before.ends_with('.') || before.ends_with(':') {
+        // Deeper chain (`a.b.lock()` with b unknown) or a path.
+        return Receiver::Unknown(ident);
+    }
+    if facts.lock_params.contains(&ident) {
+        return Receiver::Param;
+    }
+    if let Some(cs) = facts.aliases.get(&ident) {
+        let _ = classes;
+        return Receiver::Classes(cs.clone());
+    }
+    Receiver::Unknown(ident)
+}
+
+/// An active hold during the walk.
+struct Hold {
+    class: usize,
+    /// `let`-bound guard: name and brace depth of the binding; expires on
+    /// `drop(name)` or when depth drops below `depth`.
+    let_name: Option<String>,
+    /// Brace depth at acquisition; statement temporaries expire at the
+    /// first `;` at this depth (outside parens), `let` guards when the
+    /// scope closes.
+    depth: i64,
+}
+
+/// True when an acquisition expression is the entire right-hand side of
+/// its statement — `rest` is the line tail after the guard-producing
+/// token. An empty tail means the statement continues on the next line;
+/// a leading `.` there is a method chain, so the guard is a statement
+/// temporary, not the `let` binding.
+fn rhs_is_whole(rest: &str, next: Option<&crate::scan::Line>) -> bool {
+    let rest = rest.trim_start();
+    if rest.is_empty() {
+        return !next.is_some_and(|l| l.code.trim_start().starts_with('.'));
+    }
+    rest.starts_with(';') || rest.starts_with('?')
+}
+
+enum Event {
+    Open,
+    Close,
+    Semi,
+    Let(String),
+    Drop(String),
+    /// Acquisition of a class; `bound` when the guard itself is the whole
+    /// right-hand side of a `let` (so it lives to end of scope) rather
+    /// than a chained temporary (dropped at the statement's `;`).
+    Acq(usize, bool),
+    Call(usize),
+}
+
+/// Walks one fn propagating holds; reports `(callee, held-at-call)` pairs
+/// and feeds acquisitions / held lines to the sink.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn walk_fn(
+    ws: &Workspace,
+    f: FnId,
+    classes: &[LockClass],
+    by_name: &BTreeMap<&str, usize>,
+    facts: &[FnFacts],
+    guard_helpers: &BTreeMap<&str, Vec<FnId>>,
+    entry: &BTreeSet<usize>,
+    sink: &mut dyn Sink,
+) -> Vec<(FnId, BTreeSet<usize>)> {
+    let info = &ws.fns[f];
+    let file = &ws.files[info.file];
+    let my_facts = &facts[f];
+    let mut holds: Vec<Hold> = Vec::new();
+    let mut depth: i64 = 0;
+    let mut paren: i64 = 0;
+    let mut pending_let: Option<String> = None;
+    let mut updates: Vec<(FnId, BTreeSet<usize>)> = Vec::new();
+
+    let held_set = |holds: &[Hold], entry: &BTreeSet<usize>| -> BTreeSet<usize> {
+        let mut s = entry.clone();
+        s.extend(holds.iter().map(|h| h.class));
+        s
+    };
+
+    let calls = &ws.calls[f];
+    let mut call_idx = 0usize;
+
+    for li in info.body_start..=info.end.min(file.lines.len().saturating_sub(1)) {
+        let code = &file.lines[li].code;
+        let mut events: Vec<(usize, Event)> = Vec::new();
+
+        // Brace / paren / semicolon / let / drop events by byte offset.
+        let mut p = paren;
+        for (pos, c) in code.char_indices() {
+            match c {
+                '{' => events.push((pos, Event::Open)),
+                '}' => events.push((pos, Event::Close)),
+                '(' => p += 1,
+                ')' => p -= 1,
+                ';' if p == 0 => events.push((pos, Event::Semi)),
+                _ => {}
+            }
+        }
+        if let Some(pos) = find_token(code, "let") {
+            let boundary_ok = code[..pos]
+                .trim_end()
+                .chars()
+                .next_back()
+                .is_none_or(|c| matches!(c, ';' | '{' | '}'));
+            if boundary_ok {
+                let rest = &code[pos + 3..];
+                let name: String = rest
+                    .trim_start()
+                    .trim_start_matches("mut ")
+                    .chars()
+                    .take_while(|&c| c.is_alphanumeric() || c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    events.push((pos, Event::Let(name)));
+                }
+            }
+        }
+        let mut from = 0;
+        while let Some(rel) = code[from..].find("drop(") {
+            let at = from + rel;
+            from = at + 5;
+            let ok = at == 0
+                || !code[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.');
+            if ok {
+                let name: String = code[at + 5..]
+                    .chars()
+                    .take_while(|&c| c.is_alphanumeric() || c == '_')
+                    .collect();
+                events.push((at, Event::Drop(name)));
+            }
+        }
+
+        // Direct acquisition tokens.
+        for tok in [".lock()", ".read()", ".write()"] {
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(tok) {
+                let at = from + rel;
+                from = at + tok.len();
+                let bound = rhs_is_whole(&code[at + tok.len()..], file.lines.get(li + 1));
+                match resolve_receiver(code, at, my_facts, classes, by_name) {
+                    Receiver::Classes(cs) => {
+                        for ci in cs {
+                            if acquisition_matches(tok, &classes[ci]) {
+                                events.push((at, Event::Acq(ci, bound)));
+                            }
+                        }
+                    }
+                    Receiver::Param => {}
+                    Receiver::Unknown(recv) => {
+                        // `self.lock()` — a guard-returning helper method of
+                        // this workspace (e.g. `Registry::lock`).
+                        if recv == "self" {
+                            let method = tok.trim_start_matches('.').trim_end_matches("()");
+                            for &h in guard_helpers.get(method).into_iter().flatten() {
+                                for &ci in &facts[h].direct_classes {
+                                    events.push((at, Event::Acq(ci, bound)));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Call sites on this line: guard-returning helper calls with
+        // arguments (`self.locked(part)`) acquire at the call site; every
+        // resolved call propagates the held set into the callee.
+        while call_idx < calls.len() && calls[call_idx].line < li {
+            call_idx += 1;
+        }
+        for (i, site) in calls.iter().enumerate().skip(call_idx) {
+            if site.line != li {
+                break;
+            }
+            // `lock`/`read`/`write` sites are already handled by the token
+            // path above; resolving them as guard helpers here would charge
+            // `Registry::lock`'s class to every `part.lock()` call.
+            let token_handled = matches!(site.name.as_str(), "lock" | "read" | "write");
+            if let Some(helpers) = (!token_handled)
+                .then(|| guard_helpers.get(site.name.as_str()))
+                .flatten()
+            {
+                let mut acquired = BTreeSet::new();
+                for &h in helpers {
+                    acquired.extend(facts[h].direct_classes.iter().copied());
+                    if facts[h].acquires_param {
+                        acquired
+                            .extend(resolve_args(ws, f, site, classes, by_name, facts, my_facts));
+                    }
+                }
+                // Guard is `let`-bound only when the helper call is the
+                // whole right-hand side (nothing but `;`/`?` after its
+                // closing paren on this line).
+                let bound = {
+                    let mut depth = 0i64;
+                    let mut close = None;
+                    for (pos, c) in code[site.byte..].char_indices() {
+                        match c {
+                            '(' => depth += 1,
+                            ')' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    close = Some(site.byte + pos + 1);
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    match close {
+                        Some(end) => rhs_is_whole(&code[end..], file.lines.get(li + 1)),
+                        // Call spans lines — keep the hold conservatively.
+                        None => true,
+                    }
+                };
+                for ci in acquired {
+                    events.push((site.byte, Event::Acq(ci, bound)));
+                }
+            }
+            events.push((site.byte, Event::Call(i)));
+        }
+
+        // Acquisitions sort before calls at the same byte (the helper call
+        // *is* the acquisition; the callee then runs under the hold).
+        events.sort_by_key(|(pos, e)| {
+            (
+                *pos,
+                match e {
+                    Event::Let(_) => 0,
+                    Event::Acq(..) => 1,
+                    Event::Call(_) => 2,
+                    Event::Drop(_) => 3,
+                    Event::Open => 4,
+                    Event::Close => 5,
+                    Event::Semi => 6,
+                },
+            )
+        });
+
+        sink.held_line(f, li, &held_set(&holds, entry));
+
+        for (_, ev) in events {
+            match ev {
+                Event::Open => depth += 1,
+                Event::Close => {
+                    depth -= 1;
+                    holds.retain(|h| h.depth <= depth);
+                }
+                Event::Semi => {
+                    holds.retain(|h| h.let_name.is_some() || h.depth != depth);
+                    pending_let = None;
+                }
+                Event::Let(name) => pending_let = Some(name),
+                Event::Drop(name) => {
+                    holds.retain(|h| h.let_name.as_deref() != Some(name.as_str()));
+                }
+                Event::Acq(ci, bound) => {
+                    let held = held_set(&holds, entry);
+                    sink.acquisition(f, li, ci, &held);
+                    holds.push(Hold {
+                        class: ci,
+                        let_name: if bound { pending_let.clone() } else { None },
+                        depth,
+                    });
+                }
+                Event::Call(i) => {
+                    let held = held_set(&holds, entry);
+                    if !held.is_empty() {
+                        for callee in ws.callees(&calls[i]) {
+                            updates.push((callee, held.clone()));
+                        }
+                    }
+                    sink.held_line(f, li, &held);
+                }
+            }
+        }
+
+        // Track parens across lines for multi-line statements.
+        for c in code.chars() {
+            match c {
+                '(' => paren += 1,
+                ')' => paren -= 1,
+                _ => {}
+            }
+        }
+        sink.held_line(f, li, &held_set(&holds, entry));
+    }
+    // Entry-held classes apply to every body line even without local holds.
+    if !entry.is_empty() {
+        for li in info.body_start..=info.end.min(file.lines.len().saturating_sub(1)) {
+            sink.held_line(f, li, entry);
+        }
+    }
+    updates
+}
+
+/// Resolves the lock classes named by the arguments of a helper call:
+/// `self.locked(self.shard_for(mb))` → the classes `shard_for` returns;
+/// `self.locked(&self.shared)` → `shared`.
+#[allow(clippy::too_many_arguments)]
+fn resolve_args(
+    ws: &Workspace,
+    f: FnId,
+    site: &crate::callgraph::CallSite,
+    classes: &[LockClass],
+    by_name: &BTreeMap<&str, usize>,
+    facts: &[FnFacts],
+    my_facts: &FnFacts,
+) -> BTreeSet<usize> {
+    let info = &ws.fns[f];
+    let file = &ws.files[info.file];
+    // Join up to three lines from the call site so wrapped arguments stay
+    // visible (the same window determinism.rs uses for chains).
+    let mut text = String::new();
+    for li in site.line..(site.line + 3).min(file.lines.len()) {
+        text.push_str(&file.lines[li].code);
+        text.push(' ');
+    }
+    let start = site.byte + site.name.len();
+    let args: String = text
+        .get(start..)
+        .map(|rest| {
+            let mut depth = 0i64;
+            let mut out = String::new();
+            for c in rest.chars() {
+                match c {
+                    '(' => {
+                        depth += 1;
+                        if depth == 1 {
+                            continue;
+                        }
+                    }
+                    ')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if depth >= 1 {
+                    out.push(c);
+                }
+            }
+            out
+        })
+        .unwrap_or_default();
+
+    let mut out = BTreeSet::new();
+    // `self.<field>` direct references.
+    let mut from = 0;
+    while let Some(rel) = args[from..].find("self.") {
+        let at = from + rel + 5;
+        from = at;
+        let ident: String = args[at..]
+            .chars()
+            .take_while(|&c| c.is_alphanumeric() || c == '_')
+            .collect();
+        if let Some(&ci) = by_name.get(ident.as_str()) {
+            out.insert(ci);
+        }
+        // `self.<lock_returning_helper>(…)`.
+        for id in ws.fns_named(&ident) {
+            if facts[id].returns_lock {
+                out.extend(facts[id].mentioned_classes.iter().copied());
+            }
+        }
+    }
+    // Bare alias variables.
+    for (var, cs) in &my_facts.aliases {
+        if find_token(&args, var).is_some() {
+            out.extend(cs.iter().copied());
+        }
+    }
+    let _ = classes;
+    out
+}
+
+/// DFS cycle detection over the class-level edge graph.
+fn detect_cycles(
+    classes: &[LockClass],
+    edges: &BTreeSet<OrderEdge>,
+    ws: &Workspace,
+    findings: &mut Vec<Finding>,
+) {
+    let mut adj: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    let mut provenance: BTreeMap<(usize, usize), (usize, usize)> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.from).or_default().insert(e.to);
+        provenance.entry((e.from, e.to)).or_insert((e.file, e.line));
+    }
+    // Colors: 0 = unvisited, 1 = on stack, 2 = done.
+    let mut color = vec![0u8; classes.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut reported: BTreeSet<Vec<usize>> = BTreeSet::new();
+
+    fn dfs(
+        v: usize,
+        adj: &BTreeMap<usize, BTreeSet<usize>>,
+        color: &mut [u8],
+        stack: &mut Vec<usize>,
+        cycles: &mut Vec<Vec<usize>>,
+    ) {
+        color[v] = 1;
+        stack.push(v);
+        for &w in adj.get(&v).into_iter().flatten() {
+            if color[w] == 1 {
+                let at = stack.iter().position(|&x| x == w).unwrap_or(0);
+                cycles.push(stack[at..].to_vec());
+            } else if color[w] == 0 {
+                dfs(w, adj, color, stack, cycles);
+            }
+        }
+        stack.pop();
+        color[v] = 2;
+    }
+
+    let mut cycles = Vec::new();
+    for v in 0..classes.len() {
+        if color[v] == 0 {
+            dfs(v, &adj, &mut color, &mut stack, &mut cycles);
+        }
+    }
+    for cycle in cycles {
+        let mut canon = cycle.clone();
+        canon.sort_unstable();
+        if !reported.insert(canon) {
+            continue;
+        }
+        let names: Vec<&str> = cycle
+            .iter()
+            .chain(cycle.first())
+            .map(|&i| classes[i].name.as_str())
+            .collect();
+        let (file, line) = cycle
+            .first()
+            .zip(cycle.get(1).or(cycle.first()))
+            .and_then(|(&a, &b)| provenance.get(&(a, b)).copied())
+            .unwrap_or((0, 0));
+        findings.push(Finding::new(
+            &ws.files[file].path,
+            line + 1,
+            "lock-order",
+            format!(
+                "lock-order cycle: {} — a thread interleaving exists that deadlocks",
+                names.join(" -> ")
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str) -> (Workspace, LockAnalysis) {
+        let ws = Workspace::from_sources(&[("crates/demo/src/lib.rs", src)]);
+        let analysis = check(&ws);
+        (ws, analysis)
+    }
+
+    #[test]
+    fn discovers_classes_with_attributes() {
+        let src = "\
+struct S {
+    shared: Mutex<MfsStore<B>>,
+    shards: Vec<Mutex<MfsStore<B>>>,
+    cache: RwLock<u8>,
+}
+";
+        let (_, a) = analyze(src);
+        let names: Vec<&str> = a.classes.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["cache", "shards", "shared"]);
+        let shards = a.classes.iter().find(|c| c.name == "shards").unwrap();
+        assert!(shards.striped && shards.partition && shards.rank == Some(1));
+        let cache = a.classes.iter().find(|c| c.name == "cache").unwrap();
+        assert!(cache.rwlock && !cache.partition);
+    }
+
+    #[test]
+    fn nested_partition_acquisition_is_flagged() {
+        let src = "\
+struct S {
+    shared: Mutex<MfsStore<B>>,
+    shards: Vec<Mutex<MfsStore<B>>>,
+}
+impl S {
+    fn bad(&self) {
+        let g = self.shared.lock();
+        for shard in &self.shards {
+            shard.lock().touch();
+        }
+        g.done();
+    }
+}
+";
+        let (_, a) = analyze(src);
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| f.rule == "lock-order" && f.message.contains("singular partition")),
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn sequential_acquisition_is_clean() {
+        let src = "\
+struct S {
+    shared: Mutex<MfsStore<B>>,
+    shards: Vec<Mutex<MfsStore<B>>>,
+}
+impl S {
+    fn good(&self) {
+        let x = self.shared.lock().probe();
+        for shard in &self.shards {
+            shard.lock().touch(x);
+        }
+    }
+}
+";
+        let (_, a) = analyze(src);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn planted_cycle_is_detected() {
+        let src = "\
+struct S {
+    a_lock: Mutex<u8>,
+    b_lock: Mutex<u8>,
+}
+impl S {
+    fn ab(&self) {
+        let g = self.a_lock.lock();
+        self.b_lock.lock().touch();
+        g.done();
+    }
+    fn ba(&self) {
+        let g = self.b_lock.lock();
+        self.a_lock.lock().touch();
+        g.done();
+    }
+}
+";
+        let (_, a) = analyze(src);
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| f.message.contains("lock-order cycle")),
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn propagation_sees_acquisition_in_callee() {
+        let src = "\
+struct S {
+    shared: Mutex<MfsStore<B>>,
+    shards: Vec<Mutex<MfsStore<B>>>,
+}
+impl S {
+    fn outer(&self) {
+        let g = self.shared.lock();
+        self.helper();
+        g.done();
+    }
+    fn helper(&self) {
+        for shard in &self.shards {
+            shard.lock().touch();
+        }
+    }
+}
+";
+        let (_, a) = analyze(src);
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| f.rule == "lock-order" && f.message.contains("singular partition")),
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn statement_temporaries_release_at_semicolon() {
+        let src = "\
+struct S {
+    shared: Mutex<MfsStore<B>>,
+    shards: Vec<Mutex<MfsStore<B>>>,
+}
+impl S {
+    fn good(&self) {
+        let n = self.shared.lock().count();
+        for shard in &self.shards {
+            let m = shard.lock().count();
+            use_it(n, m);
+        }
+    }
+}
+fn use_it(a: u8, b: u8) {}
+";
+        let (_, a) = analyze(src);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn guard_helper_call_counts_as_acquisition() {
+        let src = "\
+struct S {
+    shared: Mutex<MfsStore<B>>,
+    shards: Vec<Mutex<MfsStore<B>>>,
+}
+impl S {
+    fn locked<'a>(&self, part: &'a Mutex<MfsStore<B>>) -> MutexGuard<'a, MfsStore<B>> {
+        part.lock()
+    }
+    fn shard_for(&self, mb: &str) -> &Mutex<MfsStore<B>> {
+        &self.shards[0]
+    }
+    fn bad(&self) {
+        let g = self.locked(&self.shared);
+        let h = self.locked(self.shard_for(\"x\"));
+        g.done(h);
+    }
+    fn good(&self) {
+        self.locked(&self.shared).probe();
+        self.locked(self.shard_for(\"x\")).touch();
+    }
+}
+";
+        let (_, a) = analyze(src);
+        let nested: Vec<&Finding> = a
+            .findings
+            .iter()
+            .filter(|f| f.message.contains("singular partition"))
+            .collect();
+        assert_eq!(nested.len(), 1, "{:?}", a.findings);
+        assert_eq!(nested[0].line, 14, "flagged inside `bad`, not `good`");
+    }
+
+    #[test]
+    fn drop_releases_a_let_guard() {
+        let src = "\
+struct S {
+    shared: Mutex<MfsStore<B>>,
+    shards: Vec<Mutex<MfsStore<B>>>,
+}
+impl S {
+    fn good(&self) {
+        let g = self.shared.lock();
+        drop(g);
+        for shard in &self.shards {
+            shard.lock().touch();
+        }
+    }
+}
+";
+        let (_, a) = analyze(src);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn dump_is_deterministic() {
+        let src = "\
+struct S {
+    free: Mutex<Vec<u8>>,
+    metrics: Mutex<u8>,
+}
+impl S {
+    fn ok(&self) {
+        let g = self.free.lock();
+        self.metrics.lock().touch();
+        g.done();
+    }
+}
+";
+        let ws = Workspace::from_sources(&[("crates/demo/src/lib.rs", src)]);
+        let a1 = check(&ws);
+        let a2 = check(&ws);
+        assert_eq!(a1.dump(&ws), a2.dump(&ws));
+        assert!(a1.dump(&ws).contains("free -> metrics"));
+        assert!(a1.findings.is_empty(), "{:?}", a1.findings);
+    }
+}

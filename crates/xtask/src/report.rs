@@ -1,0 +1,175 @@
+//! Machine-readable findings report.
+//!
+//! `cargo run -p spamaware-xtask -- report --json` runs every pass and merges
+//! the findings into `results/xtask_report.json` (hand-rolled JSON — the
+//! workspace is dependency-free) plus a one-line-per-pass summary table on
+//! stdout. CI archives the JSON; humans read the table.
+
+use crate::findings::Finding;
+use std::collections::BTreeMap;
+
+/// Outcome of one analysis pass, as fed to the report.
+#[derive(Debug, Default)]
+pub struct PassResult {
+    /// Pass name (`lint`, `lock-order`, `blocking`, `metrics-provenance`).
+    pub pass: String,
+    /// Violations, in path order.
+    pub findings: Vec<Finding>,
+    /// Waivers consumed, keyed `<rule>/<crate>` (or `<crate>` for the
+    /// legacy panic budget).
+    pub waivers_used: BTreeMap<String, usize>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the merged report as pretty-printed JSON. Deterministic: passes
+/// appear in input order, findings and waiver keys are already sorted by the
+/// passes themselves.
+pub fn render_json(results: &[PassResult]) -> String {
+    let mut out = String::from("{\n  \"passes\": [\n");
+    for (pi, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"pass\": \"{}\",\n", json_escape(&r.pass)));
+        out.push_str(&format!(
+            "      \"findings_count\": {},\n",
+            r.findings.len()
+        ));
+        out.push_str("      \"findings\": [\n");
+        for (fi, f) in r.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+                json_escape(&f.file),
+                f.line,
+                json_escape(f.rule),
+                json_escape(&f.message),
+                if fi + 1 < r.findings.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ],\n");
+        out.push_str("      \"waivers_used\": {");
+        let mut first = true;
+        for (k, v) in &r.waivers_used {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("\"{}\": {v}", json_escape(k)));
+        }
+        out.push_str("}\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if pi + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let total: usize = results.iter().map(|r| r.findings.len()).sum();
+    out.push_str(&format!("  \"total_findings\": {total},\n"));
+    out.push_str(&format!(
+        "  \"ok\": {}\n",
+        if total == 0 { "true" } else { "false" }
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// One line per pass: name, finding count, waiver count, PASS/FAIL.
+pub fn summary_table(results: &[PassResult]) -> String {
+    let mut out = String::new();
+    let width = results
+        .iter()
+        .map(|r| r.pass.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    out.push_str(&format!(
+        "{:<width$}  {:>8}  {:>7}  result\n",
+        "pass", "findings", "waivers"
+    ));
+    for r in results {
+        let waivers: usize = r.waivers_used.values().sum();
+        out.push_str(&format!(
+            "{:<width$}  {:>8}  {:>7}  {}\n",
+            r.pass,
+            r.findings.len(),
+            waivers,
+            if r.findings.is_empty() {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<PassResult> {
+        vec![
+            PassResult {
+                pass: "lint".into(),
+                findings: vec![],
+                waivers_used: BTreeMap::from([("core".to_owned(), 2)]),
+            },
+            PassResult {
+                pass: "lock-order".into(),
+                findings: vec![Finding::new(
+                    "crates/mfs/src/sharded.rs",
+                    10,
+                    "lock-order",
+                    "cycle \"a\" -> \"b\"".to_owned(),
+                )],
+                waivers_used: BTreeMap::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let json = render_json(&sample());
+        assert!(json.contains("\"pass\": \"lock-order\""));
+        assert!(json.contains("\\\"a\\\" -> \\\"b\\\""));
+        assert!(json.contains("\"total_findings\": 1"));
+        assert!(json.contains("\"ok\": false"));
+        // Balanced braces/brackets (cheap well-formedness check given the
+        // escaping above keeps delimiters out of string values).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn summary_marks_pass_and_fail() {
+        let table = summary_table(&sample());
+        assert!(table.contains("lint"));
+        assert!(table
+            .lines()
+            .any(|l| l.starts_with("lint") && l.ends_with("PASS")));
+        assert!(table
+            .lines()
+            .any(|l| l.starts_with("lock-order") && l.ends_with("FAIL")));
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let a = render_json(&sample());
+        let b = render_json(&sample());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the call-graph builder: edge extraction must be
+//! deterministic (identical input → byte-identical dump, regardless of
+//! the order files are presented in) and stable under formatting-only
+//! rewrites (blank lines, comments, trailing whitespace, statement
+//! indentation — none of which change the call structure).
+
+use proptest::prelude::*;
+use spamaware_xtask::callgraph::Workspace;
+
+/// Renders `calls` (callee indices per function) as one source file,
+/// one `fn f<i>` per entry calling each listed `f<j>`.
+fn render(calls: &[Vec<usize>]) -> String {
+    let n = calls.len();
+    let mut out = String::new();
+    for (i, callees) in calls.iter().enumerate() {
+        out.push_str(&format!("fn f{i}() {{\n"));
+        for &c in callees {
+            out.push_str(&format!("    f{}();\n", c % n));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Re-renders the same functions with formatting-only noise driven by
+/// `seed`: extra blank lines, interleaved comments, trailing spaces,
+/// and deeper statement indentation.
+fn render_noisy(calls: &[Vec<usize>], seed: u64) -> String {
+    let n = calls.len();
+    let mut state = seed | 1;
+    let mut next = move |bound: u64| {
+        // Small deterministic LCG: the property must not depend on
+        // ambient randomness.
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % bound
+    };
+    let mut out = String::new();
+    for (i, callees) in calls.iter().enumerate() {
+        for _ in 0..next(3) {
+            out.push('\n');
+        }
+        if next(2) == 1 {
+            out.push_str("// formatting noise: a comment between items\n");
+        }
+        out.push_str(&format!("fn f{i}() {{\n"));
+        for &c in callees {
+            let indent = " ".repeat(4 + next(8) as usize);
+            let trail = " ".repeat(next(3) as usize);
+            if next(3) == 0 {
+                out.push_str(&format!("{indent}// call below\n"));
+            }
+            out.push_str(&format!("{indent}f{}();{trail}\n", c % n));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn edge_extraction_is_deterministic_and_order_independent(
+        calls in proptest::collection::vec(
+            proptest::collection::vec(0usize..8, 0..4),
+            2..8,
+        ),
+        split in 1usize..7,
+    ) {
+        let split = split.min(calls.len() - 1);
+        let (a, b) = calls.split_at(split);
+        let src_a = render(a);
+        // The second file's functions keep their global indices so the
+        // call targets stay meaningful across the file boundary.
+        let mut src_b = String::new();
+        for (off, callees) in b.iter().enumerate() {
+            let i = split + off;
+            src_b.push_str(&format!("fn f{i}() {{\n"));
+            for &c in callees {
+                src_b.push_str(&format!("    f{}();\n", c % calls.len()));
+            }
+            src_b.push_str("}\n");
+        }
+        let forward = Workspace::from_sources(&[
+            ("crates/alpha/src/lib.rs", &src_a),
+            ("crates/beta/src/lib.rs", &src_b),
+        ]);
+        let reversed = Workspace::from_sources(&[
+            ("crates/beta/src/lib.rs", &src_b),
+            ("crates/alpha/src/lib.rs", &src_a),
+        ]);
+        // Same input twice → byte-identical dump; file presentation
+        // order must not leak into the (sorted) edge set.
+        prop_assert_eq!(forward.dump_edges(), forward.dump_edges());
+        prop_assert_eq!(forward.dump_edges(), reversed.dump_edges());
+    }
+
+    #[test]
+    fn edge_extraction_is_stable_under_formatting_rewrites(
+        calls in proptest::collection::vec(
+            proptest::collection::vec(0usize..8, 0..4),
+            2..8,
+        ),
+        seed in 0u64..u64::MAX,
+    ) {
+        let canonical = render(&calls);
+        let noisy = render_noisy(&calls, seed);
+        let ws_canon = Workspace::from_sources(&[("crates/demo/src/lib.rs", &canonical)]);
+        let ws_noisy = Workspace::from_sources(&[("crates/demo/src/lib.rs", &noisy)]);
+        prop_assert_eq!(ws_canon.dump_edges(), ws_noisy.dump_edges());
+    }
+}

@@ -1,0 +1,32 @@
+//! Clean fixture for the three flow passes: sequential (never nested)
+//! partition acquisition, a master loop whose only blocking leaf lives
+//! on a spawned thread, and a counter that is registered, used, and
+//! documented in the fixture design doc.
+
+struct S {
+    shared: Mutex<MfsStore<B>>,
+    shards: Vec<Mutex<MfsStore<B>>>,
+}
+
+impl S {
+    fn good(&self) {
+        let x = self.shared.lock().probe();
+        for shard in &self.shards {
+            shard.lock().touch(x);
+        }
+    }
+}
+
+fn master_loop(r: &Registry) {
+    let accepted = r.counter("live.accepted");
+    accepted.inc();
+    thread::spawn(move || worker());
+}
+
+fn worker() {
+    rx.recv();
+}
+
+fn snapshot(r: &Registry) -> String {
+    r.render()
+}

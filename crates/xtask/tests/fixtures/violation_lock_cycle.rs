@@ -1,0 +1,22 @@
+//! Seeded lock-order violation: two functions acquire the same pair of
+//! locks in opposite orders, so a thread interleaving exists that
+//! deadlocks. The lock-order pass must report a cycle.
+
+struct S {
+    a_lock: Mutex<u8>,
+    b_lock: Mutex<u8>,
+}
+
+impl S {
+    fn ab(&self) {
+        let g = self.a_lock.lock();
+        self.b_lock.lock().touch();
+        g.done();
+    }
+
+    fn ba(&self) {
+        let g = self.b_lock.lock();
+        self.a_lock.lock().touch();
+        g.done();
+    }
+}

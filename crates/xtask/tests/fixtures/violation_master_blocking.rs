@@ -1,0 +1,15 @@
+//! Seeded blocking-reachability violation: the master accept loop
+//! reaches a UDP receive two call hops down. The blocking pass must
+//! report the leaf with the full call chain.
+
+fn master_loop() {
+    admit();
+}
+
+fn admit() {
+    lookup();
+}
+
+fn lookup() {
+    sock.recv_from(&mut buf);
+}

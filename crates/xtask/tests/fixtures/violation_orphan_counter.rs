@@ -1,0 +1,9 @@
+//! Seeded metrics-provenance violation: `live.ghost` is registered and
+//! incremented but never documented, so operators reading DESIGN.md
+//! would never learn it exists. The provenance pass must flag the
+//! registration site.
+
+fn setup(r: &Registry) {
+    let ghost = r.counter("live.ghost");
+    ghost.inc();
+}

@@ -1,0 +1,15 @@
+//! Seeded blocking-under-lock violation: a thread sleep while a store
+//! partition lock is held stalls every other thread queued on the
+//! partition. The blocking pass must flag the sleep.
+
+struct S {
+    shared: Mutex<MfsStore<B>>,
+}
+
+impl S {
+    fn bad(&self) {
+        let g = self.shared.lock();
+        std::thread::sleep(d);
+        g.done();
+    }
+}

@@ -8,11 +8,18 @@
 #
 #   1. cargo fmt --check       — formatting is canonical
 #   2. cargo clippy            — workspace lints, warnings are errors
-#   3. spamaware-xtask lint    — determinism / panic-safety / unsafe-audit /
-#                                invariant-provenance static analysis, covering
-#                                crates/metrics alongside the sim/server/dnsbl
-#                                scopes (see DESIGN.md "Invariants & static
-#                                analysis")
+#   3. spamaware-xtask report  — every static-analysis pass in one run:
+#                                the line lint (determinism / panic-safety /
+#                                unsafe-audit / invariant-provenance) plus
+#                                the call-graph flow passes — lock-order
+#                                graph (deadlock cycles, hierarchy
+#                                violations), blocking-reachability (no
+#                                blocking leaf on the master accept loop or
+#                                under a store lock), and metrics provenance
+#                                (every used counter registered,
+#                                snapshot-visible, and documented in
+#                                DESIGN.md §14.3). The merged JSON report
+#                                lands in results/xtask_report.json.
 #   4. cargo test              — unit, integration, property and doc tests
 #   5. live_throughput --smoke — boots the real TCP server pair once with a
 #                                tiny client load and asserts the run
@@ -50,8 +57,8 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --quiet -- -D warnings
 
-echo "==> cargo run -p spamaware-xtask -- lint"
-cargo run --quiet -p spamaware-xtask -- lint
+echo "==> cargo run -p spamaware-xtask -- report --json"
+cargo run --quiet -p spamaware-xtask -- report --json
 
 echo "==> cargo test"
 cargo test --quiet

@@ -84,6 +84,12 @@ fn abrupt_disconnect_mid_data_is_counted_not_delivered() {
     wait_until("abandoned DATA span to be recorded", || {
         srv.metrics().histogram_count("worker.data_ns") == Some(1)
     });
+    // The worker can finish the abandoned span before the master's
+    // `delegated.inc()` lands, so poll the counter too instead of
+    // asserting it the instant the span shows up.
+    wait_until("delegation to be counted", || {
+        srv.stats().snapshot().delegated == 1
+    });
     let snap = srv.stats().snapshot();
     assert_eq!(snap.delegated, 1, "connection was trusted and delegated");
     assert_eq!(snap.mails_stored, 0);
