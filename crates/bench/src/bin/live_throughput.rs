@@ -29,8 +29,9 @@
 
 use spamaware_bench::{json_path_from_args, write_json, write_metrics_sidecar};
 use spamaware_core::{LiveConfig, LiveServer, Pop3Server};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -78,6 +79,29 @@ struct OverloadRow {
     mails_per_sec: f64,
 }
 
+#[derive(Clone, Copy, serde::Serialize)]
+struct FloodRow {
+    /// Idle pre-trust connections parked on the master for the whole row.
+    held_connections: usize,
+    /// Wall-clock seconds to establish (connect + greeting) all of them.
+    establish_secs: f64,
+    /// Establishment rate while ramping to the held population.
+    conns_per_sec: f64,
+    /// Concurrent delivery probes run *through* the standing flood.
+    probe_clients: usize,
+    /// Acked mails per probe client.
+    probe_mails: usize,
+    probe_elapsed_secs: f64,
+    /// Goodput through the flood — the number the readiness-driven master
+    /// is supposed to protect (the sliced-read master rescans all 10k
+    /// sockets between every probe reply).
+    probe_mails_per_sec: f64,
+    /// Largest `live.inflight` sampled; must reach the held population.
+    max_inflight: i64,
+    /// Evictions during the row — nonzero means the hold slipped.
+    idle_evictions: u64,
+}
+
 #[derive(serde::Serialize)]
 struct Report {
     rows: Vec<Row>,
@@ -85,6 +109,8 @@ struct Report {
     speedup_at_max_workers: Option<f64>,
     /// The past-the-cap flood (absent in `--smoke`/`--global-lock` runs).
     overload: Option<OverloadRow>,
+    /// The 10k-connection pre-trust flood (only with `--flood`).
+    flood: Option<FloodRow>,
 }
 
 struct Args {
@@ -95,6 +121,7 @@ struct Args {
     reader: bool,
     smoke: bool,
     global_only: bool,
+    flood: bool,
 }
 
 fn parse_args() -> Args {
@@ -115,10 +142,30 @@ fn parse_args() -> Args {
         reader: !argv.iter().any(|a| a == "--no-reader"),
         smoke,
         global_only: argv.iter().any(|a| a == "--global-lock"),
+        flood: argv.iter().any(|a| a == "--flood"),
     }
 }
 
 fn main() {
+    // Hidden holder mode: `--flood` re-execs this binary as child
+    // processes that each park N idle connections, because a single
+    // process cannot hold the 10k client fds *and* the server's 10k
+    // accepted fds under this environment's 20k fd ceiling.
+    {
+        let argv: Vec<String> = std::env::args().collect();
+        if let Some(i) = argv.iter().position(|a| a == "--flood-holder") {
+            let addr: SocketAddr = argv
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--flood-holder <addr> <count>");
+            let count: usize = argv
+                .get(i + 2)
+                .and_then(|v| v.parse().ok())
+                .expect("--flood-holder <addr> <count>");
+            flood_holder(addr, count);
+            return;
+        }
+    }
     let args = parse_args();
     let worker_counts: &[usize] = if args.smoke { &[2] } else { &[1, 2, 4, 8] };
     let regimes: &[bool] = if args.global_only {
@@ -178,6 +225,24 @@ fn main() {
         row
     });
 
+    // 10k-connection pre-trust flood: park an idle population two orders
+    // of magnitude past the default cap, then measure delivery goodput
+    // straight through it.
+    let flood = args.flood.then(|| {
+        let row = run_flood(args.body_bytes.min(4096));
+        println!();
+        println!(
+            "  flood: {} held in {:.2}s ({:.0} conns/s), probe {:>8.1} mails/s   (max inflight {}, {} evictions)",
+            row.held_connections,
+            row.establish_secs,
+            row.conns_per_sec,
+            row.probe_mails_per_sec,
+            row.max_inflight,
+            row.idle_evictions
+        );
+        row
+    });
+
     let max_workers = worker_counts.iter().copied().max().unwrap_or(1);
     let at = |global: bool| {
         rows.iter()
@@ -200,6 +265,7 @@ fn main() {
                 rows,
                 speedup_at_max_workers: speedup,
                 overload,
+                flood,
             },
         );
         if let Some(report) = &final_metrics {
@@ -355,6 +421,167 @@ fn run_overload(body_bytes: usize) -> OverloadRow {
         max_inflight,
         elapsed_secs: elapsed,
         mails_per_sec: expected as f64 / elapsed,
+    }
+}
+
+/// Connections each holder child parks (two children ⇒ 10k total).
+const FLOOD_PER_HOLDER: usize = 5_000;
+/// Holder child processes.
+const FLOOD_HOLDERS: usize = 2;
+/// Connections established per burst before reading their greetings —
+/// the greeting read paces the ramp under the listener's backlog (128).
+const FLOOD_CONNECT_BATCH: usize = 100;
+
+/// Parks a 10k idle pre-trust population on the server, then measures
+/// delivery goodput through it. The held sockets never speak: they
+/// connect, consume the greeting, and sit silent, so every one of them
+/// stays in the master's pre-trust set for the whole row.
+fn run_flood(body_bytes: usize) -> FloodRow {
+    const HELD: usize = FLOOD_HOLDERS * FLOOD_PER_HOLDER;
+    const PROBE_CLIENTS: usize = 8;
+    const PROBE_MAILS: usize = 8;
+    let root =
+        std::env::temp_dir().join(format!("spamaware-livebench-{}-flood", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cfg = LiveConfig::localhost(&root, vec!["inbox".to_owned()]);
+    cfg.max_connections = HELD + 256;
+    cfg.max_pretrust_per_ip = HELD + 256; // every holder is 127.0.0.1
+    cfg.pretrust_idle_timeout = Duration::from_secs(300);
+    cfg.session_deadline = Duration::from_secs(600);
+    let server = LiveServer::start(cfg).expect("start flood server");
+    let addr = server.local_addr();
+
+    let exe = std::env::current_exe().expect("current exe");
+    // lint:allow(time): wall-clock elapsed time IS the measurement here
+    let started = std::time::Instant::now();
+    let mut holders: Vec<Child> = (0..FLOOD_HOLDERS)
+        .map(|_| {
+            Command::new(&exe)
+                .arg("--flood-holder")
+                .arg(addr.to_string())
+                .arg(FLOOD_PER_HOLDER.to_string())
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn flood holder")
+        })
+        .collect();
+    for child in &mut holders {
+        let out = child.stdout.take().expect("holder stdout");
+        let mut line = String::new();
+        BufReader::new(out)
+            .read_line(&mut line)
+            .expect("holder ready");
+        assert!(line.starts_with("HELD"), "holder failed: {line:?}");
+    }
+    let establish_secs = started.elapsed().as_secs_f64();
+    // The greeting is written a beat before the inflight gauge ticks, so
+    // give the gauge a moment to account for the final connections.
+    for _ in 0..2000 {
+        if server.inflight() >= HELD as i64 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(
+        server.inflight() >= HELD as i64,
+        "flood not fully admitted: {}",
+        server.inflight()
+    );
+
+    // Deliver mail straight through the standing flood.
+    // lint:allow(time): wall-clock elapsed time IS the measurement here
+    let probe_started = std::time::Instant::now();
+    let probes: Vec<_> = (0..PROBE_CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut delivered = 0;
+                let mut attempt = 0u64;
+                while delivered < PROBE_MAILS {
+                    attempt += 1;
+                    assert!(attempt < 10_000, "probe {i} starved out");
+                    if overload_attempt(addr, body_bytes) {
+                        delivered += 1;
+                    } else {
+                        std::thread::sleep(Duration::from_millis(1 + (i as u64 % 5)));
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut max_inflight = 0i64;
+    let mut pending: Vec<_> = probes.into_iter().collect();
+    while !pending.is_empty() {
+        max_inflight = max_inflight.max(server.inflight());
+        pending.retain(|h| !h.is_finished());
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let expected = (PROBE_CLIENTS * PROBE_MAILS) as u64;
+    wait_for_stored(&server, expected);
+    let probe_elapsed_secs = probe_started.elapsed().as_secs_f64();
+
+    let snap = server.stats().snapshot();
+    assert_eq!(snap.mails_stored, expected, "probe mail lost in flood");
+    // Release the flood: closing each holder's stdin makes it exit and
+    // drop its 5k sockets.
+    for child in &mut holders {
+        drop(child.stdin.take());
+    }
+    for mut child in holders {
+        let _ = child.wait();
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    FloodRow {
+        held_connections: HELD,
+        establish_secs,
+        conns_per_sec: HELD as f64 / establish_secs,
+        probe_clients: PROBE_CLIENTS,
+        probe_mails: PROBE_MAILS,
+        probe_elapsed_secs,
+        probe_mails_per_sec: expected as f64 / probe_elapsed_secs,
+        max_inflight,
+        idle_evictions: snap.idle_evictions,
+    }
+}
+
+/// Holder-child body: connect `count` sockets, read each greeting, report
+/// `HELD` on stdout, then park until the parent closes stdin.
+fn flood_holder(addr: SocketAddr, count: usize) {
+    let mut held: Vec<TcpStream> = Vec::with_capacity(count);
+    let mut batch: Vec<TcpStream> = Vec::with_capacity(FLOOD_CONNECT_BATCH);
+    for i in 0..count {
+        let stream = TcpStream::connect(addr).expect("holder connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("holder timeout");
+        batch.push(stream);
+        if batch.len() == FLOOD_CONNECT_BATCH || i + 1 == count {
+            for s in &mut batch {
+                read_through_newline(s);
+            }
+            held.append(&mut batch);
+        }
+    }
+    println!("HELD {}", held.len());
+    std::io::stdout().flush().expect("holder flush");
+    // Park until the parent closes our stdin, then exit and let the
+    // sockets drop.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+}
+
+/// Reads and discards bytes up to and including the next `\n` (the SMTP
+/// greeting line) — confirmation the server admitted this connection.
+fn read_through_newline(stream: &mut TcpStream) {
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => panic!("greeting EOF (connection shed?)"),
+            Ok(_) if byte[0] == b'\n' => return,
+            Ok(_) => {}
+            Err(e) => panic!("greeting read failed: {e}"),
+        }
     }
 }
 

@@ -36,10 +36,13 @@ mod live;
 mod mix;
 mod pool;
 mod pop3;
+pub mod pretrust;
+pub mod reactor;
 
 pub use linebuf::{LineBuffer, LineOverflow, MAX_LINE};
 pub use live::{LiveConfig, LiveServer, LiveSnapshot, LiveStats};
 pub use mix::combined_workload;
+pub use pool::BufferPool;
 pub use pop3::{Pop3Server, Pop3Stats};
 
 // Re-export the workspace's main types so downstream users can depend on

@@ -44,18 +44,19 @@
 use crate::dnsbl_agent::{agent_loop, DnsblAgentCtx};
 use crate::linebuf::{LineBuffer, LineOverflow};
 use crate::pool::BufferPool;
+use crate::pretrust::{self, EngineCtx, Trusted};
+use crate::reactor::os::OsReactor;
 use crate::ServeError;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use spamaware_dnsbl::{BreakerConfig, DnsblServer};
-use spamaware_metrics::{Counter, Gauge, Registry, SpanHandle};
+use spamaware_metrics::{Counter, Gauge, Registry};
 use spamaware_mfs::{DataRef, MailId, RealDir, ShardedStore};
 use spamaware_netaddr::Ipv4;
-use spamaware_smtp::{
-    Command, DataVerdict, MailAddr, Reply, ServerSession, SessionConfig, SessionOutcome,
-};
-use std::collections::{HashMap, HashSet};
+use spamaware_smtp::{Command, DataVerdict, MailAddr, Reply, ServerSession, SessionOutcome};
+use std::collections::HashSet;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -210,8 +211,10 @@ pub struct LiveStats {
     /// Connections evicted with `421` for exhausting the `DATA` transfer
     /// budget.
     pub data_deadline_evictions: Arc<Counter>,
-    /// `set_read_timeout` failures — a connection that cannot be given a
-    /// read deadline is closed rather than allowed to pin a worker.
+    /// Socket-setup failures: an admin connection that cannot be given a
+    /// read deadline, or a pre-trust connection the reactor could not
+    /// register. Either way the connection is closed rather than allowed
+    /// to pin a thread or escape its deadlines.
     pub sockopt_errors: Arc<Counter>,
 }
 
@@ -259,7 +262,10 @@ pub struct LiveSnapshot {
 }
 
 impl LiveStats {
-    fn register(registry: &Registry) -> LiveStats {
+    /// Creates (or re-binds) every live-server counter on `registry`.
+    /// Public so the deterministic pre-trust engine tests can drive
+    /// [`crate::pretrust::run_pretrust`] against a fresh registry.
+    pub fn register(registry: &Registry) -> LiveStats {
         LiveStats {
             accepted: registry.counter("live.accepted"),
             delivered: registry.counter("live.delivered"),
@@ -312,7 +318,7 @@ impl LiveStats {
 /// Per-verb command counters (`smtp.verb.*`), shared by the master's
 /// pre-trust loop and the worker pool.
 #[derive(Debug, Clone)]
-struct VerbCounters {
+pub(crate) struct VerbCounters {
     helo: Arc<Counter>,
     ehlo: Arc<Counter>,
     mail: Arc<Counter>,
@@ -326,7 +332,7 @@ struct VerbCounters {
 }
 
 impl VerbCounters {
-    fn register(registry: &Registry) -> VerbCounters {
+    pub(crate) fn register(registry: &Registry) -> VerbCounters {
         VerbCounters {
             helo: registry.counter("smtp.verb.helo"),
             ehlo: registry.counter("smtp.verb.ehlo"),
@@ -341,7 +347,12 @@ impl VerbCounters {
         }
     }
 
-    fn count(&self, cmd: &Command) {
+    /// Counts a line that failed to parse as any SMTP verb.
+    pub(crate) fn count_unknown(&self) {
+        self.unknown.inc();
+    }
+
+    pub(crate) fn count(&self, cmd: &Command) {
         match cmd {
             Command::Helo(_) => self.helo.inc(),
             Command::Ehlo(_) => self.ehlo.inc(),
@@ -355,6 +366,26 @@ impl VerbCounters {
             Command::Unknown(_) => self.unknown.inc(),
         }
     }
+}
+
+/// Registers every instrument otherwise created lazily in a thread
+/// prologue (workers, master engine, DNSBL agent), so the registry's
+/// inventory — and an admin `METRICS` render — is complete the instant
+/// `LiveServer::start` returns instead of whenever the scheduler first
+/// runs each thread. `get_or_create` semantics make the later per-thread
+/// registrations resolve to these same instruments.
+fn preregister_thread_instruments(registry: &Registry) {
+    registry.span("worker.queue_wait_ns");
+    registry.span("worker.data_ns");
+    registry.span("worker.storage_ns");
+    registry.gauge("worker.queue_depth");
+    registry.counter("live.internal_error");
+    VerbCounters::register(registry);
+    registry.span("master.pretrust_ns");
+    registry.counter("master.wakeups");
+    registry.counter("master.io_events");
+    registry.counter("master.timers_fired");
+    registry.counter("dnsbl.agent_dropped");
 }
 
 /// A running spam-aware SMTP server.
@@ -377,6 +408,12 @@ pub struct LiveServer {
     stop: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
     inflight: Arc<Gauge>,
+    /// Interrupts the master's reactor wait so stop/drain requests are
+    /// noticed immediately instead of at the next timer deadline.
+    master_waker: rawpoll::WakePipe,
+    /// One-shot stop latch the worker and admin threads poll alongside
+    /// their sockets; written once at shutdown and never drained.
+    stop_pipe: rawpoll::WakePipe,
     acceptor: Option<JoinHandle<()>>,
     admin: Option<JoinHandle<()>>,
     dnsbl_agent: Option<JoinHandle<()>>,
@@ -456,6 +493,16 @@ impl LiveServer {
 
         let draining = Arc::new(AtomicBool::new(false));
         let inflight = registry.gauge("live.inflight");
+        preregister_thread_instruments(&registry);
+        // The stop latch is written once at shutdown; every worker and the
+        // admin thread poll its read end alongside their sockets, so a
+        // stop interrupts any wait without per-thread timeout slicing.
+        let stop_pipe =
+            rawpoll::WakePipe::new().map_err(|e| ServeError::Io(format!("stop pipe: {e}")))?;
+        // The reactor is built here (not on the master thread) so its
+        // waker exists before any thread that needs to interrupt it.
+        let reactor = OsReactor::new().map_err(|e| ServeError::Io(format!("reactor: {e}")))?;
+        let master_waker = reactor.waker();
 
         let mut worker_handles = Vec::new();
         let mut senders: Vec<Sender<Delegated>> = Vec::new();
@@ -478,6 +525,7 @@ impl LiveServer {
                 session_deadline: cfg.session_deadline,
                 data_deadline: cfg.data_deadline,
                 hold: cfg.worker_hold.clone(),
+                stop_pipe: stop_pipe.clone(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("smtpd-{w}"))
@@ -490,6 +538,12 @@ impl LiveServer {
         // socket); the master only ever does a non-blocking `try_send`
         // into this bounded queue (§5: the master must never block).
         let (dnsbl_tx, dnsbl_agent) = if cfg.dnsbl.is_some() || cfg.dnsbl_udp.is_some() {
+            // Same up-front registration as `preregister_thread_instruments`,
+            // but only when an agent will actually run — a DNSBL-less
+            // server's report should not list agent metrics.
+            registry.span("dnsbl.agent_ns");
+            registry.counter("dnsbl.udp_timeouts");
+            registry.counter("dnsbl.udp_errors");
             let (tx, rx): (Sender<Ipv4>, Receiver<Ipv4>) = bounded(DNSBL_AGENT_QUEUE);
             let actx = DnsblAgentCtx {
                 rx,
@@ -520,6 +574,7 @@ impl LiveServer {
                 hostname: Arc::clone(&cfg.hostname),
                 dnsbl_tx,
                 pretrust_idle_timeout: cfg.pretrust_idle_timeout,
+                session_deadline: cfg.session_deadline,
                 max_connections: cfg.max_connections,
                 max_pretrust_per_ip: cfg.max_pretrust_per_ip,
                 registry: Arc::clone(&registry),
@@ -528,7 +583,7 @@ impl LiveServer {
             };
             std::thread::Builder::new()
                 .name("master".to_owned())
-                .spawn(move || master_loop(listener, ctx))
+                .spawn(move || master_loop(listener, reactor, ctx))
                 .map_err(|e| ServeError::Io(format!("spawn master: {e}")))?
         };
 
@@ -544,23 +599,18 @@ impl LiveServer {
             Ok((listener, addr))
         })();
         let admin_spawn = admin_result.and_then(|(admin_listener, admin_addr)| {
-            let stop = Arc::clone(&stop);
-            let draining = Arc::clone(&draining);
-            let registry = Arc::clone(&registry);
-            let sockopt_errors = Arc::clone(&stats.sockopt_errors);
-            let read_timeout = cfg.admin_read_timeout;
+            let actx = AdminCtx {
+                registry: Arc::clone(&registry),
+                stop: Arc::clone(&stop),
+                draining: Arc::clone(&draining),
+                read_timeout: cfg.admin_read_timeout,
+                sockopt_errors: Arc::clone(&stats.sockopt_errors),
+                stop_pipe: stop_pipe.clone(),
+                master_waker: master_waker.clone(),
+            };
             std::thread::Builder::new()
                 .name("admin".to_owned())
-                .spawn(move || {
-                    admin_loop(
-                        admin_listener,
-                        registry,
-                        stop,
-                        draining,
-                        read_timeout,
-                        sockopt_errors,
-                    )
-                })
+                .spawn(move || admin_loop(admin_listener, actx))
                 .map(|h| (h, admin_addr))
                 .map_err(|e| ServeError::Io(format!("spawn admin: {e}")))
         });
@@ -571,6 +621,8 @@ impl LiveServer {
                 // before bailing so a failed start leaves no thread
                 // behind.
                 stop.store(true, Ordering::SeqCst);
+                master_waker.wake();
+                stop_pipe.wake();
                 let _ = acceptor.join();
                 if let Some(h) = dnsbl_agent {
                     let _ = h.join();
@@ -585,6 +637,8 @@ impl LiveServer {
             stop,
             draining,
             inflight,
+            master_waker,
+            stop_pipe,
             acceptor: Some(acceptor),
             admin: Some(admin),
             dnsbl_agent,
@@ -650,6 +704,9 @@ impl LiveServer {
     #[must_use]
     pub fn drain(&self, grace: Duration) -> bool {
         self.draining.store(true, Ordering::SeqCst);
+        // Interrupt the reactor wait so the eviction sweep runs now, not
+        // at the next readiness event or timer deadline.
+        self.master_waker.wake();
         let deadline = std::time::Instant::now() + grace;
         while self.inflight.get() > 0 {
             if std::time::Instant::now() >= deadline {
@@ -667,6 +724,10 @@ impl LiveServer {
 
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        // Wake the master out of its reactor wait and latch the stop pipe
+        // every worker and the admin thread poll.
+        self.master_waker.wake();
+        self.stop_pipe.wake();
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
@@ -688,25 +749,6 @@ impl Drop for LiveServer {
     }
 }
 
-struct PreTrust {
-    stream: TcpStream,
-    session: ServerSession,
-    lines: LineBuffer,
-    peer: Ipv4,
-    last_activity: std::time::Instant,
-    /// Registry-clock instant the connection was accepted, for the
-    /// `master.pretrust_ns` span.
-    accepted_ns: u64,
-}
-
-/// Pre-resolved instrument handles for the master thread.
-struct MasterMetrics {
-    pretrust_ns: SpanHandle,
-    queue_depth: Arc<Gauge>,
-    agent_dropped: Arc<Counter>,
-    verbs: VerbCounters,
-}
-
 /// Everything the master thread owns, bundled so the spawn site stays
 /// readable as the overload knobs multiply.
 struct MasterCtx {
@@ -720,6 +762,7 @@ struct MasterCtx {
     /// configured. The master never performs a lookup itself.
     dnsbl_tx: Option<Sender<Ipv4>>,
     pretrust_idle_timeout: Duration,
+    session_deadline: Duration,
     max_connections: usize,
     max_pretrust_per_ip: usize,
     registry: Arc<Registry>,
@@ -731,243 +774,69 @@ fn write_reply(stream: &mut TcpStream, reply: &spamaware_smtp::Reply) -> std::io
     stream.write_all(reply.to_wire().as_bytes())
 }
 
-/// `421`s and drops a connection the admission policy refused. Cheap by
-/// design: one small write, no session, no DNSBL — shedding under
-/// overload must cost microseconds, not the work it is shedding.
-fn shed(mut stream: TcpStream, counter: &Counter) {
-    counter.inc();
-    let _ = write_reply(&mut stream, &Reply::service_not_available());
-}
-
-/// Drops one pre-trust connection's per-IP admission slot.
-fn release_ip(per_ip: &mut HashMap<Ipv4, usize>, peer: Ipv4) {
-    if let Some(n) = per_ip.get_mut(&peer) {
-        *n = n.saturating_sub(1);
-        if *n == 0 {
-            per_ip.remove(&peer);
-        }
-    }
-}
-
-fn master_loop(listener: TcpListener, ctx: MasterCtx) {
-    let mm = MasterMetrics {
-        pretrust_ns: ctx.registry.span("master.pretrust_ns"),
-        queue_depth: ctx.registry.gauge("worker.queue_depth"),
-        agent_dropped: ctx.registry.counter("dnsbl.agent_dropped"),
-        verbs: VerbCounters::register(&ctx.registry),
+/// The master thread: builds the engine context and the worker sink,
+/// then hands control to the readiness-driven pre-trust event loop
+/// ([`pretrust::run_pretrust`]). After this wrapper the reactor wait inside the
+/// engine is the *only* blocking call reachable on this thread — there is
+/// no accept polling, no per-connection read slicing, and no idle sleep.
+fn master_loop(mut listener: TcpListener, mut reactor: OsReactor, ctx: MasterCtx) {
+    let queue_depth = ctx.registry.gauge("worker.queue_depth");
+    let engine = EngineCtx {
+        stop: ctx.stop,
+        draining: ctx.draining,
+        stats: Arc::clone(&ctx.stats),
+        mailboxes: ctx.mailboxes,
+        hostname: ctx.hostname,
+        dnsbl_tx: ctx.dnsbl_tx,
+        pretrust_idle_timeout: ctx.pretrust_idle_timeout,
+        session_deadline: ctx.session_deadline,
+        max_connections: ctx.max_connections,
+        max_pretrust_per_ip: ctx.max_pretrust_per_ip,
+        registry: Arc::clone(&ctx.registry),
+        line_pool: ctx.line_pool,
+        inflight: ctx.inflight,
     };
-    let stats = &ctx.stats;
-    let mut conns: Vec<PreTrust> = Vec::new();
-    // Pre-trust connections per client IP, for the per-IP admission cap.
-    let mut per_ip: HashMap<Ipv4, usize> = HashMap::new();
+    let senders = ctx.senders;
+    let stats = ctx.stats;
+    let registry = ctx.registry;
     let mut rr = 0usize;
-    let exists = |a: &MailAddr| ctx.mailboxes.contains(a.local_part());
-    let inflight_cap = i64::try_from(ctx.max_connections).unwrap_or(i64::MAX);
-    // Reply bytes for one pumped burst, written to the socket in one call.
-    let mut out: Vec<u8> = Vec::new();
-    while !ctx.stop.load(Ordering::SeqCst) {
-        let mut progress = false;
-        let draining = ctx.draining.load(Ordering::SeqCst);
-        // Accept everything pending.
-        loop {
-            match listener.accept() {
-                Ok((stream, peer)) => {
-                    progress = true;
-                    stats.accepted.inc();
-                    let peer_ip = match peer.ip() {
-                        std::net::IpAddr::V4(v4) => Ipv4::from(v4),
-                        std::net::IpAddr::V6(_) => {
-                            // The DNSBL cache and trust machinery are
-                            // IPv4-only; refuse rather than impersonate a
-                            // loopback peer.
-                            stats.rejected_ipv6.inc();
-                            let mut stream = stream;
-                            let _ = write_reply(
-                                &mut stream,
-                                &spamaware_smtp::Reply::ipv6_unsupported(),
-                            );
-                            continue;
-                        }
-                    };
-                    // Admission control, cheapest checks first and all of
-                    // them *before* the DNSBL query: a shed connection
-                    // must not be able to spend our lookup budget.
-                    if draining {
-                        shed(stream, &stats.shed_draining);
-                        continue;
-                    }
-                    if ctx.inflight.get() >= inflight_cap {
-                        shed(stream, &stats.shed_connections);
-                        continue;
-                    }
-                    let held = per_ip.get(&peer_ip).copied().unwrap_or(0);
-                    if held >= ctx.max_pretrust_per_ip {
-                        shed(stream, &stats.shed_per_ip);
-                        continue;
-                    }
-                    if let Some(tx) = &ctx.dnsbl_tx {
-                        // Fire-and-forget hand-off to the DNSBL agent
-                        // thread: the verdict is record-only (§9), so the
-                        // master never waits for it. A full queue drops
-                        // the *lookup*, not the client — under overload
-                        // we lose a statistic, never mail service.
-                        if tx.try_send(peer_ip).is_err() {
-                            mm.agent_dropped.inc();
-                        }
-                    }
-                    let _ = stream.set_nonblocking(true);
-                    // Replies are coalesced into one write per pipelined
-                    // burst, so Nagle only adds delayed-ACK stalls between
-                    // our small writes and the client's next burst.
-                    let _ = stream.set_nodelay(true);
-                    let session = ServerSession::new(SessionConfig {
-                        hostname: Arc::clone(&ctx.hostname),
-                        ..SessionConfig::default()
-                    });
-                    let mut stream = stream;
-                    let _ = write_reply(&mut stream, &session.greeting());
-                    ctx.inflight.inc();
-                    *per_ip.entry(peer_ip).or_insert(0) += 1;
-                    conns.push(PreTrust {
-                        stream,
-                        session,
-                        lines: LineBuffer::from_remaining(ctx.line_pool.take_vec()),
-                        peer: peer_ip,
-                        last_activity: std::time::Instant::now(),
-                        accepted_ns: mm.pretrust_ns.now(),
-                    });
+    // Round-robin non-blocking dispatch; full queues push the task to the
+    // next worker (natural throttle). A fully saturated pool returns the
+    // task, and the engine sheds it with `421` — a blocking send here
+    // would stall the master, and with it every pre-trust dialog and the
+    // accept path, behind the slowest worker.
+    let mut sink = |t: Trusted<TcpStream>| -> Option<Trusted<TcpStream>> {
+        let mut task = Delegated {
+            stream: t.conn,
+            session: t.session,
+            leftover: t.leftover,
+            peer: t.peer,
+            enqueued_ns: registry.now_nanos(),
+            accepted_ns: t.accepted_ns,
+        };
+        for probe in 0..senders.len() {
+            let w = (rr + probe) % senders.len();
+            match senders[w].try_send(task) {
+                Ok(()) => {
+                    rr = (w + 1) % senders.len();
+                    stats.delegated.inc();
+                    queue_depth.inc();
+                    return None;
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(_) => break,
+                Err(TrySendError::Full(t)) | Err(TrySendError::Disconnected(t)) => task = t,
             }
         }
-        if draining && !conns.is_empty() {
-            // Pre-trust connections hold no acked mail; evict them all so
-            // the drain converges regardless of client behavior.
-            for mut c in conns.drain(..) {
-                let _ = write_reply(&mut c.stream, &Reply::service_not_available());
-                mm.pretrust_ns.record_since(c.accepted_ns);
-                ctx.line_pool.put(c.lines.into_remaining());
-                release_ip(&mut per_ip, c.peer);
-                ctx.inflight.dec();
-                stats.shed_draining.inc();
-                stats.unfinished.inc();
-            }
-            progress = true;
-        }
-        // Event loop over pre-trust connections.
-        let mut i = 0;
-        while i < conns.len() {
-            match pump_pretrust(&mut conns[i], &exists, &mm.verbs, &mut out) {
-                PumpResult::Idle => {
-                    if conns[i].last_activity.elapsed() > ctx.pretrust_idle_timeout {
-                        // Idle slow client: drop it without touching a
-                        // worker (counts as an unfinished transaction).
-                        let c = conns.swap_remove(i);
-                        mm.pretrust_ns.record_since(c.accepted_ns);
-                        ctx.line_pool.put(c.lines.into_remaining());
-                        release_ip(&mut per_ip, c.peer);
-                        ctx.inflight.dec();
-                        stats.idle_evictions.inc();
-                        stats.unfinished.inc();
-                        progress = true;
-                    } else {
-                        i += 1;
-                    }
-                }
-                PumpResult::Progress => {
-                    progress = true;
-                    conns[i].last_activity = std::time::Instant::now();
-                    i += 1;
-                }
-                PumpResult::Overflow => {
-                    progress = true;
-                    let c = conns.swap_remove(i);
-                    mm.pretrust_ns.record_since(c.accepted_ns);
-                    ctx.line_pool.put(c.lines.into_remaining());
-                    release_ip(&mut per_ip, c.peer);
-                    ctx.inflight.dec();
-                    stats.overflows.inc();
-                    stats.unfinished.inc();
-                }
-                PumpResult::Close => {
-                    progress = true;
-                    let c = conns.swap_remove(i);
-                    mm.pretrust_ns.record_since(c.accepted_ns);
-                    ctx.line_pool.put(c.lines.into_remaining());
-                    release_ip(&mut per_ip, c.peer);
-                    ctx.inflight.dec();
-                    match c.session.outcome() {
-                        SessionOutcome::Bounce => {
-                            stats.bounces.inc();
-                        }
-                        _ => {
-                            stats.unfinished.inc();
-                        }
-                    }
-                }
-                PumpResult::Trusted => {
-                    progress = true;
-                    let c = conns.swap_remove(i);
-                    mm.pretrust_ns.record_since(c.accepted_ns);
-                    release_ip(&mut per_ip, c.peer);
-                    let task = Delegated {
-                        stream: c.stream,
-                        session: c.session,
-                        leftover: c.lines.into_remaining(),
-                        peer: c.peer,
-                        enqueued_ns: ctx.registry.now_nanos(),
-                        accepted_ns: c.accepted_ns,
-                    };
-                    // Round-robin non-blocking dispatch; full queues push
-                    // the task to the next worker (natural throttle).
-                    let mut task = Some(task);
-                    for probe in 0..ctx.senders.len() {
-                        let w = (rr + probe) % ctx.senders.len();
-                        // Empty only once a try_send succeeded.
-                        let Some(t) = task.take() else { break };
-                        match ctx.senders[w].try_send(t) {
-                            Ok(()) => {
-                                rr = (w + 1) % ctx.senders.len();
-                                stats.delegated.inc();
-                                mm.queue_depth.inc();
-                            }
-                            Err(TrySendError::Full(t)) | Err(TrySendError::Disconnected(t)) => {
-                                task = Some(t);
-                            }
-                        }
-                    }
-                    if let Some(t) = task {
-                        // Every queue full: tempfail instead of blocking.
-                        // A blocking send here stalls the master — and with
-                        // it every pre-trust dialog and the accept loop —
-                        // behind the slowest worker; `421` sheds exactly
-                        // one client instead.
-                        ctx.line_pool.put(t.leftover);
-                        ctx.inflight.dec();
-                        shed(t.stream, &stats.shed_worker_busy);
-                        stats.unfinished.inc();
-                    }
-                }
-            }
-        }
-        if !progress {
-            // 1 ms idle poll backoff: the master has no connections and
-            // nothing pending. Replacing the poll with readiness
-            // notification is the epoll item on the ROADMAP.
-            // lint:allow(blocking)
-            std::thread::sleep(Duration::from_millis(1));
-        }
-    }
-    // Closing the senders disconnects the workers' receive loops.
-}
-
-enum PumpResult {
-    Idle,
-    Progress,
-    Close,
-    Overflow,
-    Trusted,
+        Some(Trusted {
+            conn: task.stream,
+            session: task.session,
+            leftover: task.leftover,
+            peer: task.peer,
+            accepted_ns: task.accepted_ns,
+        })
+    };
+    pretrust::run_pretrust(&mut listener, &mut reactor, &engine, &mut sink);
+    // Returning drops the senders, which disconnects the workers'
+    // receive loops.
 }
 
 /// Writes accumulated reply bytes as one socket write (the coalesced
@@ -978,67 +847,6 @@ fn flush_replies(stream: &mut TcpStream, out: &[u8]) -> std::io::Result<()> {
     } else {
         stream.write_all(out)
     }
-}
-
-fn pump_pretrust(
-    conn: &mut PreTrust,
-    exists: &dyn Fn(&MailAddr) -> bool,
-    verbs: &VerbCounters,
-    out: &mut Vec<u8>,
-) -> PumpResult {
-    let mut tmp = [0u8; 1024];
-    let mut result = PumpResult::Idle;
-    out.clear();
-    match conn.stream.read(&mut tmp) {
-        Ok(0) => return PumpResult::Close,
-        Ok(n) => {
-            conn.lines.push(&tmp[..n]);
-            result = PumpResult::Progress;
-        }
-        Err(e) if e.kind() == ErrorKind::WouldBlock => {}
-        Err(_) => return PumpResult::Close,
-    }
-    loop {
-        match conn.lines.pop_line() {
-            Ok(Some(line)) => {
-                let text = String::from_utf8_lossy(&line).into_owned();
-                let reply = match Command::parse(&text) {
-                    Ok(cmd) => {
-                        verbs.count(&cmd);
-                        conn.session.handle(cmd, exists)
-                    }
-                    Err(_) => {
-                        verbs.unknown.inc();
-                        spamaware_smtp::Reply::bad_argument()
-                    }
-                };
-                // Replies accumulate; the whole burst is flushed at once
-                // when the connection changes state or input runs dry.
-                reply.write_wire(out);
-                if conn.session.phase() == spamaware_smtp::SessionPhase::Closed {
-                    let _ = flush_replies(&mut conn.stream, out);
-                    return PumpResult::Close;
-                }
-                if conn.session.has_valid_recipient() {
-                    if flush_replies(&mut conn.stream, out).is_err() {
-                        return PumpResult::Close;
-                    }
-                    return PumpResult::Trusted;
-                }
-                result = PumpResult::Progress;
-            }
-            Ok(None) => break,
-            Err(LineOverflow) => {
-                spamaware_smtp::Reply::syntax_error().write_wire(out);
-                let _ = flush_replies(&mut conn.stream, out);
-                return PumpResult::Overflow;
-            }
-        }
-    }
-    if flush_replies(&mut conn.stream, out).is_err() {
-        return PumpResult::Close;
-    }
-    result
 }
 
 /// Everything one worker thread owns.
@@ -1057,12 +865,16 @@ struct WorkerCtx {
     read_timeout: Duration,
     session_deadline: Duration,
     data_deadline: Duration,
+    /// Read end stays permanently readable once the server stops (the
+    /// write end is woken exactly once and never drained), so every
+    /// `poll2` wait in this worker doubles as a shutdown check.
+    stop_pipe: rawpoll::WakePipe,
     hold: Option<Arc<AtomicBool>>,
 }
 
-/// Longest a worker blocks in one `read` before re-checking the drain
-/// flag and the phase budgets. Bounds how stale a worker's view of a
-/// drain request can get without busy-polling.
+/// Longest a worker waits in one readiness poll before re-checking the
+/// drain flag and the phase budgets. Bounds how stale a worker's view of
+/// a drain request can get without busy-polling.
 const WORKER_POLL: Duration = Duration::from_millis(100);
 
 fn worker_loop(ctx: WorkerCtx) {
@@ -1098,8 +910,9 @@ fn worker_loop(ctx: WorkerCtx) {
         let accepted_ns = task.accepted_ns;
         let mut session = task.session;
         session.capture_bodies(true);
+        // The stream arrives nonblocking from the master's reactor; reads
+        // are gated on `poll2` below, so it stays that way.
         let mut stream = task.stream;
-        let _ = stream.set_nonblocking(false);
         // Adopt the master's leftover bytes *and* their allocation; it
         // returns to the line pool when the connection ends.
         let mut lines = LineBuffer::from_remaining(task.leftover);
@@ -1201,7 +1014,7 @@ fn worker_loop(ctx: WorkerCtx) {
             if ctx.stop.load(Ordering::SeqCst) {
                 // Hard shutdown: cut the connection without ceremony (a
                 // graceful exit drains first, so nothing acked is at
-                // risk). Noticed within one read slice.
+                // risk). The stop pipe also aborts any wait in progress.
                 break;
             }
             if ctx.draining.load(Ordering::SeqCst) && !in_data {
@@ -1214,10 +1027,10 @@ fn worker_loop(ctx: WorkerCtx) {
             // Phase budgets, re-checked every iteration. An exhausted
             // session or DATA budget evicts with `421` even if the client
             // is still actively sending; an exhausted idle budget drops a
-            // silent client quietly (pre-existing behavior). Reads block
-            // for at most the smallest remaining budget, capped at
-            // [`WORKER_POLL`] so a drain request or a budget that expires
-            // mid-read is noticed promptly.
+            // silent client quietly (pre-existing behavior). The worker
+            // waits for readiness for at most the smallest remaining
+            // budget, capped at [`WORKER_POLL`] so a drain request or a
+            // budget that expires mid-wait is noticed promptly.
             let now = ctx.registry.now_nanos();
             let session_left = session_deadline_ns.saturating_sub(now.saturating_sub(accepted_ns));
             if session_left == 0 {
@@ -1240,23 +1053,27 @@ fn worker_loop(ctx: WorkerCtx) {
                 }
                 budget_ns = budget_ns.min(data_left);
             }
-            // Clamp to ≥1 ms: a zero timeout means "no timeout" to the OS.
-            let budget = Duration::from_nanos(budget_ns.max(1_000_000));
-            if stream.set_read_timeout(Some(budget)).is_err() {
-                // A connection we cannot bound must not pin this worker.
-                stats.sockopt_errors.inc();
-                let _ = write_reply(&mut stream, &Reply::service_not_available());
-                break;
-            }
-            match stream.read(&mut tmp) {
-                Ok(0) => break,
-                Ok(n) => {
-                    lines.push(&tmp[..n]);
-                    last_activity_ns = ctx.registry.now_nanos();
-                }
+            // Wait for bytes, hangup, or the stop latch — whichever comes
+            // first within the budget. `ns_to_timeout_ms` rounds up, so a
+            // sub-millisecond remainder still waits one tick instead of
+            // spinning.
+            let wait = rawpoll::ns_to_timeout_ms(budget_ns);
+            match rawpoll::poll2(stream.as_raw_fd(), false, ctx.stop_pipe.read_fd(), wait) {
+                Ok(r) if r.b_ready => break,
+                Ok(r) if r.a_ready || r.a_hangup => match stream.read(&mut tmp) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        lines.push(&tmp[..n]);
+                        last_activity_ns = ctx.registry.now_nanos();
+                    }
+                    // Spurious readiness: loop back through the budget
+                    // checks and wait again.
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                    Err(_) => break,
+                },
                 // Timed out inside the budget slice: loop back and let the
-                // checks above classify (evict, drop idle, or read again).
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                // checks above classify (evict, drop idle, or wait again).
+                Ok(_) => {}
                 Err(_) => break,
             }
         }
@@ -1278,24 +1095,44 @@ fn duration_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
-/// Serves operator commands over a localhost admin socket, one command
-/// line per connection: `METRICS` (alias `STAT`) answers with
-/// [`Registry::render`] output; `DRAIN` flips the graceful-drain flag and
-/// answers `OK draining` — the caller then watches the `live.inflight`
-/// gauge fall to zero before stopping the process.
-fn admin_loop(
-    listener: TcpListener,
+/// Everything the admin thread owns.
+struct AdminCtx {
     registry: Arc<Registry>,
     stop: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
     read_timeout: Duration,
     sockopt_errors: Arc<Counter>,
-) {
-    while !stop.load(Ordering::SeqCst) {
+    /// Shutdown latch shared with the workers: permanently readable once
+    /// the server stops, so the accept wait below aborts immediately.
+    stop_pipe: rawpoll::WakePipe,
+    /// Wakes the master out of its reactor wait when `DRAIN` arrives, so
+    /// the pre-trust eviction sweep runs now instead of at the next
+    /// natural readiness event.
+    master_waker: rawpoll::WakePipe,
+}
+
+/// Serves operator commands over a localhost admin socket, one command
+/// line per connection: `METRICS` (alias `STAT`) answers with
+/// [`Registry::render`] output; `DRAIN` flips the graceful-drain flag and
+/// answers `OK draining` — the caller then watches the `live.inflight`
+/// gauge fall to zero before stopping the process.
+fn admin_loop(listener: TcpListener, ctx: AdminCtx) {
+    while !ctx.stop.load(Ordering::SeqCst) {
+        // Sleep until a client connects or the stop latch fires — the
+        // admin thread burns zero cycles while idle.
+        match rawpoll::poll2(listener.as_raw_fd(), false, ctx.stop_pipe.read_fd(), None) {
+            Ok(r) if r.b_ready => break,
+            Ok(r) if !r.a_ready => continue,
+            Ok(_) => {}
+            Err(_) => break,
+        }
         match listener.accept() {
             Ok((mut stream, _)) => {
-                if stream.set_read_timeout(Some(read_timeout)).is_err() {
-                    sockopt_errors.inc();
+                // Accepted sockets do not inherit the listener's
+                // nonblocking flag, so a plain read deadline still bounds
+                // this conversation.
+                if stream.set_read_timeout(Some(ctx.read_timeout)).is_err() {
+                    ctx.sockopt_errors.inc();
                     continue;
                 }
                 let mut buf = Vec::new();
@@ -1311,19 +1148,20 @@ fn admin_loop(
                 let cmd = line.trim();
                 let response =
                     if cmd.eq_ignore_ascii_case("METRICS") || cmd.eq_ignore_ascii_case("STAT") {
-                        registry.render()
+                        ctx.registry.render()
                     } else if cmd.eq_ignore_ascii_case("DRAIN") {
-                        draining.store(true, Ordering::SeqCst);
+                        ctx.draining.store(true, Ordering::SeqCst);
+                        ctx.master_waker.wake();
                         "OK draining\n".to_owned()
                     } else {
                         "ERR unknown admin command; try METRICS\n".to_owned()
                     };
                 let _ = stream.write_all(response.as_bytes());
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            // Raced with another readiness consumer or a spurious wakeup:
+            // go back to waiting.
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+            Err(_) => {}
         }
     }
 }

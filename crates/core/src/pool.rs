@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 /// A bounded free list of reusable byte buffers.
 #[derive(Debug)]
-pub(crate) struct BufferPool {
+pub struct BufferPool {
     free: Mutex<Vec<Vec<u8>>>,
     /// Free-list bound: buffers returned beyond this are dropped.
     max_pooled: usize,
@@ -36,11 +36,7 @@ impl BufferPool {
     /// Creates a pool holding at most `max_pooled` buffers of
     /// `default_capacity` bytes each (initially empty — buffers enter the
     /// pool as they are returned).
-    pub(crate) fn new(
-        registry: &Registry,
-        max_pooled: usize,
-        default_capacity: usize,
-    ) -> BufferPool {
+    pub fn new(registry: &Registry, max_pooled: usize, default_capacity: usize) -> BufferPool {
         BufferPool {
             free: Mutex::new(Vec::with_capacity(max_pooled)),
             max_pooled,
@@ -65,7 +61,7 @@ impl BufferPool {
     /// Takes a cleared buffer as a bare `Vec` (for handing ownership to
     /// code that outlives any guard scope, e.g. a session's body capture).
     /// Pair with [`BufferPool::put`].
-    pub(crate) fn take_vec(&self) -> Vec<u8> {
+    pub fn take_vec(&self) -> Vec<u8> {
         if let Some(buf) = self.free.lock().pop() {
             self.reuse.inc();
             return buf;
@@ -79,7 +75,7 @@ impl BufferPool {
     /// Returns a buffer to the pool: cleared, and dropped instead of
     /// pooled when it never allocated, outgrew [`BufferPool::max_capacity`],
     /// or the free list is full.
-    pub(crate) fn put(&self, mut buf: Vec<u8>) {
+    pub fn put(&self, mut buf: Vec<u8>) {
         if buf.capacity() == 0 || buf.capacity() > self.max_capacity {
             return;
         }

@@ -10,11 +10,13 @@
 //! the store stripes its locks per mailbox, a POP3 client draining one
 //! mailbox never stalls SMTP deliveries headed elsewhere.
 
+use crate::linebuf::{LineBuffer, LineOverflow};
 use crate::ServeError;
 use spamaware_mfs::{MailId, RealDir, ShardedStore};
 use std::collections::HashSet;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -29,10 +31,10 @@ pub struct Pop3Stats {
     pub retrieved: AtomicU64,
     /// Mails expunged.
     pub deleted: AtomicU64,
-    /// `set_read_timeout` failures — a session that cannot be given a
-    /// read deadline is refused rather than allowed to pin a thread
-    /// forever.
-    pub sockopt_errors: AtomicU64,
+    /// Sessions dropped for idling past the read timeout (each session
+    /// holds a thread; the idle eviction is what bounds how long a silent
+    /// peer can pin one).
+    pub idle_evictions: AtomicU64,
 }
 
 /// A POP3 server sharing a mail store with the SMTP side.
@@ -43,6 +45,10 @@ pub struct Pop3Stats {
 pub struct Pop3Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    /// Shutdown latch: woken exactly once at stop and never drained, so
+    /// its read end stays permanently readable and every `poll2` wait in
+    /// the acceptor and the session threads returns immediately.
+    stop_pipe: rawpoll::WakePipe,
     acceptor: Option<JoinHandle<()>>,
     stats: Arc<Pop3Stats>,
 }
@@ -89,19 +95,32 @@ impl Pop3Server {
             .local_addr()
             .map_err(|e| ServeError::Io(e.to_string()))?;
         let stop = Arc::new(AtomicBool::new(false));
+        let stop_pipe = rawpoll::WakePipe::new().map_err(|e| ServeError::Io(e.to_string()))?;
         let stats = Arc::new(Pop3Stats::default());
         let mailboxes: Arc<HashSet<String>> = Arc::new(mailboxes.into_iter().collect());
         let acceptor = {
             let stop = Arc::clone(&stop);
+            let stop_pipe = stop_pipe.clone();
             let stats = Arc::clone(&stats);
             std::thread::Builder::new()
                 .name("pop3".to_owned())
-                .spawn(move || accept_loop(listener, store, mailboxes, stop, stats, read_timeout))
+                .spawn(move || {
+                    accept_loop(
+                        listener,
+                        store,
+                        mailboxes,
+                        stop,
+                        stop_pipe,
+                        stats,
+                        read_timeout,
+                    )
+                })
                 .map_err(|e| ServeError::Io(format!("spawn pop3 acceptor: {e}")))?
         };
         Ok(Pop3Server {
             addr,
             stop,
+            stop_pipe,
             acceptor: Some(acceptor),
             stats,
         })
@@ -124,6 +143,9 @@ impl Pop3Server {
 
     fn stop_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        // One wake, never drained: from here the latch is permanently
+        // readable and every waiting thread falls out of its poll.
+        self.stop_pipe.wake();
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
@@ -141,21 +163,32 @@ fn accept_loop(
     store: Arc<ShardedStore<RealDir>>,
     mailboxes: Arc<HashSet<String>>,
     stop: Arc<AtomicBool>,
+    stop_pipe: rawpoll::WakePipe,
     stats: Arc<Pop3Stats>,
     read_timeout: Duration,
 ) {
     let mut sessions: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
+        // Sleep until a client connects or the stop latch fires — no
+        // accept polling.
+        match rawpoll::poll2(listener.as_raw_fd(), false, stop_pipe.read_fd(), None) {
+            Ok(r) if r.b_ready => break,
+            Ok(r) if !r.a_ready => continue,
+            Ok(_) => {}
+            Err(_) => break,
+        }
         match listener.accept() {
             Ok((stream, _)) => {
                 stats.sessions.fetch_add(1, Ordering::Relaxed);
                 let store = Arc::clone(&store);
                 let mailboxes = Arc::clone(&mailboxes);
                 let stats = Arc::clone(&stats);
+                let stop_pipe = stop_pipe.clone();
                 let handle = std::thread::Builder::new()
                     .name("pop3-session".to_owned())
                     .spawn(move || {
-                        let _ = session(stream, &store, &mailboxes, &stats, read_timeout);
+                        let _ =
+                            session(stream, &store, &mailboxes, &stats, &stop_pipe, read_timeout);
                     });
                 match handle {
                     Ok(h) => sessions.push(h),
@@ -164,9 +197,8 @@ fn accept_loop(
                     Err(_) => continue,
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
+            // Raced a spurious wakeup: go back to waiting.
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {}
             Err(_) => break,
         }
         sessions.retain(|h| !h.is_finished());
@@ -192,19 +224,16 @@ fn session(
     store: &ShardedStore<RealDir>,
     mailboxes: &HashSet<String>,
     stats: &Pop3Stats,
+    stop_pipe: &rawpoll::WakePipe,
     read_timeout: Duration,
 ) -> std::io::Result<()> {
-    // Refuse (don't serve) a connection we cannot bound: a session thread
-    // with no read deadline is exactly the resource leak POP3's
-    // thread-per-connection model cannot afford.
-    if let Err(e) = stream.set_read_timeout(Some(read_timeout)) {
-        stats.sockopt_errors.fetch_add(1, Ordering::Relaxed);
-        return Err(e);
-    }
     // Replies are coalesced into single writes; Nagle would only delay
     // them behind the client's delayed ACKs.
     let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream.try_clone()?);
+    // The idle deadline lives in the readiness wait below, not in a
+    // socket option — there is no `set_read_timeout` left to fail.
+    let idle_ms =
+        rawpoll::ns_to_timeout_ms(u64::try_from(read_timeout.as_nanos()).unwrap_or(u64::MAX));
     let mut out = stream;
     writeln!(out, "+OK spamaware POP3 ready\r")?;
     let mut st = SessionState {
@@ -213,108 +242,141 @@ fn session(
         listing: Vec::new(),
         marked: HashSet::new(),
     };
-    let mut line = String::new();
+    let mut lines = LineBuffer::new();
+    let mut tmp = [0u8; 1024];
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(());
-        }
-        let trimmed = line.trim_end();
-        let (verb, arg) = match trimmed.find(' ') {
-            Some(i) => (&trimmed[..i], trimmed[i + 1..].trim()),
-            None => (trimmed, ""),
-        };
-        match verb.to_ascii_uppercase().as_str() {
-            "USER" => {
-                if mailboxes.contains(arg) {
-                    st.user = Some(arg.to_owned());
-                    writeln!(out, "+OK send PASS\r")?;
-                } else {
-                    writeln!(out, "-ERR no such mailbox\r")?;
+        // Handle every complete line already buffered before waiting for
+        // more input (a pipelined burst is served without extra waits).
+        loop {
+            let raw = match lines.pop_line() {
+                Ok(Some(raw)) => raw,
+                Ok(None) => break,
+                Err(LineOverflow) => {
+                    writeln!(out, "-ERR line too long\r")?;
+                    return Ok(());
                 }
-            }
-            "PASS" => match &st.user {
-                Some(user) => {
-                    // Index-only scan: sizes come from the key index, so no
-                    // shard lock is held across disk reads (§10 scan phase).
-                    st.listing = store
-                        .list_mailbox(user)
-                        .into_iter()
-                        .map(|(id, len)| (id, usize::try_from(len).unwrap_or(usize::MAX)))
-                        .collect();
-                    st.authed = Some(user.clone());
-                    writeln!(out, "+OK {} messages\r", st.listing.len())?;
+            };
+            let line = String::from_utf8_lossy(&raw).into_owned();
+            let trimmed = line.trim_end();
+            let (verb, arg) = match trimmed.find(' ') {
+                Some(i) => (&trimmed[..i], trimmed[i + 1..].trim()),
+                None => (trimmed, ""),
+            };
+            match verb.to_ascii_uppercase().as_str() {
+                "USER" => {
+                    if mailboxes.contains(arg) {
+                        st.user = Some(arg.to_owned());
+                        writeln!(out, "+OK send PASS\r")?;
+                    } else {
+                        writeln!(out, "-ERR no such mailbox\r")?;
+                    }
                 }
-                None => writeln!(out, "-ERR USER first\r")?,
-            },
-            "STAT" if st.authed.is_some() => {
-                let (n, bytes) =
-                    live(&st).fold((0usize, 0usize), |(n, b), (_, (_, sz))| (n + 1, b + sz));
-                writeln!(out, "+OK {n} {bytes}\r")?;
-            }
-            "LIST" if st.authed.is_some() => {
-                writeln!(out, "+OK scan listing follows\r")?;
-                for (idx, (_, size)) in live(&st) {
-                    writeln!(out, "{} {}\r", idx + 1, size)?;
+                "PASS" => match &st.user {
+                    Some(user) => {
+                        // Index-only scan: sizes come from the key index, so no
+                        // shard lock is held across disk reads (§10 scan phase).
+                        st.listing = store
+                            .list_mailbox(user)
+                            .into_iter()
+                            .map(|(id, len)| (id, usize::try_from(len).unwrap_or(usize::MAX)))
+                            .collect();
+                        st.authed = Some(user.clone());
+                        writeln!(out, "+OK {} messages\r", st.listing.len())?;
+                    }
+                    None => writeln!(out, "-ERR USER first\r")?,
+                },
+                "STAT" if st.authed.is_some() => {
+                    let (n, bytes) =
+                        live(&st).fold((0usize, 0usize), |(n, b), (_, (_, sz))| (n + 1, b + sz));
+                    writeln!(out, "+OK {n} {bytes}\r")?;
                 }
-                writeln!(out, ".\r")?;
-            }
-            "RETR" if st.authed.is_some() => match (st.authed.as_deref(), parse_index(arg, &st)) {
-                (Some(user), Some(idx)) => {
-                    // One positioned read under one short shard hold — not a
-                    // whole-mailbox scan per retrieval.
-                    let body = store
-                        .read_mail(user, st.listing[idx].0)
-                        .ok()
-                        .map(|m| m.body);
-                    match body {
-                        Some(body) => {
-                            stats.retrieved.fetch_add(1, Ordering::Relaxed);
-                            // Coalesce the whole reply into one write: a
-                            // per-line write pattern stalls on Nagle and
-                            // turns retrieval latency into dead air.
-                            let mut wire = format!("+OK {} octets\r\n", body.len()).into_bytes();
-                            // Byte-stuff lines starting with '.'.
-                            for l in body.split(|&b| b == b'\n') {
-                                let l = l.strip_suffix(b"\r").unwrap_or(l);
-                                if l.first() == Some(&b'.') {
-                                    wire.push(b'.');
+                "LIST" if st.authed.is_some() => {
+                    writeln!(out, "+OK scan listing follows\r")?;
+                    for (idx, (_, size)) in live(&st) {
+                        writeln!(out, "{} {}\r", idx + 1, size)?;
+                    }
+                    writeln!(out, ".\r")?;
+                }
+                "RETR" if st.authed.is_some() => {
+                    match (st.authed.as_deref(), parse_index(arg, &st)) {
+                        (Some(user), Some(idx)) => {
+                            // One positioned read under one short shard hold — not a
+                            // whole-mailbox scan per retrieval.
+                            let body = store
+                                .read_mail(user, st.listing[idx].0)
+                                .ok()
+                                .map(|m| m.body);
+                            match body {
+                                Some(body) => {
+                                    stats.retrieved.fetch_add(1, Ordering::Relaxed);
+                                    // Coalesce the whole reply into one write: a
+                                    // per-line write pattern stalls on Nagle and
+                                    // turns retrieval latency into dead air.
+                                    let mut wire =
+                                        format!("+OK {} octets\r\n", body.len()).into_bytes();
+                                    // Byte-stuff lines starting with '.'.
+                                    for l in body.split(|&b| b == b'\n') {
+                                        let l = l.strip_suffix(b"\r").unwrap_or(l);
+                                        if l.first() == Some(&b'.') {
+                                            wire.push(b'.');
+                                        }
+                                        wire.extend_from_slice(l);
+                                        wire.extend_from_slice(b"\r\n");
+                                    }
+                                    wire.extend_from_slice(b".\r\n");
+                                    out.write_all(&wire)?;
                                 }
-                                wire.extend_from_slice(l);
-                                wire.extend_from_slice(b"\r\n");
+                                None => writeln!(out, "-ERR no such message\r")?,
                             }
-                            wire.extend_from_slice(b".\r\n");
-                            out.write_all(&wire)?;
                         }
-                        None => writeln!(out, "-ERR no such message\r")?,
+                        _ => writeln!(out, "-ERR no such message\r")?,
                     }
                 }
-                _ => writeln!(out, "-ERR no such message\r")?,
-            },
-            "DELE" if st.authed.is_some() => match parse_index(arg, &st) {
-                Some(idx) => {
-                    st.marked.insert(idx);
-                    writeln!(out, "+OK marked\r")?;
+                "DELE" if st.authed.is_some() => match parse_index(arg, &st) {
+                    Some(idx) => {
+                        st.marked.insert(idx);
+                        writeln!(out, "+OK marked\r")?;
+                    }
+                    None => writeln!(out, "-ERR no such message\r")?,
+                },
+                "RSET" if st.authed.is_some() => {
+                    st.marked.clear();
+                    writeln!(out, "+OK\r")?;
                 }
-                None => writeln!(out, "-ERR no such message\r")?,
-            },
-            "RSET" if st.authed.is_some() => {
-                st.marked.clear();
-                writeln!(out, "+OK\r")?;
+                "NOOP" => writeln!(out, "+OK\r")?,
+                "QUIT" => {
+                    if let Some(user) = &st.authed {
+                        for &idx in &st.marked {
+                            if store.delete(user, st.listing[idx].0).is_ok() {
+                                stats.deleted.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    writeln!(out, "+OK bye\r")?;
+                    return Ok(());
+                }
+                _ => writeln!(out, "-ERR unsupported\r")?,
             }
-            "NOOP" => writeln!(out, "+OK\r")?,
-            "QUIT" => {
-                if let Some(user) = &st.authed {
-                    for &idx in &st.marked {
-                        if store.delete(user, st.listing[idx].0).is_ok() {
-                            stats.deleted.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-                writeln!(out, "+OK bye\r")?;
+        }
+        // Wait for bytes, hangup, or the stop latch — whichever comes
+        // first within the idle budget.
+        match rawpoll::poll2(out.as_raw_fd(), false, stop_pipe.read_fd(), idle_ms) {
+            // Server stopping: cut the session (nothing acked is at risk;
+            // deletions only apply at QUIT).
+            Ok(r) if r.b_ready => return Ok(()),
+            Ok(r) if r.a_ready || r.a_hangup => match out.read(&mut tmp) {
+                Ok(0) => return Ok(()),
+                Ok(n) => lines.push(&tmp[..n]),
+                // Spurious readiness: wait again.
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                Err(e) => return Err(e),
+            },
+            // Idle past the read timeout: evict the silent peer.
+            Ok(_) => {
+                stats.idle_evictions.fetch_add(1, Ordering::Relaxed);
                 return Ok(());
             }
-            _ => writeln!(out, "-ERR unsupported\r")?,
+            Err(e) => return Err(e),
         }
     }
 }

@@ -1,0 +1,614 @@
+//! The master's pre-trust event loop, generic over transport and clock.
+//!
+//! [`run`] is the §5 "one cheap thread carries every untrusted
+//! connection" loop, rebuilt around readiness notification: it sleeps in
+//! [`Reactor::wait`] until a socket is readable or a
+//! [`TimerWheel`] deadline (per-connection idle and whole-session
+//! budgets) is due, instead of scanning every connection on a fixed
+//! cadence. The loop body is exactly the old master semantics —
+//! admission control, DNSBL fire-and-forget, pipelined-burst reply
+//! coalescing, fork-after-trust delegation — but the *only* blocking
+//! call left is the reactor wait (the xtask blocking pass enforces
+//! this; DESIGN.md §15).
+//!
+//! Everything the loop touches is injected: the [`Acceptor`]/[`Conn`]
+//! transport pair (real `TcpListener`/`TcpStream`, or the scripted
+//! doubles in [`crate::reactor::sim`]), the [`Reactor`], the metrics
+//! registry (whose clock is the loop's only time source), and the
+//! trusted-connection sink. `LiveServer` instantiates it with the OS
+//! types; the deterministic tests instantiate it with the sim types and
+//! replay byte-identical schedules with zero real sockets or sleeps.
+
+use crate::linebuf::{LineBuffer, LineOverflow};
+use crate::live::{LiveStats, VerbCounters};
+use crate::pool::BufferPool;
+use crate::reactor::wheel::TimerWheel;
+use crate::reactor::{Pollable, Reactor};
+use crossbeam::channel::Sender;
+use spamaware_metrics::{Counter, Gauge, Registry, SpanHandle};
+use spamaware_netaddr::Ipv4;
+use spamaware_smtp::{
+    Command, MailAddr, Reply, ServerSession, SessionConfig, SessionOutcome, SessionPhase,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The reactor token reserved for the acceptor; connection tokens start
+/// above it.
+pub const ACCEPT_TOKEN: u64 = 0;
+
+/// A connection the engine can drive without blocking.
+pub trait Conn: Pollable {
+    /// One non-blocking read: `Ok(0)` is peer EOF, `WouldBlock` means the
+    /// socket is dry (the reactor will say when to try again).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors close the connection.
+    fn read_ready(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Writes a (small, coalesced) reply burst.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors close the connection.
+    fn write_all_bytes(&mut self, buf: &[u8]) -> io::Result<()>;
+}
+
+/// A listening socket the engine can drain without blocking.
+pub trait Acceptor: Pollable {
+    /// The connection type this acceptor produces.
+    type Conn: Conn;
+
+    /// Accepts one pending connection; `Ok(None)` means none is pending.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors stop the accept burst (the loop keeps
+    /// serving existing connections).
+    fn try_accept(&mut self) -> io::Result<Option<(Self::Conn, SocketAddr)>>;
+}
+
+impl Conn for TcpStream {
+    fn read_ready(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        Read::read(self, buf)
+    }
+
+    fn write_all_bytes(&mut self, buf: &[u8]) -> io::Result<()> {
+        Write::write_all(self, buf)
+    }
+}
+
+impl Acceptor for TcpListener {
+    type Conn = TcpStream;
+
+    fn try_accept(&mut self) -> io::Result<Option<(TcpStream, SocketAddr)>> {
+        match self.accept() {
+            Ok((stream, peer)) => {
+                let _ = stream.set_nonblocking(true);
+                // Replies are coalesced into one write per pipelined
+                // burst, so Nagle only adds delayed-ACK stalls between
+                // our small writes and the client's next burst.
+                let _ = stream.set_nodelay(true);
+                Ok(Some((stream, peer)))
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// A connection that earned trust (valid `RCPT TO`), ready for worker
+/// hand-off with its session state and any already-buffered bytes.
+pub struct Trusted<C> {
+    /// The socket (still registered nowhere — the engine deregistered it
+    /// before handing it over).
+    pub conn: C,
+    /// SMTP session state up to and including the trusting `RCPT`.
+    pub session: ServerSession,
+    /// Bytes read past the last parsed line (a pipelining client's early
+    /// `DATA`), with their pooled allocation.
+    pub leftover: Vec<u8>,
+    /// Client address.
+    pub peer: Ipv4,
+    /// Registry-clock instant the connection was accepted; deadlines
+    /// downstream keep charging against it.
+    pub accepted_ns: u64,
+}
+
+/// Everything [`run`] needs beyond the transport, reactor, and sink.
+pub struct EngineCtx {
+    /// Hard-stop flag; the loop exits at the next wakeup.
+    pub stop: Arc<AtomicBool>,
+    /// Graceful-drain flag; pre-trust connections are evicted and new
+    /// arrivals shed while set.
+    pub draining: Arc<AtomicBool>,
+    /// Lifecycle counters (`live.*`).
+    pub stats: Arc<LiveStats>,
+    /// Valid mailbox local parts, for `RCPT` validation.
+    pub mailboxes: Arc<HashSet<String>>,
+    /// Hostname announced in the greeting.
+    pub hostname: Arc<str>,
+    /// Fire-and-forget hand-off to the DNSBL agent thread, if one runs.
+    pub dnsbl_tx: Option<Sender<Ipv4>>,
+    /// Idle budget for a pre-trust connection.
+    pub pretrust_idle_timeout: Duration,
+    /// Whole-session wall-clock budget, charged from accept.
+    pub session_deadline: Duration,
+    /// Total in-flight connection cap.
+    pub max_connections: usize,
+    /// Pre-trust connections one client IP may hold.
+    pub max_pretrust_per_ip: usize,
+    /// Metrics registry; its clock is the loop's only time source.
+    pub registry: Arc<Registry>,
+    /// Pool the per-connection line buffers cycle through.
+    pub line_pool: Arc<BufferPool>,
+    /// In-flight connection gauge (`live.inflight`).
+    pub inflight: Arc<Gauge>,
+}
+
+/// One pre-trust connection's loop state.
+struct Pre<C> {
+    conn: C,
+    session: ServerSession,
+    lines: LineBuffer,
+    peer: Ipv4,
+    /// Registry-clock accept instant, for the `master.pretrust_ns` span
+    /// and the session deadline.
+    accepted_ns: u64,
+    last_activity_ns: u64,
+}
+
+/// Pre-resolved instrument handles for the loop.
+struct EngineMetrics {
+    pretrust_ns: SpanHandle,
+    agent_dropped: Arc<Counter>,
+    verbs: VerbCounters,
+    /// Reactor wait returns (`master.wakeups`).
+    wakeups: Arc<Counter>,
+    /// Readiness events delivered (`master.io_events`).
+    io_events: Arc<Counter>,
+    /// Timer-wheel expirations processed (`master.timers_fired`).
+    timers_fired: Arc<Counter>,
+}
+
+fn write_reply<C: Conn>(conn: &mut C, reply: &Reply) -> io::Result<()> {
+    conn.write_all_bytes(reply.to_wire().as_bytes())
+}
+
+/// `421`s and drops a connection the admission policy refused. Cheap by
+/// design: one small write, no session, no DNSBL — shedding under
+/// overload must cost microseconds, not the work it is shedding.
+fn shed_conn<C: Conn>(mut conn: C, counter: &Counter) {
+    counter.inc();
+    let _ = write_reply(&mut conn, &Reply::service_not_available());
+}
+
+/// Drops one pre-trust connection's per-IP admission slot.
+fn release_ip(per_ip: &mut HashMap<Ipv4, usize>, peer: Ipv4) {
+    if let Some(n) = per_ip.get_mut(&peer) {
+        *n = n.saturating_sub(1);
+        if *n == 0 {
+            per_ip.remove(&peer);
+        }
+    }
+}
+
+/// Unhooks a connection from the reactor, the timer wheel, and the
+/// per-IP ledger, and closes out its pre-trust span. The caller decides
+/// what happens to the socket, line buffer, and in-flight gauge (they
+/// differ between eviction and trusted hand-off).
+fn detach<C: Conn, R: Reactor>(
+    token: u64,
+    pre: Pre<C>,
+    reactor: &mut R,
+    wheel: &mut TimerWheel,
+    per_ip: &mut HashMap<Ipv4, usize>,
+    span: &SpanHandle,
+) -> Pre<C> {
+    let _ = reactor.deregister(pre.conn.poll_id());
+    wheel.cancel(token << 1);
+    wheel.cancel((token << 1) | 1);
+    span.record_since(pre.accepted_ns);
+    release_ip(per_ip, pre.peer);
+    pre
+}
+
+enum PumpResult {
+    Idle,
+    Progress,
+    Close,
+    Overflow,
+    Trusted,
+}
+
+/// Writes accumulated reply bytes as one socket write (the coalesced
+/// answer to a pipelined burst); no-op for an empty buffer.
+fn flush_replies<C: Conn>(conn: &mut C, out: &[u8]) -> io::Result<()> {
+    if out.is_empty() {
+        Ok(())
+    } else {
+        conn.write_all_bytes(out)
+    }
+}
+
+/// One readiness-driven pump: a single read, then every complete line it
+/// completed, replies coalesced into one write.
+fn pump<C: Conn>(
+    pre: &mut Pre<C>,
+    exists: &dyn Fn(&MailAddr) -> bool,
+    verbs: &VerbCounters,
+    out: &mut Vec<u8>,
+) -> PumpResult {
+    let mut tmp = [0u8; 1024];
+    let mut result = PumpResult::Idle;
+    out.clear();
+    match pre.conn.read_ready(&mut tmp) {
+        Ok(0) => return PumpResult::Close,
+        Ok(n) => {
+            pre.lines.push(&tmp[..n]);
+            result = PumpResult::Progress;
+        }
+        Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+        Err(_) => return PumpResult::Close,
+    }
+    loop {
+        match pre.lines.pop_line() {
+            Ok(Some(line)) => {
+                let text = String::from_utf8_lossy(&line).into_owned();
+                let reply = match Command::parse(&text) {
+                    Ok(cmd) => {
+                        verbs.count(&cmd);
+                        pre.session.handle(cmd, exists)
+                    }
+                    Err(_) => {
+                        verbs.count_unknown();
+                        Reply::bad_argument()
+                    }
+                };
+                // Replies accumulate; the whole burst is flushed at once
+                // when the connection changes state or input runs dry.
+                reply.write_wire(out);
+                if pre.session.phase() == SessionPhase::Closed {
+                    let _ = flush_replies(&mut pre.conn, out);
+                    return PumpResult::Close;
+                }
+                if pre.session.has_valid_recipient() {
+                    if flush_replies(&mut pre.conn, out).is_err() {
+                        return PumpResult::Close;
+                    }
+                    return PumpResult::Trusted;
+                }
+                result = PumpResult::Progress;
+            }
+            Ok(None) => break,
+            Err(LineOverflow) => {
+                Reply::syntax_error().write_wire(out);
+                let _ = flush_replies(&mut pre.conn, out);
+                return PumpResult::Overflow;
+            }
+        }
+    }
+    if flush_replies(&mut pre.conn, out).is_err() {
+        return PumpResult::Close;
+    }
+    result
+}
+
+/// What a fired timer asks the loop to do, resolved while the connection
+/// map is only borrowed shared.
+enum TimerAction {
+    Gone,
+    EvictIdle,
+    EvictSession,
+    Rearm(u64),
+}
+
+/// Drives the pre-trust event loop until `ctx.stop` is set.
+///
+/// `sink` receives each trusted connection; handing it back (`Some`)
+/// means every worker queue was full, and the engine sheds it with `421`
+/// (`live.shed_worker_busy`) instead of blocking.
+pub fn run_pretrust<A, R, S>(acceptor: &mut A, reactor: &mut R, ctx: &EngineCtx, sink: &mut S)
+where
+    A: Acceptor,
+    R: Reactor,
+    S: FnMut(Trusted<A::Conn>) -> Option<Trusted<A::Conn>>,
+{
+    let mm = EngineMetrics {
+        pretrust_ns: ctx.registry.span("master.pretrust_ns"),
+        agent_dropped: ctx.registry.counter("dnsbl.agent_dropped"),
+        verbs: VerbCounters::register(&ctx.registry),
+        wakeups: ctx.registry.counter("master.wakeups"),
+        io_events: ctx.registry.counter("master.io_events"),
+        timers_fired: ctx.registry.counter("master.timers_fired"),
+    };
+    let stats = &ctx.stats;
+    let exists = |a: &MailAddr| ctx.mailboxes.contains(a.local_part());
+    let inflight_cap = i64::try_from(ctx.max_connections).unwrap_or(i64::MAX);
+    let idle_ns = duration_ns(ctx.pretrust_idle_timeout);
+    let session_ns = duration_ns(ctx.session_deadline);
+    let mut wheel = TimerWheel::new(ctx.registry.now_nanos());
+    let mut conns: BTreeMap<u64, Pre<A::Conn>> = BTreeMap::new();
+    let mut per_ip: HashMap<Ipv4, usize> = HashMap::new();
+    let mut next_token: u64 = ACCEPT_TOKEN + 1;
+    let mut ready: Vec<u64> = Vec::new();
+    let mut fired: Vec<(u64, u64)> = Vec::new();
+    // Reply bytes for one pumped burst, written to the socket in one call.
+    let mut out: Vec<u8> = Vec::new();
+    if reactor.register(acceptor.poll_id(), ACCEPT_TOKEN).is_err() {
+        // A master that cannot watch its own listener cannot serve.
+        return;
+    }
+    while !ctx.stop.load(Ordering::SeqCst) {
+        let now = ctx.registry.now_nanos();
+        let timeout_ns = wheel.next_deadline().map(|d| d.saturating_sub(now));
+        ready.clear();
+        // The one sanctioned blocking call on the master thread: sleep
+        // until readiness, a timer deadline, or a waker.
+        if reactor.wait(timeout_ns, &mut ready).is_err() {
+            return;
+        }
+        mm.wakeups.inc();
+        if !ready.is_empty() {
+            mm.io_events.add(ready.len() as u64);
+        }
+        if ctx.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let draining = ctx.draining.load(Ordering::SeqCst);
+        if draining && !conns.is_empty() {
+            // Pre-trust connections hold no acked mail; evict them all so
+            // the drain converges regardless of client behavior.
+            let evicted: Vec<u64> = conns.keys().copied().collect();
+            for token in evicted {
+                if let Some(pre) = conns.remove(&token) {
+                    let mut pre = detach(
+                        token,
+                        pre,
+                        reactor,
+                        &mut wheel,
+                        &mut per_ip,
+                        &mm.pretrust_ns,
+                    );
+                    let _ = write_reply(&mut pre.conn, &Reply::service_not_available());
+                    ctx.line_pool.put(pre.lines.into_remaining());
+                    ctx.inflight.dec();
+                    stats.shed_draining.inc();
+                    stats.unfinished.inc();
+                }
+            }
+        }
+        for &token in &ready {
+            if token == ACCEPT_TOKEN {
+                // Accept everything pending.
+                loop {
+                    let (conn, peer_addr) = match acceptor.try_accept() {
+                        Ok(Some(pair)) => pair,
+                        Ok(None) | Err(_) => break,
+                    };
+                    stats.accepted.inc();
+                    let peer_ip = match peer_addr.ip() {
+                        std::net::IpAddr::V4(v4) => Ipv4::from(v4),
+                        std::net::IpAddr::V6(_) => {
+                            // The DNSBL cache and trust machinery are
+                            // IPv4-only; refuse rather than impersonate a
+                            // loopback peer.
+                            stats.rejected_ipv6.inc();
+                            let mut conn = conn;
+                            let _ = write_reply(&mut conn, &Reply::ipv6_unsupported());
+                            continue;
+                        }
+                    };
+                    // Admission control, cheapest checks first and all of
+                    // them *before* the DNSBL query: a shed connection
+                    // must not be able to spend our lookup budget.
+                    if draining {
+                        shed_conn(conn, &stats.shed_draining);
+                        continue;
+                    }
+                    if ctx.inflight.get() >= inflight_cap {
+                        shed_conn(conn, &stats.shed_connections);
+                        continue;
+                    }
+                    let held = per_ip.get(&peer_ip).copied().unwrap_or(0);
+                    if held >= ctx.max_pretrust_per_ip {
+                        shed_conn(conn, &stats.shed_per_ip);
+                        continue;
+                    }
+                    if let Some(tx) = &ctx.dnsbl_tx {
+                        // Fire-and-forget hand-off to the DNSBL agent
+                        // thread: the verdict is record-only (§9), so the
+                        // master never waits for it. A full queue drops
+                        // the *lookup*, not the client — under overload
+                        // we lose a statistic, never mail service.
+                        if tx.try_send(peer_ip).is_err() {
+                            mm.agent_dropped.inc();
+                        }
+                    }
+                    let session = ServerSession::new(SessionConfig {
+                        hostname: Arc::clone(&ctx.hostname),
+                        ..SessionConfig::default()
+                    });
+                    let mut conn = conn;
+                    let _ = write_reply(&mut conn, &session.greeting());
+                    let token = next_token;
+                    next_token += 1;
+                    if reactor.register(conn.poll_id(), token).is_err() {
+                        // A connection the reactor cannot watch would sit
+                        // unserved forever; refuse it instead.
+                        stats.sockopt_errors.inc();
+                        let _ = write_reply(&mut conn, &Reply::service_not_available());
+                        continue;
+                    }
+                    let accepted_ns = mm.pretrust_ns.now();
+                    ctx.inflight.inc();
+                    *per_ip.entry(peer_ip).or_insert(0) += 1;
+                    wheel.schedule(token << 1, accepted_ns.saturating_add(idle_ns));
+                    wheel.schedule((token << 1) | 1, accepted_ns.saturating_add(session_ns));
+                    conns.insert(
+                        token,
+                        Pre {
+                            conn,
+                            session,
+                            lines: LineBuffer::from_remaining(ctx.line_pool.take_vec()),
+                            peer: peer_ip,
+                            accepted_ns,
+                            last_activity_ns: accepted_ns,
+                        },
+                    );
+                }
+                continue;
+            }
+            let Some(pre) = conns.get_mut(&token) else {
+                // Evicted earlier this wakeup (e.g. by the drain sweep).
+                continue;
+            };
+            match pump(pre, &exists, &mm.verbs, &mut out) {
+                PumpResult::Idle => {}
+                PumpResult::Progress => {
+                    let now = ctx.registry.now_nanos();
+                    pre.last_activity_ns = now;
+                    wheel.schedule(token << 1, now.saturating_add(idle_ns));
+                }
+                PumpResult::Close => {
+                    if let Some(pre) = conns.remove(&token) {
+                        let pre = detach(
+                            token,
+                            pre,
+                            reactor,
+                            &mut wheel,
+                            &mut per_ip,
+                            &mm.pretrust_ns,
+                        );
+                        ctx.line_pool.put(pre.lines.into_remaining());
+                        ctx.inflight.dec();
+                        match pre.session.outcome() {
+                            SessionOutcome::Bounce => stats.bounces.inc(),
+                            _ => stats.unfinished.inc(),
+                        }
+                    }
+                }
+                PumpResult::Overflow => {
+                    if let Some(pre) = conns.remove(&token) {
+                        let pre = detach(
+                            token,
+                            pre,
+                            reactor,
+                            &mut wheel,
+                            &mut per_ip,
+                            &mm.pretrust_ns,
+                        );
+                        ctx.line_pool.put(pre.lines.into_remaining());
+                        ctx.inflight.dec();
+                        stats.overflows.inc();
+                        stats.unfinished.inc();
+                    }
+                }
+                PumpResult::Trusted => {
+                    if let Some(pre) = conns.remove(&token) {
+                        let pre = detach(
+                            token,
+                            pre,
+                            reactor,
+                            &mut wheel,
+                            &mut per_ip,
+                            &mm.pretrust_ns,
+                        );
+                        let task = Trusted {
+                            conn: pre.conn,
+                            session: pre.session,
+                            leftover: pre.lines.into_remaining(),
+                            peer: pre.peer,
+                            accepted_ns: pre.accepted_ns,
+                        };
+                        if let Some(task) = sink(task) {
+                            // Every queue full: tempfail instead of
+                            // blocking. A blocking send here stalls the
+                            // master — and with it every pre-trust dialog
+                            // and the accept loop — behind the slowest
+                            // worker; `421` sheds exactly one client
+                            // instead.
+                            ctx.line_pool.put(task.leftover);
+                            ctx.inflight.dec();
+                            shed_conn(task.conn, &stats.shed_worker_busy);
+                            stats.unfinished.inc();
+                        }
+                    }
+                }
+            }
+        }
+        let now = ctx.registry.now_nanos();
+        fired.clear();
+        wheel.advance(now, &mut fired);
+        if !fired.is_empty() {
+            mm.timers_fired.add(fired.len() as u64);
+        }
+        for &(_, id) in &fired {
+            let token = id >> 1;
+            let action = match conns.get(&token) {
+                None => TimerAction::Gone,
+                Some(_) if id & 1 == 1 => TimerAction::EvictSession,
+                Some(pre) => {
+                    if now.saturating_sub(pre.last_activity_ns) >= idle_ns {
+                        TimerAction::EvictIdle
+                    } else {
+                        // Activity raced the expiry; re-arm from the last
+                        // read (the wheel's reschedule makes this rare).
+                        TimerAction::Rearm(pre.last_activity_ns.saturating_add(idle_ns))
+                    }
+                }
+            };
+            match action {
+                TimerAction::Gone => {}
+                TimerAction::Rearm(deadline) => wheel.schedule(id, deadline),
+                TimerAction::EvictIdle => {
+                    if let Some(pre) = conns.remove(&token) {
+                        // Idle slow client: drop it without touching a
+                        // worker (counts as an unfinished transaction).
+                        let pre = detach(
+                            token,
+                            pre,
+                            reactor,
+                            &mut wheel,
+                            &mut per_ip,
+                            &mm.pretrust_ns,
+                        );
+                        ctx.line_pool.put(pre.lines.into_remaining());
+                        ctx.inflight.dec();
+                        stats.idle_evictions.inc();
+                        stats.unfinished.inc();
+                    }
+                }
+                TimerAction::EvictSession => {
+                    if let Some(pre) = conns.remove(&token) {
+                        // The whole-session budget ran out mid-dialog:
+                        // evict with `421` wherever the client is.
+                        let mut pre = detach(
+                            token,
+                            pre,
+                            reactor,
+                            &mut wheel,
+                            &mut per_ip,
+                            &mm.pretrust_ns,
+                        );
+                        let _ = write_reply(&mut pre.conn, &Reply::service_not_available());
+                        ctx.line_pool.put(pre.lines.into_remaining());
+                        ctx.inflight.dec();
+                        stats.session_deadline_evictions.inc();
+                        stats.unfinished.inc();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Saturating [`Duration`] → nanoseconds.
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}

@@ -1,0 +1,78 @@
+//! Readiness notification behind a seam the tests can script.
+//!
+//! The master thread must never block on any one connection (§5 of the
+//! paper), and after this module it no longer polls for the lack of one
+//! either: it sleeps in [`Reactor::wait`] until the OS reports a socket
+//! readable or the next [`wheel::TimerWheel`] deadline is due. Two
+//! implementations share the trait:
+//!
+//! * [`os::OsReactor`] — epoll via the vendored `rawpoll` bindings, plus
+//!   a self-pipe waker so drain/shutdown interrupt an idle wait;
+//! * [`sim::SimReactor`] — scripted readiness events on a
+//!   [`spamaware_metrics::ManualClock`], so the whole pre-trust event
+//!   loop (timeouts, drain, shed, slowloris eviction) runs
+//!   byte-identically in unit tests with zero real sockets or sleeps.
+//!
+//! The trait keys registrations on an opaque `poll_id` ([`Pollable`])
+//! rather than a raw fd, which is what lets simulated connections stand
+//! in for sockets without a fake-fd table.
+
+pub mod os;
+pub mod sim;
+pub mod wheel;
+
+use std::io;
+
+/// Something a [`Reactor`] can watch for readability.
+pub trait Pollable {
+    /// Stable identity registrations are keyed on: the raw fd for real
+    /// sockets, a script-assigned id for simulated ones.
+    fn poll_id(&self) -> u64;
+}
+
+impl Pollable for std::net::TcpStream {
+    fn poll_id(&self) -> u64 {
+        use std::os::fd::AsRawFd;
+        self.as_raw_fd() as u64
+    }
+}
+
+impl Pollable for std::net::TcpListener {
+    fn poll_id(&self) -> u64 {
+        use std::os::fd::AsRawFd;
+        self.as_raw_fd() as u64
+    }
+}
+
+/// Readiness notification: level-triggered readability plus a bounded
+/// wait. The reactor wait is the single sanctioned blocking call on the
+/// master thread (DESIGN.md §15); the xtask blocking pass whitelists it
+/// by name and keeps everything else banned.
+pub trait Reactor {
+    /// Starts watching `poll_id` for readability under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the OS rejects the registration (e.g. `epoll_ctl`); the
+    /// caller must close the connection rather than serve it unwatched.
+    fn register(&mut self, poll_id: u64, token: u64) -> io::Result<()>;
+
+    /// Stops watching `poll_id`. Must be called before a socket is handed
+    /// to another thread, or the master keeps seeing its readiness.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the OS rejects the removal; safe to ignore for a socket
+    /// that is about to be closed.
+    fn deregister(&mut self, poll_id: u64) -> io::Result<()>;
+
+    /// Blocks until at least one watched id is readable, the timeout
+    /// elapses, or a waker fires; appends the ready tokens to `out`
+    /// (possibly none — timer expiry and wakes return empty). `None`
+    /// means wait indefinitely.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the underlying readiness syscall does.
+    fn wait(&mut self, timeout_ns: Option<u64>, out: &mut Vec<u64>) -> io::Result<()>;
+}

@@ -1,0 +1,368 @@
+//! Scripted readiness on virtual time: the deterministic [`Reactor`].
+//!
+//! A [`SimReactor`] replays a pre-written schedule of network events —
+//! connects, byte deliveries, peer EOFs, drain/stop control flips —
+//! against a [`ManualClock`]. [`Reactor::wait`] never sleeps: it either
+//! reports readiness that is already pending (level-triggered, like
+//! epoll), or jumps the clock forward to the next scripted event or the
+//! caller's timer deadline, whichever is sooner. Driven this way, the
+//! pre-trust engine in [`crate::pretrust`] runs its full behavior —
+//! timeouts, drain, shed, slowloris eviction — byte-identically on every
+//! run, with zero real sockets or sleeps.
+//!
+//! [`SimAcceptor`] and [`SimConn`] are the transport doubles; all three
+//! share one scripted-network state, so a test builds a reactor, takes
+//! its acceptor, runs the engine, and then inspects per-connection
+//! output bytes, open/closed state, and the reactor's event log.
+//!
+//! This file is in the xtask determinism scope: no wall-clock reads and
+//! no hash-ordered iteration are allowed here.
+
+use super::{Pollable, Reactor};
+use crate::pretrust::{Acceptor, Conn};
+use parking_lot::Mutex;
+use spamaware_metrics::{Clock, ManualClock};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, ErrorKind};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The `poll_id` of the simulated acceptor (connection ids are small
+/// integers chosen by the script, so the top of the space is free).
+pub const SIM_ACCEPTOR_ID: u64 = u64::MAX;
+
+/// One scripted network event.
+#[derive(Debug, Clone)]
+pub enum SimEvent {
+    /// A client finishes its TCP handshake.
+    Connect {
+        /// Script-chosen connection id (the `poll_id` of its [`SimConn`]).
+        conn: u64,
+        /// The peer address the acceptor reports.
+        peer: SocketAddr,
+    },
+    /// Bytes arrive from the client.
+    Data {
+        /// Target connection id.
+        conn: u64,
+        /// Payload appended to the connection's input.
+        bytes: Vec<u8>,
+    },
+    /// The client half-closes; reads drain the buffer then return EOF.
+    Eof {
+        /// Target connection id.
+        conn: u64,
+    },
+    /// The operator requests a graceful drain.
+    Drain,
+    /// The operator stops the server; the engine exits at this wakeup.
+    Stop,
+}
+
+/// A simulated client connection's kernel-side state.
+#[derive(Debug, Default)]
+struct ConnState {
+    input: VecDeque<u8>,
+    eof: bool,
+    output: Vec<u8>,
+    open: bool,
+}
+
+/// The scripted network: pending handshakes plus per-connection buffers.
+#[derive(Debug, Default)]
+struct NetState {
+    pending: VecDeque<(u64, SocketAddr)>,
+    conns: BTreeMap<u64, ConnState>,
+}
+
+/// The engine-side handle to one scripted connection.
+#[derive(Debug)]
+pub struct SimConn {
+    id: u64,
+    net: Arc<Mutex<NetState>>,
+}
+
+impl Pollable for SimConn {
+    fn poll_id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Conn for SimConn {
+    fn read_ready(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut net = self.net.lock();
+        let Some(st) = net.conns.get_mut(&self.id) else {
+            return Ok(0);
+        };
+        if st.input.is_empty() {
+            if st.eof {
+                return Ok(0);
+            }
+            return Err(io::Error::from(ErrorKind::WouldBlock));
+        }
+        let n = st.input.len().min(buf.len());
+        for slot in buf.iter_mut().take(n) {
+            // The VecDeque is non-empty for each of the first `n` pops.
+            *slot = st.input.pop_front().unwrap_or(0);
+        }
+        Ok(n)
+    }
+
+    fn write_all_bytes(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut net = self.net.lock();
+        if let Some(st) = net.conns.get_mut(&self.id) {
+            st.output.extend_from_slice(buf);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SimConn {
+    fn drop(&mut self) {
+        // The engine closing the socket, observable to the test as
+        // `!conn_open(id)`.
+        let mut net = self.net.lock();
+        if let Some(st) = net.conns.get_mut(&self.id) {
+            st.open = false;
+        }
+    }
+}
+
+/// The engine-side handle to the scripted listening socket.
+#[derive(Debug)]
+pub struct SimAcceptor {
+    net: Arc<Mutex<NetState>>,
+}
+
+impl Pollable for SimAcceptor {
+    fn poll_id(&self) -> u64 {
+        SIM_ACCEPTOR_ID
+    }
+}
+
+impl Acceptor for SimAcceptor {
+    type Conn = SimConn;
+
+    fn try_accept(&mut self) -> io::Result<Option<(SimConn, SocketAddr)>> {
+        let mut net = self.net.lock();
+        let Some((id, peer)) = net.pending.pop_front() else {
+            return Ok(None);
+        };
+        if let Some(st) = net.conns.get_mut(&id) {
+            st.open = true;
+        }
+        Ok(Some((
+            SimConn {
+                id,
+                net: Arc::clone(&self.net),
+            },
+            peer,
+        )))
+    }
+}
+
+/// Deterministic reactor replaying a [`SimEvent`] schedule on virtual
+/// time.
+#[derive(Debug)]
+pub struct SimReactor {
+    clock: ManualClock,
+    /// Remaining script, sorted by time (stable, so same-time events keep
+    /// their authoring order).
+    script: VecDeque<(u64, SimEvent)>,
+    net: Arc<Mutex<NetState>>,
+    registered: BTreeMap<u64, u64>,
+    stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    log: Vec<String>,
+}
+
+impl SimReactor {
+    /// Builds a reactor over `clock` that will replay `script` (sorted by
+    /// event time here; same-time order is preserved) and flip the given
+    /// `stop`/`draining` flags when control events fire. When the script
+    /// runs out while the engine would wait forever, the reactor sets
+    /// `stop` itself so simulations always terminate.
+    pub fn new(
+        clock: &ManualClock,
+        stop: &Arc<AtomicBool>,
+        draining: &Arc<AtomicBool>,
+        mut script: Vec<(u64, SimEvent)>,
+    ) -> SimReactor {
+        script.sort_by_key(|&(at, _)| at);
+        SimReactor {
+            clock: clock.clone(),
+            script: script.into(),
+            net: Arc::new(Mutex::new(NetState::default())),
+            registered: BTreeMap::new(),
+            stop: Arc::clone(stop),
+            draining: Arc::clone(draining),
+            log: Vec::new(),
+        }
+    }
+
+    /// The acceptor double sharing this reactor's scripted network.
+    pub fn acceptor(&self) -> SimAcceptor {
+        SimAcceptor {
+            net: Arc::clone(&self.net),
+        }
+    }
+
+    /// The deterministic event log: one line per delivered event,
+    /// readiness report, and timer wakeup. Two identical runs produce
+    /// byte-identical logs.
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    /// Everything the server wrote to connection `conn` so far.
+    pub fn output(&self, conn: u64) -> Vec<u8> {
+        self.net
+            .lock()
+            .conns
+            .get(&conn)
+            .map(|st| st.output.clone())
+            .unwrap_or_default()
+    }
+
+    /// Whether the engine still holds connection `conn` open (false
+    /// before accept and after the engine dropped it).
+    pub fn conn_open(&self, conn: u64) -> bool {
+        self.net
+            .lock()
+            .conns
+            .get(&conn)
+            .map(|st| st.open)
+            .unwrap_or(false)
+    }
+
+    /// Bytes the client sent that the engine never consumed.
+    pub fn unread_input(&self, conn: u64) -> usize {
+        self.net
+            .lock()
+            .conns
+            .get(&conn)
+            .map(|st| st.input.len())
+            .unwrap_or(0)
+    }
+
+    /// Applies one scripted event to the network/control state.
+    fn apply(&mut self, at: u64, ev: SimEvent) {
+        match ev {
+            SimEvent::Connect { conn, peer } => {
+                {
+                    let mut net = self.net.lock();
+                    net.conns.entry(conn).or_default();
+                    net.pending.push_back((conn, peer));
+                }
+                self.log.push(format!("t={at} connect conn={conn}"));
+            }
+            SimEvent::Data { conn, bytes } => {
+                {
+                    let mut net = self.net.lock();
+                    let st = net.conns.entry(conn).or_default();
+                    st.input.extend(bytes.iter().copied());
+                }
+                self.log
+                    .push(format!("t={at} data conn={conn} len={}", bytes.len()));
+            }
+            SimEvent::Eof { conn } => {
+                {
+                    let mut net = self.net.lock();
+                    net.conns.entry(conn).or_default().eof = true;
+                }
+                self.log.push(format!("t={at} eof conn={conn}"));
+            }
+            SimEvent::Drain => {
+                self.draining.store(true, Ordering::SeqCst);
+                self.log.push(format!("t={at} drain"));
+            }
+            SimEvent::Stop => {
+                self.stop.store(true, Ordering::SeqCst);
+                self.log.push(format!("t={at} stop"));
+            }
+        }
+    }
+
+    /// Ready tokens under level-triggered semantics: the acceptor while a
+    /// handshake is pending, a connection while it has unread input or a
+    /// pending EOF. Order follows registration ids, deterministically.
+    fn collect_ready(&self, out: &mut Vec<u64>) {
+        let net = self.net.lock();
+        for (&poll_id, &token) in &self.registered {
+            if poll_id == SIM_ACCEPTOR_ID {
+                if !net.pending.is_empty() {
+                    out.push(token);
+                }
+            } else if let Some(st) = net.conns.get(&poll_id) {
+                if !st.input.is_empty() || st.eof {
+                    out.push(token);
+                }
+            }
+        }
+    }
+}
+
+impl Reactor for SimReactor {
+    fn register(&mut self, poll_id: u64, token: u64) -> io::Result<()> {
+        self.registered.insert(poll_id, token);
+        self.log
+            .push(format!("watch id={poll_id:#x} token={token}"));
+        Ok(())
+    }
+
+    fn deregister(&mut self, poll_id: u64) -> io::Result<()> {
+        self.registered.remove(&poll_id);
+        self.log.push(format!("unwatch id={poll_id:#x}"));
+        Ok(())
+    }
+
+    fn wait(&mut self, timeout_ns: Option<u64>, out: &mut Vec<u64>) -> io::Result<()> {
+        // Level-triggered: readiness the engine has not yet consumed
+        // returns immediately, without advancing time.
+        self.collect_ready(out);
+        let now = self.clock.now_nanos();
+        if !out.is_empty() {
+            self.log.push(format!("t={now} ready {out:?}"));
+            return Ok(());
+        }
+        let due = timeout_ns.map(|t| now.saturating_add(t));
+        let next_event = self.script.front().map(|&(at, _)| at);
+        match next_event {
+            Some(at) if due.is_none_or(|d| at <= d) => {
+                // Jump to the next scripted instant and deliver every
+                // event at it (a burst arrives atomically, like one
+                // epoll_wait batch).
+                self.clock.set(at.max(now));
+                while let Some(&(t, _)) = self.script.front() {
+                    if t > at {
+                        break;
+                    }
+                    if let Some((t, ev)) = self.script.pop_front() {
+                        self.apply(t, ev);
+                    }
+                }
+                self.collect_ready(out);
+                self.log
+                    .push(format!("t={} ready {out:?}", self.clock.now_nanos()));
+                Ok(())
+            }
+            _ => match due {
+                Some(d) => {
+                    // Nothing scripted before the caller's deadline: this
+                    // wakeup is a timer expiry.
+                    self.clock.set(d.max(now));
+                    self.log.push(format!("t={d} timer"));
+                    Ok(())
+                }
+                None => {
+                    // Script exhausted and the engine would wait forever:
+                    // end the simulation instead of hanging the test.
+                    self.stop.store(true, Ordering::SeqCst);
+                    self.log.push(format!("t={now} script-exhausted"));
+                    Ok(())
+                }
+            },
+        }
+    }
+}

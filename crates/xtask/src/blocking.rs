@@ -7,11 +7,15 @@
 //! 1. **Blocking leaves** are classified by token: `thread::sleep`, UDP
 //!    `send_to`/`recv_from`, blocking-read socket configuration
 //!    (`set_read_timeout`), channel `recv`/`recv_timeout`, no-argument
-//!    `.join()`, and file I/O (`File::open`, `fs::*`, `sync_all`, …).
+//!    `.join()`, readiness waits (`.wait(`, `poll2(`), and file I/O
+//!    (`File::open`, `fs::*`, `sync_all`, …).
 //! 2. **`blocking` (master)**: no blocking leaf of any kind may be
 //!    reachable from `master_loop` along call edges. Edges through a
 //!    `spawn(…)` call site are cut — a spawned closure blocks its own
-//!    thread, not the master.
+//!    thread, not the master. The single exception is the reactor wait
+//!    ([`SANCTIONED_WAITS`]): the §5 master *parks* in exactly one
+//!    readiness wait — that is the design, not a violation — and this
+//!    pass pins where that wait is allowed to live.
 //! 3. **`blocking` (under lock)**: sleep / network / channel / join
 //!    leaves may not execute while any discovered lock class is held
 //!    (from [`crate::locks`]'s held-line map). File I/O under a store
@@ -41,6 +45,17 @@ pub const BLOCKING_SCOPE: &[&str] = &["core", "server", "smtp", "mfs", "dnsbl", 
 /// are the two places a blocking call under a hold becomes a §5 collapse.
 pub const BLOCKING_FILES: &[&str] = &["crates/dnsbl/src/breaker.rs", "crates/mfs/src/sharded.rs"];
 
+/// Readiness waits the master path is *allowed* to park in, as
+/// `(file suffix, line substring)` pairs. The §5 master must block in
+/// exactly one place — the reactor's `epoll_wait` — and these entries pin
+/// that place: the engine's single `reactor.wait(…)` call and the
+/// [`Poller::wait`] leaf it dispatches to. A `.wait(`/`poll2(` anywhere
+/// else on the master path is a regression to ad-hoc blocking.
+pub const SANCTIONED_WAITS: &[(&str, &str)] = &[
+    ("crates/core/src/reactor/os.rs", ".wait("),
+    ("crates/core/src/pretrust.rs", "reactor.wait("),
+];
+
 /// What a blocking leaf does, which decides where it is forbidden.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Kind {
@@ -52,6 +67,9 @@ pub enum Kind {
     Channel,
     /// `.join()` — blocks on a whole thread's lifetime.
     Join,
+    /// Readiness waits (`.wait(`, `poll2(`) — blocking, but sanctioned at
+    /// the [`SANCTIONED_WAITS`] sites where parking is the design.
+    Wait,
     /// File reads (allowed under a store lock, but not in a held loop).
     FileRead,
     /// File writes / metadata (the store's critical sections).
@@ -65,6 +83,7 @@ impl Kind {
             Kind::Net => "network I/O",
             Kind::Channel => "channel recv",
             Kind::Join => "thread join",
+            Kind::Wait => "readiness wait",
             Kind::FileRead => "file read",
             Kind::FileWrite => "file write",
         }
@@ -73,7 +92,10 @@ impl Kind {
     /// Kinds that must not run while a lock is held. File I/O is exempt:
     /// appending under the partition lock is the store's design.
     fn forbidden_under_lock(self) -> bool {
-        matches!(self, Kind::Sleep | Kind::Net | Kind::Channel | Kind::Join)
+        matches!(
+            self,
+            Kind::Sleep | Kind::Net | Kind::Channel | Kind::Join | Kind::Wait
+        )
     }
 }
 
@@ -84,6 +106,7 @@ const NET_TOKENS: &[&str] = &[
     ".set_write_timeout(",
 ];
 const CHANNEL_TOKENS: &[&str] = &[".recv()", ".recv_timeout("];
+const WAIT_TOKENS: &[&str] = &[".wait(", "poll2("];
 const FILE_READ_TOKENS: &[&str] = &[
     "File::open(",
     "fs::read",
@@ -117,6 +140,7 @@ fn classify_line(code: &str) -> Vec<(usize, Kind, &'static str)> {
     };
     push_all(NET_TOKENS, Kind::Net);
     push_all(CHANNEL_TOKENS, Kind::Channel);
+    push_all(WAIT_TOKENS, Kind::Wait);
     push_all(FILE_READ_TOKENS, Kind::FileRead);
     push_all(FILE_WRITE_TOKENS, Kind::FileWrite);
     // `sleep(` with a non-ident char before it (`thread::sleep(`, bare
@@ -198,6 +222,15 @@ pub fn check(ws: &Workspace, locks: &LockAnalysis) -> BlockingAnalysis {
                 continue;
             }
             for (_, kind, tok) in classify_line(&file.lines[li].code) {
+                // The one sanctioned park: the reactor wait, at the
+                // pinned sites only.
+                if kind == Kind::Wait
+                    && SANCTIONED_WAITS.iter().any(|&(suffix, pat)| {
+                        file.path.ends_with(suffix) && file.lines[li].code.contains(pat)
+                    })
+                {
+                    continue;
+                }
                 if waive(info.file, li, "blocking") {
                     continue;
                 }
@@ -599,6 +632,93 @@ fn use_it(b: u8) {}
         let (_, a) = analyze(src);
         assert!(
             a.findings.iter().all(|f| f.rule != "lock-io-loop"),
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn unsanctioned_wait_reachable_from_master_is_found() {
+        let src = "\
+fn master_loop() {
+    helper();
+}
+fn helper() {
+    cond.wait(guard);
+}
+";
+        let (_, a) = analyze(src);
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| f.rule == "blocking" && f.message.contains("readiness wait")),
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn sanctioned_reactor_wait_on_master_path_is_clean() {
+        // Same shape as the real engine: the master parks in
+        // `reactor.wait(…)` inside pretrust.rs — the pinned site.
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/pretrust.rs",
+            "\
+fn master_loop() {
+    run_pretrust();
+}
+fn run_pretrust() {
+    reactor.wait(timeout_ns, &mut ready);
+}
+",
+        )]);
+        let lock = locks::check(&ws);
+        let a = check(&ws, &lock);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn poll2_on_the_master_path_is_found() {
+        // `poll2` is the worker/admin parking primitive; the master must
+        // use the reactor, so even in pretrust.rs it is a violation.
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/pretrust.rs",
+            "\
+fn master_loop() {
+    rawpoll::poll2(a, false, b, None);
+}
+",
+        )]);
+        let lock = locks::check(&ws);
+        let a = check(&ws, &lock);
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| f.rule == "blocking" && f.message.contains("poll2")),
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn wait_under_a_lock_is_found() {
+        let src = "\
+struct S {
+    shared: Mutex<MfsStore<B>>,
+}
+impl S {
+    fn bad(&self) {
+        let g = self.shared.lock();
+        reactor.wait(t, &mut out);
+        g.done();
+    }
+}
+";
+        let (_, a) = analyze(src);
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| f.rule == "blocking" && f.message.contains("readiness wait")),
             "{:?}",
             a.findings
         );

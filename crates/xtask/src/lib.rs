@@ -48,6 +48,11 @@ pub const DETERMINISM_FILES: &[&str] = &[
     // under a ManualClock; pinned here explicitly so the guarantee
     // survives even if the crate-level `dnsbl` scope is ever narrowed.
     "crates/dnsbl/src/breaker.rs",
+    // The timer wheel and the simulated reactor are the replay substrate
+    // for the pre-trust event loop: a wall-clock read or ambient
+    // randomness in either breaks byte-identical SimReactor runs.
+    "crates/core/src/reactor/wheel.rs",
+    "crates/core/src/reactor/sim.rs",
 ];
 /// Crates that must not panic on hostile input. `core` contains the live
 /// TCP servers, which face the most hostile input of all.

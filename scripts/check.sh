@@ -36,15 +36,22 @@
 # where every shed client retries until its mail is acked and the
 # admission cap, breaker fail-open, and zero-acked-loss invariants are
 # asserted end to end (DESIGN.md §13).
+#
+# With --flood, the 10k-connection pre-trust flood runs: two child
+# processes park 10,000 silent real-TCP connections on the master's
+# epoll set while delivery probes assert goodput through the standing
+# flood (DESIGN.md §15). Needs a ~10k fd budget in each child.
 
 set -eu
 
 crash=0
 chaos=0
+flood=0
 for arg in "$@"; do
     case "$arg" in
         --crash) crash=1 ;;
         --chaos) chaos=1 ;;
+        --flood) flood=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -84,6 +91,11 @@ fi
 if [ "$chaos" = 1 ]; then
     echo "==> overload chaos deep sweep"
     cargo test --quiet --release -p integration-tests --test overload_chaos -- --include-ignored
+fi
+
+if [ "$flood" = 1 ]; then
+    echo "==> 10k pre-trust flood"
+    cargo test --quiet --release -p integration-tests --test pretrust_flood -- --include-ignored
 fi
 
 echo "all checks passed"

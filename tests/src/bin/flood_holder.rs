@@ -1,0 +1,67 @@
+//! Child process of the 10k pre-trust flood test (`pretrust_flood.rs`).
+//!
+//! Opens `count` connections to the server, reads each greeting to
+//! confirm admission, prints `HELD <n>` on stdout, then parks every
+//! socket silently until the parent closes stdin. Two of these children
+//! together hold 10k sockets — more than a single process's default fd
+//! budget — while the parent probes delivery goodput through the flood.
+//!
+//! Usage: `flood_holder <addr> <count>`
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Connections opened per burst before their greetings are read; the
+/// read paces the ramp under the listener's backlog.
+const CONNECT_BATCH: usize = 100;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr: SocketAddr = args
+        .next()
+        .expect("usage: flood_holder <addr> <count>")
+        .parse()
+        .expect("listen address");
+    let count: usize = args
+        .next()
+        .expect("usage: flood_holder <addr> <count>")
+        .parse()
+        .expect("connection count");
+
+    let mut held: Vec<TcpStream> = Vec::with_capacity(count);
+    let mut batch: Vec<TcpStream> = Vec::with_capacity(CONNECT_BATCH);
+    for i in 0..count {
+        let stream = TcpStream::connect(addr).expect("holder connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("holder timeout");
+        batch.push(stream);
+        if batch.len() == CONNECT_BATCH || i + 1 == count {
+            for s in &mut batch {
+                read_greeting(s);
+            }
+            held.append(&mut batch);
+        }
+    }
+    println!("HELD {}", held.len());
+    std::io::stdout().flush().expect("holder flush");
+    // Park until the parent closes stdin; dropping `held` on exit closes
+    // every socket at once.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+}
+
+/// Reads through the greeting's `\n`; EOF here means the server shed the
+/// connection instead of admitting it, which fails the flood.
+fn read_greeting(stream: &mut TcpStream) {
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => panic!("greeting EOF (connection shed?)"),
+            Ok(_) if byte[0] == b'\n' => return,
+            Ok(_) => {}
+            Err(e) => panic!("greeting read failed: {e}"),
+        }
+    }
+}

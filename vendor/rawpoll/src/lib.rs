@@ -1,0 +1,404 @@
+//! Minimal Linux readiness-notification bindings.
+//!
+//! The workspace is dependency-free by policy (no `mio`, no `libc` from a
+//! registry), so the readiness reactor's three syscall families are bound
+//! here directly against the C library the Rust standard library already
+//! links: `epoll` for the master's many-connection wait, `poll(2)` for a
+//! worker's two-fd wait (connection + cancellation pipe), and `pipe2` for
+//! the wake/cancel pipes themselves.
+//!
+//! This is the **only** crate in the workspace permitted to contain
+//! `unsafe` (see `Cargo.toml`); every export is a safe wrapper that owns
+//! its file descriptors and retries `EINTR`.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_short, c_void};
+use std::sync::Arc;
+
+// x86_64 is the one Linux ABI where `struct epoll_event` is packed.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: c_int,
+    events: c_short,
+    revents: c_short,
+}
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const O_NONBLOCK: c_int = 0o4000;
+const O_CLOEXEC: c_int = 0o2000000;
+
+const POLLIN: c_short = 0x001;
+const POLLOUT: c_short = 0x004;
+const POLLERR: c_short = 0x008;
+const POLLHUP: c_short = 0x010;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+    fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ready {
+    /// The token the file descriptor was registered under.
+    pub token: u64,
+    /// Readable (or a pending error/EOF, which a read will surface).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Peer hung up (`EPOLLHUP`/`EPOLLRDHUP`/`EPOLLERR`).
+    pub hangup: bool,
+}
+
+/// An epoll instance. Registered descriptors are level-triggered and
+/// watched for readability; the caller keeps the fd open for as long as
+/// it stays registered.
+pub struct Poller {
+    epfd: RawFd,
+    /// Reusable kernel-facing event buffer.
+    buf: Vec<EpollEvent>,
+}
+
+impl Poller {
+    /// Creates an epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 has no pointer arguments.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller {
+            epfd,
+            buf: vec![EpollEvent { events: 0, data: 0 }; 256],
+        })
+    }
+
+    /// Watches `fd` for readability (level-triggered) under `token`.
+    pub fn add(&self, fd: RawFd, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: EPOLLIN | EPOLLRDHUP,
+            data: token,
+        };
+        // SAFETY: `ev` is a valid epoll_event for the duration of the call;
+        // the kernel copies it before returning.
+        let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Stops watching `fd`. Harmless to call for an fd the kernel already
+    /// dropped (closing an fd deregisters it implicitly).
+    pub fn del(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = EpollEvent { events: 0, data: 0 };
+        // SAFETY: the event argument is ignored for EPOLL_CTL_DEL on any
+        // kernel this crate targets, and points at valid memory regardless.
+        let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout_ms`
+    /// elapses (`None` = wait forever), appending events to `out`.
+    /// Retries `EINTR`; returns the number of events appended.
+    pub fn wait(&mut self, timeout_ms: Option<i32>, out: &mut Vec<Ready>) -> io::Result<usize> {
+        let timeout = timeout_ms.unwrap_or(-1);
+        let n = loop {
+            // SAFETY: `buf` is a live, properly-sized allocation for the
+            // duration of the call; the kernel writes at most `len` events.
+            let rc = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    c_int::try_from(self.buf.len()).unwrap_or(c_int::MAX),
+                    timeout,
+                )
+            };
+            if rc >= 0 {
+                break usize::try_from(rc).unwrap_or(0);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for ev in &self.buf[..n] {
+            let events = ev.events;
+            out.push(Ready {
+                token: ev.data,
+                readable: events & EPOLLIN != 0,
+                writable: events & EPOLLOUT != 0,
+                hangup: events & (EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0,
+            });
+        }
+        if n == self.buf.len() {
+            // A full batch hints at more pending: grow for next time.
+            self.buf
+                .resize(self.buf.len() * 2, EpollEvent { events: 0, data: 0 });
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: epfd came from epoll_create1 and is closed exactly once.
+        unsafe { close(self.epfd) };
+    }
+}
+
+#[derive(Debug)]
+struct PipeFds {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl Drop for PipeFds {
+    fn drop(&mut self) {
+        // SAFETY: both fds came from pipe2 and are closed exactly once.
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+/// A nonblocking self-pipe used to wake a [`Poller::wait`] / [`poll2`]
+/// from another thread, or as a level-triggered cancellation flag (wake
+/// once, never drain — every poller sees it readable from then on).
+///
+/// Cloning shares the underlying pipe; the fds close when the last clone
+/// drops.
+#[derive(Debug, Clone)]
+pub struct WakePipe(Arc<PipeFds>);
+
+impl WakePipe {
+    /// Creates the pipe (both ends nonblocking and close-on-exec).
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0 as c_int; 2];
+        // SAFETY: `fds` is a valid 2-element array for pipe2 to fill.
+        let rc = unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakePipe(Arc::new(PipeFds {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })))
+    }
+
+    /// The readable end, for registration with a poller.
+    pub fn read_fd(&self) -> RawFd {
+        self.0.read_fd
+    }
+
+    /// Makes the read end readable. A full pipe means a wake is already
+    /// pending, which is all a waker needs — the error is ignored.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        // SAFETY: writes one byte from a live stack buffer to an fd this
+        // handle keeps open (the Arc guarantees it outlives the call).
+        unsafe { write(self.0.write_fd, (&byte as *const u8).cast(), 1) };
+    }
+
+    /// Consumes pending wakes so a level-triggered poller stops reporting
+    /// the pipe readable.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: reads into a live stack buffer of the stated length
+            // from an fd this handle keeps open.
+            let n = unsafe { read(self.0.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+/// Outcome of [`poll2`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ready2 {
+    /// The primary fd is ready for the interest asked of it.
+    pub a_ready: bool,
+    /// The primary fd reported hangup/error.
+    pub a_hangup: bool,
+    /// The secondary (cancellation) fd is readable.
+    pub b_ready: bool,
+    /// Nothing became ready within the timeout.
+    pub timed_out: bool,
+}
+
+/// Waits up to `timeout_ms` (`None` = forever) for `a` to become readable
+/// (or writable, if `a_write`) or for the cancellation fd `b` to become
+/// readable. Retries `EINTR`.
+pub fn poll2(a: RawFd, a_write: bool, b: RawFd, timeout_ms: Option<i32>) -> io::Result<Ready2> {
+    let interest = if a_write { POLLOUT } else { POLLIN };
+    let mut fds = [
+        PollFd {
+            fd: a,
+            events: interest,
+            revents: 0,
+        },
+        PollFd {
+            fd: b,
+            events: POLLIN,
+            revents: 0,
+        },
+    ];
+    let timeout = timeout_ms.unwrap_or(-1);
+    let n = loop {
+        // SAFETY: `fds` is a valid 2-element array for the duration of the
+        // call; the kernel only writes the `revents` fields.
+        let rc = unsafe { poll(fds.as_mut_ptr(), 2, timeout) };
+        if rc >= 0 {
+            break rc;
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    };
+    if n == 0 {
+        return Ok(Ready2 {
+            a_ready: false,
+            a_hangup: false,
+            b_ready: false,
+            timed_out: true,
+        });
+    }
+    Ok(Ready2 {
+        a_ready: fds[0].revents & (interest | POLLHUP | POLLERR) != 0,
+        a_hangup: fds[0].revents & (POLLHUP | POLLERR) != 0,
+        b_ready: fds[1].revents & (POLLIN | POLLHUP | POLLERR) != 0,
+        timed_out: false,
+    })
+}
+
+/// Clamps a nanosecond budget to a millisecond `poll`/`epoll_wait`
+/// timeout, rounding up so a deadline is never undershot by truncation.
+/// Zero stays zero (an immediate poll), `u64::MAX` means forever.
+pub fn ns_to_timeout_ms(ns: u64) -> Option<i32> {
+    if ns == u64::MAX {
+        return None;
+    }
+    let ms = ns.div_ceil(1_000_000);
+    Some(i32::try_from(ms).unwrap_or(i32::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn wake_pipe_rouses_an_idle_poller() {
+        let pipe = WakePipe::new().expect("pipe");
+        let mut poller = Poller::new().expect("epoll");
+        poller.add(pipe.read_fd(), 7).expect("add");
+
+        let mut out = Vec::new();
+        // Nothing pending: a zero timeout returns empty.
+        let n = poller.wait(Some(0), &mut out).expect("wait");
+        assert_eq!(n, 0);
+
+        pipe.wake();
+        let n = poller.wait(Some(1000), &mut out).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(out[0].token, 7);
+        assert!(out[0].readable);
+
+        // Drained, the pipe goes quiet again.
+        pipe.drain();
+        out.clear();
+        let n = poller.wait(Some(0), &mut out).expect("wait");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn epoll_sees_tcp_data_and_hangup() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+
+        let mut poller = Poller::new().expect("epoll");
+        poller.add(server.as_raw_fd(), 42).expect("add");
+
+        client.write_all(b"hi").expect("write");
+        let mut out = Vec::new();
+        poller.wait(Some(1000), &mut out).expect("wait");
+        assert!(out.iter().any(|e| e.token == 42 && e.readable));
+
+        let mut buf = [0u8; 8];
+        let mut server = server;
+        assert_eq!(server.read(&mut buf).expect("read"), 2);
+
+        drop(client);
+        out.clear();
+        poller.wait(Some(1000), &mut out).expect("wait");
+        assert!(out.iter().any(|e| e.token == 42 && e.hangup));
+
+        poller.del(server.as_raw_fd()).expect("del");
+    }
+
+    #[test]
+    fn poll2_distinguishes_data_cancel_and_timeout() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        let cancel = WakePipe::new().expect("pipe");
+
+        let r = poll2(server.as_raw_fd(), false, cancel.read_fd(), Some(0)).expect("poll");
+        assert!(r.timed_out);
+
+        client.write_all(b"x").expect("write");
+        let r = poll2(server.as_raw_fd(), false, cancel.read_fd(), Some(1000)).expect("poll");
+        assert!(r.a_ready && !r.b_ready);
+
+        cancel.wake();
+        let r = poll2(server.as_raw_fd(), false, cancel.read_fd(), Some(1000)).expect("poll");
+        assert!(r.b_ready, "cancel pipe visible while data also pending");
+    }
+
+    #[test]
+    fn timeout_conversion_rounds_up() {
+        assert_eq!(ns_to_timeout_ms(0), Some(0));
+        assert_eq!(ns_to_timeout_ms(1), Some(1));
+        assert_eq!(ns_to_timeout_ms(1_000_000), Some(1));
+        assert_eq!(ns_to_timeout_ms(1_000_001), Some(2));
+        assert_eq!(ns_to_timeout_ms(u64::MAX), None);
+    }
+}
