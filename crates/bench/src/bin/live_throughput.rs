@@ -18,6 +18,11 @@
 //! up at any core count, which is exactly the contention the sharded
 //! store removes.
 //!
+//! Full (non-smoke) runs append two resilience rows after the sweep: an
+//! overload row (2x the connection cap offered, goodput while shedding)
+//! and a slow-reader row (delivery probes through a storm of
+//! non-reading peers the write-backpressure layer must evict).
+//!
 //! Flags (on top of the shared `--json`): `--clients M`, `--mails K`,
 //! `--body-bytes N`, `--seed N` (hot-mailbox size), `--no-reader` (pure
 //! delivery sweep), `--global-lock` (baseline regime only), `--smoke`
@@ -31,6 +36,7 @@ use spamaware_bench::{json_path_from_args, write_json, write_metrics_sidecar};
 use spamaware_core::{LiveConfig, LiveServer, Pop3Server};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -80,6 +86,25 @@ struct OverloadRow {
 }
 
 #[derive(Clone, Copy, serde::Serialize)]
+struct SlowReaderRow {
+    /// Non-reading peers blasting amplifier commands for the whole row.
+    stalled_peers: usize,
+    /// Concurrent delivery probes run *through* the stall storm.
+    probe_clients: usize,
+    /// Acked mails per probe client.
+    probe_mails: usize,
+    /// `master.write_stalls` at the end — every peer's window closed.
+    write_stalls: u64,
+    /// `master.evicted_slow_writers` — every stalled peer was cut loose.
+    evicted_slow_writers: u64,
+    elapsed_secs: f64,
+    /// Goodput while the storm raged — the number the write-backpressure
+    /// layer exists to protect (an unbounded writer would wedge the
+    /// master's event loop on the first closed window instead).
+    mails_per_sec: f64,
+}
+
+#[derive(Clone, Copy, serde::Serialize)]
 struct FloodRow {
     /// Idle pre-trust connections parked on the master for the whole row.
     held_connections: usize,
@@ -109,6 +134,9 @@ struct Report {
     speedup_at_max_workers: Option<f64>,
     /// The past-the-cap flood (absent in `--smoke`/`--global-lock` runs).
     overload: Option<OverloadRow>,
+    /// Delivery goodput through a write-stall storm (absent in
+    /// `--smoke`/`--global-lock` runs).
+    slow_reader: Option<SlowReaderRow>,
     /// The 10k-connection pre-trust flood (only with `--flood`).
     flood: Option<FloodRow>,
 }
@@ -225,6 +253,19 @@ fn main() {
         row
     });
 
+    // Slow-reader sweep: delivery probes through a storm of non-reading
+    // peers whose replies back up until the write-backpressure layer
+    // evicts them. Skipped in smoke and global-lock-baseline runs.
+    let slow_reader = (!args.smoke && !args.global_only).then(|| {
+        let row = run_slow_reader(args.body_bytes.min(4096));
+        println!();
+        println!(
+            "  slow-reader: {} stalled peers  {:>8.1} mails/s goodput   ({} stalls, {} evicted)",
+            row.stalled_peers, row.mails_per_sec, row.write_stalls, row.evicted_slow_writers
+        );
+        row
+    });
+
     // 10k-connection pre-trust flood: park an idle population two orders
     // of magnitude past the default cap, then measure delivery goodput
     // straight through it.
@@ -265,6 +306,7 @@ fn main() {
                 rows,
                 speedup_at_max_workers: speedup,
                 overload,
+                slow_reader,
                 flood,
             },
         );
@@ -419,6 +461,129 @@ fn run_overload(body_bytes: usize) -> OverloadRow {
         mails_per_client: MAILS_EACH,
         shed_connections: snap.shed_connections,
         max_inflight,
+        elapsed_secs: elapsed,
+        mails_per_sec: expected as f64 / elapsed,
+    }
+}
+
+/// Non-reading peers in the slow-reader row.
+const STALLED_PEERS: usize = 32;
+
+/// Measures delivery goodput through a storm of peers that send but
+/// never read: each blasts unparsable three-byte commands (every one
+/// amplified into a ~38-byte reply) with a clamped receive buffer, so
+/// its TCP window closes, the master's per-connection `OutBuf` fills to
+/// its cap, and the write-backpressure layer evicts it — all while
+/// probe clients must keep delivering at full speed.
+fn run_slow_reader(body_bytes: usize) -> SlowReaderRow {
+    const PROBE_CLIENTS: usize = 4;
+    const PROBE_MAILS: usize = 25;
+    let root =
+        std::env::temp_dir().join(format!("spamaware-livebench-{}-stall", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cfg = LiveConfig::localhost(&root, vec!["inbox".to_owned()]);
+    cfg.max_pretrust_per_ip = (STALLED_PEERS + PROBE_CLIENTS) * 2; // everyone is 127.0.0.1
+    cfg.max_outq_bytes = 16 * 1024;
+    cfg.write_stall_timeout = Duration::from_secs(1);
+    let server = LiveServer::start(cfg).expect("start stall server");
+    let addr = server.local_addr();
+
+    // lint:allow(time): wall-clock elapsed time IS the measurement here
+    let started = std::time::Instant::now();
+    let stalled: Vec<_> = (0..STALLED_PEERS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("stall connect");
+                // Clamp the receive buffer so the peer's TCP window
+                // actually closes — autotuning would otherwise absorb
+                // tens of megabytes and no stall would ever reach the
+                // master.
+                rawpoll::set_recv_buffer(stream.as_raw_fd(), 4096).expect("clamp rcvbuf");
+                stream
+                    .set_write_timeout(Some(Duration::from_secs(10)))
+                    .expect("stall write timeout");
+                let mut out = stream.try_clone().expect("clone");
+                let burst: Vec<u8> = b"a\r\n".repeat(1024);
+                let mut sent = 0;
+                // ~1 MiB in → ~14 MiB of replies: decisively past the
+                // ~4 MiB the kernel send buffer can autotune to, so the
+                // OutBuf cap and the eviction engage.
+                while sent < 1024 * 1024 {
+                    match out.write(&burst) {
+                        Ok(0) | Err(_) => break, // evicted: the socket died
+                        Ok(n) => sent += n,
+                    }
+                }
+                stream // keep the fd open until evictions are confirmed
+            })
+        })
+        .collect();
+
+    let probes: Vec<_> = (0..PROBE_CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut delivered = 0;
+                let mut attempt = 0u64;
+                while delivered < PROBE_MAILS {
+                    attempt += 1;
+                    assert!(attempt < 10_000, "probe {i} starved out");
+                    if overload_attempt(addr, body_bytes) {
+                        delivered += 1;
+                    } else {
+                        std::thread::sleep(Duration::from_millis(1 + (i as u64 % 5)));
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in probes {
+        h.join().expect("probe thread");
+    }
+    let expected = (PROBE_CLIENTS * PROBE_MAILS) as u64;
+    wait_for_stored(&server, expected);
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let peers: Vec<TcpStream> = stalled
+        .into_iter()
+        .map(|h| h.join().expect("stalled peer thread"))
+        .collect();
+    // Every stalled peer must be cut loose (cap overflow or the 1s
+    // no-progress deadline); the budget covers scheduling slack.
+    // lint:allow(time): polling a wall-clock server from the harness
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let evicted = loop {
+        let v = server
+            .metrics()
+            .counter_value("master.evicted_slow_writers")
+            .unwrap_or(0);
+        // lint:allow(time): polling a wall-clock server from the harness
+        if v >= STALLED_PEERS as u64 || std::time::Instant::now() >= deadline {
+            break v;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(
+        evicted >= STALLED_PEERS as u64,
+        "only {evicted} of {STALLED_PEERS} stalled peers evicted"
+    );
+    let write_stalls = server
+        .metrics()
+        .counter_value("master.write_stalls")
+        .unwrap_or(0);
+    assert_eq!(
+        server.stats().snapshot().mails_stored,
+        expected,
+        "probe mail lost in the stall storm"
+    );
+    drop(peers);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    SlowReaderRow {
+        stalled_peers: STALLED_PEERS,
+        probe_clients: PROBE_CLIENTS,
+        probe_mails: PROBE_MAILS,
+        write_stalls,
+        evicted_slow_writers: evicted,
         elapsed_secs: elapsed,
         mails_per_sec: expected as f64 / elapsed,
     }

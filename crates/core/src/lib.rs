@@ -34,6 +34,7 @@ pub mod experiment;
 mod linebuf;
 mod live;
 mod mix;
+mod netio;
 mod pool;
 mod pop3;
 pub mod pretrust;

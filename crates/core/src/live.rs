@@ -43,6 +43,7 @@
 
 use crate::dnsbl_agent::{agent_loop, DnsblAgentCtx};
 use crate::linebuf::{LineBuffer, LineOverflow};
+use crate::netio;
 use crate::pool::BufferPool;
 use crate::pretrust::{self, EngineCtx, Trusted};
 use crate::reactor::os::OsReactor;
@@ -54,7 +55,7 @@ use spamaware_mfs::{DataRef, MailId, RealDir, ShardedStore};
 use spamaware_netaddr::Ipv4;
 use spamaware_smtp::{Command, DataVerdict, MailAddr, Reply, ServerSession, SessionOutcome};
 use std::collections::HashSet;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::path::PathBuf;
@@ -130,6 +131,21 @@ pub struct LiveConfig {
     /// Wall-clock budget for one `DATA` body transfer; a trickling client
     /// is evicted with `421` rather than pinning a worker thread.
     pub data_deadline: Duration,
+    /// Hard cap on reply bytes queued toward any one pre-trust peer in the
+    /// master's event loop. A peer whose backlog would exceed it — it
+    /// pipelines commands but never reads replies — is evicted
+    /// (`master.evicted_slow_writers`) rather than allowed to grow master
+    /// memory without bound.
+    pub max_outq_bytes: usize,
+    /// No-progress budget for queued pre-trust output: a stalled peer
+    /// whose queue advances by zero bytes for this long is evicted. Any
+    /// flushed byte resets the clock, so a slow-but-live reader is served
+    /// indefinitely while a frozen one is cut off.
+    pub write_stall_timeout: Duration,
+    /// Budget for writing one admin response; an admin client that asks
+    /// for `METRICS` and then stops reading is cut off
+    /// (`live.admin_write_timeouts`) instead of pinning the admin thread.
+    pub admin_write_timeout: Duration,
     /// Test-only fault injection: while the flag is `true`, workers stall
     /// after dequeuing a task, letting a chaos test fill every queue and
     /// observe the master's non-blocking `421` shed path deterministically.
@@ -158,6 +174,9 @@ impl LiveConfig {
             admin_read_timeout: Duration::from_secs(5),
             session_deadline: Duration::from_secs(300),
             data_deadline: Duration::from_secs(120),
+            max_outq_bytes: 64 * 1024,
+            write_stall_timeout: Duration::from_secs(10),
+            admin_write_timeout: Duration::from_secs(5),
             worker_hold: None,
         }
     }
@@ -216,6 +235,12 @@ pub struct LiveStats {
     /// register. Either way the connection is closed rather than allowed
     /// to pin a thread or escape its deadlines.
     pub sockopt_errors: Arc<Counter>,
+    /// Worker reply writes abandoned because the peer stopped reading for
+    /// a whole write budget; the connection is dropped.
+    pub worker_write_timeouts: Arc<Counter>,
+    /// Admin responses abandoned because the client stopped reading for a
+    /// whole write budget; the connection is dropped.
+    pub admin_write_timeouts: Arc<Counter>,
 }
 
 /// Point-in-time values of every [`LiveStats`] counter.
@@ -259,6 +284,10 @@ pub struct LiveSnapshot {
     pub data_deadline_evictions: u64,
     /// `set_read_timeout` failures.
     pub sockopt_errors: u64,
+    /// Worker reply writes abandoned on a non-reading peer.
+    pub worker_write_timeouts: u64,
+    /// Admin responses abandoned on a non-reading client.
+    pub admin_write_timeouts: u64,
 }
 
 impl LiveStats {
@@ -286,6 +315,8 @@ impl LiveStats {
             session_deadline_evictions: registry.counter("live.session_deadline_evictions"),
             data_deadline_evictions: registry.counter("live.data_deadline_evictions"),
             sockopt_errors: registry.counter("live.sockopt_errors"),
+            worker_write_timeouts: registry.counter("live.worker_write_timeouts"),
+            admin_write_timeouts: registry.counter("live.admin_write_timeouts"),
         }
     }
 
@@ -311,6 +342,8 @@ impl LiveStats {
             session_deadline_evictions: self.session_deadline_evictions.get(),
             data_deadline_evictions: self.data_deadline_evictions.get(),
             sockopt_errors: self.sockopt_errors.get(),
+            worker_write_timeouts: self.worker_write_timeouts.get(),
+            admin_write_timeouts: self.admin_write_timeouts.get(),
         }
     }
 }
@@ -385,6 +418,9 @@ fn preregister_thread_instruments(registry: &Registry) {
     registry.counter("master.wakeups");
     registry.counter("master.io_events");
     registry.counter("master.timers_fired");
+    registry.counter("master.write_stalls");
+    registry.counter("master.evicted_slow_writers");
+    registry.gauge("master.outq_bytes");
     registry.counter("dnsbl.agent_dropped");
 }
 
@@ -427,6 +463,10 @@ struct Delegated {
     stream: TcpStream,
     session: ServerSession,
     leftover: Vec<u8>,
+    /// Reply bytes the master's bounded outbound queue had not yet
+    /// flushed at hand-off; the worker writes them (under its own write
+    /// budget) before any reply of its own.
+    pending_out: Vec<u8>,
     peer: Ipv4,
     /// Registry-clock instant the master enqueued this task, for the
     /// `worker.queue_wait_ns` span.
@@ -454,13 +494,20 @@ impl LiveServer {
                 "connection caps must admit at least one connection".to_owned(),
             ));
         }
+        if cfg.max_outq_bytes == 0 {
+            return Err(ServeError::Config(
+                "outbound queue cap must admit at least one byte".to_owned(),
+            ));
+        }
         if cfg.worker_read_timeout.is_zero()
             || cfg.admin_read_timeout.is_zero()
             || cfg.session_deadline.is_zero()
             || cfg.data_deadline.is_zero()
+            || cfg.write_stall_timeout.is_zero()
+            || cfg.admin_write_timeout.is_zero()
         {
             return Err(ServeError::Config(
-                "read timeouts and phase deadlines must be nonzero".to_owned(),
+                "read timeouts, write budgets, and phase deadlines must be nonzero".to_owned(),
             ));
         }
         let listener = TcpListener::bind(cfg.bind).map_err(|e| ServeError::Io(e.to_string()))?;
@@ -575,6 +622,8 @@ impl LiveServer {
                 dnsbl_tx,
                 pretrust_idle_timeout: cfg.pretrust_idle_timeout,
                 session_deadline: cfg.session_deadline,
+                max_outq_bytes: cfg.max_outq_bytes,
+                write_stall_timeout: cfg.write_stall_timeout,
                 max_connections: cfg.max_connections,
                 max_pretrust_per_ip: cfg.max_pretrust_per_ip,
                 registry: Arc::clone(&registry),
@@ -604,7 +653,9 @@ impl LiveServer {
                 stop: Arc::clone(&stop),
                 draining: Arc::clone(&draining),
                 read_timeout: cfg.admin_read_timeout,
+                write_timeout: cfg.admin_write_timeout,
                 sockopt_errors: Arc::clone(&stats.sockopt_errors),
+                admin_write_timeouts: Arc::clone(&stats.admin_write_timeouts),
                 stop_pipe: stop_pipe.clone(),
                 master_waker: master_waker.clone(),
             };
@@ -763,15 +814,13 @@ struct MasterCtx {
     dnsbl_tx: Option<Sender<Ipv4>>,
     pretrust_idle_timeout: Duration,
     session_deadline: Duration,
+    max_outq_bytes: usize,
+    write_stall_timeout: Duration,
     max_connections: usize,
     max_pretrust_per_ip: usize,
     registry: Arc<Registry>,
     line_pool: Arc<BufferPool>,
     inflight: Arc<Gauge>,
-}
-
-fn write_reply(stream: &mut TcpStream, reply: &spamaware_smtp::Reply) -> std::io::Result<()> {
-    stream.write_all(reply.to_wire().as_bytes())
 }
 
 /// The master thread: builds the engine context and the worker sink,
@@ -790,6 +839,8 @@ fn master_loop(mut listener: TcpListener, mut reactor: OsReactor, ctx: MasterCtx
         dnsbl_tx: ctx.dnsbl_tx,
         pretrust_idle_timeout: ctx.pretrust_idle_timeout,
         session_deadline: ctx.session_deadline,
+        max_outq_bytes: ctx.max_outq_bytes,
+        write_stall_timeout: ctx.write_stall_timeout,
         max_connections: ctx.max_connections,
         max_pretrust_per_ip: ctx.max_pretrust_per_ip,
         registry: Arc::clone(&ctx.registry),
@@ -810,6 +861,7 @@ fn master_loop(mut listener: TcpListener, mut reactor: OsReactor, ctx: MasterCtx
             stream: t.conn,
             session: t.session,
             leftover: t.leftover,
+            pending_out: t.pending_out,
             peer: t.peer,
             enqueued_ns: registry.now_nanos(),
             accepted_ns: t.accepted_ns,
@@ -830,6 +882,7 @@ fn master_loop(mut listener: TcpListener, mut reactor: OsReactor, ctx: MasterCtx
             conn: task.stream,
             session: task.session,
             leftover: task.leftover,
+            pending_out: task.pending_out,
             peer: task.peer,
             accepted_ns: task.accepted_ns,
         })
@@ -839,14 +892,28 @@ fn master_loop(mut listener: TcpListener, mut reactor: OsReactor, ctx: MasterCtx
     // receive loops.
 }
 
-/// Writes accumulated reply bytes as one socket write (the coalesced
-/// answer to a pipelined burst); no-op for an empty buffer.
-fn flush_replies(stream: &mut TcpStream, out: &[u8]) -> std::io::Result<()> {
+/// Writes accumulated reply bytes as one bounded socket write (the
+/// coalesced answer to a pipelined burst); no-op for an empty buffer.
+/// Returns `false` when the connection is no longer worth keeping: the
+/// peer is gone, the server is stopping, or the peer stopped reading for
+/// a whole write budget (counted in `live.worker_write_timeouts`).
+fn flush_replies(stream: &mut TcpStream, out: &[u8], ctx: &WorkerCtx) -> bool {
     if out.is_empty() {
-        Ok(())
-    } else {
-        stream.write_all(out)
+        return true;
     }
+    match netio::write_all_bounded(stream, out, &ctx.stop_pipe, ctx.read_timeout) {
+        netio::WriteOutcome::Done => true,
+        netio::WriteOutcome::TimedOut => {
+            ctx.stats.worker_write_timeouts.inc();
+            false
+        }
+        netio::WriteOutcome::Stopped | netio::WriteOutcome::Closed => false,
+    }
+}
+
+/// Bounded single-reply write for worker-side evictions and `421`s.
+fn write_reply(stream: &mut TcpStream, reply: &spamaware_smtp::Reply, ctx: &WorkerCtx) -> bool {
+    flush_replies(stream, reply.to_wire().as_bytes(), ctx)
 }
 
 /// Everything one worker thread owns.
@@ -920,7 +987,17 @@ fn worker_loop(ctx: WorkerCtx) {
         let mut in_data = false;
         let mut data_start: Option<u64> = None;
         let mut last_activity_ns = ctx.registry.now_nanos();
+        // Backlog the master's bounded outbound queue had not flushed by
+        // hand-off goes first — the peer must never observe a reply gap
+        // across the delegation seam. A peer that will not absorb even
+        // this is dropped before it costs a single read.
+        let alive = flush_replies(&mut stream, &task.pending_out, &ctx);
         'conn: loop {
+            if !alive {
+                // The hand-off flush already lost the peer: skip the
+                // session and fall through to cleanup.
+                break;
+            }
             // Drain complete lines first, then read more.
             out.clear();
             loop {
@@ -994,7 +1071,7 @@ fn worker_loop(ctx: WorkerCtx) {
                             }
                             reply.write_wire(&mut out);
                             if session.phase() == spamaware_smtp::SessionPhase::Closed {
-                                let _ = flush_replies(&mut stream, &out);
+                                let _ = flush_replies(&mut stream, &out, &ctx);
                                 break 'conn;
                             }
                         }
@@ -1003,12 +1080,12 @@ fn worker_loop(ctx: WorkerCtx) {
                     Err(LineOverflow) => {
                         stats.overflows.inc();
                         spamaware_smtp::Reply::syntax_error().write_wire(&mut out);
-                        let _ = flush_replies(&mut stream, &out);
+                        let _ = flush_replies(&mut stream, &out, &ctx);
                         break 'conn;
                     }
                 }
             }
-            if flush_replies(&mut stream, &out).is_err() {
+            if !flush_replies(&mut stream, &out, &ctx) {
                 break;
             }
             if ctx.stop.load(Ordering::SeqCst) {
@@ -1021,7 +1098,7 @@ fn worker_loop(ctx: WorkerCtx) {
                 // Draining: any DATA transfer already in flight ran to
                 // completion above (its ack is on the wire); between
                 // transactions the connection is told to come back later.
-                let _ = write_reply(&mut stream, &Reply::service_not_available());
+                let _ = write_reply(&mut stream, &Reply::service_not_available(), &ctx);
                 break;
             }
             // Phase budgets, re-checked every iteration. An exhausted
@@ -1035,7 +1112,7 @@ fn worker_loop(ctx: WorkerCtx) {
             let session_left = session_deadline_ns.saturating_sub(now.saturating_sub(accepted_ns));
             if session_left == 0 {
                 stats.session_deadline_evictions.inc();
-                let _ = write_reply(&mut stream, &Reply::service_not_available());
+                let _ = write_reply(&mut stream, &Reply::service_not_available(), &ctx);
                 break;
             }
             let idle_left = read_timeout_ns.saturating_sub(now.saturating_sub(last_activity_ns));
@@ -1048,7 +1125,7 @@ fn worker_loop(ctx: WorkerCtx) {
                 let data_left = data_deadline_ns.saturating_sub(since_data);
                 if data_left == 0 {
                     stats.data_deadline_evictions.inc();
-                    let _ = write_reply(&mut stream, &Reply::service_not_available());
+                    let _ = write_reply(&mut stream, &Reply::service_not_available(), &ctx);
                     break;
                 }
                 budget_ns = budget_ns.min(data_left);
@@ -1095,13 +1172,22 @@ fn duration_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Hard cap on one admin response. A `METRICS` render is a few KiB
+/// today; the cap only matters if the instrument inventory ever explodes,
+/// and truncation keeps the write budget below meaningful.
+const ADMIN_RESPONSE_CAP: usize = 256 * 1024;
+
 /// Everything the admin thread owns.
 struct AdminCtx {
     registry: Arc<Registry>,
     stop: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
     read_timeout: Duration,
+    /// Budget for writing one response; expiry counts in
+    /// `live.admin_write_timeouts` and drops the connection.
+    write_timeout: Duration,
     sockopt_errors: Arc<Counter>,
+    admin_write_timeouts: Arc<Counter>,
     /// Shutdown latch shared with the workers: permanently readable once
     /// the server stops, so the accept wait below aborts immediately.
     stop_pipe: rawpoll::WakePipe,
@@ -1146,7 +1232,7 @@ fn admin_loop(listener: TcpListener, ctx: AdminCtx) {
                 }
                 let line = String::from_utf8_lossy(&buf);
                 let cmd = line.trim();
-                let response =
+                let mut response =
                     if cmd.eq_ignore_ascii_case("METRICS") || cmd.eq_ignore_ascii_case("STAT") {
                         ctx.registry.render()
                     } else if cmd.eq_ignore_ascii_case("DRAIN") {
@@ -1156,7 +1242,30 @@ fn admin_loop(listener: TcpListener, ctx: AdminCtx) {
                     } else {
                         "ERR unknown admin command; try METRICS\n".to_owned()
                     };
-                let _ = stream.write_all(response.as_bytes());
+                if response.len() > ADMIN_RESPONSE_CAP {
+                    let mut cut = ADMIN_RESPONSE_CAP;
+                    while !response.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    response.truncate(cut);
+                    response.push_str("\n[truncated]\n");
+                }
+                // The response write is bounded the same way the reads
+                // are: nonblocking socket, stop-aware waits, one budget —
+                // a client that asks for METRICS and stops reading cannot
+                // pin the admin thread.
+                if stream.set_nonblocking(true).is_err() {
+                    ctx.sockopt_errors.inc();
+                    continue;
+                }
+                if let netio::WriteOutcome::TimedOut = netio::write_all_bounded(
+                    &mut stream,
+                    response.as_bytes(),
+                    &ctx.stop_pipe,
+                    ctx.write_timeout,
+                ) {
+                    ctx.admin_write_timeouts.inc();
+                }
             }
             // Raced with another readiness consumer or a spurious wakeup:
             // go back to waiting.

@@ -1,0 +1,148 @@
+//! Bounded, stop-aware socket writes for the server's auxiliary threads.
+//!
+//! The master thread never calls into here — its outbound path is the
+//! per-connection `OutBuf` in [`crate::pretrust`], flushed from the
+//! readiness loop without ever waiting on one peer. Worker, admin, and
+//! POP3 threads *are* allowed to wait on their single peer, but only
+//! behind a deadline: every reply they send goes through
+//! [`write_all_bounded`], which loops non-blocking writes gated on a
+//! `poll2` wait against the shared stop latch. A peer that stops reading
+//! costs one bounded budget, never a pinned thread, and a server
+//! shutdown interrupts the wait immediately (DESIGN.md §15.4).
+
+use std::io::{ErrorKind, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+/// How a bounded write ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WriteOutcome {
+    /// Every byte reached the socket buffer.
+    Done,
+    /// The budget expired with bytes still unsent (slow or stalled peer).
+    TimedOut,
+    /// The stop latch fired mid-write (server shutdown).
+    Stopped,
+    /// The peer closed or the socket errored.
+    Closed,
+}
+
+/// Writes all of `bytes` to a **nonblocking** `stream`, sleeping in
+/// bounded `poll2` waits for writability between partial writes, for at
+/// most `budget` of wall clock overall. Progress does not extend the
+/// budget: it caps the whole write, so a drip-reading peer cannot hold
+/// the calling thread longer than one budget per reply.
+pub(crate) fn write_all_bounded(
+    stream: &mut TcpStream,
+    bytes: &[u8],
+    stop_pipe: &rawpoll::WakePipe,
+    budget: Duration,
+) -> WriteOutcome {
+    let deadline = Instant::now() + budget;
+    let mut off = 0usize;
+    while off < bytes.len() {
+        match stream.write(&bytes[off..]) {
+            Ok(0) => return WriteOutcome::Closed,
+            Ok(n) => off += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return WriteOutcome::TimedOut;
+                }
+                let left_ns = u64::try_from(left.as_nanos()).unwrap_or(u64::MAX - 1);
+                let wait = rawpoll::ns_to_timeout_ms(left_ns);
+                match rawpoll::poll2(stream.as_raw_fd(), true, stop_pipe.read_fd(), wait) {
+                    Ok(r) if r.b_ready => return WriteOutcome::Stopped,
+                    // Writable — or hung up, which the next write surfaces
+                    // as an error; either way, loop and try the write.
+                    Ok(r) if r.a_ready || r.a_hangup => {}
+                    Ok(_) => {
+                        if Instant::now() >= deadline {
+                            return WriteOutcome::TimedOut;
+                        }
+                    }
+                    Err(_) => return WriteOutcome::Closed,
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return WriteOutcome::Closed,
+        }
+    }
+    WriteOutcome::Done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (server, client)
+    }
+
+    #[test]
+    fn small_write_to_reading_peer_completes() {
+        let (mut server, mut client) = pair();
+        let stop = rawpoll::WakePipe::new().unwrap();
+        let outcome = write_all_bounded(&mut server, b"hello\r\n", &stop, Duration::from_secs(5));
+        assert_eq!(outcome, WriteOutcome::Done);
+        let mut buf = [0u8; 16];
+        let n = client.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello\r\n");
+    }
+
+    #[test]
+    fn non_reading_peer_times_out_within_budget() {
+        let (mut server, client) = pair();
+        let stop = rawpoll::WakePipe::new().unwrap();
+        // Far more than any kernel default socket-buffer pair holds.
+        let blob = vec![b'x'; 64 * 1024 * 1024];
+        let started = Instant::now();
+        let outcome = write_all_bounded(&mut server, &blob, &stop, Duration::from_millis(50));
+        assert_eq!(outcome, WriteOutcome::TimedOut);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "budget must bound the stall"
+        );
+        drop(client);
+    }
+
+    #[test]
+    fn stop_latch_interrupts_a_stalled_write() {
+        let (mut server, client) = pair();
+        let stop = rawpoll::WakePipe::new().unwrap();
+        stop.wake();
+        let blob = vec![b'x'; 64 * 1024 * 1024];
+        let outcome = write_all_bounded(&mut server, &blob, &stop, Duration::from_secs(30));
+        assert_eq!(outcome, WriteOutcome::Stopped);
+        drop(client);
+    }
+
+    #[test]
+    fn closed_peer_reports_closed() {
+        let (mut server, client) = pair();
+        let stop = rawpoll::WakePipe::new().unwrap();
+        drop(client);
+        // Fill until the close is observed (first writes may still land in
+        // the kernel buffer before the RST is processed).
+        let blob = vec![b'x'; 1024 * 1024];
+        let mut outcome = WriteOutcome::Done;
+        for _ in 0..64 {
+            outcome = write_all_bounded(&mut server, &blob, &stop, Duration::from_millis(100));
+            if outcome != WriteOutcome::Done {
+                break;
+            }
+        }
+        assert!(
+            matches!(outcome, WriteOutcome::Closed | WriteOutcome::TimedOut),
+            "writes to a closed peer must stop: {outcome:?}"
+        );
+    }
+}

@@ -11,6 +11,7 @@
 //! mailbox never stalls SMTP deliveries headed elsewhere.
 
 use crate::linebuf::{LineBuffer, LineOverflow};
+use crate::netio;
 use crate::ServeError;
 use spamaware_mfs::{MailId, RealDir, ShardedStore};
 use std::collections::HashSet;
@@ -35,6 +36,11 @@ pub struct Pop3Stats {
     /// holds a thread; the idle eviction is what bounds how long a silent
     /// peer can pin one).
     pub idle_evictions: AtomicU64,
+    /// Sessions dropped because the peer stopped reading for a whole
+    /// write budget — typically frozen mid-`RETR` with the kernel socket
+    /// buffer full. The bounded write is what keeps a stalled download
+    /// from pinning a session thread forever.
+    pub write_stall_evictions: AtomicU64,
 }
 
 /// A POP3 server sharing a mail store with the SMTP side.
@@ -230,12 +236,20 @@ fn session(
     // Replies are coalesced into single writes; Nagle would only delay
     // them behind the client's delayed ACKs.
     let _ = stream.set_nodelay(true);
+    // Nonblocking end to end: reads are gated on the `poll2` wait below,
+    // and every write goes through the bounded writer, so a peer frozen
+    // mid-download costs one write budget instead of a pinned thread.
+    stream.set_nonblocking(true)?;
     // The idle deadline lives in the readiness wait below, not in a
     // socket option — there is no `set_read_timeout` left to fail.
     let idle_ms =
         rawpoll::ns_to_timeout_ms(u64::try_from(read_timeout.as_nanos()).unwrap_or(u64::MAX));
     let mut out = stream;
-    writeln!(out, "+OK spamaware POP3 ready\r")?;
+    // Replies accumulate here and flush once per drained burst; writes
+    // into a Vec cannot fail, so the `?`s on `writeln!` below are inert.
+    let mut wire: Vec<u8> = Vec::new();
+    writeln!(wire, "+OK spamaware POP3 ready\r")?;
+    flush_wire(&mut out, &mut wire, stop_pipe, read_timeout, stats)?;
     let mut st = SessionState {
         user: None,
         authed: None,
@@ -247,13 +261,17 @@ fn session(
     loop {
         // Handle every complete line already buffered before waiting for
         // more input (a pipelined burst is served without extra waits).
-        loop {
+        // `done` defers the session end past the flush so a farewell
+        // still reaches a live peer.
+        let mut done = false;
+        while !done {
             let raw = match lines.pop_line() {
                 Ok(Some(raw)) => raw,
                 Ok(None) => break,
                 Err(LineOverflow) => {
-                    writeln!(out, "-ERR line too long\r")?;
-                    return Ok(());
+                    writeln!(wire, "-ERR line too long\r")?;
+                    done = true;
+                    break;
                 }
             };
             let line = String::from_utf8_lossy(&raw).into_owned();
@@ -266,9 +284,9 @@ fn session(
                 "USER" => {
                     if mailboxes.contains(arg) {
                         st.user = Some(arg.to_owned());
-                        writeln!(out, "+OK send PASS\r")?;
+                        writeln!(wire, "+OK send PASS\r")?;
                     } else {
-                        writeln!(out, "-ERR no such mailbox\r")?;
+                        writeln!(wire, "-ERR no such mailbox\r")?;
                     }
                 }
                 "PASS" => match &st.user {
@@ -281,21 +299,21 @@ fn session(
                             .map(|(id, len)| (id, usize::try_from(len).unwrap_or(usize::MAX)))
                             .collect();
                         st.authed = Some(user.clone());
-                        writeln!(out, "+OK {} messages\r", st.listing.len())?;
+                        writeln!(wire, "+OK {} messages\r", st.listing.len())?;
                     }
-                    None => writeln!(out, "-ERR USER first\r")?,
+                    None => writeln!(wire, "-ERR USER first\r")?,
                 },
                 "STAT" if st.authed.is_some() => {
                     let (n, bytes) =
                         live(&st).fold((0usize, 0usize), |(n, b), (_, (_, sz))| (n + 1, b + sz));
-                    writeln!(out, "+OK {n} {bytes}\r")?;
+                    writeln!(wire, "+OK {n} {bytes}\r")?;
                 }
                 "LIST" if st.authed.is_some() => {
-                    writeln!(out, "+OK scan listing follows\r")?;
+                    writeln!(wire, "+OK scan listing follows\r")?;
                     for (idx, (_, size)) in live(&st) {
-                        writeln!(out, "{} {}\r", idx + 1, size)?;
+                        writeln!(wire, "{} {}\r", idx + 1, size)?;
                     }
-                    writeln!(out, ".\r")?;
+                    writeln!(wire, ".\r")?;
                 }
                 "RETR" if st.authed.is_some() => {
                     match (st.authed.as_deref(), parse_index(arg, &st)) {
@@ -309,11 +327,11 @@ fn session(
                             match body {
                                 Some(body) => {
                                     stats.retrieved.fetch_add(1, Ordering::Relaxed);
-                                    // Coalesce the whole reply into one write: a
-                                    // per-line write pattern stalls on Nagle and
-                                    // turns retrieval latency into dead air.
-                                    let mut wire =
-                                        format!("+OK {} octets\r\n", body.len()).into_bytes();
+                                    // The multi-line body joins the coalesced
+                                    // reply buffer: one bounded write per burst,
+                                    // and a peer frozen mid-download is evicted
+                                    // by the flush budget, never waited on.
+                                    write!(wire, "+OK {} octets\r\n", body.len())?;
                                     // Byte-stuff lines starting with '.'.
                                     for l in body.split(|&b| b == b'\n') {
                                         let l = l.strip_suffix(b"\r").unwrap_or(l);
@@ -324,26 +342,25 @@ fn session(
                                         wire.extend_from_slice(b"\r\n");
                                     }
                                     wire.extend_from_slice(b".\r\n");
-                                    out.write_all(&wire)?;
                                 }
-                                None => writeln!(out, "-ERR no such message\r")?,
+                                None => writeln!(wire, "-ERR no such message\r")?,
                             }
                         }
-                        _ => writeln!(out, "-ERR no such message\r")?,
+                        _ => writeln!(wire, "-ERR no such message\r")?,
                     }
                 }
                 "DELE" if st.authed.is_some() => match parse_index(arg, &st) {
                     Some(idx) => {
                         st.marked.insert(idx);
-                        writeln!(out, "+OK marked\r")?;
+                        writeln!(wire, "+OK marked\r")?;
                     }
-                    None => writeln!(out, "-ERR no such message\r")?,
+                    None => writeln!(wire, "-ERR no such message\r")?,
                 },
                 "RSET" if st.authed.is_some() => {
                     st.marked.clear();
-                    writeln!(out, "+OK\r")?;
+                    writeln!(wire, "+OK\r")?;
                 }
-                "NOOP" => writeln!(out, "+OK\r")?,
+                "NOOP" => writeln!(wire, "+OK\r")?,
                 "QUIT" => {
                     if let Some(user) = &st.authed {
                         for &idx in &st.marked {
@@ -352,11 +369,15 @@ fn session(
                             }
                         }
                     }
-                    writeln!(out, "+OK bye\r")?;
-                    return Ok(());
+                    writeln!(wire, "+OK bye\r")?;
+                    done = true;
                 }
-                _ => writeln!(out, "-ERR unsupported\r")?,
+                _ => writeln!(wire, "-ERR unsupported\r")?,
             }
+        }
+        flush_wire(&mut out, &mut wire, stop_pipe, read_timeout, stats)?;
+        if done {
+            return Ok(());
         }
         // Wait for bytes, hangup, or the stop latch — whichever comes
         // first within the idle budget.
@@ -378,6 +399,33 @@ fn session(
             }
             Err(e) => return Err(e),
         }
+    }
+}
+
+/// Flushes the coalesced reply buffer through the bounded writer. A
+/// budget expiry counts in [`Pop3Stats::write_stall_evictions`] and ends
+/// the session; the buffer is cleared in every case (a failed session
+/// never retries a partial reply).
+fn flush_wire(
+    out: &mut TcpStream,
+    wire: &mut Vec<u8>,
+    stop_pipe: &rawpoll::WakePipe,
+    budget: Duration,
+    stats: &Pop3Stats,
+) -> std::io::Result<()> {
+    if wire.is_empty() {
+        return Ok(());
+    }
+    let outcome = netio::write_all_bounded(out, wire, stop_pipe, budget);
+    wire.clear();
+    match outcome {
+        netio::WriteOutcome::Done => Ok(()),
+        netio::WriteOutcome::TimedOut => {
+            stats.write_stall_evictions.fetch_add(1, Ordering::Relaxed);
+            Err(std::io::Error::from(ErrorKind::TimedOut))
+        }
+        netio::WriteOutcome::Stopped => Err(std::io::Error::from(ErrorKind::Interrupted)),
+        netio::WriteOutcome::Closed => Err(std::io::Error::from(ErrorKind::BrokenPipe)),
     }
 }
 

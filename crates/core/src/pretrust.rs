@@ -11,6 +11,14 @@
 //! call left is the reactor wait (the xtask blocking pass enforces
 //! this; DESIGN.md §15).
 //!
+//! Writes are backpressure-aware (DESIGN.md §15.4): each connection owns
+//! a bounded [`OutBuf`] that queues whatever the socket will not accept
+//! right now, arms write interest on the reactor, flushes on writable
+//! readiness, and disarms once drained. A peer that stops reading cannot
+//! stall the master — its queue hits the cap (or its no-progress
+//! deadline on the [`TimerWheel`]) and the connection is evicted
+//! (`master.evicted_slow_writers`).
+//!
 //! Everything the loop touches is injected: the [`Acceptor`]/[`Conn`]
 //! transport pair (real `TcpListener`/`TcpStream`, or the scripted
 //! doubles in [`crate::reactor::sim`]), the [`Reactor`], the metrics
@@ -23,7 +31,7 @@ use crate::linebuf::{LineBuffer, LineOverflow};
 use crate::live::{LiveStats, VerbCounters};
 use crate::pool::BufferPool;
 use crate::reactor::wheel::TimerWheel;
-use crate::reactor::{Pollable, Reactor};
+use crate::reactor::{Pollable, Reactor, ReadyEvent};
 use crossbeam::channel::Sender;
 use spamaware_metrics::{Counter, Gauge, Registry, SpanHandle};
 use spamaware_netaddr::Ipv4;
@@ -41,6 +49,12 @@ use std::time::Duration;
 /// above it.
 pub const ACCEPT_TOKEN: u64 = 0;
 
+/// Per-connection timer kinds, packed into wheel ids as
+/// `token << 2 | kind`.
+const TIMER_IDLE: u64 = 0;
+const TIMER_SESSION: u64 = 1;
+const TIMER_WRITE_STALL: u64 = 2;
+
 /// A connection the engine can drive without blocking.
 pub trait Conn: Pollable {
     /// One non-blocking read: `Ok(0)` is peer EOF, `WouldBlock` means the
@@ -51,12 +65,14 @@ pub trait Conn: Pollable {
     /// Transport errors close the connection.
     fn read_ready(&mut self, buf: &mut [u8]) -> io::Result<usize>;
 
-    /// Writes a (small, coalesced) reply burst.
+    /// One non-blocking write: accepts what fits in the socket buffer,
+    /// `WouldBlock` when nothing does (the reactor's write-readiness says
+    /// when to retry).
     ///
     /// # Errors
     ///
     /// Transport errors close the connection.
-    fn write_all_bytes(&mut self, buf: &[u8]) -> io::Result<()>;
+    fn write_ready(&mut self, buf: &[u8]) -> io::Result<usize>;
 }
 
 /// A listening socket the engine can drain without blocking.
@@ -78,8 +94,10 @@ impl Conn for TcpStream {
         Read::read(self, buf)
     }
 
-    fn write_all_bytes(&mut self, buf: &[u8]) -> io::Result<()> {
-        Write::write_all(self, buf)
+    fn write_ready(&mut self, buf: &[u8]) -> io::Result<usize> {
+        // The engine's single raw socket-write site: everything above it
+        // goes through an OutBuf (sanctioned in the xtask blocking pass).
+        Write::write(self, buf)
     }
 }
 
@@ -102,6 +120,96 @@ impl Acceptor for TcpListener {
     }
 }
 
+/// Outcome of an [`OutBuf`] write attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteState {
+    /// Everything queued has reached the socket.
+    Drained,
+    /// Bytes remain queued; the reactor must say when to retry.
+    Pending,
+    /// The queue outgrew its cap: the peer has stopped draining.
+    Overflow,
+    /// The transport failed; the connection is dead.
+    Broken,
+}
+
+/// A bounded per-connection outbound queue: write what fits, keep the
+/// rest, report when the peer stops draining (DESIGN.md §15.4).
+///
+/// The cap bounds *queued* (unflushed) bytes — the answer to "how much
+/// memory may one non-reading peer pin" — and an overflowing send still
+/// queues before reporting, so the byte-count gauge stays exact until
+/// the eviction reconciles it.
+struct OutBuf {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already written; drained lazily so partial flushes
+    /// do not memmove the queue.
+    head: usize,
+    cap: usize,
+}
+
+impl OutBuf {
+    fn new(cap: usize) -> OutBuf {
+        OutBuf {
+            buf: Vec::new(),
+            head: 0,
+            cap,
+        }
+    }
+
+    /// Bytes queued and not yet accepted by the socket.
+    fn pending(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Takes the queued bytes (for worker hand-off or a final farewell).
+    fn take_pending(mut self) -> Vec<u8> {
+        self.buf.split_off(self.head)
+    }
+
+    /// Queues `bytes`, then flushes as much as the socket accepts now.
+    fn send<C: Conn>(&mut self, conn: &mut C, bytes: &[u8]) -> (WriteState, usize) {
+        self.buf.extend_from_slice(bytes);
+        self.flush(conn)
+    }
+
+    /// Writes from the queue until it drains or the socket stops
+    /// accepting; returns the state plus the bytes written this call.
+    fn flush<C: Conn>(&mut self, conn: &mut C) -> (WriteState, usize) {
+        let mut wrote = 0;
+        while self.head < self.buf.len() {
+            match conn.write_ready(&self.buf[self.head..]) {
+                Ok(0) => return (WriteState::Broken, wrote),
+                Ok(n) => {
+                    self.head += n;
+                    wrote += n;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => return (WriteState::Broken, wrote),
+            }
+        }
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+            return (WriteState::Drained, wrote);
+        }
+        if self.head > 0 && self.head >= self.buf.len() / 2 {
+            // Compact once the drained prefix dominates the allocation.
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+        if self.pending() > self.cap {
+            (WriteState::Overflow, wrote)
+        } else {
+            (WriteState::Pending, wrote)
+        }
+    }
+}
+
 /// A connection that earned trust (valid `RCPT TO`), ready for worker
 /// hand-off with its session state and any already-buffered bytes.
 pub struct Trusted<C> {
@@ -113,6 +221,10 @@ pub struct Trusted<C> {
     /// Bytes read past the last parsed line (a pipelining client's early
     /// `DATA`), with their pooled allocation.
     pub leftover: Vec<u8>,
+    /// Reply bytes the master queued but the peer has not yet accepted;
+    /// the worker must write these (under its own deadline) before any
+    /// reply of its own.
+    pub pending_out: Vec<u8>,
     /// Client address.
     pub peer: Ipv4,
     /// Registry-clock instant the connection was accepted; deadlines
@@ -139,6 +251,12 @@ pub struct EngineCtx {
     pub pretrust_idle_timeout: Duration,
     /// Whole-session wall-clock budget, charged from accept.
     pub session_deadline: Duration,
+    /// Hard cap on one connection's queued (unflushed) reply bytes;
+    /// beyond it the peer is evicted as a slow writer.
+    pub max_outq_bytes: usize,
+    /// How long a connection with queued output may make zero write
+    /// progress before eviction.
+    pub write_stall_timeout: Duration,
     /// Total in-flight connection cap.
     pub max_connections: usize,
     /// Pre-trust connections one client IP may hold.
@@ -156,6 +274,10 @@ struct Pre<C> {
     conn: C,
     session: ServerSession,
     lines: LineBuffer,
+    /// Reply bytes the socket has not accepted yet.
+    outq: OutBuf,
+    /// Whether write interest is currently armed on the reactor.
+    w_armed: bool,
     peer: Ipv4,
     /// Registry-clock accept instant, for the `master.pretrust_ns` span
     /// and the session deadline.
@@ -174,10 +296,34 @@ struct EngineMetrics {
     io_events: Arc<Counter>,
     /// Timer-wheel expirations processed (`master.timers_fired`).
     timers_fired: Arc<Counter>,
+    /// Connections whose reply outran the socket buffer and started
+    /// queuing (`master.write_stalls`).
+    write_stalls: Arc<Counter>,
+    /// Stalled writers evicted at the queue cap or the no-progress
+    /// deadline (`master.evicted_slow_writers`).
+    evicted_slow_writers: Arc<Counter>,
+    /// Total queued outbound bytes across all pre-trust connections
+    /// (`master.outq_bytes`).
+    outq_bytes: Arc<Gauge>,
 }
 
-fn write_reply<C: Conn>(conn: &mut C, reply: &Reply) -> io::Result<()> {
-    conn.write_all_bytes(reply.to_wire().as_bytes())
+/// Best-effort whole-reply write for a connection being refused or
+/// evicted: writes what the socket accepts now and drops the rest — the
+/// peer is leaving either way, and nobody stalls the master to say
+/// goodbye.
+fn write_farewell<C: Conn>(conn: &mut C, reply: &Reply) {
+    best_effort_write(conn, reply.to_wire().as_bytes());
+}
+
+/// Loops [`Conn::write_ready`] until the bytes are gone or the socket
+/// stops accepting; whatever did not fit is dropped.
+fn best_effort_write<C: Conn>(conn: &mut C, mut bytes: &[u8]) {
+    while !bytes.is_empty() {
+        match conn.write_ready(bytes) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => bytes = &bytes[n..],
+        }
+    }
 }
 
 /// `421`s and drops a connection the admission policy refused. Cheap by
@@ -185,7 +331,7 @@ fn write_reply<C: Conn>(conn: &mut C, reply: &Reply) -> io::Result<()> {
 /// overload must cost microseconds, not the work it is shedding.
 fn shed_conn<C: Conn>(mut conn: C, counter: &Counter) {
     counter.inc();
-    let _ = write_reply(&mut conn, &Reply::service_not_available());
+    write_farewell(&mut conn, &Reply::service_not_available());
 }
 
 /// Drops one pre-trust connection's per-IP admission slot.
@@ -199,21 +345,24 @@ fn release_ip(per_ip: &mut HashMap<Ipv4, usize>, peer: Ipv4) {
 }
 
 /// Unhooks a connection from the reactor, the timer wheel, and the
-/// per-IP ledger, and closes out its pre-trust span. The caller decides
-/// what happens to the socket, line buffer, and in-flight gauge (they
-/// differ between eviction and trusted hand-off).
+/// per-IP ledger; closes out its pre-trust span and returns its queued
+/// bytes to the outq gauge. The caller decides what happens to the
+/// socket, line buffer, and in-flight gauge (they differ between
+/// eviction and trusted hand-off).
 fn detach<C: Conn, R: Reactor>(
     token: u64,
     pre: Pre<C>,
     reactor: &mut R,
     wheel: &mut TimerWheel,
     per_ip: &mut HashMap<Ipv4, usize>,
-    span: &SpanHandle,
+    mm: &EngineMetrics,
 ) -> Pre<C> {
     let _ = reactor.deregister(pre.conn.poll_id());
-    wheel.cancel(token << 1);
-    wheel.cancel((token << 1) | 1);
-    span.record_since(pre.accepted_ns);
+    wheel.cancel((token << 2) | TIMER_IDLE);
+    wheel.cancel((token << 2) | TIMER_SESSION);
+    wheel.cancel((token << 2) | TIMER_WRITE_STALL);
+    mm.outq_bytes.add(-(pre.outq.pending() as i64));
+    mm.pretrust_ns.record_since(pre.accepted_ns);
     release_ip(per_ip, pre.peer);
     pre
 }
@@ -226,18 +375,79 @@ enum PumpResult {
     Trusted,
 }
 
-/// Writes accumulated reply bytes as one socket write (the coalesced
-/// answer to a pipelined burst); no-op for an empty buffer.
-fn flush_replies<C: Conn>(conn: &mut C, out: &[u8]) -> io::Result<()> {
-    if out.is_empty() {
-        Ok(())
-    } else {
-        conn.write_all_bytes(out)
+/// How a connection came out of a write attempt.
+enum WriteVerdict {
+    /// Still healthy (possibly with queued bytes and armed interest).
+    Kept,
+    /// Queue cap or interest-arming failure: evict as a slow writer.
+    EvictSlow,
+    /// Transport error: close like a peer disconnect.
+    Broken,
+}
+
+/// Reconciles a connection's write-interest, stall-deadline, and gauge
+/// state with its [`OutBuf`] after one send/flush, and says whether the
+/// connection survives. `before` is the queue depth prior to the write
+/// attempt (for exact gauge deltas).
+#[allow(clippy::too_many_arguments)]
+fn settle_write<C: Conn, R: Reactor>(
+    token: u64,
+    pre: &mut Pre<C>,
+    before: usize,
+    state: WriteState,
+    wrote: usize,
+    reactor: &mut R,
+    wheel: &mut TimerWheel,
+    mm: &EngineMetrics,
+    now: u64,
+    stall_ns: u64,
+) -> WriteVerdict {
+    mm.outq_bytes.add(pre.outq.pending() as i64 - before as i64);
+    match state {
+        WriteState::Drained => {
+            if pre.w_armed {
+                pre.w_armed = false;
+                let _ = reactor.set_write_interest(pre.conn.poll_id(), false);
+                wheel.cancel((token << 2) | TIMER_WRITE_STALL);
+            }
+            WriteVerdict::Kept
+        }
+        WriteState::Pending => {
+            if !pre.w_armed {
+                // The stall begins here: count it, watch for writability,
+                // and start the no-progress clock.
+                mm.write_stalls.inc();
+                if reactor
+                    .set_write_interest(pre.conn.poll_id(), true)
+                    .is_err()
+                {
+                    // Never told when the peer drains ⇒ the queue would
+                    // sit forever; give the connection up now.
+                    return WriteVerdict::EvictSlow;
+                }
+                pre.w_armed = true;
+                wheel.schedule(
+                    (token << 2) | TIMER_WRITE_STALL,
+                    now.saturating_add(stall_ns),
+                );
+            } else if wrote > 0 {
+                // Progress resets the no-progress deadline: a slow drip
+                // is served for as long as it keeps accepting bytes.
+                wheel.schedule(
+                    (token << 2) | TIMER_WRITE_STALL,
+                    now.saturating_add(stall_ns),
+                );
+            }
+            WriteVerdict::Kept
+        }
+        WriteState::Overflow => WriteVerdict::EvictSlow,
+        WriteState::Broken => WriteVerdict::Broken,
     }
 }
 
 /// One readiness-driven pump: a single read, then every complete line it
-/// completed, replies coalesced into one write.
+/// completed, replies coalesced into `out` (the caller routes them
+/// through the connection's [`OutBuf`]).
 fn pump<C: Conn>(
     pre: &mut Pre<C>,
     exists: &dyn Fn(&MailAddr) -> bool,
@@ -270,17 +480,14 @@ fn pump<C: Conn>(
                         Reply::bad_argument()
                     }
                 };
-                // Replies accumulate; the whole burst is flushed at once
-                // when the connection changes state or input runs dry.
+                // Replies accumulate; the whole burst reaches the OutBuf
+                // at once when the connection changes state or input runs
+                // dry.
                 reply.write_wire(out);
                 if pre.session.phase() == SessionPhase::Closed {
-                    let _ = flush_replies(&mut pre.conn, out);
                     return PumpResult::Close;
                 }
                 if pre.session.has_valid_recipient() {
-                    if flush_replies(&mut pre.conn, out).is_err() {
-                        return PumpResult::Close;
-                    }
                     return PumpResult::Trusted;
                 }
                 result = PumpResult::Progress;
@@ -288,13 +495,9 @@ fn pump<C: Conn>(
             Ok(None) => break,
             Err(LineOverflow) => {
                 Reply::syntax_error().write_wire(out);
-                let _ = flush_replies(&mut pre.conn, out);
                 return PumpResult::Overflow;
             }
         }
-    }
-    if flush_replies(&mut pre.conn, out).is_err() {
-        return PumpResult::Close;
     }
     result
 }
@@ -305,6 +508,7 @@ enum TimerAction {
     Gone,
     EvictIdle,
     EvictSession,
+    EvictStalled,
     Rearm(u64),
 }
 
@@ -326,19 +530,24 @@ where
         wakeups: ctx.registry.counter("master.wakeups"),
         io_events: ctx.registry.counter("master.io_events"),
         timers_fired: ctx.registry.counter("master.timers_fired"),
+        write_stalls: ctx.registry.counter("master.write_stalls"),
+        evicted_slow_writers: ctx.registry.counter("master.evicted_slow_writers"),
+        outq_bytes: ctx.registry.gauge("master.outq_bytes"),
     };
     let stats = &ctx.stats;
     let exists = |a: &MailAddr| ctx.mailboxes.contains(a.local_part());
     let inflight_cap = i64::try_from(ctx.max_connections).unwrap_or(i64::MAX);
     let idle_ns = duration_ns(ctx.pretrust_idle_timeout);
     let session_ns = duration_ns(ctx.session_deadline);
+    let stall_ns = duration_ns(ctx.write_stall_timeout);
     let mut wheel = TimerWheel::new(ctx.registry.now_nanos());
     let mut conns: BTreeMap<u64, Pre<A::Conn>> = BTreeMap::new();
     let mut per_ip: HashMap<Ipv4, usize> = HashMap::new();
     let mut next_token: u64 = ACCEPT_TOKEN + 1;
-    let mut ready: Vec<u64> = Vec::new();
+    let mut ready: Vec<ReadyEvent> = Vec::new();
     let mut fired: Vec<(u64, u64)> = Vec::new();
-    // Reply bytes for one pumped burst, written to the socket in one call.
+    // Reply bytes for one pumped burst, routed through the connection's
+    // OutBuf in one send.
     let mut out: Vec<u8> = Vec::new();
     if reactor.register(acceptor.poll_id(), ACCEPT_TOKEN).is_err() {
         // A master that cannot watch its own listener cannot serve.
@@ -367,15 +576,8 @@ where
             let evicted: Vec<u64> = conns.keys().copied().collect();
             for token in evicted {
                 if let Some(pre) = conns.remove(&token) {
-                    let mut pre = detach(
-                        token,
-                        pre,
-                        reactor,
-                        &mut wheel,
-                        &mut per_ip,
-                        &mm.pretrust_ns,
-                    );
-                    let _ = write_reply(&mut pre.conn, &Reply::service_not_available());
+                    let mut pre = detach(token, pre, reactor, &mut wheel, &mut per_ip, &mm);
+                    write_farewell(&mut pre.conn, &Reply::service_not_available());
                     ctx.line_pool.put(pre.lines.into_remaining());
                     ctx.inflight.dec();
                     stats.shed_draining.inc();
@@ -383,7 +585,8 @@ where
                 }
             }
         }
-        for &token in &ready {
+        for &ev in &ready {
+            let token = ev.token;
             if token == ACCEPT_TOKEN {
                 // Accept everything pending.
                 loop {
@@ -400,7 +603,7 @@ where
                             // loopback peer.
                             stats.rejected_ipv6.inc();
                             let mut conn = conn;
-                            let _ = write_reply(&mut conn, &Reply::ipv6_unsupported());
+                            write_farewell(&mut conn, &Reply::ipv6_unsupported());
                             continue;
                         }
                     };
@@ -434,38 +637,138 @@ where
                         hostname: Arc::clone(&ctx.hostname),
                         ..SessionConfig::default()
                     });
-                    let mut conn = conn;
-                    let _ = write_reply(&mut conn, &session.greeting());
                     let token = next_token;
                     next_token += 1;
                     if reactor.register(conn.poll_id(), token).is_err() {
                         // A connection the reactor cannot watch would sit
                         // unserved forever; refuse it instead.
                         stats.sockopt_errors.inc();
-                        let _ = write_reply(&mut conn, &Reply::service_not_available());
+                        let mut conn = conn;
+                        write_farewell(&mut conn, &Reply::service_not_available());
                         continue;
                     }
                     let accepted_ns = mm.pretrust_ns.now();
                     ctx.inflight.inc();
                     *per_ip.entry(peer_ip).or_insert(0) += 1;
-                    wheel.schedule(token << 1, accepted_ns.saturating_add(idle_ns));
-                    wheel.schedule((token << 1) | 1, accepted_ns.saturating_add(session_ns));
+                    wheel.schedule(
+                        (token << 2) | TIMER_IDLE,
+                        accepted_ns.saturating_add(idle_ns),
+                    );
+                    wheel.schedule(
+                        (token << 2) | TIMER_SESSION,
+                        accepted_ns.saturating_add(session_ns),
+                    );
+                    let greeting = session.greeting().to_wire();
                     conns.insert(
                         token,
                         Pre {
                             conn,
                             session,
                             lines: LineBuffer::from_remaining(ctx.line_pool.take_vec()),
+                            outq: OutBuf::new(ctx.max_outq_bytes),
+                            w_armed: false,
                             peer: peer_ip,
                             accepted_ns,
                             last_activity_ns: accepted_ns,
                         },
                     );
+                    // The greeting rides the same backpressure path as
+                    // every later reply — a zero-window peer can stall
+                    // from byte one.
+                    let verdict = match conns.get_mut(&token) {
+                        Some(pre) => {
+                            let before = pre.outq.pending();
+                            let (state, wrote) = pre.outq.send(&mut pre.conn, greeting.as_bytes());
+                            settle_write(
+                                token,
+                                pre,
+                                before,
+                                state,
+                                wrote,
+                                reactor,
+                                &mut wheel,
+                                &mm,
+                                accepted_ns,
+                                stall_ns,
+                            )
+                        }
+                        None => WriteVerdict::Kept,
+                    };
+                    match verdict {
+                        WriteVerdict::Kept => {}
+                        WriteVerdict::EvictSlow => {
+                            evict_slow_writer(
+                                token,
+                                &mut conns,
+                                reactor,
+                                &mut wheel,
+                                &mut per_ip,
+                                &mm,
+                                ctx,
+                            );
+                        }
+                        WriteVerdict::Broken => {
+                            close_conn(
+                                token,
+                                &mut conns,
+                                reactor,
+                                &mut wheel,
+                                &mut per_ip,
+                                &mm,
+                                ctx,
+                            );
+                        }
+                    }
                 }
                 continue;
             }
+            if ev.writable {
+                // The peer drained some of its socket buffer: flush the
+                // queue before reading more work from it.
+                let verdict = match conns.get_mut(&token) {
+                    Some(pre) => {
+                        let before = pre.outq.pending();
+                        let (state, wrote) = pre.outq.flush(&mut pre.conn);
+                        let now = ctx.registry.now_nanos();
+                        settle_write(
+                            token, pre, before, state, wrote, reactor, &mut wheel, &mm, now,
+                            stall_ns,
+                        )
+                    }
+                    None => WriteVerdict::Kept,
+                };
+                match verdict {
+                    WriteVerdict::Kept => {}
+                    WriteVerdict::EvictSlow => {
+                        evict_slow_writer(
+                            token,
+                            &mut conns,
+                            reactor,
+                            &mut wheel,
+                            &mut per_ip,
+                            &mm,
+                            ctx,
+                        );
+                    }
+                    WriteVerdict::Broken => {
+                        close_conn(
+                            token,
+                            &mut conns,
+                            reactor,
+                            &mut wheel,
+                            &mut per_ip,
+                            &mm,
+                            ctx,
+                        );
+                    }
+                }
+            }
+            if !ev.readable {
+                continue;
+            }
             let Some(pre) = conns.get_mut(&token) else {
-                // Evicted earlier this wakeup (e.g. by the drain sweep).
+                // Evicted earlier this wakeup (e.g. by the drain sweep or
+                // a failed flush just above).
                 continue;
             };
             match pump(pre, &exists, &mm.verbs, &mut out) {
@@ -473,18 +776,52 @@ where
                 PumpResult::Progress => {
                     let now = ctx.registry.now_nanos();
                     pre.last_activity_ns = now;
-                    wheel.schedule(token << 1, now.saturating_add(idle_ns));
+                    wheel.schedule((token << 2) | TIMER_IDLE, now.saturating_add(idle_ns));
+                    let verdict = if out.is_empty() {
+                        WriteVerdict::Kept
+                    } else {
+                        let before = pre.outq.pending();
+                        let (state, wrote) = pre.outq.send(&mut pre.conn, &out);
+                        settle_write(
+                            token, pre, before, state, wrote, reactor, &mut wheel, &mm, now,
+                            stall_ns,
+                        )
+                    };
+                    match verdict {
+                        WriteVerdict::Kept => {}
+                        WriteVerdict::EvictSlow => {
+                            evict_slow_writer(
+                                token,
+                                &mut conns,
+                                reactor,
+                                &mut wheel,
+                                &mut per_ip,
+                                &mm,
+                                ctx,
+                            );
+                        }
+                        WriteVerdict::Broken => {
+                            close_conn(
+                                token,
+                                &mut conns,
+                                reactor,
+                                &mut wheel,
+                                &mut per_ip,
+                                &mm,
+                                ctx,
+                            );
+                        }
+                    }
                 }
                 PumpResult::Close => {
                     if let Some(pre) = conns.remove(&token) {
-                        let pre = detach(
-                            token,
-                            pre,
-                            reactor,
-                            &mut wheel,
-                            &mut per_ip,
-                            &mm.pretrust_ns,
-                        );
+                        let pre = detach(token, pre, reactor, &mut wheel, &mut per_ip, &mm);
+                        // Final farewell (e.g. the QUIT 221): best effort
+                        // after any queued bytes, dropped if the peer has
+                        // stopped reading — it is gone either way.
+                        let mut conn = pre.conn;
+                        best_effort_write(&mut conn, &pre.outq.take_pending());
+                        best_effort_write(&mut conn, &out);
                         ctx.line_pool.put(pre.lines.into_remaining());
                         ctx.inflight.dec();
                         match pre.session.outcome() {
@@ -495,14 +832,10 @@ where
                 }
                 PumpResult::Overflow => {
                     if let Some(pre) = conns.remove(&token) {
-                        let pre = detach(
-                            token,
-                            pre,
-                            reactor,
-                            &mut wheel,
-                            &mut per_ip,
-                            &mm.pretrust_ns,
-                        );
+                        let pre = detach(token, pre, reactor, &mut wheel, &mut per_ip, &mm);
+                        let mut conn = pre.conn;
+                        best_effort_write(&mut conn, &pre.outq.take_pending());
+                        best_effort_write(&mut conn, &out);
                         ctx.line_pool.put(pre.lines.into_remaining());
                         ctx.inflight.dec();
                         stats.overflows.inc();
@@ -510,19 +843,27 @@ where
                     }
                 }
                 PumpResult::Trusted => {
-                    if let Some(pre) = conns.remove(&token) {
-                        let pre = detach(
-                            token,
-                            pre,
-                            reactor,
-                            &mut wheel,
-                            &mut per_ip,
-                            &mm.pretrust_ns,
-                        );
+                    if let Some(mut pre) = conns.remove(&token) {
+                        // Flush the trusting reply burst as far as the
+                        // socket allows; whatever stays queued travels to
+                        // the worker, which writes it under its own
+                        // deadline.
+                        let before = pre.outq.pending();
+                        let (state, _) = pre.outq.send(&mut pre.conn, &out);
+                        mm.outq_bytes.add(pre.outq.pending() as i64 - before as i64);
+                        if matches!(state, WriteState::Broken) {
+                            let pre = detach(token, pre, reactor, &mut wheel, &mut per_ip, &mm);
+                            ctx.line_pool.put(pre.lines.into_remaining());
+                            ctx.inflight.dec();
+                            stats.unfinished.inc();
+                            continue;
+                        }
+                        let pre = detach(token, pre, reactor, &mut wheel, &mut per_ip, &mm);
                         let task = Trusted {
                             conn: pre.conn,
                             session: pre.session,
                             leftover: pre.lines.into_remaining(),
+                            pending_out: pre.outq.take_pending(),
                             peer: pre.peer,
                             accepted_ns: pre.accepted_ns,
                         };
@@ -549,10 +890,20 @@ where
             mm.timers_fired.add(fired.len() as u64);
         }
         for &(_, id) in &fired {
-            let token = id >> 1;
+            let token = id >> 2;
+            let kind = id & 3;
             let action = match conns.get(&token) {
                 None => TimerAction::Gone,
-                Some(_) if id & 1 == 1 => TimerAction::EvictSession,
+                Some(_) if kind == TIMER_SESSION => TimerAction::EvictSession,
+                Some(pre) if kind == TIMER_WRITE_STALL => {
+                    if pre.outq.is_empty() {
+                        // Drained in the same wakeup the deadline fired;
+                        // the cancel raced the expiry.
+                        TimerAction::Gone
+                    } else {
+                        TimerAction::EvictStalled
+                    }
+                }
                 Some(pre) => {
                     if now.saturating_sub(pre.last_activity_ns) >= idle_ns {
                         TimerAction::EvictIdle
@@ -570,14 +921,7 @@ where
                     if let Some(pre) = conns.remove(&token) {
                         // Idle slow client: drop it without touching a
                         // worker (counts as an unfinished transaction).
-                        let pre = detach(
-                            token,
-                            pre,
-                            reactor,
-                            &mut wheel,
-                            &mut per_ip,
-                            &mm.pretrust_ns,
-                        );
+                        let pre = detach(token, pre, reactor, &mut wheel, &mut per_ip, &mm);
                         ctx.line_pool.put(pre.lines.into_remaining());
                         ctx.inflight.dec();
                         stats.idle_evictions.inc();
@@ -588,22 +932,68 @@ where
                     if let Some(pre) = conns.remove(&token) {
                         // The whole-session budget ran out mid-dialog:
                         // evict with `421` wherever the client is.
-                        let mut pre = detach(
-                            token,
-                            pre,
-                            reactor,
-                            &mut wheel,
-                            &mut per_ip,
-                            &mm.pretrust_ns,
-                        );
-                        let _ = write_reply(&mut pre.conn, &Reply::service_not_available());
+                        let mut pre = detach(token, pre, reactor, &mut wheel, &mut per_ip, &mm);
+                        write_farewell(&mut pre.conn, &Reply::service_not_available());
                         ctx.line_pool.put(pre.lines.into_remaining());
                         ctx.inflight.dec();
                         stats.session_deadline_evictions.inc();
                         stats.unfinished.inc();
                     }
                 }
+                TimerAction::EvictStalled => {
+                    evict_slow_writer(
+                        token,
+                        &mut conns,
+                        reactor,
+                        &mut wheel,
+                        &mut per_ip,
+                        &mm,
+                        ctx,
+                    );
+                }
             }
+        }
+    }
+}
+
+/// Evicts a peer that stopped draining its socket (queue cap hit, or no
+/// write progress for the whole stall budget). No farewell: by
+/// definition it is not reading.
+fn evict_slow_writer<C: Conn, R: Reactor>(
+    token: u64,
+    conns: &mut BTreeMap<u64, Pre<C>>,
+    reactor: &mut R,
+    wheel: &mut TimerWheel,
+    per_ip: &mut HashMap<Ipv4, usize>,
+    mm: &EngineMetrics,
+    ctx: &EngineCtx,
+) {
+    if let Some(pre) = conns.remove(&token) {
+        let pre = detach(token, pre, reactor, wheel, per_ip, mm);
+        ctx.line_pool.put(pre.lines.into_remaining());
+        ctx.inflight.dec();
+        mm.evicted_slow_writers.inc();
+        ctx.stats.unfinished.inc();
+    }
+}
+
+/// Closes a connection whose transport failed mid-write (peer reset).
+fn close_conn<C: Conn, R: Reactor>(
+    token: u64,
+    conns: &mut BTreeMap<u64, Pre<C>>,
+    reactor: &mut R,
+    wheel: &mut TimerWheel,
+    per_ip: &mut HashMap<Ipv4, usize>,
+    mm: &EngineMetrics,
+    ctx: &EngineCtx,
+) {
+    if let Some(pre) = conns.remove(&token) {
+        let pre = detach(token, pre, reactor, wheel, per_ip, mm);
+        ctx.line_pool.put(pre.lines.into_remaining());
+        ctx.inflight.dec();
+        match pre.session.outcome() {
+            SessionOutcome::Bounce => ctx.stats.bounces.inc(),
+            _ => ctx.stats.unfinished.inc(),
         }
     }
 }

@@ -44,12 +44,29 @@ impl Pollable for std::net::TcpListener {
     }
 }
 
-/// Readiness notification: level-triggered readability plus a bounded
-/// wait. The reactor wait is the single sanctioned blocking call on the
-/// master thread (DESIGN.md §15); the xtask blocking pass whitelists it
-/// by name and keeps everything else banned.
+/// One readiness report out of [`Reactor::wait`].
+///
+/// Hangups and pending errors are folded into `readable` (a read will
+/// surface them), so the engine's read path stays one arm; `writable`
+/// only fires for ids whose write interest is currently armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyEvent {
+    /// The token the id was registered under.
+    pub token: u64,
+    /// Readable, at EOF, or carrying a pending error.
+    pub readable: bool,
+    /// Writable (reported only while write interest is armed).
+    pub writable: bool,
+}
+
+/// Readiness notification: level-triggered readability, opt-in per-id
+/// write interest, plus a bounded wait. The reactor wait is the single
+/// sanctioned blocking call on the master thread (DESIGN.md §15); the
+/// xtask blocking pass whitelists it by name and keeps everything else
+/// banned.
 pub trait Reactor {
-    /// Starts watching `poll_id` for readability under `token`.
+    /// Starts watching `poll_id` for readability under `token` (write
+    /// interest starts disarmed).
     ///
     /// # Errors
     ///
@@ -66,13 +83,24 @@ pub trait Reactor {
     /// that is about to be closed.
     fn deregister(&mut self, poll_id: u64) -> io::Result<()>;
 
-    /// Blocks until at least one watched id is readable, the timeout
-    /// elapses, or a waker fires; appends the ready tokens to `out`
+    /// Arms (`on`) or disarms write-readiness reporting for `poll_id`.
+    /// Level-triggered: while armed, an id with socket-buffer room is
+    /// reported writable on every wait, so interest must be armed only
+    /// while output is actually queued (DESIGN.md §15.4).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the OS rejects the re-registration; the caller should
+    /// evict the connection (its queued output can never flush).
+    fn set_write_interest(&mut self, poll_id: u64, on: bool) -> io::Result<()>;
+
+    /// Blocks until at least one watched id is ready, the timeout
+    /// elapses, or a waker fires; appends the ready events to `out`
     /// (possibly none — timer expiry and wakes return empty). `None`
     /// means wait indefinitely.
     ///
     /// # Errors
     ///
     /// Fails only if the underlying readiness syscall does.
-    fn wait(&mut self, timeout_ns: Option<u64>, out: &mut Vec<u64>) -> io::Result<()>;
+    fn wait(&mut self, timeout_ns: Option<u64>, out: &mut Vec<ReadyEvent>) -> io::Result<()>;
 }

@@ -1,6 +1,7 @@
 //! The production [`Reactor`]: epoll plus a self-pipe waker.
 
-use super::Reactor;
+use super::{Reactor, ReadyEvent};
+use std::collections::BTreeMap;
 use std::io;
 use std::os::fd::RawFd;
 
@@ -9,7 +10,8 @@ use std::os::fd::RawFd;
 /// this one value.
 const WAKE_TOKEN: u64 = u64::MAX;
 
-/// Readiness notification over epoll (level-triggered, read interest).
+/// Readiness notification over epoll (level-triggered; read interest
+/// always, write interest per-fd while armed).
 ///
 /// The embedded wake pipe lets other threads interrupt a blocked
 /// [`Reactor::wait`]: [`OsReactor::waker`] hands out cloneable handles,
@@ -20,6 +22,10 @@ pub struct OsReactor {
     wake: rawpoll::WakePipe,
     /// Reusable kernel-event scratch buffer.
     events: Vec<rawpoll::Ready>,
+    /// Registration bookkeeping: `poll_id → (token, write armed)`, needed
+    /// because `EPOLL_CTL_MOD` replaces the whole interest set, so the
+    /// token must be replayed on every interest flip.
+    watched: BTreeMap<u64, (u64, bool)>,
 }
 
 impl OsReactor {
@@ -36,6 +42,7 @@ impl OsReactor {
             poller,
             wake,
             events: Vec::new(),
+            watched: BTreeMap::new(),
         })
     }
 
@@ -47,14 +54,30 @@ impl OsReactor {
 
 impl Reactor for OsReactor {
     fn register(&mut self, poll_id: u64, token: u64) -> io::Result<()> {
-        self.poller.add(poll_id as RawFd, token)
+        self.poller.add(poll_id as RawFd, token)?;
+        self.watched.insert(poll_id, (token, false));
+        Ok(())
     }
 
     fn deregister(&mut self, poll_id: u64) -> io::Result<()> {
+        self.watched.remove(&poll_id);
         self.poller.del(poll_id as RawFd)
     }
 
-    fn wait(&mut self, timeout_ns: Option<u64>, out: &mut Vec<u64>) -> io::Result<()> {
+    fn set_write_interest(&mut self, poll_id: u64, on: bool) -> io::Result<()> {
+        let Some(&(token, armed)) = self.watched.get(&poll_id) else {
+            return Err(io::Error::from(io::ErrorKind::NotFound));
+        };
+        if armed == on {
+            // Idempotent: spare the epoll_ctl syscall.
+            return Ok(());
+        }
+        self.poller.modify(poll_id as RawFd, token, on)?;
+        self.watched.insert(poll_id, (token, on));
+        Ok(())
+    }
+
+    fn wait(&mut self, timeout_ns: Option<u64>, out: &mut Vec<ReadyEvent>) -> io::Result<()> {
         let timeout_ms = match timeout_ns {
             // Timer already due: poll without sleeping.
             Some(0) => Some(0),
@@ -69,7 +92,13 @@ impl Reactor for OsReactor {
                 // state change prompted the wake via its own flags.
                 self.wake.drain();
             } else {
-                out.push(ev.token);
+                out.push(ReadyEvent {
+                    token: ev.token,
+                    // A hangup or pending error surfaces through the next
+                    // read, so it counts as readability for the engine.
+                    readable: ev.readable || ev.hangup,
+                    writable: ev.writable,
+                });
             }
         }
         Ok(())

@@ -1,24 +1,33 @@
 //! Scripted readiness on virtual time: the deterministic [`Reactor`].
 //!
 //! A [`SimReactor`] replays a pre-written schedule of network events —
-//! connects, byte deliveries, peer EOFs, drain/stop control flips —
-//! against a [`ManualClock`]. [`Reactor::wait`] never sleeps: it either
-//! reports readiness that is already pending (level-triggered, like
-//! epoll), or jumps the clock forward to the next scripted event or the
-//! caller's timer deadline, whichever is sooner. Driven this way, the
-//! pre-trust engine in [`crate::pretrust`] runs its full behavior —
-//! timeouts, drain, shed, slowloris eviction — byte-identically on every
-//! run, with zero real sockets or sleeps.
+//! connects, byte deliveries, peer EOFs, write-window grants, drain/stop
+//! control flips — against a [`ManualClock`]. [`Reactor::wait`] never
+//! sleeps: it either reports readiness that is already pending
+//! (level-triggered, like epoll), or jumps the clock forward to the next
+//! scripted event or the caller's timer deadline, whichever is sooner.
+//! Driven this way, the pre-trust engine in [`crate::pretrust`] runs its
+//! full behavior — timeouts, drain, shed, slowloris eviction, write
+//! backpressure — byte-identically on every run, with zero real sockets
+//! or sleeps.
 //!
 //! [`SimAcceptor`] and [`SimConn`] are the transport doubles; all three
 //! share one scripted-network state, so a test builds a reactor, takes
 //! its acceptor, runs the engine, and then inspects per-connection
 //! output bytes, open/closed state, and the reactor's event log.
 //!
+//! Write backpressure is scripted through per-connection **windows**: a
+//! connection starts with an unlimited window (every write is accepted
+//! whole, like a healthy peer with an empty socket buffer), and a
+//! [`SimEvent::Window`] grant switches it to a byte budget — writes
+//! consume the budget, a zero budget returns `WouldBlock` (the scripted
+//! zero-window stall), and later grants model the peer draining its
+//! receive buffer.
+//!
 //! This file is in the xtask determinism scope: no wall-clock reads and
 //! no hash-ordered iteration are allowed here.
 
-use super::{Pollable, Reactor};
+use super::{Pollable, Reactor, ReadyEvent};
 use crate::pretrust::{Acceptor, Conn};
 use parking_lot::Mutex;
 use spamaware_metrics::{Clock, ManualClock};
@@ -54,6 +63,16 @@ pub enum SimEvent {
         /// Target connection id.
         conn: u64,
     },
+    /// The peer grants `bytes` of write budget (its kernel acked that
+    /// much of our output). The first grant switches the connection from
+    /// the default unlimited window to scripted flow control — grant `0`
+    /// at connect time to model a peer that stalls from the first byte.
+    Window {
+        /// Target connection id.
+        conn: u64,
+        /// Additional bytes the connection will accept.
+        bytes: usize,
+    },
     /// The operator requests a graceful drain.
     Drain,
     /// The operator stops the server; the engine exits at this wakeup.
@@ -67,6 +86,16 @@ struct ConnState {
     eof: bool,
     output: Vec<u8>,
     open: bool,
+    /// Remaining write budget: `None` (default) accepts everything,
+    /// `Some(n)` accepts up to `n` bytes and then `WouldBlock`s.
+    window: Option<usize>,
+}
+
+impl ConnState {
+    /// Whether a write of at least one byte would currently succeed.
+    fn writable(&self) -> bool {
+        self.window.is_none_or(|w| w > 0)
+    }
 }
 
 /// The scripted network: pending handshakes plus per-connection buffers.
@@ -109,12 +138,26 @@ impl Conn for SimConn {
         Ok(n)
     }
 
-    fn write_all_bytes(&mut self, buf: &[u8]) -> io::Result<()> {
+    fn write_ready(&mut self, buf: &[u8]) -> io::Result<usize> {
         let mut net = self.net.lock();
-        if let Some(st) = net.conns.get_mut(&self.id) {
-            st.output.extend_from_slice(buf);
+        let Some(st) = net.conns.get_mut(&self.id) else {
+            // Scripted teardown already forgot the connection: swallow the
+            // bytes like a closed socket's last write racing the RST.
+            return Ok(buf.len());
+        };
+        match st.window {
+            None => {
+                st.output.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            Some(0) => Err(io::Error::from(ErrorKind::WouldBlock)),
+            Some(w) => {
+                let n = w.min(buf.len());
+                st.output.extend_from_slice(&buf[..n]);
+                st.window = Some(w - n);
+                Ok(n)
+            }
         }
-        Ok(())
     }
 }
 
@@ -171,7 +214,8 @@ pub struct SimReactor {
     /// their authoring order).
     script: VecDeque<(u64, SimEvent)>,
     net: Arc<Mutex<NetState>>,
-    registered: BTreeMap<u64, u64>,
+    /// `poll_id → (token, write interest armed)`.
+    registered: BTreeMap<u64, (u64, bool)>,
     stop: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
     log: Vec<String>,
@@ -209,8 +253,8 @@ impl SimReactor {
     }
 
     /// The deterministic event log: one line per delivered event,
-    /// readiness report, and timer wakeup. Two identical runs produce
-    /// byte-identical logs.
+    /// readiness report, interest change, and timer wakeup. Two identical
+    /// runs produce byte-identical logs.
     pub fn log(&self) -> &[String] {
         &self.log
     }
@@ -246,6 +290,11 @@ impl SimReactor {
             .unwrap_or(0)
     }
 
+    /// Remaining scripted write budget for `conn` (`None` = unlimited).
+    pub fn window_left(&self, conn: u64) -> Option<usize> {
+        self.net.lock().conns.get(&conn).and_then(|st| st.window)
+    }
+
     /// Applies one scripted event to the network/control state.
     fn apply(&mut self, at: u64, ev: SimEvent) {
         match ev {
@@ -273,6 +322,15 @@ impl SimReactor {
                 }
                 self.log.push(format!("t={at} eof conn={conn}"));
             }
+            SimEvent::Window { conn, bytes } => {
+                {
+                    let mut net = self.net.lock();
+                    let st = net.conns.entry(conn).or_default();
+                    st.window = Some(st.window.unwrap_or(0).saturating_add(bytes));
+                }
+                self.log
+                    .push(format!("t={at} window conn={conn} bytes={bytes}"));
+            }
             SimEvent::Drain => {
                 self.draining.store(true, Ordering::SeqCst);
                 self.log.push(format!("t={at} drain"));
@@ -284,28 +342,57 @@ impl SimReactor {
         }
     }
 
-    /// Ready tokens under level-triggered semantics: the acceptor while a
+    /// Ready events under level-triggered semantics: the acceptor while a
     /// handshake is pending, a connection while it has unread input or a
-    /// pending EOF. Order follows registration ids, deterministically.
-    fn collect_ready(&self, out: &mut Vec<u64>) {
+    /// pending EOF (readable) or an armed write interest with window room
+    /// (writable). Order follows registration ids, deterministically.
+    fn collect_ready(&self, out: &mut Vec<ReadyEvent>) {
         let net = self.net.lock();
-        for (&poll_id, &token) in &self.registered {
+        for (&poll_id, &(token, write_armed)) in &self.registered {
             if poll_id == SIM_ACCEPTOR_ID {
                 if !net.pending.is_empty() {
-                    out.push(token);
+                    out.push(ReadyEvent {
+                        token,
+                        readable: true,
+                        writable: false,
+                    });
                 }
             } else if let Some(st) = net.conns.get(&poll_id) {
-                if !st.input.is_empty() || st.eof {
-                    out.push(token);
+                let readable = !st.input.is_empty() || st.eof;
+                let writable = write_armed && st.writable();
+                if readable || writable {
+                    out.push(ReadyEvent {
+                        token,
+                        readable,
+                        writable,
+                    });
                 }
             }
         }
+    }
+
+    /// Compact, stable rendering of a readiness batch for the log.
+    fn render_ready(out: &[ReadyEvent]) -> String {
+        let items: Vec<String> = out
+            .iter()
+            .map(|ev| {
+                let mut s = ev.token.to_string();
+                if ev.readable {
+                    s.push('r');
+                }
+                if ev.writable {
+                    s.push('w');
+                }
+                s
+            })
+            .collect();
+        format!("[{}]", items.join(", "))
     }
 }
 
 impl Reactor for SimReactor {
     fn register(&mut self, poll_id: u64, token: u64) -> io::Result<()> {
-        self.registered.insert(poll_id, token);
+        self.registered.insert(poll_id, (token, false));
         self.log
             .push(format!("watch id={poll_id:#x} token={token}"));
         Ok(())
@@ -317,13 +404,26 @@ impl Reactor for SimReactor {
         Ok(())
     }
 
-    fn wait(&mut self, timeout_ns: Option<u64>, out: &mut Vec<u64>) -> io::Result<()> {
+    fn set_write_interest(&mut self, poll_id: u64, on: bool) -> io::Result<()> {
+        let Some(&(token, armed)) = self.registered.get(&poll_id) else {
+            return Err(io::Error::from(ErrorKind::NotFound));
+        };
+        if armed != on {
+            self.registered.insert(poll_id, (token, on));
+            let state = if on { "arm" } else { "disarm" };
+            self.log.push(format!("{state}-write id={poll_id:#x}"));
+        }
+        Ok(())
+    }
+
+    fn wait(&mut self, timeout_ns: Option<u64>, out: &mut Vec<ReadyEvent>) -> io::Result<()> {
         // Level-triggered: readiness the engine has not yet consumed
         // returns immediately, without advancing time.
         self.collect_ready(out);
         let now = self.clock.now_nanos();
         if !out.is_empty() {
-            self.log.push(format!("t={now} ready {out:?}"));
+            self.log
+                .push(format!("t={now} ready {}", Self::render_ready(out)));
             return Ok(());
         }
         let due = timeout_ns.map(|t| now.saturating_add(t));
@@ -343,8 +443,11 @@ impl Reactor for SimReactor {
                     }
                 }
                 self.collect_ready(out);
-                self.log
-                    .push(format!("t={} ready {out:?}", self.clock.now_nanos()));
+                self.log.push(format!(
+                    "t={} ready {}",
+                    self.clock.now_nanos(),
+                    Self::render_ready(out)
+                ));
                 Ok(())
             }
             _ => match due {

@@ -28,6 +28,8 @@ struct Config {
     session: Duration,
     max_connections: usize,
     max_per_ip: usize,
+    max_outq_bytes: usize,
+    write_stall: Duration,
 }
 
 impl Default for Config {
@@ -37,6 +39,8 @@ impl Default for Config {
             session: Duration::from_secs(30),
             max_connections: 64,
             max_per_ip: 8,
+            max_outq_bytes: 64 * 1024,
+            write_stall: Duration::from_secs(10),
         }
     }
 }
@@ -68,6 +72,8 @@ fn harness(script: Vec<(u64, SimEvent)>, cfg: &Config) -> Harness {
         dnsbl_tx: None,
         pretrust_idle_timeout: cfg.idle,
         session_deadline: cfg.session,
+        max_outq_bytes: cfg.max_outq_bytes,
+        write_stall_timeout: cfg.write_stall,
         max_connections: cfg.max_connections,
         max_pretrust_per_ip: cfg.max_per_ip,
         registry: Arc::clone(&registry),
@@ -595,5 +601,306 @@ fn exhausted_script_terminates_the_run() {
             .any(|l| l.contains("script-exhausted")),
         "{:?}",
         h.reactor.log()
+    );
+}
+
+/// A peer whose receive window is zero from the handshake on: the
+/// greeting queues (one `master.write_stalls`), the no-progress deadline
+/// arms at the accept instant, and with no grant ever arriving the
+/// engine evicts the connection at exactly accept + `write_stall` on the
+/// virtual clock — without a farewell, and with the outq gauge
+/// reconciled back to zero.
+#[test]
+fn zero_window_peer_is_evicted_at_the_stall_deadline() {
+    let cfg = Config {
+        idle: Duration::from_secs(30),
+        session: Duration::from_secs(60),
+        write_stall: Duration::from_secs(10),
+        ..Config::default()
+    };
+    let script = vec![
+        (
+            SEC,
+            SimEvent::Connect {
+                conn: 1,
+                peer: peer("10.0.0.1:2600"),
+            },
+        ),
+        // Same-instant zero grant: scripted flow control from byte one.
+        (SEC, SimEvent::Window { conn: 1, bytes: 0 }),
+        (20 * SEC, SimEvent::Stop),
+    ];
+    let mut h = harness(script, &cfg);
+    h.run(&mut |t| Some(t));
+
+    assert_eq!(h.registry.counter_value("master.write_stalls"), Some(1));
+    assert_eq!(
+        h.registry.counter_value("master.evicted_slow_writers"),
+        Some(1)
+    );
+    assert_eq!(h.stats.unfinished.get(), 1);
+    assert!(!h.reactor.conn_open(1), "stalled writer was dropped");
+    assert_eq!(
+        h.output_text(1),
+        "",
+        "a zero-window peer never receives a byte"
+    );
+    assert_eq!(h.registry.gauge_value("master.outq_bytes"), Some(0));
+    assert_eq!(h.registry.gauge_value("live.inflight"), Some(0));
+    // The eviction is the stall timer firing at exactly accept + 10s.
+    assert!(
+        h.reactor
+            .log()
+            .iter()
+            .any(|l| l == &format!("t={} timer", 11 * SEC)),
+        "expected the stall wakeup at t=11s in {:?}",
+        h.reactor.log()
+    );
+    assert!(
+        h.reactor.log().iter().any(|l| l.contains("arm-write")),
+        "write interest was armed for the stalled greeting: {:?}",
+        h.reactor.log()
+    );
+}
+
+/// The stall deadline measures *no progress*, not total queue lifetime: a
+/// peer draining one byte per virtual second keeps a 3-second stall
+/// budget alive for the 30 seconds the greeting needs, and every reply
+/// byte arrives in order with none lost.
+#[test]
+fn one_byte_per_tick_drip_outlives_the_stall_budget_without_eviction() {
+    let cfg = Config {
+        idle: Duration::from_secs(60),
+        session: Duration::from_secs(120),
+        write_stall: Duration::from_secs(3),
+        ..Config::default()
+    };
+    let greeting = "220 sim.test ESMTP spamaware\r\n";
+    let mut script = vec![
+        (
+            SEC,
+            SimEvent::Connect {
+                conn: 1,
+                peer: peer("10.0.0.1:2700"),
+            },
+        ),
+        (SEC, SimEvent::Window { conn: 1, bytes: 0 }),
+    ];
+    // One byte of window per second: each grant is inside the 3 s stall
+    // budget, but the whole drain takes 10× that budget.
+    for i in 0..greeting.len() as u64 {
+        script.push(((2 + i) * SEC, SimEvent::Window { conn: 1, bytes: 1 }));
+    }
+    script.push((40 * SEC, SimEvent::Stop));
+    let mut h = harness(script, &cfg);
+    h.run(&mut |t| Some(t));
+
+    assert_eq!(
+        h.output_text(1),
+        greeting,
+        "the drip received every reply byte, in order"
+    );
+    // The connection survived to the shutdown (the engine dropping it at
+    // stop is not an eviction): no slow-writer eviction, no unfinished
+    // transaction was counted.
+    assert_eq!(h.registry.counter_value("master.write_stalls"), Some(1));
+    assert_eq!(
+        h.registry.counter_value("master.evicted_slow_writers"),
+        Some(0)
+    );
+    assert_eq!(h.stats.unfinished.get(), 0);
+    assert_eq!(h.registry.gauge_value("live.inflight"), Some(1));
+    assert_eq!(h.registry.gauge_value("master.outq_bytes"), Some(0));
+    // The queue drained: interest was disarmed, closing the cycle.
+    assert!(
+        h.reactor.log().iter().any(|l| l.contains("disarm-write")),
+        "{:?}",
+        h.reactor.log()
+    );
+}
+
+/// A queue cap smaller than the greeting overflows on the very first
+/// send: the engine evicts the slow writer synchronously at the accept
+/// instant instead of carrying an unbounded buffer for a peer that
+/// reads nothing.
+#[test]
+fn outq_cap_overflow_evicts_at_the_accept_instant() {
+    let cfg = Config {
+        max_outq_bytes: 8,
+        ..Config::default()
+    };
+    let script = vec![
+        (
+            SEC,
+            SimEvent::Connect {
+                conn: 1,
+                peer: peer("10.0.0.1:2800"),
+            },
+        ),
+        (SEC, SimEvent::Window { conn: 1, bytes: 0 }),
+        (2 * SEC, SimEvent::Stop),
+    ];
+    let mut h = harness(script, &cfg);
+    h.run(&mut |t| Some(t));
+
+    assert_eq!(
+        h.registry.counter_value("master.evicted_slow_writers"),
+        Some(1)
+    );
+    assert!(!h.reactor.conn_open(1));
+    assert_eq!(h.registry.gauge_value("master.outq_bytes"), Some(0));
+    assert_eq!(h.registry.gauge_value("live.inflight"), Some(0));
+    // Overflow eviction is immediate — no timer wakeup was needed.
+    assert!(
+        !h.reactor.log().iter().any(|l| l.contains("timer")),
+        "{:?}",
+        h.reactor.log()
+    );
+}
+
+/// Reply bytes a stalled peer has not accepted travel with the trusted
+/// hand-off (`Trusted::pending_out`) instead of being dropped: the
+/// worker owes the peer those bytes before any reply of its own.
+#[test]
+fn stalled_trust_burst_hands_queued_replies_to_the_worker() {
+    let script = vec![
+        (
+            SEC,
+            SimEvent::Connect {
+                conn: 1,
+                peer: peer("10.0.0.1:2900"),
+            },
+        ),
+        // The greeting flushed under the default unlimited window; now
+        // the peer's receive buffer fills before the dialog replies.
+        (2 * SEC, SimEvent::Window { conn: 1, bytes: 0 }),
+        (
+            3 * SEC,
+            SimEvent::Data {
+                conn: 1,
+                bytes: TRUST_BURST.to_vec(),
+            },
+        ),
+        (5 * SEC, SimEvent::Stop),
+    ];
+    let mut h = harness(script, &Config::default());
+    let mut trusted: Vec<Trusted<SimConn>> = Vec::new();
+    h.run(&mut |t| {
+        trusted.push(t);
+        None
+    });
+
+    assert_eq!(trusted.len(), 1);
+    let t = &trusted[0];
+    let pending = String::from_utf8_lossy(&t.pending_out);
+    assert_eq!(
+        pending.matches("250 ").count(),
+        3,
+        "HELO, MAIL, and RCPT replies all queued for the worker: {pending}"
+    );
+    assert!(pending.ends_with("\r\n"), "{pending}");
+    assert_eq!(
+        h.output_text(1),
+        "220 sim.test ESMTP spamaware\r\n",
+        "the wire saw only the greeting before the window closed"
+    );
+    assert_eq!(t.leftover, b"DATA\r\n");
+    // The hand-off reconciled the gauge: the master no longer owns the
+    // queued bytes.
+    assert_eq!(h.registry.gauge_value("master.outq_bytes"), Some(0));
+    assert!(h.reactor.conn_open(1), "delegated, not closed");
+}
+
+/// The whole stall history — a zero-window eviction and a drip that
+/// survives on progress re-arms — is a pure function of the script: two
+/// runs agree byte-for-byte on the reactor log (arm/disarm instants,
+/// timer wakeups) and the metrics render.
+#[test]
+fn stall_and_eviction_history_replays_byte_identically() {
+    fn script() -> Vec<(u64, SimEvent)> {
+        vec![
+            // Conn 1: zero window forever; stall deadline evicts at 6s.
+            (
+                SEC,
+                SimEvent::Connect {
+                    conn: 1,
+                    peer: peer("10.0.0.1:3001"),
+                },
+            ),
+            (SEC, SimEvent::Window { conn: 1, bytes: 0 }),
+            // Conn 2: stalls at 2s, then drips inside the 5s budget and
+            // drains fully on a big grant.
+            (
+                2 * SEC,
+                SimEvent::Connect {
+                    conn: 2,
+                    peer: peer("10.0.0.2:3002"),
+                },
+            ),
+            (2 * SEC, SimEvent::Window { conn: 2, bytes: 0 }),
+            (4 * SEC, SimEvent::Window { conn: 2, bytes: 1 }),
+            (6 * SEC, SimEvent::Window { conn: 2, bytes: 1 }),
+            (
+                8 * SEC,
+                SimEvent::Window {
+                    conn: 2,
+                    bytes: 100,
+                },
+            ),
+            (12 * SEC, SimEvent::Stop),
+        ]
+    }
+    let cfg = Config {
+        idle: Duration::from_secs(30),
+        session: Duration::from_secs(60),
+        write_stall: Duration::from_secs(5),
+        ..Config::default()
+    };
+    let run = || {
+        let mut h = harness(script(), &cfg);
+        h.run(&mut |t| Some(t));
+        (
+            h.reactor.log().to_vec(),
+            h.registry.render(),
+            h.output_text(2),
+        )
+    };
+    let (log_a, render_a, out2_a) = run();
+    let (log_b, render_b, out2_b) = run();
+    assert_eq!(log_a, log_b, "reactor event logs diverged");
+    assert_eq!(render_a, render_b, "metrics renders diverged");
+    assert_eq!(out2_a, out2_b);
+    // Sanity: the replay exercised both sides of the stall machinery.
+    assert_eq!(out2_a, "220 sim.test ESMTP spamaware\r\n");
+    assert!(
+        render_a.contains("counter master.evicted_slow_writers 1"),
+        "{render_a}"
+    );
+    assert!(
+        render_a.contains("counter master.write_stalls 2"),
+        "{render_a}"
+    );
+    // Conn 1's stall deadline (armed at 1s, 5s budget) expires inside the
+    // t=6s wakeup that conn 2's grant happens to trigger: the eviction's
+    // unwatch lands between the t=6s batch and the next scripted instant.
+    let unwatch = log_a
+        .iter()
+        .position(|l| l == "unwatch id=0x1")
+        .expect("conn 1 was evicted");
+    let t6 = log_a
+        .iter()
+        .position(|l| l.starts_with(&format!("t={} ", 6 * SEC)))
+        .expect("a t=6s wakeup");
+    let t8 = log_a
+        .iter()
+        .position(|l| l.starts_with(&format!("t={} ", 8 * SEC)))
+        .expect("a t=8s wakeup");
+    assert!(
+        t6 < unwatch && unwatch < t8,
+        "stall eviction pinned to the t=6s wakeup: {log_a:?}"
+    );
+    assert!(
+        log_a.iter().any(|l| l.contains("disarm-write")),
+        "conn 2 drained and disarmed: {log_a:?}"
     );
 }

@@ -60,6 +60,12 @@ impl Gauge {
         self.0.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Moves the level by a signed delta (byte-count gauges shift by
+    /// whole buffers, not single steps).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
     /// Current level.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)

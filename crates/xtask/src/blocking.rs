@@ -7,15 +7,19 @@
 //! 1. **Blocking leaves** are classified by token: `thread::sleep`, UDP
 //!    `send_to`/`recv_from`, blocking-read socket configuration
 //!    (`set_read_timeout`), channel `recv`/`recv_timeout`, no-argument
-//!    `.join()`, readiness waits (`.wait(`, `poll2(`), and file I/O
-//!    (`File::open`, `fs::*`, `sync_all`, …).
+//!    `.join()`, readiness waits (`.wait(`, `poll2(`), stream writes
+//!    (`.write_all(`, `Write::write(`), and file I/O (`File::open`,
+//!    `fs::*`, `sync_all`, …).
 //! 2. **`blocking` (master)**: no blocking leaf of any kind may be
 //!    reachable from `master_loop` along call edges. Edges through a
 //!    `spawn(…)` call site are cut — a spawned closure blocks its own
-//!    thread, not the master. The single exception is the reactor wait
-//!    ([`SANCTIONED_WAITS`]): the §5 master *parks* in exactly one
-//!    readiness wait — that is the design, not a violation — and this
-//!    pass pins where that wait is allowed to live.
+//!    thread, not the master. Two pinned exceptions: the reactor wait
+//!    ([`SANCTIONED_WAITS`]) — the §5 master *parks* in exactly one
+//!    readiness wait — and the pre-trust `OutBuf`'s single raw socket
+//!    write ([`SANCTIONED_WRITES`]), which is only ever issued against a
+//!    nonblocking fd and returns `WouldBlock` instead of stalling. Every
+//!    other write on the master path is a regression: `write_all` on a
+//!    blocking socket hands the master's fate to one peer's read loop.
 //! 3. **`blocking` (under lock)**: sleep / network / channel / join
 //!    leaves may not execute while any discovered lock class is held
 //!    (from [`crate::locks`]'s held-line map). File I/O under a store
@@ -56,6 +60,16 @@ pub const SANCTIONED_WAITS: &[(&str, &str)] = &[
     ("crates/core/src/pretrust.rs", "reactor.wait("),
 ];
 
+/// Socket-write sites the master path is *allowed* to reach, as
+/// `(file suffix, line substring)` pairs. The pre-trust engine funnels
+/// every outbound byte through its bounded `OutBuf`, whose flush bottoms
+/// out in exactly one raw write against a nonblocking fd — `WouldBlock`
+/// comes back as data, not as a stall. Any other write token on the
+/// master path (a stray `write_all`, a second raw write site) bypasses
+/// the backpressure state machine and must fail the pass.
+pub const SANCTIONED_WRITES: &[(&str, &str)] =
+    &[("crates/core/src/pretrust.rs", "Write::write(self, buf)")];
+
 /// What a blocking leaf does, which decides where it is forbidden.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Kind {
@@ -70,6 +84,11 @@ pub enum Kind {
     /// Readiness waits (`.wait(`, `poll2(`) — blocking, but sanctioned at
     /// the [`SANCTIONED_WAITS`] sites where parking is the design.
     Wait,
+    /// Stream writes (`.write_all(`, `Write::write(`) — blocking on a
+    /// full socket buffer; sanctioned only at the [`SANCTIONED_WRITES`]
+    /// nonblocking raw-write site on the master path. Allowed under a
+    /// store lock (the mfs append *is* the critical section).
+    SockWrite,
     /// File reads (allowed under a store lock, but not in a held loop).
     FileRead,
     /// File writes / metadata (the store's critical sections).
@@ -84,6 +103,7 @@ impl Kind {
             Kind::Channel => "channel recv",
             Kind::Join => "thread join",
             Kind::Wait => "readiness wait",
+            Kind::SockWrite => "stream write",
             Kind::FileRead => "file read",
             Kind::FileWrite => "file write",
         }
@@ -107,6 +127,10 @@ const NET_TOKENS: &[&str] = &[
 ];
 const CHANNEL_TOKENS: &[&str] = &[".recv()", ".recv_timeout("];
 const WAIT_TOKENS: &[&str] = &[".wait(", "poll2("];
+/// `Write::write_all(` is covered by neither of the others (UFCS has no
+/// leading dot; `Write::write(` requires the paren right after `write`),
+/// so all three spellings are listed.
+const WRITE_TOKENS: &[&str] = &[".write_all(", "Write::write_all(", "Write::write("];
 const FILE_READ_TOKENS: &[&str] = &[
     "File::open(",
     "fs::read",
@@ -141,6 +165,7 @@ fn classify_line(code: &str) -> Vec<(usize, Kind, &'static str)> {
     push_all(NET_TOKENS, Kind::Net);
     push_all(CHANNEL_TOKENS, Kind::Channel);
     push_all(WAIT_TOKENS, Kind::Wait);
+    push_all(WRITE_TOKENS, Kind::SockWrite);
     push_all(FILE_READ_TOKENS, Kind::FileRead);
     push_all(FILE_WRITE_TOKENS, Kind::FileWrite);
     // `sleep(` with a non-ident char before it (`thread::sleep(`, bare
@@ -226,6 +251,15 @@ pub fn check(ws: &Workspace, locks: &LockAnalysis) -> BlockingAnalysis {
                 // pinned sites only.
                 if kind == Kind::Wait
                     && SANCTIONED_WAITS.iter().any(|&(suffix, pat)| {
+                        file.path.ends_with(suffix) && file.lines[li].code.contains(pat)
+                    })
+                {
+                    continue;
+                }
+                // The one sanctioned write: the OutBuf's raw nonblocking
+                // write, at its pinned site only.
+                if kind == Kind::SockWrite
+                    && SANCTIONED_WRITES.iter().any(|&(suffix, pat)| {
                         file.path.ends_with(suffix) && file.lines[li].code.contains(pat)
                     })
                 {
@@ -698,6 +732,89 @@ fn master_loop() {
             "{:?}",
             a.findings
         );
+    }
+
+    #[test]
+    fn write_all_reachable_from_master_is_found() {
+        let src = "\
+fn master_loop() {
+    greet();
+}
+fn greet(stream: &mut TcpStream) {
+    stream.write_all(b\"220 ready\\r\\n\");
+}
+";
+        let (_, a) = analyze(src);
+        assert!(
+            a.findings.iter().any(|f| f.rule == "blocking"
+                && f.message.contains("write_all")
+                && f.message.contains("stream write")),
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn sanctioned_outbuf_raw_write_on_master_path_is_clean() {
+        // Same shape as the real engine: the OutBuf flush bottoms out in
+        // one raw nonblocking write inside pretrust.rs — the pinned site.
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/pretrust.rs",
+            "\
+fn master_loop() {
+    flush();
+}
+fn flush(&mut self) {
+    Write::write(self, buf);
+}
+",
+        )]);
+        let lock = locks::check(&ws);
+        let a = check(&ws, &lock);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn ufcs_write_all_on_the_master_path_is_found() {
+        // Even in pretrust.rs, only the pinned raw-write line is allowed;
+        // a UFCS `write_all` spelling must not slip through.
+        let ws = Workspace::from_sources(&[(
+            "crates/core/src/pretrust.rs",
+            "\
+fn master_loop() {
+    Write::write_all(stream, bytes);
+}
+",
+        )]);
+        let lock = locks::check(&ws);
+        let a = check(&ws, &lock);
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| f.rule == "blocking" && f.message.contains("write_all")),
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn stream_write_under_a_store_lock_is_allowed() {
+        // The mfs append under the partition lock is the critical
+        // section; only the master path bans write tokens.
+        let src = "\
+struct S {
+    shared: Mutex<MfsStore<B>>,
+}
+impl S {
+    fn append(&self) {
+        let g = self.shared.lock();
+        g.file.write_all(record);
+        g.done();
+    }
+}
+";
+        let (_, a) = analyze(src);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
     }
 
     #[test]

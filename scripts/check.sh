@@ -41,17 +41,26 @@
 # processes park 10,000 silent real-TCP connections on the master's
 # epoll set while delivery probes assert goodput through the standing
 # flood (DESIGN.md §15). Needs a ~10k fd budget in each child.
+#
+# With --stall, the write-stall chaos suite runs with its 100-peer storm
+# included: 100 real-TCP peers blast amplifier commands without ever
+# reading a reply (clamped receive buffers, so their windows truly
+# close) while a POP3 client freezes mid-RETR; every stalled peer must
+# be evicted and delivery probes must keep flowing at full goodput
+# through the storm (DESIGN.md §15.4).
 
 set -eu
 
 crash=0
 chaos=0
 flood=0
+stall=0
 for arg in "$@"; do
     case "$arg" in
         --crash) crash=1 ;;
         --chaos) chaos=1 ;;
         --flood) flood=1 ;;
+        --stall) stall=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -96,6 +105,11 @@ fi
 if [ "$flood" = 1 ]; then
     echo "==> 10k pre-trust flood"
     cargo test --quiet --release -p integration-tests --test pretrust_flood -- --include-ignored
+fi
+
+if [ "$stall" = 1 ]; then
+    echo "==> 100-peer write-stall storm"
+    cargo test --quiet --release -p integration-tests --test write_stall -- --include-ignored
 fi
 
 echo "all checks passed"

@@ -218,8 +218,11 @@ fn oversized_line_is_rejected() {
     let (srv, root) = server("overflow", &["alice"]);
     let mut c = Client::connect(&srv);
     let huge = "X".repeat(5000);
-    c.stream.write_all(huge.as_bytes()).expect("write flood");
-    c.stream.write_all(b"\r\n").expect("write");
+    // The server may close (even RST, with flood bytes still unread)
+    // as soon as it detects the overflow, so these writes can
+    // legitimately fail mid-flood.
+    let _ = c.stream.write_all(huge.as_bytes());
+    let _ = c.stream.write_all(b"\r\n");
     let mut reply = String::new();
     // Server answers 500 and closes, or just closes; both are acceptable
     // overflow handling. It must not crash.

@@ -41,6 +41,7 @@ const EPOLLRDHUP: u32 = 0x2000;
 
 const EPOLL_CTL_ADD: c_int = 1;
 const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
 
 const EPOLL_CLOEXEC: c_int = 0o2000000;
 const O_NONBLOCK: c_int = 0o4000;
@@ -60,6 +61,43 @@ extern "C" {
     fn close(fd: c_int) -> c_int;
     fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
     fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: u32,
+    ) -> c_int;
+}
+
+const SOL_SOCKET: c_int = 1;
+const SO_RCVBUF: c_int = 8;
+
+/// Clamps a socket's kernel receive buffer (`SO_RCVBUF`) to `bytes`,
+/// disabling receive-buffer autotuning for that socket. Chaos tests use
+/// it to model a peer whose TCP window actually closes: with default
+/// autotuning the kernel will happily buffer tens of megabytes for a
+/// reader that never reads, which hides every write-backpressure path.
+///
+/// # Errors
+///
+/// Propagates the `setsockopt` errno (e.g. `EBADF`).
+pub fn set_recv_buffer(fd: RawFd, bytes: i32) -> io::Result<()> {
+    // SAFETY: `bytes` outlives the call and `optlen` matches its size;
+    // the kernel only reads `optval`.
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_RCVBUF,
+            std::ptr::from_ref(&bytes).cast::<c_void>(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
 }
 
 /// One readiness event out of [`Poller::wait`].
@@ -107,6 +145,28 @@ impl Poller {
         // SAFETY: `ev` is a valid epoll_event for the duration of the call;
         // the kernel copies it before returning.
         let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Re-arms `fd`'s interest set: always readable, plus writability
+    /// when `write` is set. Level-triggered like [`Poller::add`]; used to
+    /// arm write interest only while a connection has queued output, so
+    /// an idle writable socket does not wake the poller on every pass.
+    pub fn modify(&self, fd: RawFd, token: u64, write: bool) -> io::Result<()> {
+        let mut events = EPOLLIN | EPOLLRDHUP;
+        if write {
+            events |= EPOLLOUT;
+        }
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` is a valid epoll_event for the duration of the call;
+        // the kernel copies it before returning.
+        let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, fd, &mut ev) };
         if rc < 0 {
             return Err(io::Error::last_os_error());
         }
@@ -374,6 +434,40 @@ mod tests {
     }
 
     #[test]
+    fn modify_arms_and_disarms_write_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+
+        let mut poller = Poller::new().expect("epoll");
+        poller.add(server.as_raw_fd(), 9).expect("add");
+
+        // Read-only interest: an idle (but trivially writable) socket
+        // stays quiet.
+        let mut out = Vec::new();
+        poller.wait(Some(0), &mut out).expect("wait");
+        assert!(out.iter().all(|e| !e.writable));
+
+        // Write interest armed: a fresh socket's empty send buffer
+        // reports writable immediately.
+        poller.modify(server.as_raw_fd(), 9, true).expect("mod on");
+        out.clear();
+        poller.wait(Some(1000), &mut out).expect("wait");
+        assert!(out.iter().any(|e| e.token == 9 && e.writable));
+
+        // Disarmed again: back to silence.
+        poller
+            .modify(server.as_raw_fd(), 9, false)
+            .expect("mod off");
+        out.clear();
+        poller.wait(Some(0), &mut out).expect("wait");
+        assert!(out.iter().all(|e| !e.writable));
+        drop(client);
+    }
+
+    #[test]
     fn poll2_distinguishes_data_cancel_and_timeout() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
@@ -400,5 +494,13 @@ mod tests {
         assert_eq!(ns_to_timeout_ms(1_000_000), Some(1));
         assert_eq!(ns_to_timeout_ms(1_000_001), Some(2));
         assert_eq!(ns_to_timeout_ms(u64::MAX), None);
+    }
+
+    #[test]
+    fn set_recv_buffer_accepts_and_rejects() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let stream = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        set_recv_buffer(stream.as_raw_fd(), 4096).expect("clamp rcvbuf");
+        assert!(set_recv_buffer(-1, 4096).is_err(), "bad fd must error");
     }
 }
